@@ -1,0 +1,52 @@
+// vsyncbench runs the §4.2 evaluation campaign on the simulated ARMv8
+// and x86 platforms and prints the paper's tables and figures.
+//
+// Usage:
+//
+//	vsyncbench              # quick campaign (Tables 2–5, Figs. 23–26)
+//	vsyncbench -full        # the paper's full parameter grid
+//	vsyncbench -fig27       # the MCS implementation comparison
+//	vsyncbench -sweep       # the §4.2.2 cs_size / es_size findings
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/wmsim"
+)
+
+func main() {
+	var (
+		full  = flag.Bool("full", false, "run the paper's full parameter grid")
+		fig27 = flag.Bool("fig27", false, "run the Fig. 27 MCS implementation comparison")
+		sweep = flag.Bool("sweep", false, "run the §4.2.2 critical/outside section size sweeps")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	switch {
+	case *fig27:
+		for _, mc := range wmsim.Machines() {
+			fmt.Println(bench.Fig27(mc, bench.PaperThreads, 3, 150_000))
+		}
+	case *sweep:
+		for _, mc := range wmsim.Machines() {
+			for _, th := range []int{1, 8} {
+				out, _ := bench.CSSweep(mc, "mcs", th, []int{1, 4, 16, 64}, 150_000)
+				fmt.Println(out)
+			}
+			out, _ := bench.ESSweep(mc, "mcs", 8, []int{0, 4, 16}, 150_000)
+			fmt.Println(out)
+		}
+	default:
+		cfg := bench.Quick()
+		if *full {
+			cfg = bench.Default()
+		}
+		fmt.Println(bench.CampaignReport(cfg))
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}

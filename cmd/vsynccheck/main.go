@@ -1,0 +1,89 @@
+// vsynccheck model-checks a synchronization primitive (or a built-in
+// litmus test) with Await Model Checking.
+//
+// Usage:
+//
+//	vsynccheck -lock mcs [-model wmm] [-threads 2] [-iters 1] [-sc] [-dot out.dot]
+//	vsynccheck -list
+//
+// Exit status 0 on successful verification, 1 on a violation, 2 on
+// usage or checker errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/mm"
+	"repro/vsync"
+)
+
+func main() {
+	var (
+		lockName = flag.String("lock", "", "lock algorithm to verify (see -list)")
+		model    = flag.String("model", "wmm", "memory model: sc, tso or wmm")
+		threads  = flag.Int("threads", 2, "contending threads in the generic client")
+		iters    = flag.Int("iters", 1, "critical sections per thread")
+		scOnly   = flag.Bool("sc", false, "verify the sc-only (all-SC barrier) variant")
+		dotOut   = flag.String("dot", "", "write the counterexample graph as Graphviz DOT to this file")
+		list     = flag.Bool("list", false, "list registered algorithms and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, alg := range locks.All() {
+			tag := ""
+			if alg.Buggy {
+				tag = "  [known-buggy study case]"
+			}
+			fmt.Printf("%-16s %s%s\n", alg.Name, alg.Doc, tag)
+		}
+		return
+	}
+	if *lockName == "" {
+		fmt.Fprintln(os.Stderr, "vsynccheck: -lock is required (try -list)")
+		os.Exit(2)
+	}
+	alg := locks.ByName(*lockName)
+	if alg == nil {
+		fmt.Fprintf(os.Stderr, "vsynccheck: unknown lock %q (try -list)\n", *lockName)
+		os.Exit(2)
+	}
+	m := mm.ByName(*model)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "vsynccheck: unknown model %q (sc, tso, wmm)\n", *model)
+		os.Exit(2)
+	}
+	spec := alg.DefaultSpec()
+	if *scOnly {
+		spec = spec.AllSC()
+	}
+
+	p := harness.MutexClient(alg, spec, *threads, *iters)
+	fmt.Printf("checking %s under %s (%d threads × %d iterations)...\n", p.Name, m.Name(), *threads, *iters)
+	res := vsync.Verify(m, p)
+	fmt.Println(res)
+	if res.Verdict == core.Error {
+		os.Exit(2)
+	}
+	if !res.Ok() {
+		if res.Witness != nil {
+			fmt.Println("\ncounterexample execution graph:")
+			fmt.Println(res.Witness.Render())
+			if *dotOut != "" {
+				if err := os.WriteFile(*dotOut, []byte(res.Witness.DOT(p.Name)), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "vsynccheck:", err)
+				} else {
+					fmt.Println("DOT graph written to", *dotOut)
+				}
+			}
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("stats: %d executions, %d graphs, %d revisits, %d wasteful pruned\n",
+		res.Stats.Executions, res.Stats.Popped, res.Stats.Revisits, res.Stats.Wasteful)
+}

@@ -1,0 +1,65 @@
+// vsynclitmus runs the built-in litmus tests under every memory model
+// and prints the allowed/forbidden matrix — a conformance view of the
+// consistency predicates (SC, TSO, WMM, and the psc-ablation model RA).
+//
+// Usage:
+//
+//	vsynclitmus            # weak (relaxed) variants
+//	vsynclitmus -strong    # release/acquire and SC variants
+//	vsynclitmus -name MP   # one test only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mm"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		strong = flag.Bool("strong", false, "use release/acquire (and SC where relevant) accesses")
+		name   = flag.String("name", "", "run a single litmus test")
+	)
+	flag.Parse()
+
+	models := append(mm.All(), mm.RA)
+	names := harness.LitmusNames()
+	if *name != "" {
+		names = []string{*name}
+	}
+	headers := []string{"litmus"}
+	for _, m := range models {
+		headers = append(headers, m.Name())
+	}
+	strength := "weak"
+	if *strong {
+		strength = "strong"
+	}
+	t := report.NewTable(fmt.Sprintf("litmus conformance (%s variants): is the weak outcome observable?", strength), headers...)
+	for _, n := range names {
+		p := harness.Litmus(n, *strong)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "vsynclitmus: unknown litmus %q\n", n)
+			os.Exit(2)
+		}
+		row := []any{n}
+		for _, m := range models {
+			res := core.New(m).Run(p)
+			switch res.Verdict {
+			case core.OK:
+				row = append(row, "forbidden")
+			case core.SafetyViolation:
+				row = append(row, "ALLOWED")
+			default:
+				row = append(row, res.Verdict.String())
+			}
+		}
+		t.Add(row...)
+	}
+	fmt.Println(t.String())
+}

@@ -1,0 +1,61 @@
+// vsyncopt runs push-button barrier optimization on a lock algorithm:
+// starting from the sc-only assignment (or the algorithm's default with
+// -from-default), every barrier point is relaxed as far as Await Model
+// Checking allows, and the resulting Fig. 20-style mode listing is
+// printed.
+//
+// Usage:
+//
+//	vsyncopt -lock qspinlock [-threads 2] [-from-default]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/mm"
+	"repro/internal/optimize"
+	"repro/internal/vprog"
+)
+
+func main() {
+	var (
+		lockName    = flag.String("lock", "", "lock algorithm to optimize")
+		threads     = flag.Int("threads", 2, "contending threads in the verification client")
+		fromDefault = flag.Bool("from-default", false, "start from the default spec instead of all-SC")
+	)
+	flag.Parse()
+
+	alg := locks.ByName(*lockName)
+	if alg == nil {
+		fmt.Fprintf(os.Stderr, "vsyncopt: unknown lock %q\n", *lockName)
+		os.Exit(2)
+	}
+	opt := &optimize.Optimizer{
+		Model: mm.WMM,
+		Programs: func(spec *vprog.BarrierSpec) []*vprog.Program {
+			ps := []*vprog.Program{harness.MutexClient(alg, spec, *threads, 1)}
+			if alg.Name == "qspin" {
+				// Cover the MCS queue paths (see §3.3 and the Fig. 1
+				// extraction methodology).
+				ps = append(ps, harness.QspinQueuePathLitmus(spec),
+					harness.MutexClient(alg, spec, 3, 1))
+			}
+			return ps
+		},
+	}
+	initial := alg.DefaultSpec().AllSC()
+	if *fromDefault {
+		initial = alg.DefaultSpec()
+	}
+	fmt.Printf("optimizing %s (%d barrier points)...\n\n", alg.Name, len(initial.Points()))
+	res, err := opt.Run(initial)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsyncopt:", err)
+		os.Exit(2)
+	}
+	fmt.Println(res.Report())
+}

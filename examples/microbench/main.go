@@ -1,0 +1,31 @@
+// Microbenchmark campaign (§4.2): the Listing-1 loop — acquire,
+// increment a shared counter, release — across the simulated ARMv8 and
+// x86 platforms, 18 lock algorithms, sc-only vs VSync-optimized
+// variants and the paper's thread ladder. Prints Tables 2–5 and the
+// Figs. 23–26 densities/heat maps.
+//
+// Run with: go run ./examples/microbench [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/vsync"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the paper's full parameter grid (slower)")
+	flag.Parse()
+
+	cfg := vsync.QuickBench()
+	if *full {
+		cfg = vsync.DefaultBench()
+	}
+	fmt.Printf("running campaign: %d machines × %d locks × 2 variants × %v threads × %d runs\n\n",
+		len(cfg.Machines), len(cfg.Algorithms), cfg.Threads, cfg.Runs)
+	start := time.Now()
+	fmt.Println(vsync.BenchReport(cfg))
+	fmt.Printf("campaign completed in %v\n", time.Since(start).Round(time.Millisecond))
+}

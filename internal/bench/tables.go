@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Table2 renders raw records in the shape of the paper's Table 2
+// (truncated to head/tail rows like the paper's listing when n is
+// large).
+func Table2(recs []Record, maxRows int) string {
+	t := report.NewTable("Table 2: raw captured records",
+		"arch", "algorithm", "seqopt", "threads_nb", "run_nb", "count", "duration", "throughput")
+	add := func(r Record) {
+		t.Add(r.Arch, r.Algorithm, r.Variant, r.Threads, r.Run, r.Count,
+			fmt.Sprintf("%.4f", r.Duration), r.Throughput)
+	}
+	if len(recs) <= maxRows || maxRows <= 0 {
+		for _, r := range recs {
+			add(r)
+		}
+		return t.String()
+	}
+	half := maxRows / 2
+	for _, r := range recs[:half] {
+		add(r)
+	}
+	t.Add("...", "...", "...", "...", "...", "...", "...", "...")
+	for _, r := range recs[len(recs)-half:] {
+		add(r)
+	}
+	return t.String() + fmt.Sprintf("(%d records total)\n", len(recs))
+}
+
+// Table3 renders grouped statistics (mean, median, std, stability) per
+// (arch, algorithm, variant, threads) — the paper's Table 3.
+func Table3(groups []Group) string {
+	t := report.NewTable("Table 3: records grouped by platform, lock, variant and thread count",
+		"arch", "algorithm", "seqopt", "threads_nb", "mean", "median", "std", "stability")
+	sorted := append([]Group(nil), groups...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Arch != b.Arch {
+			return a.Arch < b.Arch
+		}
+		if a.Algorithm != b.Algorithm {
+			return a.Algorithm < b.Algorithm
+		}
+		if a.Variant != b.Variant {
+			return a.Variant < b.Variant
+		}
+		return a.Threads < b.Threads
+	})
+	for _, g := range sorted {
+		t.Add(g.Arch, g.Algorithm, g.Variant, g.Threads,
+			g.Mean, g.Median, g.Std, fmt.Sprintf("%.5f", g.Stability))
+	}
+	return t.String()
+}
+
+// Table4 categorizes groups by stability thresholds — the paper's
+// Table 4 (≤1.1, >1.1, >1.2, >1.3, >1.4 with percentages).
+func Table4(groups []Group) string {
+	thresholds := []float64{1.1, 1.2, 1.3, 1.4}
+	total := len(groups)
+	leq := 0
+	over := make([]int, len(thresholds))
+	for _, g := range groups {
+		if g.Stability <= thresholds[0] {
+			leq++
+		}
+		for i, th := range thresholds {
+			if g.Stability > th {
+				over[i]++
+			}
+		}
+	}
+	t := report.NewTable("Table 4: number of experiments categorized by stability",
+		"stability", "amount (absolute)", "amount (%)")
+	pct := func(n int) string {
+		if total == 0 {
+			return "0.00%"
+		}
+		return fmt.Sprintf("%.2f%%", 100*float64(n)/float64(total))
+	}
+	t.Add(fmt.Sprintf("<= %.1f", thresholds[0]), leq, pct(leq))
+	for i, th := range thresholds {
+		t.Add(fmt.Sprintf("> %.1f", th), over[i], pct(over[i]))
+	}
+	t.Add("Total", total, "100.00%")
+	return t.String()
+}
+
+// Table5 renders the per-lock speedup summary (max, mean, min, std per
+// architecture) — the paper's Table 5.
+func Table5(speedups []Speedup) string {
+	type key struct{ Arch, Algorithm string }
+	byKey := map[key][]float64{}
+	algs := map[string]bool{}
+	arches := map[string]bool{}
+	for _, s := range speedups {
+		k := key{s.Arch, s.Algorithm}
+		byKey[k] = append(byKey[k], s.Value)
+		algs[s.Algorithm] = true
+		arches[s.Arch] = true
+	}
+	var algList, archList []string
+	for a := range algs {
+		algList = append(algList, a)
+	}
+	for a := range arches {
+		archList = append(archList, a)
+	}
+	sort.Strings(algList)
+	sort.Strings(archList)
+
+	headers := []string{"lock"}
+	for _, a := range archList {
+		headers = append(headers, a+" max", a+" mean", a+" min", a+" std")
+	}
+	t := report.NewTable("Table 5: speedups of VSync-optimized over sc-only variants", headers...)
+	for _, alg := range algList {
+		row := []any{alg}
+		for _, arch := range archList {
+			vals := byKey[key{arch, alg}]
+			if len(vals) == 0 {
+				row = append(row, "-", "-", "-", "-")
+				continue
+			}
+			s := stats.Summarize(vals)
+			row = append(row, fmt.Sprintf("%.4f", s.Max), fmt.Sprintf("%.4f", s.Mean),
+				fmt.Sprintf("%.4f", s.Min), fmt.Sprintf("%.4f", s.Std))
+		}
+		t.Add(row...)
+	}
+	return t.String()
+}
+
+// SpeedupSeries returns the sorted speedup values of one architecture
+// (the density data behind Fig. 24).
+func SpeedupSeries(speedups []Speedup, arch string) []float64 {
+	var out []float64
+	for _, s := range speedups {
+		if s.Arch == arch {
+			out = append(out, s.Value)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// StabilitySeries returns the stability values of one architecture's
+// groups (the density data behind Fig. 23).
+func StabilitySeries(groups []Group, arch string) []float64 {
+	var out []float64
+	for _, g := range groups {
+		if g.Arch == arch {
+			out = append(out, g.Stability)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// archesOf lists the architectures present in the groups, sorted.
+func archesOf(groups []Group) []string {
+	set := map[string]bool{}
+	for _, g := range groups {
+		set[g.Arch] = true
+	}
+	var out []string
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fig23 renders the stability density per architecture.
+func Fig23(groups []Group) string {
+	var b strings.Builder
+	for _, arch := range archesOf(groups) {
+		xs := StabilitySeries(groups, arch)
+		h := stats.NewHistogram(xs, 8)
+		centers := make([]float64, len(h.Counts))
+		for i := range centers {
+			centers[i] = h.BinCenter(i)
+		}
+		b.WriteString(report.HistogramText(
+			fmt.Sprintf("Fig. 23: stability density, %s (count=%d)", arch, len(xs)),
+			centers, h.Counts, 50))
+	}
+	return b.String()
+}
+
+// Fig24 renders the speedup density per architecture.
+func Fig24(speedups []Speedup) string {
+	arches := map[string]bool{}
+	for _, s := range speedups {
+		arches[s.Arch] = true
+	}
+	var list []string
+	for a := range arches {
+		list = append(list, a)
+	}
+	sort.Strings(list)
+	var b strings.Builder
+	for _, arch := range list {
+		xs := SpeedupSeries(speedups, arch)
+		h := stats.NewHistogram(xs, 10)
+		centers := make([]float64, len(h.Counts))
+		for i := range centers {
+			centers[i] = h.BinCenter(i)
+		}
+		b.WriteString(report.HistogramText(
+			fmt.Sprintf("Fig. 24: speedup density, %s (count=%d)", arch, len(xs)),
+			centers, h.Counts, 50))
+	}
+	return b.String()
+}
+
+// FigHeatmap renders the per-lock×thread speedup heat map of one
+// architecture — Figs. 25 (ARMv8) and 26 (x86_64). Filtered (unstable)
+// combinations appear as '?', like the paper's white squares.
+func FigHeatmap(title string, speedups []Speedup, arch string, threads []int) string {
+	algs := map[string]bool{}
+	for _, s := range speedups {
+		if s.Arch == arch {
+			algs[s.Algorithm] = true
+		}
+	}
+	var algList []string
+	for a := range algs {
+		algList = append(algList, a)
+	}
+	sort.Strings(algList)
+
+	vals := make([][]float64, len(algList))
+	valid := make([][]bool, len(algList))
+	colLabels := make([]string, len(threads))
+	for j, th := range threads {
+		colLabels[j] = fmt.Sprintf("%d", th)
+	}
+	index := map[string]int{}
+	for i, a := range algList {
+		index[a] = i
+		vals[i] = make([]float64, len(threads))
+		valid[i] = make([]bool, len(threads))
+	}
+	colOf := map[int]int{}
+	for j, th := range threads {
+		colOf[th] = j
+	}
+	for _, s := range speedups {
+		if s.Arch != arch {
+			continue
+		}
+		if j, ok := colOf[s.Threads]; ok {
+			i := index[s.Algorithm]
+			vals[i][j] = s.Value
+			valid[i][j] = true
+		}
+	}
+	return report.Heatmap(title, algList, colLabels, vals, valid)
+}

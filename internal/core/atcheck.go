@@ -1,0 +1,124 @@
+package core
+
+import (
+	"repro/internal/graph"
+)
+
+// unresolvableBottom decides whether a stuck graph (no runnable
+// threads, some blocked on ⊥ reads) witnesses an await-termination
+// violation. A ⊥ read r is resolvable when some existing write w could
+// serve it — i.e. setting rf(r) = w keeps the graph consistent — and
+// doing so makes progress (the iteration would differ from the previous
+// failed iteration, so the resolution is not wasteful).
+//
+// The graph is a genuine witness (a member of G∞*, §1.2) only when
+// *every* blocked read is unresolvable: then no thread can ever run
+// again, no new write can arrive, and the awaits spin forever. If some
+// blocked read is resolvable, its resolution — where that thread makes
+// progress and may produce the writes others wait for — is explored in
+// a separate branch (the rf alternative pushed when the read was added,
+// or a revisit), so this graph is discarded as redundant.
+func (r *run) unresolvableBottom(g *graph.Graph, rres []replayResult) (graph.EventID, bool) {
+	witness := graph.NoEvent
+	for t, res := range rres {
+		if !res.blocked {
+			continue
+		}
+		evs := g.Threads[t]
+		if len(evs) == 0 {
+			return graph.NoEvent, false
+		}
+		e := evs[len(evs)-1]
+		if !e.IsReadLike() || !g.Rf[e.ID].Bottom {
+			return graph.NoEvent, false // blocked threads always end in a ⊥ read
+		}
+		if r.resolvable(g, e, res.spans) {
+			return graph.NoEvent, false
+		}
+		if witness == graph.NoEvent {
+			witness = e.ID
+		}
+	}
+	return witness, witness != graph.NoEvent
+}
+
+// resolvable reports whether some write in g can serve the ⊥ read e
+// consistently and non-wastefully.
+func (r *run) resolvable(g *graph.Graph, e *graph.Event, spans []iterRec) bool {
+	// Locate e's position within its await iteration and the rf tuple of
+	// the previous iteration, to apply the progress requirement: if every
+	// earlier read of the current iteration repeats the previous
+	// iteration's sources, then e must read from a *different* write than
+	// its counterpart did, or the iteration is wasteful.
+	var forbidden *graph.RF
+	if e.AwaitIter > 0 {
+		var cur, prev *iterRec
+		for i := range spans {
+			s := &spans[i]
+			if s.Seq != e.AwaitSeq {
+				continue
+			}
+			switch s.Iter {
+			case e.AwaitIter:
+				cur = s
+			case e.AwaitIter - 1:
+				prev = s
+			}
+		}
+		if cur != nil && prev != nil {
+			pos := -1
+			for k, id := range cur.Reads {
+				if id == e.ID {
+					pos = k
+					break
+				}
+			}
+			if pos >= 0 && pos < len(prev.Reads) {
+				prefixSame := true
+				for k := 0; k < pos; k++ {
+					if g.Rf[cur.Reads[k]] != g.Rf[prev.Reads[k]] {
+						prefixSame = false
+						break
+					}
+				}
+				if prefixSame {
+					rf := g.Rf[prev.Reads[pos]]
+					forbidden = &rf
+				}
+			}
+		}
+	}
+
+	for _, w := range g.Mo[e.Loc] {
+		if w == e.ID {
+			continue
+		}
+		choice := graph.FromW(w)
+		if forbidden != nil && choice == *forbidden {
+			continue // same source as the previous iteration: wasteful
+		}
+		if r.c.Model.Consistent(resolveWith(g, e, w)) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveWith returns a copy of g in which the ⊥ read e instead reads
+// from w. Updates are resolved as if degraded (their write part is not
+// re-inserted into mo): this under-constrains the candidate graph, so
+// the consistency test errs toward "resolvable" — never toward a false
+// AT report. Executions where the update really does write are explored
+// separately through the revisit branch created when w was added.
+func resolveWith(g *graph.Graph, e *graph.Event, w graph.EventID) *graph.Graph {
+	g2 := g.Clone()
+	e2 := *e
+	e2.RVal = g2.WriteVal(w)
+	if e2.Kind == graph.KUpdate {
+		e2.Degraded = true // read-only resolution; see doc comment
+		e2.Val = 0
+	}
+	g2.Threads[e.ID.Thread][e.ID.Index] = &e2
+	g2.SetRF(e.ID, graph.FromW(w))
+	return g2
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/mm"
+	"repro/internal/vprog"
+)
+
+// Checker is an AMC instance. The zero value is not usable; use New.
+type Checker struct {
+	// Model is the memory model to verify against.
+	Model mm.Model
+	// MaxGraphs bounds the number of popped exploration states; the run
+	// fails with Verdict Error when exceeded (guards against programs
+	// outside AMC's fragment).
+	MaxGraphs int
+	// MaxEvents bounds the size of a single execution graph.
+	MaxEvents int
+	// DisableDedup turns off the visited-graph set (ablation: the
+	// closure-dropping revisit scheme re-derives some graphs along
+	// multiple paths; the fingerprint set prunes them and guarantees
+	// termination; disabling it shows the duplication cost).
+	DisableDedup bool
+}
+
+// New returns a Checker for the given memory model with default limits.
+func New(model mm.Model) *Checker {
+	return &Checker{Model: model, MaxGraphs: 2_000_000, MaxEvents: 4096}
+}
+
+// item is one exploration state: a partial execution graph, plus at most
+// one forced rf choice created by a revisit (applied to the next event
+// of the read's thread before normal branching resumes).
+type item struct {
+	g         *graph.Graph
+	hasForced bool
+	forcedR   graph.EventID
+	forcedW   graph.EventID
+}
+
+func (it item) key() string {
+	k := it.g.Fingerprint()
+	if it.hasForced {
+		k += fmt.Sprintf("|F%v<-%v", it.forcedR, it.forcedW)
+	}
+	return k
+}
+
+// run carries the mutable state of one exploration.
+type run struct {
+	c       *Checker
+	threads []vprog.ThreadFunc
+	vars    *vprog.VarSet
+	final   vprog.FinalCheck
+	stack   []item
+	visited map[string]bool
+	res     *Result
+}
+
+// Run verifies the program: it explores the execution graphs of p under
+// c.Model, checking every assertion, the final-state condition, and
+// await termination. It returns the first violation found (with a
+// counterexample graph) or OK.
+func (c *Checker) Run(p *vprog.Program) *Result {
+	start := time.Now()
+	r := &run{c: c, visited: make(map[string]bool), res: &Result{}}
+	defer func() { r.res.Duration = time.Since(start) }()
+
+	r.vars = &vprog.VarSet{}
+	r.threads, r.final = p.Build(r.vars)
+	if len(r.threads) == 0 {
+		r.res.Err = fmt.Errorf("program %q has no threads", p.Name)
+		r.res.Verdict = Error
+		return r.res
+	}
+	g0 := graph.New(len(r.threads), r.vars.Inits(), r.vars.Names())
+	r.stack = []item{{g: g0}}
+
+	for len(r.stack) > 0 {
+		if r.res.Stats.Popped >= c.MaxGraphs {
+			r.res.Verdict = Error
+			r.res.Err = fmt.Errorf("exceeded MaxGraphs=%d (program may violate the Bounded-Length principle)", c.MaxGraphs)
+			return r.res
+		}
+		it := r.stack[len(r.stack)-1]
+		r.stack = r.stack[:len(r.stack)-1]
+		r.res.Stats.Popped++
+		if done := r.step(it); done {
+			return r.res
+		}
+	}
+	r.res.Verdict = OK
+	return r.res
+}
+
+// step processes one popped exploration state; it returns true when the
+// run is finished (violation found or internal error).
+func (r *run) step(it item) bool {
+	if !r.c.DisableDedup {
+		key := it.key()
+		if r.visited[key] {
+			r.res.Stats.Duplicates++
+			return false
+		}
+		r.visited[key] = true
+	}
+
+	// Replay every thread against the graph (reconstructing the program
+	// state, Fig. 6), collecting pending ops and await iteration records.
+	rres := make([]replayResult, len(r.threads))
+	for t, fn := range r.threads {
+		rres[t] = replayThread(it.g, t, fn, r.vars.Vars)
+		if rres[t].err != nil {
+			r.res.Verdict = Error
+			r.res.Err = rres[t].err
+			return true
+		}
+	}
+
+	// consM(G): discard graphs inconsistent with the memory model.
+	if !r.c.Model.Consistent(it.g) {
+		r.res.Stats.Inconsist++
+		return false
+	}
+	// ¬W(G): discard wasteful graphs (Def. 2).
+	if wasteful(it.g, rres) {
+		r.res.Stats.Wasteful++
+		return false
+	}
+
+	// A pending forced rf (from a revisit) is applied before anything
+	// else: the designated thread takes its step with the chosen source.
+	if it.hasForced {
+		t := it.forcedR.Thread
+		p := rres[t].pending
+		if p == nil || (p.kind != opRead && p.kind != opUpdate) ||
+			len(it.g.Threads[t]) != it.forcedR.Index {
+			r.res.Verdict = Error
+			r.res.Err = fmt.Errorf("revisit target %v is not the next read of its thread", it.forcedR)
+			return true
+		}
+		r.extendReadLike(it.g, t, p, []graph.RF{graph.FromW(it.forcedW)}, false)
+		return false
+	}
+
+	// Collect runnable threads.
+	runnable := -1
+	anyBlocked := false
+	allFinished := true
+	for t := range r.threads {
+		if rres[t].blocked {
+			anyBlocked = true
+			allFinished = false
+			continue
+		}
+		if rres[t].finished {
+			continue
+		}
+		allFinished = false
+		if runnable < 0 {
+			runnable = t
+		}
+	}
+
+	if runnable < 0 {
+		if anyBlocked {
+			// TG = ∅ with ⊥ reads present: a potential AT violation. It is
+			// real iff some ⊥ read cannot be resolved by any consistent,
+			// non-wasteful write (§1.3).
+			if id, ok := r.unresolvableBottom(it.g, rres); ok {
+				r.res.Verdict = ATViolation
+				r.res.Message = fmt.Sprintf("await of thread T%d never terminates: read %v has no remaining write to observe", id.Thread, id)
+				r.res.Witness = it.g
+				return true
+			}
+			r.res.Stats.Blocked++
+			return false
+		}
+		if allFinished {
+			r.res.Stats.Executions++
+			if r.final != nil {
+				ok, msg := r.final(func(v *vprog.Var) uint64 {
+					return it.g.FinalVal(graph.Loc(v.ID))
+				})
+				if !ok {
+					r.res.Verdict = SafetyViolation
+					r.res.Message = "final-state check failed: " + msg
+					r.res.Witness = it.g
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// Extend with the next instruction of the chosen thread.
+	p := rres[runnable].pending
+	switch p.kind {
+	case opError:
+		e := r.mkEvent(it.g, runnable, p)
+		g2 := it.g.Clone()
+		g2.Append(e)
+		r.res.Verdict = SafetyViolation
+		r.res.Message = "assertion failed: " + p.msg
+		r.res.Witness = g2
+		return true
+	case opFence:
+		g2 := it.g.Clone()
+		g2.Append(r.mkEvent(g2, runnable, p))
+		r.push(item{g: g2})
+	case opWrite:
+		r.extendWrite(it.g, runnable, p)
+	case opRead, opUpdate:
+		var choices []graph.RF
+		for _, w := range it.g.Mo[p.loc] {
+			choices = append(choices, graph.FromW(w))
+		}
+		r.extendReadLike(it.g, runnable, p, choices, p.inAwait)
+	}
+	return false
+}
+
+// mkEvent builds the event for pending op p as the next event of thread
+// t in g (value fields filled by the caller for read-likes).
+func (r *run) mkEvent(g *graph.Graph, t int, p *pending) *graph.Event {
+	kind := map[opKind]graph.Kind{
+		opRead: graph.KRead, opWrite: graph.KWrite, opUpdate: graph.KUpdate,
+		opFence: graph.KFence, opError: graph.KError,
+	}[p.kind]
+	seq, iter := -1, 0
+	if p.inAwait {
+		seq, iter = p.awaitSeq, p.awaitIter
+	}
+	return &graph.Event{
+		ID:        graph.EventID{Thread: t, Index: len(g.Threads[t])},
+		Kind:      kind,
+		Mode:      p.mode,
+		Loc:       p.loc,
+		Val:       p.val,
+		Msg:       p.msg,
+		AwaitSeq:  seq,
+		AwaitIter: iter,
+	}
+}
+
+// push adds a child state to the exploration stack, guarding graph size.
+func (r *run) push(it item) {
+	if it.g.NumEvents() > r.c.MaxEvents {
+		// Guard against runaway growth; the parent pop already counted.
+		// Report as an error via a sentinel on the stack is overkill: the
+		// MaxGraphs guard will fire; simply refuse to grow further.
+		return
+	}
+	r.res.Stats.Pushed++
+	r.stack = append(r.stack, it)
+}
+
+// extendWrite adds a plain write: one child per modification-order
+// placement, each followed by its revisit children.
+func (r *run) extendWrite(g *graph.Graph, t int, p *pending) {
+	npos := len(g.Mo[p.loc])
+	for pos := 1; pos <= npos; pos++ {
+		g2 := g.Clone()
+		e := r.mkEvent(g2, t, p)
+		g2.Append(e)
+		g2.InsertMo(p.loc, e.ID, pos)
+		r.push(item{g: g2})
+		r.pushRevisits(g2, e)
+	}
+}
+
+// extendReadLike adds a read or update with each rf choice in choices
+// (plus a ⊥ branch when the read sits in an await), handling update
+// degradation, atomic mo placement, and revisits by the update's write
+// part.
+func (r *run) extendReadLike(g *graph.Graph, t int, p *pending, choices []graph.RF, withBottom bool) {
+	for _, rf := range choices {
+		g2 := g.Clone()
+		e := r.mkEvent(g2, t, p)
+		e.RVal = g2.WriteVal(rf.W)
+		if p.kind == opUpdate {
+			wv, degr := p.compute(e.RVal)
+			e.Degraded = degr
+			if !degr {
+				e.Val = wv
+			}
+		}
+		g2.Append(e)
+		g2.SetRF(e.ID, rf)
+		if p.kind == opUpdate && !e.Degraded {
+			src := g2.MoIndex(p.loc, rf.W)
+			if src < 0 {
+				continue // source vanished (cannot happen)
+			}
+			g2.InsertMo(p.loc, e.ID, src+1)
+			r.push(item{g: g2})
+			r.pushRevisits(g2, e)
+			continue
+		}
+		r.push(item{g: g2})
+	}
+	if withBottom {
+		// ⊥ branch: the potential AT violation marker. Pushed last so the
+		// DFS examines it first, surfacing hangs early.
+		g2 := g.Clone()
+		e := r.mkEvent(g2, t, p)
+		g2.Append(e)
+		g2.SetRF(e.ID, graph.BottomRF)
+		r.push(item{g: g2})
+	}
+}
+
+// pushRevisits generates the write→read revisit children for the
+// freshly added write-like event w in g2 (the CalcRevisits of Fig. 6):
+// each same-location read r not in w's porf prefix may instead read
+// from w; the graph is restricted to the events added before r plus
+// w's porf prefix, and r's re-addition is forced to read from w.
+func (r *run) pushRevisits(g2 *graph.Graph, w *graph.Event) {
+	porf := g2.PorfPrefix(w.ID)
+	rstampOf := func(id graph.EventID) int { return g2.Event(id).Stamp }
+	for _, rd := range g2.ReadsOf(w.Loc) {
+		if rd == w.ID || porf[rd] {
+			continue
+		}
+		if g2.Rf[rd] == graph.FromW(w.ID) {
+			continue
+		}
+		rstamp := rstampOf(rd)
+		keep := make(map[graph.EventID]bool)
+		for _, evs := range g2.Threads {
+			for _, e := range evs {
+				if e.Stamp < rstamp || porf[e.ID] || e.ID == w.ID {
+					keep[e.ID] = true
+				}
+			}
+		}
+		delete(keep, rd)
+		// Closure-drop: a kept read whose rf source was dropped cannot
+		// keep its value; truncate its thread there and iterate.
+		for changed := true; changed; {
+			changed = false
+			for _, evs := range g2.Threads {
+				alive := true
+				for _, e := range evs {
+					if !keep[e.ID] {
+						alive = false
+					}
+					if !alive {
+						if keep[e.ID] {
+							delete(keep, e.ID)
+							changed = true
+						}
+						continue
+					}
+					if e.IsReadLike() {
+						rf := g2.Rf[e.ID]
+						if !rf.Bottom && !rf.W.IsInit() && !keep[rf.W] {
+							delete(keep, e.ID)
+							alive = false
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !keep[w.ID] {
+			continue // the new write itself was dropped: nothing to revisit
+		}
+		// r must be re-addable as the next event of its thread.
+		pfx := 0
+		for _, e := range g2.Threads[rd.Thread] {
+			if !keep[e.ID] {
+				break
+			}
+			pfx++
+		}
+		if pfx != rd.Index {
+			continue
+		}
+		g3 := g2.Clone()
+		g3.RestrictTo(keep)
+		r.res.Stats.Revisits++
+		r.push(item{g: g3, hasForced: true, forcedR: rd, forcedW: w.ID})
+	}
+}
+
+// wasteful implements W(G) (Def. 2): some await reads from the same
+// combination of writes in two consecutive complete iterations.
+func wasteful(g *graph.Graph, rres []replayResult) bool {
+	for _, res := range rres {
+		spans := res.spans
+		for i := 0; i+1 < len(spans); i++ {
+			a, b := spans[i], spans[i+1]
+			if a.Seq != b.Seq || b.Iter != a.Iter+1 {
+				continue
+			}
+			if !a.Complete || !a.Failed || !b.Complete {
+				continue
+			}
+			if len(a.Reads) != len(b.Reads) {
+				continue
+			}
+			same := true
+			for k := range a.Reads {
+				if g.Rf[a.Reads[k]] != g.Rf[b.Reads[k]] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/mm"
+	"repro/internal/vprog"
+)
+
+func TestWRC(t *testing.T) {
+	if reachable(t, mm.WMM, harness.WRC(vprog.Rel, vprog.Acq)) {
+		t.Error("WMM must forbid WRC with release/acquire (hb transitivity)")
+	}
+	if !reachable(t, mm.WMM, harness.WRC(vprog.Rlx, vprog.Rlx)) {
+		t.Error("WMM must allow relaxed WRC")
+	}
+	if reachable(t, mm.TSO, harness.WRC(vprog.Rlx, vprog.Rlx)) {
+		t.Error("TSO must forbid WRC (multi-copy atomic)")
+	}
+	if reachable(t, mm.SC, harness.WRC(vprog.Rlx, vprog.Rlx)) {
+		t.Error("SC must forbid WRC")
+	}
+}
+
+func TestISA2(t *testing.T) {
+	if reachable(t, mm.WMM, harness.ISA2(vprog.Rel, vprog.Acq)) {
+		t.Error("WMM must forbid ISA2 with release/acquire")
+	}
+	if !reachable(t, mm.WMM, harness.ISA2(vprog.Rlx, vprog.Rlx)) {
+		t.Error("WMM must allow relaxed ISA2")
+	}
+	if reachable(t, mm.SC, harness.ISA2(vprog.Rlx, vprog.Rlx)) {
+		t.Error("SC must forbid ISA2")
+	}
+}
+
+func TestTwoPlusTwoW(t *testing.T) {
+	if reachable(t, mm.SC, harness.TwoPlusTwoW(vprog.Rlx)) {
+		t.Error("SC must forbid 2+2W")
+	}
+	if reachable(t, mm.TSO, harness.TwoPlusTwoW(vprog.Rlx)) {
+		t.Error("TSO must forbid 2+2W (stores are ordered)")
+	}
+	if !reachable(t, mm.WMM, harness.TwoPlusTwoW(vprog.Rlx)) {
+		t.Error("WMM must allow relaxed 2+2W (RC11 does)")
+	}
+	if reachable(t, mm.WMM, harness.TwoPlusTwoW(vprog.SC)) {
+		t.Error("WMM must forbid 2+2W with SC stores (psc)")
+	}
+}
+
+func TestCoWR(t *testing.T) {
+	for _, model := range mm.All() {
+		if reachable(t, model, harness.CoWR()) {
+			t.Errorf("%s must enforce write-read coherence", model.Name())
+		}
+	}
+}
+
+// TestLitmusRegistry: every named litmus builds at both strengths.
+func TestLitmusRegistry(t *testing.T) {
+	for _, name := range harness.LitmusNames() {
+		for _, strong := range []bool{false, true} {
+			p := harness.Litmus(name, strong)
+			if p == nil {
+				t.Fatalf("litmus %q (strong=%t) missing", name, strong)
+			}
+			// Every litmus must run to a definite verdict on WMM.
+			_ = verdict(t, mm.WMM, p)
+		}
+	}
+	if harness.Litmus("no-such", false) != nil {
+		t.Fatal("unknown litmus must return nil")
+	}
+}

@@ -1,0 +1,291 @@
+// Package core implements Await Model Checking (AMC), the paper's core
+// contribution (§1): a stateless model checker for concurrent programs
+// with await loops on weak memory models.
+//
+// AMC explores execution graphs with a depth-first search driven by a
+// stack of partial graphs (Fig. 6). Reads branch over every write they
+// could read from — plus, inside await loops, a ⊥ (missing rf) branch
+// that tracks potential await-termination violations. Writes branch
+// over modification-order placements and additionally *revisit* existing
+// reads, transplanting them onto the new write. Two filters make the
+// search finite and sound for awaiting programs:
+//
+//   - wasteful executions (Def. 2) — an await reading the same writes in
+//     two consecutive iterations — are pruned, collapsing the infinite
+//     set GF into the finite GF*;
+//   - graphs in which a ⊥ read can no longer be resolved by any
+//     non-wasteful consistent write witness an await-termination
+//     violation (the finite representatives G∞* of the infinite
+//     executions in G∞).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/vprog"
+)
+
+// opKind classifies the pending (next) operation of a thread.
+type opKind uint8
+
+const (
+	opRead opKind = iota
+	opWrite
+	opUpdate
+	opFence
+	opError
+)
+
+// pending describes the next shared-memory operation a thread wants to
+// perform, discovered by replaying the thread against the graph.
+type pending struct {
+	kind opKind
+	loc  graph.Loc
+	mode graph.Mode
+	val  graph.Val // value to write (opWrite)
+	msg  string    // assertion message (opError)
+
+	inAwait   bool
+	awaitSeq  int
+	awaitIter int
+
+	// compute derives the written value of an update from the value
+	// read; degraded reports that the update behaves as a plain read
+	// (failed CAS, or a write of the very value read — footnote 5).
+	compute func(read graph.Val) (write graph.Val, degraded bool)
+}
+
+// iterRec records one await iteration observed during replay.
+type iterRec struct {
+	Seq      int
+	Iter     int
+	Reads    []graph.EventID // read-like events of the iteration, po order
+	Failed   bool            // condition evaluated to true (loop repeats)
+	Complete bool            // the condition finished evaluating
+}
+
+// replayResult is the outcome of replaying one thread against a graph.
+type replayResult struct {
+	pending  *pending  // next operation, nil if none (finished or blocked)
+	finished bool      // thread ran to completion
+	blocked  bool      // thread is stuck on a ⊥ read
+	spans    []iterRec // await iterations observed
+	err      error     // internal error (determinism violation etc.)
+}
+
+// abortReplay is the panic sentinel that unwinds a thread function once
+// the replay has learned what it needed.
+type abortReplay struct{}
+
+// maxLocalIters bounds await iterations that consume no shared events,
+// which would otherwise loop forever during replay.
+const maxLocalIters = 4096
+
+// replayMem implements vprog.Mem by feeding a thread the values
+// recorded in an execution graph (§2.1.2: the graph-driven semantics).
+type replayMem struct {
+	g    *graph.Graph
+	tid  int
+	idx  int // next event index of this thread to consume
+	vars []*vprog.Var
+
+	awaitDepth int
+	awaitSeq   int // number of AwaitWhile instances started so far
+	curSeq     int // active await instance, -1 outside
+	curIter    int
+
+	res replayResult
+}
+
+func (m *replayMem) events() []*graph.Event { return m.g.Threads[m.tid] }
+
+// stop records the pending operation (if any) and unwinds the replay.
+func (m *replayMem) stop(p *pending) {
+	m.res.pending = p
+	panic(abortReplay{})
+}
+
+// fail records an internal error and unwinds.
+func (m *replayMem) fail(format string, args ...any) {
+	m.res.err = fmt.Errorf("thread T%d, event %d: "+format,
+		append([]any{m.tid, m.idx}, args...)...)
+	panic(abortReplay{})
+}
+
+// tag fills the await bookkeeping of a pending op.
+func (m *replayMem) tag(p *pending) *pending {
+	p.inAwait = m.curSeq >= 0
+	p.awaitSeq = m.curSeq
+	p.awaitIter = m.curIter
+	return p
+}
+
+// next consumes the next graph event, checking that it matches what the
+// program generated (the consP consistency of §2.1.2); if the graph has
+// no more events for this thread, it records p as the pending op and
+// unwinds.
+func (m *replayMem) next(kind graph.Kind, loc graph.Loc, mode graph.Mode, p *pending) *graph.Event {
+	evs := m.events()
+	if m.idx >= len(evs) {
+		m.stop(m.tag(p))
+	}
+	e := evs[m.idx]
+	if e.Kind != kind || (kind != graph.KFence && e.Loc != loc) || e.Mode != mode {
+		m.fail("program generated %s(loc%d,%s) but graph holds %s", kind, loc, mode, e)
+	}
+	m.idx++
+	return e
+}
+
+// readVal extracts the value a read-like event observes, blocking the
+// replay if its rf edge is ⊥.
+func (m *replayMem) readVal(e *graph.Event) graph.Val {
+	if m.g.Rf[e.ID].Bottom {
+		m.idx-- // the blocked event stays "current"
+		m.res.blocked = true
+		panic(abortReplay{})
+	}
+	return e.RVal
+}
+
+// recordRead appends the event to the current await iteration record.
+func (m *replayMem) recordRead(e *graph.Event) {
+	if m.curSeq < 0 {
+		return
+	}
+	n := len(m.res.spans)
+	if n > 0 && m.res.spans[n-1].Seq == m.curSeq && m.res.spans[n-1].Iter == m.curIter {
+		m.res.spans[n-1].Reads = append(m.res.spans[n-1].Reads, e.ID)
+	}
+}
+
+func (m *replayMem) Load(v *vprog.Var, mode vprog.Mode) uint64 {
+	e := m.next(graph.KRead, graph.Loc(v.ID), mode, &pending{kind: opRead, loc: graph.Loc(v.ID), mode: mode})
+	m.recordRead(e)
+	return m.readVal(e)
+}
+
+func (m *replayMem) Store(v *vprog.Var, x uint64, mode vprog.Mode) {
+	e := m.next(graph.KWrite, graph.Loc(v.ID), mode,
+		&pending{kind: opWrite, loc: graph.Loc(v.ID), mode: mode, val: x})
+	if e.Val != x {
+		m.fail("program stores %d but graph holds %s", x, e)
+	}
+}
+
+// update is the common path of Xchg/CmpXchg/FetchAdd.
+func (m *replayMem) update(v *vprog.Var, mode vprog.Mode,
+	compute func(graph.Val) (graph.Val, bool)) graph.Val {
+	e := m.next(graph.KUpdate, graph.Loc(v.ID), mode,
+		&pending{kind: opUpdate, loc: graph.Loc(v.ID), mode: mode, compute: compute})
+	m.recordRead(e)
+	rv := m.readVal(e)
+	wv, degr := compute(rv)
+	if degr != e.Degraded || (!degr && wv != e.Val) {
+		m.fail("update recomputation mismatch: read %d gives (%d,%t) but graph holds %s", rv, wv, degr, e)
+	}
+	return rv
+}
+
+func (m *replayMem) Xchg(v *vprog.Var, x uint64, mode vprog.Mode) uint64 {
+	return m.update(v, mode, func(r graph.Val) (graph.Val, bool) { return x, x == r })
+}
+
+func (m *replayMem) CmpXchg(v *vprog.Var, old, new uint64, mode vprog.Mode) (uint64, bool) {
+	r := m.update(v, mode, func(r graph.Val) (graph.Val, bool) {
+		if r != old {
+			return 0, true // failed CAS: a plain read
+		}
+		return new, new == r
+	})
+	return r, r == old
+}
+
+func (m *replayMem) FetchAdd(v *vprog.Var, delta uint64, mode vprog.Mode) uint64 {
+	return m.update(v, mode, func(r graph.Val) (graph.Val, bool) { return r + delta, delta == 0 })
+}
+
+func (m *replayMem) Fence(mode vprog.Mode) {
+	if mode == vprog.ModeNone {
+		return // eliminated fence
+	}
+	m.next(graph.KFence, 0, mode, &pending{kind: opFence, mode: mode})
+}
+
+func (m *replayMem) AwaitWhile(cond func() bool) {
+	if m.awaitDepth > 0 {
+		m.fail("nested awaits are not allowed (paper §2.1.1 syntactic restriction)")
+	}
+	m.awaitDepth++
+	defer func() { m.awaitDepth-- }()
+	seq := m.awaitSeq
+	m.awaitSeq++
+	local := 0
+	for iter := 0; ; iter++ {
+		m.curSeq, m.curIter = seq, iter
+		m.res.spans = append(m.res.spans, iterRec{Seq: seq, Iter: iter})
+		before := m.idx
+		again := cond()
+		rec := &m.res.spans[len(m.res.spans)-1]
+		rec.Complete = true
+		rec.Failed = again
+		m.curSeq, m.curIter = -1, 0
+		if !again {
+			return
+		}
+		if m.idx == before {
+			local++
+			if local > maxLocalIters {
+				m.fail("await loop performs no shared-memory reads (violates await progress)")
+			}
+		} else {
+			local = 0
+		}
+	}
+}
+
+func (m *replayMem) Pause()   {}
+func (m *replayMem) TID() int { return m.tid }
+
+func (m *replayMem) Assert(ok bool, msg string) {
+	if ok {
+		return
+	}
+	evs := m.events()
+	if m.idx >= len(evs) {
+		m.stop(m.tag(&pending{kind: opError, msg: msg}))
+	}
+	e := evs[m.idx]
+	if e.Kind != graph.KError {
+		m.fail("program raises assertion %q but graph holds %s", msg, e)
+	}
+	m.idx++
+}
+
+// replayThread runs fn against g, reporting the thread's next pending
+// operation (or completion/blockage) and its await iteration records.
+func replayThread(g *graph.Graph, tid int, fn vprog.ThreadFunc, vars []*vprog.Var) (res replayResult) {
+	m := &replayMem{g: g, tid: tid, vars: vars, curSeq: -1}
+	done := func() bool {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortReplay); !ok {
+					panic(r)
+				}
+			}
+		}()
+		fn(m)
+		return true
+	}()
+	res = m.res
+	if done {
+		if m.idx != len(m.events()) {
+			res.err = fmt.Errorf("thread T%d finished with %d unconsumed graph events",
+				tid, len(m.events())-m.idx)
+			return
+		}
+		res.finished = true
+	}
+	return
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Verdict classifies the outcome of a verification run.
+type Verdict uint8
+
+// Verdicts.
+const (
+	// OK: every execution is safe and every await terminates.
+	OK Verdict = iota
+	// SafetyViolation: an assertion or the final-state check failed in
+	// some consistent execution.
+	SafetyViolation
+	// ATViolation: an await can run forever (Definition 1 fails).
+	ATViolation
+	// Error: the checker could not complete (internal limit or a
+	// program outside AMC's fragment).
+	Error
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case OK:
+		return "ok"
+	case SafetyViolation:
+		return "safety violation"
+	case ATViolation:
+		return "await-termination violation"
+	case Error:
+		return "error"
+	}
+	return "unknown"
+}
+
+// Stats counts the work performed by an exploration.
+type Stats struct {
+	Popped     int // graphs popped from the exploration stack
+	Pushed     int // graphs pushed
+	Executions int // complete consistent executions examined
+	Revisits   int // write→read revisit graphs generated
+	Duplicates int // graphs pruned by the visited set
+	Wasteful   int // graphs pruned by the W(G) filter (Def. 2)
+	Inconsist  int // graphs pruned by the memory model
+	Blocked    int // stuck graphs whose ⊥ reads were all resolvable
+}
+
+// Result is the outcome of Checker.Run.
+type Result struct {
+	Verdict  Verdict
+	Message  string
+	Witness  *graph.Graph // counterexample graph (violations only)
+	Stats    Stats
+	Duration time.Duration
+	Err      error // set when Verdict == Error
+}
+
+// Ok reports whether the program verified.
+func (r *Result) Ok() bool { return r.Verdict == OK }
+
+// String summarizes the result in one line.
+func (r *Result) String() string {
+	switch r.Verdict {
+	case OK:
+		return fmt.Sprintf("ok: %d executions, %d graphs explored in %v",
+			r.Stats.Executions, r.Stats.Popped, r.Duration)
+	case Error:
+		return fmt.Sprintf("error: %v", r.Err)
+	default:
+		return fmt.Sprintf("%s: %s", r.Verdict, r.Message)
+	}
+}

@@ -1,0 +1,99 @@
+package graph
+
+// BitMat is a dense n×n boolean matrix backed by uint64 words, used to
+// represent binary relations over events and to compute transitive
+// closures cheaply (row-parallel Warshall). It is the workhorse of the
+// memory-model consistency predicates.
+type BitMat struct {
+	n     int
+	words int // words per row
+	bits  []uint64
+}
+
+// NewBitMat returns an empty n×n relation.
+func NewBitMat(n int) *BitMat {
+	w := (n + 63) / 64
+	return &BitMat{n: n, words: w, bits: make([]uint64, n*w)}
+}
+
+// N returns the dimension.
+func (m *BitMat) N() int { return m.n }
+
+// Set adds the pair (i, j) to the relation.
+func (m *BitMat) Set(i, j int) { m.bits[i*m.words+j/64] |= 1 << (uint(j) % 64) }
+
+// Get reports whether (i, j) is in the relation.
+func (m *BitMat) Get(i, j int) bool {
+	return m.bits[i*m.words+j/64]&(1<<(uint(j)%64)) != 0
+}
+
+// Clone returns an independent copy.
+func (m *BitMat) Clone() *BitMat {
+	c := &BitMat{n: m.n, words: m.words, bits: make([]uint64, len(m.bits))}
+	copy(c.bits, m.bits)
+	return c
+}
+
+// OrWith adds all pairs of o into m (m |= o). The matrices must have the
+// same dimension.
+func (m *BitMat) OrWith(o *BitMat) {
+	for i := range m.bits {
+		m.bits[i] |= o.bits[i]
+	}
+}
+
+// TransClose computes the transitive closure of m in place.
+func (m *BitMat) TransClose() {
+	for k := 0; k < m.n; k++ {
+		kw, kb := k/64, uint(k)%64
+		krow := m.bits[k*m.words : (k+1)*m.words]
+		for i := 0; i < m.n; i++ {
+			if m.bits[i*m.words+kw]&(1<<kb) != 0 {
+				irow := m.bits[i*m.words : (i+1)*m.words]
+				for w := range irow {
+					irow[w] |= krow[w]
+				}
+			}
+		}
+	}
+}
+
+// HasCycle reports whether the relation (viewed as a directed graph)
+// contains a cycle. m is not modified.
+func (m *BitMat) HasCycle() bool {
+	c := m.Clone()
+	c.TransClose()
+	for i := 0; i < c.n; i++ {
+		if c.Get(i, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// Irreflexive reports whether no element is related to itself.
+func (m *BitMat) Irreflexive() bool {
+	for i := 0; i < m.n; i++ {
+		if m.Get(i, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compose returns the relational composition m;o.
+func (m *BitMat) Compose(o *BitMat) *BitMat {
+	r := NewBitMat(m.n)
+	for i := 0; i < m.n; i++ {
+		irow := r.bits[i*r.words : (i+1)*r.words]
+		for j := 0; j < m.n; j++ {
+			if m.Get(i, j) {
+				jrow := o.bits[j*o.words : (j+1)*o.words]
+				for w := range irow {
+					irow[w] |= jrow[w]
+				}
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,198 @@
+// Package graph implements execution graphs, the formal abstraction of
+// concurrent executions used by Await Model Checking (AMC).
+//
+// An execution graph (Oberhauser et al., VSync, ASPLOS'21, §1.1) has
+// events as nodes — reads, writes, atomic updates, fences, and error
+// events — and three fundamental edge families:
+//
+//   - po (program order): the order of events within each thread,
+//   - rf (reads-from): which write each read observes,
+//   - mo (modification order): a per-location total order of writes.
+//
+// All other relations used by weak memory models (fr, eco, sw, hb, psc)
+// are derived from these three; see relations.go. Memory models are
+// consistency predicates over graphs and live in internal/mm.
+package graph
+
+import "fmt"
+
+// Val is the value domain of registers and memory locations.
+type Val = uint64
+
+// Loc identifies a shared memory location. Locations are allocated
+// densely from zero by the program environment; the graph holds a name
+// table for rendering.
+type Loc int32
+
+// Mode is a barrier (memory-ordering) mode attached to an event, mirroring
+// the C11/IMM mode hierarchy used throughout the paper.
+type Mode uint8
+
+// Barrier modes, weakest to strongest. ModeNone is reserved for fences
+// that have been eliminated by the optimizer (they generate no event).
+const (
+	ModeNone Mode = iota // eliminated fence: no event at all
+	Rlx                  // relaxed
+	Acq                  // acquire (reads, fences, updates)
+	Rel                  // release (writes, fences, updates)
+	AcqRel               // acquire+release (fences, updates)
+	SC                   // sequentially consistent
+)
+
+// String returns the conventional short name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case Rlx:
+		return "rlx"
+	case Acq:
+		return "acq"
+	case Rel:
+		return "rel"
+	case AcqRel:
+		return "acqrel"
+	case SC:
+		return "sc"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// HasAcq reports whether the mode includes acquire semantics.
+func (m Mode) HasAcq() bool { return m == Acq || m == AcqRel || m == SC }
+
+// HasRel reports whether the mode includes release semantics.
+func (m Mode) HasRel() bool { return m == Rel || m == AcqRel || m == SC }
+
+// IsSC reports whether the mode is sequentially consistent.
+func (m Mode) IsSC() bool { return m == SC }
+
+// Kind classifies events.
+type Kind uint8
+
+// Event kinds.
+const (
+	KRead   Kind = iota // plain load
+	KWrite              // plain store
+	KUpdate             // atomic read-modify-write (xchg, cas, faa)
+	KFence              // memory fence
+	KError              // failed assertion (safety violation witness)
+)
+
+// String returns a one-letter tag used in rendered graphs.
+func (k Kind) String() string {
+	switch k {
+	case KRead:
+		return "R"
+	case KWrite:
+		return "W"
+	case KUpdate:
+		return "U"
+	case KFence:
+		return "F"
+	case KError:
+		return "E"
+	}
+	return "?"
+}
+
+// InitThread is the pseudo-thread id of initialization writes. The init
+// write for location l has EventID{Thread: InitThread, Index: int(l)}.
+const InitThread = -1
+
+// EventID names an event by its thread and po-index within that thread.
+// IDs are stable across graph clones and revisit restrictions, which is
+// what lets rf and mo be stored as ID-keyed structures.
+type EventID struct {
+	Thread int
+	Index  int
+}
+
+// IsInit reports whether the id denotes an initialization write.
+func (id EventID) IsInit() bool { return id.Thread == InitThread }
+
+func (id EventID) String() string {
+	if id.IsInit() {
+		return fmt.Sprintf("init.%d", id.Index)
+	}
+	return fmt.Sprintf("T%d.%d", id.Thread, id.Index)
+}
+
+// NoEvent is the zero-ish EventID used to signal "no event"; it never
+// identifies a real event because init indices are location numbers >= 0
+// and thread indices are >= 0.
+var NoEvent = EventID{Thread: -2, Index: -1}
+
+// Event is a node of an execution graph. Events are immutable once added
+// to a graph; clones of a graph share Event pointers.
+type Event struct {
+	ID   EventID
+	Kind Kind
+	Mode Mode
+	Loc  Loc // meaningful for KRead/KWrite/KUpdate
+
+	// Val is the value written (KWrite, and KUpdate when not degraded).
+	Val Val
+	// RVal is the value read (KRead, KUpdate). It is fixed at event
+	// creation time from the chosen rf edge; events are re-created when a
+	// revisit changes their rf.
+	RVal Val
+
+	// Degraded marks a KUpdate that behaves as a plain read: either a
+	// failed CAS, or an RMW whose written value equals the value read
+	// (footnote 5 of the paper: only value-changing writes matter).
+	// Degraded updates do not take a modification-order position.
+	Degraded bool
+
+	// Stamp is the global addition timestamp assigned when the event was
+	// added to its graph. Within a thread, stamps increase along po.
+	Stamp int
+
+	// AwaitSeq numbers the await-statement execution instance within the
+	// thread that this event belongs to (-1 if outside any await), and
+	// AwaitIter numbers the iteration within that instance, starting at 0.
+	AwaitSeq  int
+	AwaitIter int
+
+	// Point is the barrier-point label of the instruction that generated
+	// the event (used by the optimizer and in rendered graphs), and Msg
+	// carries the assertion message for KError events.
+	Point string
+	Msg   string
+}
+
+// IsWriteLike reports whether the event occupies a modification-order
+// position: plain writes and non-degraded updates.
+func (e *Event) IsWriteLike() bool {
+	return e.Kind == KWrite || (e.Kind == KUpdate && !e.Degraded)
+}
+
+// IsReadLike reports whether the event consumes a reads-from edge:
+// plain reads and all updates (degraded or not).
+func (e *Event) IsReadLike() bool {
+	return e.Kind == KRead || e.Kind == KUpdate
+}
+
+// InAwait reports whether the event was generated inside an await loop.
+func (e *Event) InAwait() bool { return e.AwaitSeq >= 0 }
+
+// String renders the event in the paper's compact notation, e.g.
+// "W^rel T1.3 (lock,1)".
+func (e *Event) String() string {
+	switch e.Kind {
+	case KFence:
+		return fmt.Sprintf("F^%s %s", e.Mode, e.ID)
+	case KError:
+		return fmt.Sprintf("ERROR %s (%s)", e.ID, e.Msg)
+	case KRead:
+		return fmt.Sprintf("R^%s %s (loc%d,%d)", e.Mode, e.ID, e.Loc, e.RVal)
+	case KWrite:
+		return fmt.Sprintf("W^%s %s (loc%d,%d)", e.Mode, e.ID, e.Loc, e.Val)
+	case KUpdate:
+		if e.Degraded {
+			return fmt.Sprintf("U^%s %s (loc%d,%d->ro)", e.Mode, e.ID, e.Loc, e.RVal)
+		}
+		return fmt.Sprintf("U^%s %s (loc%d,%d->%d)", e.Mode, e.ID, e.Loc, e.RVal, e.Val)
+	}
+	return fmt.Sprintf("?%s", e.ID)
+}

@@ -1,0 +1,381 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RF records the reads-from choice of a read-like event. Bottom
+// represents the paper's missing rf-edge (⊥ --rf--> r), the marker AMC
+// uses to track potential await-termination violations.
+type RF struct {
+	W      EventID
+	Bottom bool
+}
+
+// BottomRF is the missing-rf choice.
+var BottomRF = RF{Bottom: true}
+
+// FromW wraps a write id as an RF choice.
+func FromW(w EventID) RF { return RF{W: w} }
+
+// Graph is an execution graph under construction or completed. Graphs
+// are value-ish: Clone produces an independent graph sharing immutable
+// Event nodes. The zero Graph is not usable; call New.
+type Graph struct {
+	// Threads holds each thread's events in program order.
+	Threads [][]*Event
+	// InitVals holds the initial value of each allocated location; the
+	// init write for location l is implicit with id {InitThread, l}.
+	InitVals []Val
+	// LocNames holds rendering names for locations.
+	LocNames []string
+
+	// Rf maps each read-like event to its reads-from choice. Every
+	// read-like event in the graph has an entry (possibly Bottom).
+	Rf map[EventID]RF
+
+	// Mo holds, per location, the modification order of write-like
+	// events. Index 0 is always the implicit init write.
+	Mo [][]EventID
+
+	// NextStamp is the next addition timestamp.
+	NextStamp int
+}
+
+// New returns an empty graph for nthreads threads and the given
+// locations (initial values and names, parallel slices).
+func New(nthreads int, initVals []Val, locNames []string) *Graph {
+	g := &Graph{
+		Threads:   make([][]*Event, nthreads),
+		InitVals:  append([]Val(nil), initVals...),
+		LocNames:  append([]string(nil), locNames...),
+		Rf:        make(map[EventID]RF),
+		Mo:        make([][]EventID, len(initVals)),
+		NextStamp: 1,
+	}
+	for l := range g.Mo {
+		g.Mo[l] = []EventID{{Thread: InitThread, Index: l}}
+	}
+	return g
+}
+
+// Clone returns an independent copy of g. Event nodes are shared (they
+// are immutable once added).
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		Threads:   make([][]*Event, len(g.Threads)),
+		InitVals:  g.InitVals,
+		LocNames:  g.LocNames,
+		Rf:        make(map[EventID]RF, len(g.Rf)),
+		Mo:        make([][]EventID, len(g.Mo)),
+		NextStamp: g.NextStamp,
+	}
+	for t, evs := range g.Threads {
+		ng.Threads[t] = append([]*Event(nil), evs...)
+	}
+	for k, v := range g.Rf {
+		ng.Rf[k] = v
+	}
+	for l, order := range g.Mo {
+		ng.Mo[l] = append([]EventID(nil), order...)
+	}
+	return ng
+}
+
+// NumEvents returns the number of explicit (non-init) events.
+func (g *Graph) NumEvents() int {
+	n := 0
+	for _, evs := range g.Threads {
+		n += len(evs)
+	}
+	return n
+}
+
+// Event returns the event with the given id, or nil if absent. Init ids
+// return a synthesized init write event.
+func (g *Graph) Event(id EventID) *Event {
+	if id.IsInit() {
+		if id.Index < 0 || id.Index >= len(g.InitVals) {
+			return nil
+		}
+		return &Event{
+			ID:       id,
+			Kind:     KWrite,
+			Mode:     Rlx,
+			Loc:      Loc(id.Index),
+			Val:      g.InitVals[id.Index],
+			AwaitSeq: -1,
+		}
+	}
+	if id.Thread < 0 || id.Thread >= len(g.Threads) {
+		return nil
+	}
+	evs := g.Threads[id.Thread]
+	if id.Index < 0 || id.Index >= len(evs) {
+		return nil
+	}
+	return evs[id.Index]
+}
+
+// Has reports whether id denotes an event present in the graph.
+func (g *Graph) Has(id EventID) bool {
+	if id.IsInit() {
+		return id.Index >= 0 && id.Index < len(g.InitVals)
+	}
+	return id.Thread >= 0 && id.Thread < len(g.Threads) && id.Index >= 0 && id.Index < len(g.Threads[id.Thread])
+}
+
+// WriteVal returns the value written by the write-like event id.
+func (g *Graph) WriteVal(id EventID) Val {
+	e := g.Event(id)
+	if e == nil {
+		panic(fmt.Sprintf("graph: WriteVal of missing event %v", id))
+	}
+	return e.Val
+}
+
+// Append adds e as the next event of its thread, assigning its stamp.
+// The caller must have set e.ID to {thread, len(Threads[thread])}.
+func (g *Graph) Append(e *Event) {
+	t := e.ID.Thread
+	if e.ID.Index != len(g.Threads[t]) {
+		panic(fmt.Sprintf("graph: append out of order: %v at len %d", e.ID, len(g.Threads[t])))
+	}
+	e.Stamp = g.NextStamp
+	g.NextStamp++
+	g.Threads[t] = append(g.Threads[t], e)
+}
+
+// SetRF records the reads-from choice for a read-like event.
+func (g *Graph) SetRF(r EventID, rf RF) { g.Rf[r] = rf }
+
+// InsertMo inserts the write-like event id into the modification order
+// of loc at position pos (1 <= pos <= len, position 0 is the init write).
+func (g *Graph) InsertMo(loc Loc, id EventID, pos int) {
+	order := g.Mo[loc]
+	if pos < 1 || pos > len(order) {
+		panic(fmt.Sprintf("graph: mo position %d out of range [1,%d]", pos, len(order)))
+	}
+	order = append(order, NoEvent)
+	copy(order[pos+1:], order[pos:])
+	order[pos] = id
+	g.Mo[loc] = order
+}
+
+// MoIndex returns the position of id in the modification order of loc,
+// or -1 if absent.
+func (g *Graph) MoIndex(loc Loc, id EventID) int {
+	for i, w := range g.Mo[loc] {
+		if w == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// MoMax returns the mo-maximal write to loc.
+func (g *Graph) MoMax(loc Loc) EventID {
+	order := g.Mo[loc]
+	return order[len(order)-1]
+}
+
+// FinalVal returns the final (mo-maximal) value of loc.
+func (g *Graph) FinalVal(loc Loc) Val { return g.WriteVal(g.MoMax(loc)) }
+
+// ReadsOf returns the ids of all read-like events on loc, across all
+// threads, in (thread, index) order.
+func (g *Graph) ReadsOf(loc Loc) []EventID {
+	var out []EventID
+	for _, evs := range g.Threads {
+		for _, e := range evs {
+			if e.IsReadLike() && e.Loc == loc {
+				out = append(out, e.ID)
+			}
+		}
+	}
+	return out
+}
+
+// BottomReads returns the read-like events whose rf choice is Bottom.
+func (g *Graph) BottomReads() []EventID {
+	var out []EventID
+	for _, evs := range g.Threads {
+		for _, e := range evs {
+			if e.IsReadLike() && g.Rf[e.ID].Bottom {
+				out = append(out, e.ID)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Thread != out[j].Thread {
+			return out[i].Thread < out[j].Thread
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// PorfPrefix returns the set of event ids that are (po ∪ rf)-ancestors
+// of the events in seeds, including the seeds themselves. Init events
+// are not included.
+func (g *Graph) PorfPrefix(seeds ...EventID) map[EventID]bool {
+	seen := make(map[EventID]bool)
+	var stack []EventID
+	push := func(id EventID) {
+		if id.IsInit() || seen[id] {
+			return
+		}
+		seen[id] = true
+		stack = append(stack, id)
+	}
+	for _, s := range seeds {
+		push(s)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// po predecessors: it suffices to push the immediate one.
+		if id.Index > 0 {
+			push(EventID{Thread: id.Thread, Index: id.Index - 1})
+		}
+		// rf source, if a read-like event.
+		if e := g.Event(id); e != nil && e.IsReadLike() {
+			if rf := g.Rf[id]; !rf.Bottom {
+				push(rf.W)
+			}
+		}
+	}
+	return seen
+}
+
+// RestrictTo removes every explicit event not in keep, preserving
+// per-thread po prefixes. keep must be po-prefix-closed per thread (the
+// caller guarantees this; RestrictTo panics otherwise) and rf-closed
+// except for reads that are themselves dropped.
+func (g *Graph) RestrictTo(keep map[EventID]bool) {
+	for t, evs := range g.Threads {
+		cut := len(evs)
+		for i, e := range evs {
+			if !keep[e.ID] {
+				cut = i
+				break
+			}
+		}
+		for i := cut; i < len(evs); i++ {
+			if keep[evs[i].ID] {
+				panic("graph: RestrictTo keep-set not po-prefix-closed")
+			}
+			delete(g.Rf, evs[i].ID)
+		}
+		g.Threads[t] = evs[:cut]
+	}
+	for l, order := range g.Mo {
+		dst := order[:1] // init stays
+		for _, w := range order[1:] {
+			if keep[w] {
+				dst = append(dst, w)
+			}
+		}
+		g.Mo[l] = dst
+	}
+}
+
+// Fingerprint returns a canonical string identifying the graph up to
+// exploration-irrelevant details (stamps). Two graphs with equal
+// fingerprints generate identical futures, so the explorer uses it to
+// deduplicate work.
+func (g *Graph) Fingerprint() string {
+	var b strings.Builder
+	for t, evs := range g.Threads {
+		fmt.Fprintf(&b, "|T%d:", t)
+		for _, e := range evs {
+			fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%t;", e.Kind, e.Mode, e.Loc, e.Val, e.RVal, e.Degraded)
+			if e.IsReadLike() {
+				rf := g.Rf[e.ID]
+				if rf.Bottom {
+					b.WriteString("rf=⊥;")
+				} else {
+					fmt.Fprintf(&b, "rf=%d.%d;", rf.W.Thread, rf.W.Index)
+				}
+			}
+		}
+	}
+	for l, order := range g.Mo {
+		fmt.Fprintf(&b, "|mo%d:", l)
+		for _, w := range order {
+			fmt.Fprintf(&b, "%d.%d,", w.Thread, w.Index)
+		}
+	}
+	return b.String()
+}
+
+// CheckInvariants verifies structural well-formedness: rf entries exist
+// for exactly the read-like events and point to same-location write-like
+// events present in the graph; mo contains exactly the write-like
+// events per location, each once, with init first. It returns an error
+// describing the first violation found, or nil.
+//
+// This is an internal audit used by tests (including property-based
+// tests); exploration relies on these invariants holding at every step.
+func (g *Graph) CheckInvariants() error {
+	seenRf := 0
+	for _, evs := range g.Threads {
+		for i, e := range evs {
+			if e.ID.Index != i {
+				return fmt.Errorf("event %v stored at index %d", e.ID, i)
+			}
+			if e.IsReadLike() {
+				rf, ok := g.Rf[e.ID]
+				if !ok {
+					return fmt.Errorf("read %v has no rf entry", e.ID)
+				}
+				seenRf++
+				if !rf.Bottom {
+					w := g.Event(rf.W)
+					if w == nil {
+						return fmt.Errorf("read %v rf-source %v missing", e.ID, rf.W)
+					}
+					if !w.IsWriteLike() {
+						return fmt.Errorf("read %v reads from non-write %v", e.ID, rf.W)
+					}
+					if w.Loc != e.Loc {
+						return fmt.Errorf("read %v (loc%d) reads from %v (loc%d)", e.ID, e.Loc, rf.W, w.Loc)
+					}
+					if w.Val != e.RVal {
+						return fmt.Errorf("read %v observed %d but source %v wrote %d", e.ID, e.RVal, rf.W, w.Val)
+					}
+				}
+			}
+			if e.IsWriteLike() {
+				if g.MoIndex(e.Loc, e.ID) < 0 {
+					return fmt.Errorf("write %v absent from mo of loc%d", e.ID, e.Loc)
+				}
+			}
+		}
+	}
+	if seenRf != len(g.Rf) {
+		return fmt.Errorf("rf has %d entries, graph has %d read-like events", len(g.Rf), seenRf)
+	}
+	for l, order := range g.Mo {
+		if len(order) == 0 || !order[0].IsInit() || order[0].Index != l {
+			return fmt.Errorf("mo of loc%d does not start with its init write", l)
+		}
+		seen := map[EventID]bool{}
+		for _, w := range order {
+			if seen[w] {
+				return fmt.Errorf("mo of loc%d lists %v twice", l, w)
+			}
+			seen[w] = true
+			e := g.Event(w)
+			if e == nil {
+				return fmt.Errorf("mo of loc%d lists missing event %v", l, w)
+			}
+			if !w.IsInit() && (!e.IsWriteLike() || e.Loc != Loc(l)) {
+				return fmt.Errorf("mo of loc%d lists unsuitable event %v", l, w)
+			}
+		}
+	}
+	return nil
+}

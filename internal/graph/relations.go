@@ -1,0 +1,206 @@
+package graph
+
+// Rels materializes the derived relations of an execution graph over a
+// dense event index, ready for the axiomatic consistency predicates in
+// internal/mm. Index layout: init writes first (one per location), then
+// thread events in (thread, po) order.
+type Rels struct {
+	G   *Graph
+	N   int
+	Ev  []*Event // indexed events; init events synthesized
+	Idx map[EventID]int
+
+	Sb    *BitMat // program order (transitive), init before everything
+	RfM   *BitMat // reads-from as a matrix (w -> r)
+	MoM   *BitMat // modification order (transitive per location)
+	FrM   *BitMat // from-read: r -> w' for w' mo-after rf(r)
+	SwM   *BitMat // synchronizes-with
+	Hb    *BitMat // happens-before = (sb ∪ sw)+
+	Eco   *BitMat // extended coherence order = (rf ∪ mo ∪ fr)+
+	SbLoc *BitMat // sb restricted to same-location accesses
+}
+
+// BuildRels computes all derived relations of g.
+func BuildRels(g *Graph) *Rels {
+	r := &Rels{G: g, Idx: make(map[EventID]int)}
+	// Index init writes, then thread events.
+	for l := range g.InitVals {
+		id := EventID{Thread: InitThread, Index: l}
+		r.Idx[id] = len(r.Ev)
+		r.Ev = append(r.Ev, g.Event(id))
+	}
+	for _, evs := range g.Threads {
+		for _, e := range evs {
+			r.Idx[e.ID] = len(r.Ev)
+			r.Ev = append(r.Ev, e)
+		}
+	}
+	r.N = len(r.Ev)
+	n := r.N
+
+	// sb: init before all thread events; po within each thread.
+	r.Sb = NewBitMat(n)
+	r.SbLoc = NewBitMat(n)
+	nInit := len(g.InitVals)
+	for i := 0; i < nInit; i++ {
+		for j := nInit; j < n; j++ {
+			r.Sb.Set(i, j)
+			if r.Ev[j].Kind != KFence && r.Ev[j].Kind != KError && r.Ev[i].Loc == r.Ev[j].Loc {
+				r.SbLoc.Set(i, j)
+			}
+		}
+	}
+	for _, evs := range g.Threads {
+		for a := 0; a < len(evs); a++ {
+			ia := r.Idx[evs[a].ID]
+			for b := a + 1; b < len(evs); b++ {
+				ib := r.Idx[evs[b].ID]
+				r.Sb.Set(ia, ib)
+				ea, eb := evs[a], evs[b]
+				if ea.Kind != KFence && ea.Kind != KError &&
+					eb.Kind != KFence && eb.Kind != KError && ea.Loc == eb.Loc {
+					r.SbLoc.Set(ia, ib)
+				}
+			}
+		}
+	}
+
+	// rf.
+	r.RfM = NewBitMat(n)
+	for rd, rf := range g.Rf {
+		if rf.Bottom {
+			continue
+		}
+		r.RfM.Set(r.Idx[rf.W], r.Idx[rd])
+	}
+
+	// mo (transitive within each location's total order).
+	r.MoM = NewBitMat(n)
+	for _, order := range g.Mo {
+		for a := 0; a < len(order); a++ {
+			for b := a + 1; b < len(order); b++ {
+				r.MoM.Set(r.Idx[order[a]], r.Idx[order[b]])
+			}
+		}
+	}
+
+	// fr = rf^-1 ; mo (strict): read -> every write mo-after its source.
+	r.FrM = NewBitMat(n)
+	for rd, rf := range g.Rf {
+		if rf.Bottom {
+			continue
+		}
+		e := g.Event(rd)
+		order := g.Mo[e.Loc]
+		src := -1
+		for i, w := range order {
+			if w == rf.W {
+				src = i
+				break
+			}
+		}
+		if src < 0 {
+			continue // source not in mo (cannot happen for well-formed graphs)
+		}
+		ri := r.Idx[rd]
+		for i := src + 1; i < len(order); i++ {
+			wi := r.Idx[order[i]]
+			if wi != ri { // an update never fr-precedes itself
+				r.FrM.Set(ri, wi)
+			}
+		}
+	}
+
+	r.SwM = r.buildSw()
+
+	r.Hb = r.Sb.Clone()
+	r.Hb.OrWith(r.SwM)
+	r.Hb.TransClose()
+
+	r.Eco = r.RfM.Clone()
+	r.Eco.OrWith(r.MoM)
+	r.Eco.OrWith(r.FrM)
+	r.Eco.TransClose()
+
+	return r
+}
+
+// buildSw computes the synchronizes-with relation in the RC11 style:
+//
+//	sw = [rel-side] ; rs ; rf ; [acq-side]
+//
+// where the release side of a base write w is w itself when it has
+// release semantics, or any release fence sb-before w in the same
+// thread; rs (the release sequence) is w followed by any chain of
+// updates reading from it; and the acquire side of a read r is r itself
+// when it has acquire semantics, or any acquire fence sb-after r.
+func (r *Rels) buildSw() *BitMat {
+	g := r.G
+	sw := NewBitMat(r.N)
+	for rd, rf := range g.Rf {
+		if rf.Bottom {
+			continue
+		}
+		re := g.Event(rd)
+		// Walk the release sequence backwards from the rf source: the
+		// source itself, and if it is an update, the write it read from,
+		// transitively.
+		base := rf.W
+		bases := []EventID{base}
+		for {
+			be := g.Event(base)
+			if be == nil || be.Kind != KUpdate {
+				break
+			}
+			prev := g.Rf[base]
+			if prev.Bottom {
+				break
+			}
+			base = prev.W
+			bases = append(bases, base)
+		}
+		// Acquire-side targets.
+		var acqSides []int
+		if re.Mode.HasAcq() {
+			acqSides = append(acqSides, r.Idx[rd])
+		}
+		if rd.Thread >= 0 {
+			for _, f := range g.Threads[rd.Thread][rd.Index+1:] {
+				if f.Kind == KFence && f.Mode.HasAcq() {
+					acqSides = append(acqSides, r.Idx[f.ID])
+				}
+			}
+		}
+		if len(acqSides) == 0 {
+			continue
+		}
+		for _, b := range bases {
+			be := g.Event(b)
+			var relSides []int
+			if be.Mode.HasRel() {
+				relSides = append(relSides, r.Idx[b])
+			}
+			if b.Thread >= 0 {
+				for _, f := range g.Threads[b.Thread][:b.Index] {
+					if f.Kind == KFence && f.Mode.HasRel() {
+						relSides = append(relSides, r.Idx[f.ID])
+					}
+				}
+			}
+			for _, s := range relSides {
+				for _, t := range acqSides {
+					if s != t {
+						sw.Set(s, t)
+					}
+				}
+			}
+		}
+	}
+	return sw
+}
+
+// IsSCEvent reports whether indexed event i carries SC mode.
+func (r *Rels) IsSCEvent(i int) bool { return r.Ev[i].Mode.IsSC() }
+
+// IsSCFence reports whether indexed event i is an SC fence.
+func (r *Rels) IsSCFence(i int) bool { return r.Ev[i].Kind == KFence && r.Ev[i].Mode.IsSC() }

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/locks"
+	"repro/internal/vprog"
+)
+
+// SeqlockClient verifies the sequence lock: writers update two
+// variables atomically (keeping a == b), readers snapshot both
+// optimistically and assert they never observe a torn pair. The
+// read-side retry loop is an await, so AMC also proves readers
+// terminate (they cannot live-lock once writers finish).
+func SeqlockClient(spec *vprog.BarrierSpec, writers, readers, iters int) *vprog.Program {
+	return &vprog.Program{
+		Name: fmt.Sprintf("client/seqlock/w%d-r%d-i%d", writers, readers, iters),
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			sl := locks.NewSeqlock(env, spec)
+			a := env.Var("sl.a", 0)
+			b := env.Var("sl.b", 0)
+			writer := func(m vprog.Mem) {
+				for i := 0; i < iters; i++ {
+					sl.Write(m, func(store func(*vprog.Var, uint64)) {
+						va := m.Load(a, vprog.Rlx) // own writes: relaxed read is fine under wlock
+						store(a, va+1)
+						store(b, va+1)
+					})
+				}
+			}
+			reader := func(m vprog.Mem) {
+				for i := 0; i < iters; i++ {
+					var va, vb uint64
+					sl.Read(m, func(load func(*vprog.Var) uint64) {
+						va = load(a)
+						vb = load(b)
+					})
+					m.Assert(va == vb, fmt.Sprintf("torn seqlock read: a=%d b=%d", va, vb))
+				}
+			}
+			var threads []vprog.ThreadFunc
+			for i := 0; i < writers; i++ {
+				threads = append(threads, writer)
+			}
+			for i := 0; i < readers; i++ {
+				threads = append(threads, reader)
+			}
+			want := uint64(writers * iters)
+			final := func(load func(*vprog.Var) uint64) (bool, string) {
+				if load(a) != want || load(b) != want {
+					return false, fmt.Sprintf("writer updates lost: a=%d b=%d want %d", load(a), load(b), want)
+				}
+				return true, ""
+			}
+			return threads, final
+		},
+	}
+}
+
+// BarrierClient verifies the sense-reversing barrier: in each phase,
+// every thread publishes a phase-stamped value before the barrier and
+// asserts after the barrier that it observes every peer's value for
+// that phase — the visibility guarantee a barrier must provide. AMC
+// additionally proves no thread hangs in the barrier.
+func BarrierClient(spec *vprog.BarrierSpec, nthreads, phases int) *vprog.Program {
+	return &vprog.Program{
+		Name: fmt.Sprintf("client/barrier/t%d-p%d", nthreads, phases),
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			bar := locks.NewCentralBarrier(env, spec, nthreads)
+			slots := make([]*vprog.Var, nthreads)
+			for i := range slots {
+				slots[i] = env.Var(fmt.Sprintf("bar.slot.%d", i), 0)
+			}
+			worker := func(m vprog.Mem) {
+				sense := uint64(1)
+				for p := 1; p <= phases; p++ {
+					m.Store(slots[m.TID()], uint64(p), vprog.Rlx)
+					sense = bar.Wait(m, sense)
+					for t := range slots {
+						v := m.Load(slots[t], vprog.Rlx)
+						m.Assert(v >= uint64(p), fmt.Sprintf(
+							"phase %d: slot %d shows stale value %d", p, t, v))
+					}
+				}
+			}
+			threads := make([]vprog.ThreadFunc, nthreads)
+			for t := range threads {
+				threads[t] = worker
+			}
+			return threads, nil
+		},
+	}
+}

@@ -1,0 +1,293 @@
+// Package harness provides ready-made concurrent programs for the
+// checker and the benchmark drivers: the classic litmus tests used to
+// validate the memory models, the paper's running examples (Fig. 1 / 3),
+// and generic client code for verifying synchronization primitives
+// (mutexes, reader-writer locks, semaphores) — the "generic client code"
+// of §1.2 under which all primitives satisfy the Bounded-Length
+// principle.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/vprog"
+)
+
+// Litmus programs are phrased so that the *interesting* (weak) outcome
+// makes the final-state check fail: running the checker then answers
+// reachability — Verdict SafetyViolation means "outcome observable".
+
+// SB is the store-buffering litmus test:
+//
+//	T0: x = 1; r0 = y        T1: y = 1; r1 = x
+//
+// The check fails iff r0 == 0 && r1 == 0 (the TSO/weak outcome).
+// fence is inserted between the store and the load of both threads
+// (ModeNone for no fence).
+func SB(w, r vprog.Mode, fence vprog.Mode) *vprog.Program {
+	return &vprog.Program{
+		Name: "litmus/SB",
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			x := env.Var("x", 0)
+			y := env.Var("y", 0)
+			out0 := env.Var("out0", 7)
+			out1 := env.Var("out1", 7)
+			mk := func(a, b, out *vprog.Var) vprog.ThreadFunc {
+				return func(m vprog.Mem) {
+					m.Store(a, 1, w)
+					m.Fence(fence)
+					m.Store(out, m.Load(b, r), vprog.Rlx)
+				}
+			}
+			final := func(load func(*vprog.Var) uint64) (bool, string) {
+				if load(out0) == 0 && load(out1) == 0 {
+					return false, "both loads observed 0 (store buffering)"
+				}
+				return true, ""
+			}
+			return []vprog.ThreadFunc{mk(x, y, out0), mk(y, x, out1)}, final
+		},
+	}
+}
+
+// MP is the message-passing litmus test:
+//
+//	T0: x = 1; y =(w) 1      T1: r0 =(r) y; r1 = x
+//
+// The check fails iff r0 == 1 && r1 == 0 (the stale-data outcome,
+// forbidden when w is at least release and r at least acquire).
+func MP(w, r vprog.Mode) *vprog.Program {
+	return &vprog.Program{
+		Name: "litmus/MP",
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			x := env.Var("x", 0)
+			y := env.Var("y", 0)
+			flag := env.Var("flag_seen", 0)
+			data := env.Var("data_seen", 7)
+			t0 := func(m vprog.Mem) {
+				m.Store(x, 1, vprog.Rlx)
+				m.Store(y, 1, w)
+			}
+			t1 := func(m vprog.Mem) {
+				f := m.Load(y, r)
+				d := m.Load(x, vprog.Rlx)
+				m.Store(flag, f, vprog.Rlx)
+				m.Store(data, d, vprog.Rlx)
+			}
+			final := func(load func(*vprog.Var) uint64) (bool, string) {
+				if load(flag) == 1 && load(data) == 0 {
+					return false, "flag observed but data stale (message passing broken)"
+				}
+				return true, ""
+			}
+			return []vprog.ThreadFunc{t0, t1}, final
+		},
+	}
+}
+
+// CoRR is the per-location coherence test: with x initially 0 and a
+// single remote write x = 1, a thread must never observe x go 1 then 0.
+func CoRR() *vprog.Program {
+	return &vprog.Program{
+		Name: "litmus/CoRR",
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			x := env.Var("x", 0)
+			t0 := func(m vprog.Mem) { m.Store(x, 1, vprog.Rlx) }
+			t1 := func(m vprog.Mem) {
+				a := m.Load(x, vprog.Rlx)
+				b := m.Load(x, vprog.Rlx)
+				m.Assert(!(a == 1 && b == 0), "coherence violated: read 1 then 0")
+			}
+			return []vprog.ThreadFunc{t0, t1}, nil
+		},
+	}
+}
+
+// LB is the load-buffering litmus test:
+//
+//	T0: r0 = x; y = 1        T1: r1 = y; x = 1
+//
+// r0 == 1 && r1 == 1 requires a po ∪ rf cycle; our WMM (like RC11, and
+// unlike hardware ARMv8 without dependencies) forbids it.
+func LB(r, w vprog.Mode) *vprog.Program {
+	return &vprog.Program{
+		Name: "litmus/LB",
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			x := env.Var("x", 0)
+			y := env.Var("y", 0)
+			out0 := env.Var("out0", 7)
+			out1 := env.Var("out1", 7)
+			mk := func(a, b, out *vprog.Var) vprog.ThreadFunc {
+				return func(m vprog.Mem) {
+					v := m.Load(a, r)
+					m.Store(b, 1, w)
+					m.Store(out, v, vprog.Rlx)
+				}
+			}
+			final := func(load func(*vprog.Var) uint64) (bool, string) {
+				if load(out0) == 1 && load(out1) == 1 {
+					return false, "both loads observed 1 (load buffering)"
+				}
+				return true, ""
+			}
+			return []vprog.ThreadFunc{mk(x, y, out0), mk(y, x, out1)}, final
+		},
+	}
+}
+
+// IRIW is the independent-reads-of-independent-writes test: two writers
+// to x and y, two readers observing them in opposite orders. The split
+// observation requires non-multi-copy-atomic behaviour; it is forbidden
+// with SC accesses and on TSO, allowed with acquire loads on WMM.
+func IRIW(r vprog.Mode) *vprog.Program {
+	return &vprog.Program{
+		Name: "litmus/IRIW",
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			x := env.Var("x", 0)
+			y := env.Var("y", 0)
+			outs := make([]*vprog.Var, 4)
+			for i := range outs {
+				outs[i] = env.Var(fmt.Sprintf("out%d", i), 7)
+			}
+			w := vprog.Rlx
+			if r == vprog.SC {
+				w = vprog.SC
+			}
+			t0 := func(m vprog.Mem) { m.Store(x, 1, w) }
+			t1 := func(m vprog.Mem) { m.Store(y, 1, w) }
+			reader := func(a, b *vprog.Var, oa, ob *vprog.Var) vprog.ThreadFunc {
+				return func(m vprog.Mem) {
+					va := m.Load(a, r)
+					vb := m.Load(b, r)
+					m.Store(oa, va, vprog.Rlx)
+					m.Store(ob, vb, vprog.Rlx)
+				}
+			}
+			final := func(load func(*vprog.Var) uint64) (bool, string) {
+				if load(outs[0]) == 1 && load(outs[1]) == 0 &&
+					load(outs[2]) == 1 && load(outs[3]) == 0 {
+					return false, "readers disagree on the order of independent writes"
+				}
+				return true, ""
+			}
+			return []vprog.ThreadFunc{t0, t1, reader(x, y, outs[0], outs[1]), reader(y, x, outs[2], outs[3])}, final
+		},
+	}
+}
+
+// FAAAtomicity runs two concurrent fetch-and-adds; atomicity demands
+// they never both observe the initial value.
+func FAAAtomicity() *vprog.Program {
+	return &vprog.Program{
+		Name: "litmus/FAA-atomicity",
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			x := env.Var("x", 0)
+			mk := func() vprog.ThreadFunc {
+				return func(m vprog.Mem) {
+					m.FetchAdd(x, 1, vprog.Rlx)
+				}
+			}
+			final := func(load func(*vprog.Var) uint64) (bool, string) {
+				if v := load(x); v != 2 {
+					return false, fmt.Sprintf("x = %d after two increments (atomicity broken)", v)
+				}
+				return true, ""
+			}
+			return []vprog.ThreadFunc{mk(), mk()}, final
+		},
+	}
+}
+
+// AwaitSimple is the smallest awaiting program: one thread awaits a
+// flag another thread raises. Await termination holds on every model.
+func AwaitSimple(w, r vprog.Mode) *vprog.Program {
+	return &vprog.Program{
+		Name: "litmus/await-simple",
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			f := env.Var("flag", 0)
+			t0 := func(m vprog.Mem) {
+				m.AwaitWhile(func() bool { return m.Load(f, r) == 0 })
+			}
+			t1 := func(m vprog.Mem) { m.Store(f, 1, w) }
+			return []vprog.ThreadFunc{t0, t1}, nil
+		},
+	}
+}
+
+// AwaitNoWriter awaits a flag nobody ever raises: the canonical
+// await-termination violation.
+func AwaitNoWriter() *vprog.Program {
+	return &vprog.Program{
+		Name: "litmus/await-no-writer",
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			f := env.Var("flag", 0)
+			t0 := func(m vprog.Mem) {
+				m.AwaitWhile(func() bool { return m.Load(f, vprog.Acq) == 0 })
+			}
+			t1 := func(m vprog.Mem) { m.Load(f, vprog.Rlx) }
+			return []vprog.ThreadFunc{t0, t1}, nil
+		},
+	}
+}
+
+// Fig1PartialMCS is the paper's Fig. 1: one path of a partial MCS lock.
+// T0 (the locker) publishes itself and awaits the hand-off; T1 (the
+// unlocker) awaits the publication and passes the lock. With release on
+// the publication and acquire on T1's poll (relaxed == false), await
+// termination holds on WMM; with everything relaxed the modification
+// order may put T1's hand-off before T0's own store and T0 hangs —
+// exactly execution graph (b)/Fig. 5 β of the paper.
+func Fig1PartialMCS(relaxed bool) *vprog.Program {
+	wq, rq := vprog.Rel, vprog.Acq
+	if relaxed {
+		wq, rq = vprog.Rlx, vprog.Rlx
+	}
+	return &vprog.Program{
+		Name: "paper/fig1-partial-mcs",
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			locked := env.Var("locked", 0)
+			q := env.Var("q", 0)
+			t0 := func(m vprog.Mem) { // lock
+				m.Store(locked, 1, vprog.Rlx)
+				m.Store(q, 1, wq)
+				m.AwaitWhile(func() bool { return m.Load(locked, vprog.Acq) == 1 })
+			}
+			t1 := func(m vprog.Mem) { // unlock
+				m.AwaitWhile(func() bool { return m.Load(q, rq) == 0 })
+				m.Store(locked, 0, vprog.Rlx)
+			}
+			return []vprog.ThreadFunc{t0, t1}, nil
+		},
+	}
+}
+
+// Fig3TTAS is the paper's Fig. 3 TTAS lock with two contending threads
+// incrementing a shared counter; both loops are modelled faithfully
+// (the inner await polls, the outer loop retries the exchange).
+func Fig3TTAS() *vprog.Program {
+	return &vprog.Program{
+		Name: "paper/fig3-ttas",
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			lock := env.Var("lock", 0)
+			x := env.Var("x", 0)
+			worker := func(m vprog.Mem) {
+				for {
+					m.AwaitWhile(func() bool { return m.Load(lock, vprog.Rlx) == 1 })
+					if m.Xchg(lock, 1, vprog.Acq) == 0 {
+						break
+					}
+				}
+				v := m.Load(x, vprog.Rlx)
+				m.Store(x, v+1, vprog.Rlx)
+				m.Store(lock, 0, vprog.Rel)
+			}
+			final := func(load func(*vprog.Var) uint64) (bool, string) {
+				if v := load(x); v != 2 {
+					return false, fmt.Sprintf("lost update: x = %d, want 2", v)
+				}
+				return true, ""
+			}
+			return []vprog.ThreadFunc{worker, worker}, final
+		},
+	}
+}

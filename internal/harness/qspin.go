@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/vprog"
+)
+
+// QspinQueuePathLitmus extracts the qspinlock's MCS queue hand-off as a
+// small litmus program, the way the paper's Fig. 1 extracts "one path
+// of a partial MCS lock". A full client needs four contenders to build
+// a two-deep queue, which is beyond tractable exploration; this litmus
+// exercises exactly the same barrier points on a three-thread skeleton:
+//
+//	T0 — the lock owner: writes the critical section and unlocks
+//	     (qspin.unlock_sub);
+//	T1 — the queue head with a successor: waits for owner+pending to
+//	     clear (qspin.await_owner_clear), claims the locked byte
+//	     (qspin.or_locked), runs its critical section, waits for the
+//	     successor to link itself (qspin.await_next) and hands the MCS
+//	     baton over (qspin.handoff);
+//	T2 — the successor: initializes its node (qspin.node_init_locked),
+//	     links into the predecessor (qspin.set_prev_next) and spins on
+//	     its node flag (qspin.await_node_locked).
+//
+// The final check demands all three critical-section increments; AMC
+// additionally proves every await terminates. Relaxing
+// qspin.set_prev_next here reproduces the Linux 4.16 hang (commit
+// 95bcade33a8a) as an await-termination violation: T2's node
+// initialization races with T1's hand-off.
+func QspinQueuePathLitmus(spec *vprog.BarrierSpec) *vprog.Program {
+	const lockedMask = 0x1ff // locked byte + pending bit
+	return &vprog.Program{
+		Name: "litmus/qspin-queue-path",
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			val := env.Var("qspin.val", 1) // owner holds the locked byte
+			next1 := env.Var("qspin.next1", 0)
+			locked2 := env.Var("qspin.locked2", 0)
+			x := env.Var("cs.counter", 0)
+
+			inc := func(m vprog.Mem) {
+				v := m.Load(x, vprog.Rlx)
+				m.Store(x, v+1, vprog.Rlx)
+			}
+			t0 := func(m vprog.Mem) {
+				inc(m)
+				m.FetchAdd(val, ^uint64(1)+1, spec.M("qspin.unlock_sub")) // val -= LOCKED
+			}
+			t1 := func(m vprog.Mem) {
+				m.AwaitWhile(func() bool {
+					return m.Load(val, spec.M("qspin.await_owner_clear"))&lockedMask != 0
+				})
+				m.FetchAdd(val, 1, spec.M("qspin.or_locked"))
+				inc(m)
+				var nxt uint64
+				m.AwaitWhile(func() bool {
+					nxt = m.Load(next1, spec.M("qspin.await_next"))
+					return nxt == 0
+				})
+				m.Store(locked2, 1, spec.M("qspin.handoff"))
+			}
+			t2 := func(m vprog.Mem) {
+				m.Store(locked2, 0, spec.M("qspin.node_init_locked"))
+				m.Store(next1, 3, spec.M("qspin.set_prev_next"))
+				m.AwaitWhile(func() bool {
+					return m.Load(locked2, spec.M("qspin.await_node_locked")) == 0
+				})
+				inc(m)
+			}
+			final := func(load func(*vprog.Var) uint64) (bool, string) {
+				if got := load(x); got != 3 {
+					return false, fmt.Sprintf("lost update across queue hand-off: counter = %d, want 3", got)
+				}
+				return true, ""
+			}
+			return []vprog.ThreadFunc{t0, t1, t2}, final
+		},
+	}
+}

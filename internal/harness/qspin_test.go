@@ -1,0 +1,32 @@
+package harness_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/mm"
+	"repro/internal/vprog"
+)
+
+// TestQspinQueuePathLitmus: the extracted queue hand-off verifies with
+// the default (VSync-informed) spec, and relaxing set_prev_next
+// reproduces the Linux 4.16 hang (commit 95bcade33a8a) as an
+// await-termination violation.
+func TestQspinQueuePathLitmus(t *testing.T) {
+	alg := locks.ByName("qspin")
+	res := core.New(mm.WMM).Run(harness.QspinQueuePathLitmus(alg.DefaultSpec()))
+	if !res.Ok() {
+		t.Fatalf("queue-path litmus with default spec: %v", res)
+	}
+	t.Logf("default spec: %v", res)
+
+	buggy := alg.DefaultSpec()
+	buggy.Set("qspin.set_prev_next", vprog.Rlx)
+	buggy.Set("qspin.await_next", vprog.Rlx)
+	res = core.New(mm.WMM).Run(harness.QspinQueuePathLitmus(buggy))
+	if res.Verdict != core.ATViolation {
+		t.Fatalf("relaxed prev->next must hang (the 4.16 bug), got %v", res)
+	}
+}

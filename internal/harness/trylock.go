@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/locks"
+	"repro/internal/vprog"
+)
+
+// TryClient verifies trylock semantics: nthreads threads each attempt
+// one non-blocking acquisition; successful ones increment the shared
+// counter inside the critical section. The final check demands that
+//
+//   - the counter equals the number of successes (mutual exclusion and
+//     hand-off ordering among the winners), and
+//   - at least one attempt succeeded (an uncontended trylock on a free
+//     lock cannot fail for every thread: the modification-order-first
+//     CAS observes the unlocked state).
+func TryClient(alg *locks.Algorithm, spec *vprog.BarrierSpec, nthreads int) *vprog.Program {
+	return &vprog.Program{
+		Name: fmt.Sprintf("client/try/%s/t%d", alg.Name, nthreads),
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			lk, ok := alg.New(env, spec, nthreads).(locks.TryLock)
+			if !ok {
+				panic("TryClient: " + alg.Name + " does not implement TryLock")
+			}
+			x := env.Var("cs.counter", 0)
+			got := make([]*vprog.Var, nthreads)
+			for i := range got {
+				got[i] = env.Var(fmt.Sprintf("try.got.%d", i), 0)
+			}
+			worker := func(m vprog.Mem) {
+				if tok, ok := lk.TryAcquire(m); ok {
+					m.Store(got[m.TID()], 1, vprog.Rlx)
+					v := m.Load(x, vprog.Rlx)
+					m.Store(x, v+1, vprog.Rlx)
+					lk.Release(m, tok)
+				}
+			}
+			threads := make([]vprog.ThreadFunc, nthreads)
+			for t := range threads {
+				threads[t] = worker
+			}
+			final := func(load func(*vprog.Var) uint64) (bool, string) {
+				var wins uint64
+				for _, g := range got {
+					wins += load(g)
+				}
+				if wins == 0 {
+					return false, "every trylock failed on a free lock"
+				}
+				if load(x) != wins {
+					return false, fmt.Sprintf("counter %d != %d successful acquisitions", load(x), wins)
+				}
+				return true, ""
+			}
+			return threads, final
+		},
+	}
+}

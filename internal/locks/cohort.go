@@ -1,0 +1,196 @@
+package locks
+
+import "repro/internal/vprog"
+
+// Lock cohorting (Dice, Marathe & Shavit, '15): a NUMA-aware lock built
+// from a thread-oblivious global lock G and per-cluster local locks L.
+// A thread first acquires its cluster's local lock; if its cohort
+// already owns the global lock (a peer passed it along), it enters the
+// critical section immediately. On release, if a cohort peer is waiting
+// locally and the pass budget is not exhausted, ownership of the global
+// lock stays with the cluster and only the local lock is handed over —
+// keeping the lock (and the data it protects) on one socket.
+//
+// The paper benchmarks three cohort combinations (Table 5):
+// c-TKT-MCS (global ticket, local MCS), c-TTAS-MCS (global TTAS, local
+// MCS), and c-MCS-TWA (global MCS with per-cluster nodes, local TWA).
+
+// cohortClusters mirrors the two-socket evaluation platforms.
+const cohortClusters = 2
+
+// cohortPasses bounds consecutive local hand-offs (fairness budget).
+const cohortPasses = 16
+
+// tokLock is the node-oblivious view of a local lock instance used by
+// the cohort framework: it must report contention for the pass decision.
+type tokLock interface {
+	Lock
+	Contender
+}
+
+type cohortLock struct {
+	spec   modeSource
+	global Lock
+	gNode  []int // global-lock node per cluster (for MCS globals), -1 otherwise
+	locals []tokLock
+	owned  []*vprog.Var // owned[c]: 1 while cluster c holds the global lock
+	gtok   []*vprog.Var // gtok[c]: global token held by cluster c
+	passes []*vprog.Var // passes[c]: consecutive local hand-offs
+	nth    int
+}
+
+func newCohort(env vprog.Env, spec modeSource, prefix string, nth int,
+	global Lock, gNode []int, locals []tokLock) *cohortLock {
+	return &cohortLock{
+		spec:   spec,
+		global: global,
+		gNode:  gNode,
+		locals: locals,
+		owned:  varArray(env, prefix+".owned", cohortClusters, 0),
+		gtok:   varArray(env, prefix+".gtok", cohortClusters, 0),
+		passes: varArray(env, prefix+".passes", cohortClusters, 0),
+		nth:    nth,
+	}
+}
+
+// cohortPoints registers the framework's own barrier points. The
+// cluster-shared state (owned, gtok, passes) is only touched while
+// holding the local lock, whose hand-off provides the ordering, so the
+// maximally-relaxed assignment is fully relaxed.
+func cohortPoints(s *vprog.BarrierSpec, prefix string) *vprog.BarrierSpec {
+	return s.
+		Def(prefix+".owned_read", vprog.Rlx).
+		Def(prefix+".owned_set", vprog.Rlx).
+		Def(prefix+".owned_clear", vprog.Rlx).
+		Def(prefix+".gtok_write", vprog.Rlx).
+		Def(prefix+".gtok_read", vprog.Rlx).
+		Def(prefix+".pass_read", vprog.Rlx).
+		Def(prefix+".pass_write", vprog.Rlx)
+}
+
+func (l *cohortLock) cluster(tid int) int { return clusterOf(tid, l.nth, cohortClusters) }
+
+// mcsGlobal is the cluster-node adapter for an MCS global lock.
+type mcsGlobal struct{ st *mcsState }
+
+func (g *mcsGlobal) Acquire(m vprog.Mem) uint64 {
+	panic("cohort: MCS global must be acquired through acquireNode")
+}
+func (g *mcsGlobal) Release(m vprog.Mem, token uint64) {
+	g.st.releaseNode(m, int(token))
+}
+
+func (l *cohortLock) Acquire(m vprog.Mem) uint64 {
+	c := l.cluster(m.TID())
+	ltok := l.locals[c].Acquire(m)
+	if m.Load(l.owned[c], l.spec.M("cohort.owned_read")) == 1 {
+		// A cohort peer passed us the global lock along with the local
+		// hand-off.
+		return ltok<<1 | 1
+	}
+	var gtok uint64
+	if g, ok := l.global.(*mcsGlobal); ok {
+		g.st.acquireNode(m, l.gNode[c])
+		gtok = uint64(l.gNode[c])
+	} else {
+		gtok = l.global.Acquire(m)
+	}
+	m.Store(l.gtok[c], gtok, l.spec.M("cohort.gtok_write"))
+	m.Store(l.owned[c], 1, l.spec.M("cohort.owned_set"))
+	return ltok << 1
+}
+
+func (l *cohortLock) Release(m vprog.Mem, token uint64) {
+	c := l.cluster(m.TID())
+	ltok := token >> 1
+	if l.locals[c].Contended(m, ltok) {
+		// A cohort peer is queued locally: consider passing the global
+		// lock within the cluster.
+		p := m.Load(l.passes[c], l.spec.M("cohort.pass_read"))
+		if p < cohortPasses {
+			m.Store(l.passes[c], p+1, l.spec.M("cohort.pass_write"))
+			l.locals[c].Release(m, ltok) // owned[c] stays 1
+			return
+		}
+	}
+	m.Store(l.passes[c], 0, l.spec.M("cohort.pass_write"))
+	m.Store(l.owned[c], 0, l.spec.M("cohort.owned_clear"))
+	gtok := m.Load(l.gtok[c], l.spec.M("cohort.gtok_read"))
+	l.global.Release(m, gtok)
+	l.locals[c].Release(m, ltok)
+}
+
+// localMCSSet builds one local MCS lock per cluster.
+func localMCSSet(env vprog.Env, spec *vprog.BarrierSpec, nth int, prefix string) []tokLock {
+	out := make([]tokLock, cohortClusters)
+	for c := range out {
+		p := prefix + []string{".l0", ".l1"}[c]
+		st := newMCSState(env, &prefixedSpec{spec: spec, prefix: p}, nth, p)
+		out[c] = &mcsLock{st}
+	}
+	return out
+}
+
+// CohortTktMCS is c-TKT-MCS: global ticket lock, local MCS locks.
+var CohortTktMCS = register(&Algorithm{
+	Name: "cmcsticket",
+	Doc:  "cohort lock: global ticket, local MCS (c-TKT-MCS, Dice et al.)",
+	Kind: KindMutex,
+	DefaultSpec: func() *vprog.BarrierSpec {
+		s := vprog.NewSpec()
+		ticketPoints(s, "cmcstkt.g")
+		mcsPoints(s, "cmcstkt.l0")
+		mcsPoints(s, "cmcstkt.l1")
+		return cohortPoints(s, "cmcstkt")
+	},
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, nth int) Lock {
+		g := newTicketState(env, &prefixedSpec{spec: spec, prefix: "cmcstkt.g"}, "cmcstkt.g")
+		return newCohort(env, &prefixedSpec{spec: spec, prefix: "cmcstkt"}, "cmcstkt", nth,
+			g, nil, localMCSSet(env, spec, nth, "cmcstkt"))
+	},
+})
+
+// CohortTTASMCS is c-TTAS-MCS: global TTAS lock, local MCS locks.
+var CohortTTASMCS = register(&Algorithm{
+	Name: "cmcsttas",
+	Doc:  "cohort lock: global TTAS, local MCS (c-TTAS-MCS, Dice et al.)",
+	Kind: KindMutex,
+	DefaultSpec: func() *vprog.BarrierSpec {
+		s := vprog.NewSpec()
+		ttasPoints(s, "cmcsttas.g")
+		mcsPoints(s, "cmcsttas.l0")
+		mcsPoints(s, "cmcsttas.l1")
+		return cohortPoints(s, "cmcsttas")
+	},
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, nth int) Lock {
+		g := newTTASState(env, &prefixedSpec{spec: spec, prefix: "cmcsttas.g"}, "cmcsttas.g")
+		return newCohort(env, &prefixedSpec{spec: spec, prefix: "cmcsttas"}, "cmcsttas", nth,
+			g, nil, localMCSSet(env, spec, nth, "cmcsttas"))
+	},
+})
+
+// CohortMCSTWA is c-MCS-TWA: global MCS (per-cluster nodes), local TWA.
+var CohortMCSTWA = register(&Algorithm{
+	Name: "ctwamcs",
+	Doc:  "cohort lock: global MCS, local TWA (c-MCS-TWA)",
+	Kind: KindMutex,
+	DefaultSpec: func() *vprog.BarrierSpec {
+		s := vprog.NewSpec()
+		mcsPoints(s, "ctwamcs.g")
+		twaPoints(s, "ctwamcs.l0")
+		twaPoints(s, "ctwamcs.l1")
+		return cohortPoints(s, "ctwamcs")
+	},
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, nth int) Lock {
+		gst := newMCSState(env, &prefixedSpec{spec: spec, prefix: "ctwamcs.g"}, cohortClusters, "ctwamcs.g")
+		locals := make([]tokLock, cohortClusters)
+		gNode := make([]int, cohortClusters)
+		for c := range locals {
+			p := "ctwamcs" + []string{".l0", ".l1"}[c]
+			locals[c] = newTWAState(env, &prefixedSpec{spec: spec, prefix: p}, p)
+			gNode[c] = c
+		}
+		return newCohort(env, &prefixedSpec{spec: spec, prefix: "ctwamcs"}, "ctwamcs", nth,
+			&mcsGlobal{gst}, gNode, locals)
+	},
+})

@@ -1,0 +1,105 @@
+package locks_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/mm"
+	"repro/internal/native"
+	"repro/internal/vprog"
+)
+
+// TestSeqlockVerifies: torn-read freedom and read-side termination on
+// every model with the default barrier assignment.
+func TestSeqlockVerifies(t *testing.T) {
+	spec := locks.SeqlockPoints(vprog.NewSpec(), "seqlock")
+	for _, model := range mm.All() {
+		res := core.New(model).Run(harness.SeqlockClient(spec, 1, 1, 1))
+		if !res.Ok() {
+			t.Fatalf("seqlock 1w1r under %s: %v\n%s", model.Name(), res, witness(res))
+		}
+	}
+	// Two writers exercise the embedded writer lock.
+	res := core.New(mm.WMM).Run(harness.SeqlockClient(spec, 2, 1, 1))
+	if !res.Ok() {
+		t.Fatalf("seqlock 2w1r: %v\n%s", res, witness(res))
+	}
+}
+
+// TestSeqlockRelaxedBreaks: removing the writer's publication ordering
+// must make the torn read observable — the seqlock's ordering is real,
+// not incidental.
+func TestSeqlockRelaxedBreaks(t *testing.T) {
+	spec := locks.SeqlockPoints(vprog.NewSpec(), "seqlock")
+	spec.Set("seqlock.enter_fence", vprog.ModeNone)
+	spec.Set("seqlock.exit", vprog.Rlx)
+	spec.Set("seqlock.begin", vprog.Rlx)
+	spec.Set("seqlock.recheck_fence", vprog.ModeNone)
+	res := core.New(mm.WMM).Run(harness.SeqlockClient(spec, 1, 1, 1))
+	if res.Verdict != core.SafetyViolation {
+		t.Fatalf("fully relaxed seqlock should tear, got %v", res)
+	}
+}
+
+// TestBarrierVerifies: cross-thread visibility and termination across
+// two phases, on every model.
+func TestBarrierVerifies(t *testing.T) {
+	spec := locks.BarrierPoints(vprog.NewSpec(), "barrier")
+	for _, model := range mm.All() {
+		res := core.New(model).Run(harness.BarrierClient(spec, 2, 2))
+		if !res.Ok() {
+			t.Fatalf("barrier 2t2p under %s: %v\n%s", model.Name(), res, witness(res))
+		}
+	}
+}
+
+// TestBarrierRelaxedBreaks: a fully relaxed barrier loses the
+// visibility guarantee.
+func TestBarrierRelaxedBreaks(t *testing.T) {
+	spec := locks.BarrierPoints(vprog.NewSpec(), "barrier")
+	spec.Set("barrier.arrive", vprog.Rlx)
+	spec.Set("barrier.flip", vprog.Rlx)
+	spec.Set("barrier.await", vprog.Rlx)
+	res := core.New(mm.WMM).Run(harness.BarrierClient(spec, 2, 1))
+	if res.Verdict != core.SafetyViolation {
+		t.Fatalf("relaxed barrier should leak stale slots, got %v", res)
+	}
+}
+
+// TestBackoffRegistered: the extra lock is verifiable but excluded from
+// the paper-shaped campaign.
+func TestBackoffRegistered(t *testing.T) {
+	alg := locks.ByName("backoff")
+	if alg == nil || !alg.Extra {
+		t.Fatal("backoff should be registered as an extra")
+	}
+	for _, a := range locks.Benchmarkable() {
+		if a.Name == "backoff" {
+			t.Fatal("extras must not join the benchmark campaign")
+		}
+	}
+	found := false
+	for _, a := range locks.Verifiable() {
+		if a.Name == "backoff" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("extras must be in the verifiable set")
+	}
+}
+
+// TestExtrasNative runs the new primitives natively under real
+// goroutine concurrency.
+func TestExtrasNative(t *testing.T) {
+	spec := locks.SeqlockPoints(vprog.NewSpec(), "seqlock")
+	if err := native.RunProgram(harness.SeqlockClient(spec, 2, 2, 500)); err != nil {
+		t.Fatalf("native seqlock: %v", err)
+	}
+	bspec := locks.BarrierPoints(vprog.NewSpec(), "barrier")
+	if err := native.RunProgram(harness.BarrierClient(bspec, 4, 50)); err != nil {
+		t.Fatalf("native barrier: %v", err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package locks implements the synchronization primitives evaluated in
+// the paper — 18 lock algorithms (Table 5 / Figs. 25–26) plus the buggy
+// study-case variants of §3 — written once against the vprog.Mem
+// interface so that each runs unchanged on all three backends:
+//
+//   - internal/core: Await Model Checking (verification),
+//   - internal/wmsim: the weak-memory performance simulator,
+//   - internal/native: real sync/atomic execution.
+//
+// Every algorithm is barrier-mode parameterized through a
+// vprog.BarrierSpec whose points the optimizer (internal/optimize)
+// relaxes; DefaultSpec returns the maximally-relaxed assignment
+// (VSync-informed), and spec.AllSC() yields the paper's "sc-only"
+// baseline variant.
+//
+// Thread-local state that must survive a single call (a ticket, a queue
+// node) is returned from Acquire as an opaque token and passed back to
+// Release; state that survives across acquisitions (CLH node adoption)
+// lives in per-thread shared variables, exactly as the algorithms do on
+// real hardware.
+package locks
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vprog"
+)
+
+// Lock is a mutual-exclusion primitive. Acquire returns an opaque token
+// that must be passed to the matching Release.
+type Lock interface {
+	Acquire(m vprog.Mem) (token uint64)
+	Release(m vprog.Mem, token uint64)
+}
+
+// RWLock is a reader-writer lock.
+type RWLock interface {
+	Lock // writer side (Acquire/Release)
+	AcquireShared(m vprog.Mem) (token uint64)
+	ReleaseShared(m vprog.Mem, token uint64)
+}
+
+// Contender is implemented by locks that can report whether another
+// thread is queued behind the current holder; cohort locks use it to
+// decide whether to hand the global lock to a cohort peer.
+type Contender interface {
+	Contended(m vprog.Mem, token uint64) bool
+}
+
+// Kind classifies a primitive for client-code selection.
+type Kind uint8
+
+// Primitive kinds.
+const (
+	KindMutex Kind = iota
+	KindRW
+	KindSemaphore
+)
+
+// Algorithm describes one primitive in the registry.
+type Algorithm struct {
+	// Name is the identifier used throughout the evaluation (the row
+	// names of Table 5: "mcs", "qspin", "ttas", ...).
+	Name string
+	// Doc is a one-line description with the literature reference.
+	Doc string
+	// Kind selects the client code used for verification and
+	// benchmarking.
+	Kind Kind
+	// Buggy marks known-broken study-case variants; they are excluded
+	// from the benchmark campaign and expected to fail verification.
+	Buggy bool
+	// Extra marks primitives beyond the paper's 18-lock benchmark set;
+	// they verify and run on every backend but are excluded from the
+	// campaign so Tables 2–5 keep the paper's row set.
+	Extra bool
+	// DefaultSpec returns the maximally-relaxed barrier assignment.
+	DefaultSpec func() *vprog.BarrierSpec
+	// New instantiates the lock for nthreads threads, allocating its
+	// shared state in env and reading barrier modes from spec.
+	New func(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) Lock
+}
+
+var registry = map[string]*Algorithm{}
+
+// register adds an algorithm at package init time.
+func register(a *Algorithm) *Algorithm {
+	if _, dup := registry[a.Name]; dup {
+		panic("locks: duplicate algorithm " + a.Name)
+	}
+	registry[a.Name] = a
+	return a
+}
+
+// ByName returns the algorithm with the given name, or nil.
+func ByName(name string) *Algorithm { return registry[name] }
+
+// All returns every registered algorithm, sorted by name.
+func All() []*Algorithm {
+	out := make([]*Algorithm, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Benchmarkable returns the algorithms included in the evaluation
+// campaign (the paper's 18: non-buggy, non-extra), sorted by name.
+func Benchmarkable() []*Algorithm {
+	var out []*Algorithm
+	for _, a := range All() {
+		if !a.Buggy && !a.Extra {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Verifiable returns every algorithm expected to pass verification
+// (non-buggy, including extras), sorted by name.
+func Verifiable() []*Algorithm {
+	var out []*Algorithm
+	for _, a := range All() {
+		if !a.Buggy {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// varArray allocates n related variables named name.0 … name.(n-1).
+func varArray(env vprog.Env, name string, n int, init uint64) []*vprog.Var {
+	out := make([]*vprog.Var, n)
+	for i := range out {
+		out[i] = env.Var(fmt.Sprintf("%s.%d", name, i), init)
+	}
+	return out
+}
+
+// clusterOf maps a thread to a NUMA cluster for hierarchical locks;
+// it mirrors the two-socket topology of the evaluation platforms.
+func clusterOf(tid, nthreads, nclusters int) int {
+	if nthreads <= 1 || nclusters <= 1 {
+		return 0
+	}
+	per := (nthreads + nclusters - 1) / nclusters
+	c := tid / per
+	if c >= nclusters {
+		c = nclusters - 1
+	}
+	return c
+}

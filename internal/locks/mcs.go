@@ -1,0 +1,399 @@
+package locks
+
+import "repro/internal/vprog"
+
+// The MCS family (Mellor-Crummey & Scott '91): each waiter enqueues a
+// node into a tail pointer and spins on its own flag; the holder hands
+// off through the successor pointer. Node/tail "pointers" are encoded
+// as tid+1 (0 means nil), so the same code runs on every backend.
+
+// mcsState is the shared state common to all MCS variants. Nodes are
+// indexed 0..nnodes-1: per-thread for standalone locks, per-cluster
+// when an MCS instance serves as a cohort lock's thread-oblivious
+// global lock.
+type mcsState struct {
+	spec   modeSource
+	tail   *vprog.Var
+	next   []*vprog.Var // next[n]: successor of node n (node+1, 0 = none)
+	locked []*vprog.Var // locked[n]: 1 while node n must wait
+}
+
+func newMCSState(env vprog.Env, spec modeSource, nnodes int, prefix string) *mcsState {
+	return &mcsState{
+		spec:   spec,
+		tail:   env.Var(prefix+".tail", 0),
+		next:   varArray(env, prefix+".next", nnodes, 0),
+		locked: varArray(env, prefix+".locked", nnodes, 0),
+	}
+}
+
+// mcsPoints registers the canonical MCS barrier points under a prefix.
+func mcsPoints(s *vprog.BarrierSpec, prefix string) *vprog.BarrierSpec {
+	return s.
+		Def(prefix+".init_locked", vprog.Rlx).
+		Def(prefix+".init_next", vprog.Rlx).
+		Def(prefix+".xchg_tail", vprog.AcqRel).
+		Def(prefix+".set_prev_next", vprog.Rel).
+		Def(prefix+".await_locked", vprog.Acq).
+		Def(prefix+".read_next", vprog.Acq).
+		Def(prefix+".cas_tail", vprog.Rel).
+		Def(prefix+".await_next", vprog.Acq).
+		Def(prefix+".handoff", vprog.Rel)
+}
+
+// acquireNode enqueues node and waits for ownership.
+func (l *mcsState) acquireNode(m vprog.Mem, node int) {
+	me := uint64(node) + 1
+	m.Store(l.locked[node], 1, l.spec.M("mcs.init_locked"))
+	m.Store(l.next[node], 0, l.spec.M("mcs.init_next"))
+	prev := m.Xchg(l.tail, me, l.spec.M("mcs.xchg_tail"))
+	if prev == 0 {
+		return
+	}
+	m.Store(l.next[prev-1], me, l.spec.M("mcs.set_prev_next"))
+	m.AwaitWhile(func() bool {
+		wait := m.Load(l.locked[node], l.spec.M("mcs.await_locked")) == 1
+		if wait {
+			m.Pause()
+		}
+		return wait
+	})
+}
+
+// releaseNode hands the lock to node's successor (or empties the queue).
+func (l *mcsState) releaseNode(m vprog.Mem, node int) {
+	me := uint64(node) + 1
+	nxt := m.Load(l.next[node], l.spec.M("mcs.read_next"))
+	if nxt == 0 {
+		if _, ok := m.CmpXchg(l.tail, me, 0, l.spec.M("mcs.cas_tail")); ok {
+			return // no successor: queue emptied
+		}
+		// A successor is enqueueing: wait for it to link itself.
+		m.AwaitWhile(func() bool {
+			nxt = m.Load(l.next[node], l.spec.M("mcs.await_next"))
+			if nxt == 0 {
+				m.Pause()
+			}
+			return nxt == 0
+		})
+	}
+	m.Store(l.locked[nxt-1], 0, l.spec.M("mcs.handoff"))
+}
+
+// ---------------------------------------------------------------------
+// mcs: the canonical MCS lock with VSync-style relaxed barriers.
+// ---------------------------------------------------------------------
+
+type mcsLock struct{ *mcsState }
+
+// MCS is the canonical queue lock.
+var MCS = register(&Algorithm{
+	Name: "mcs",
+	Doc:  "MCS queue lock (Mellor-Crummey & Scott)",
+	Kind: KindMutex,
+	DefaultSpec: func() *vprog.BarrierSpec {
+		return mcsPoints(vprog.NewSpec(), "mcs")
+	},
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) Lock {
+		return &mcsLock{newMCSState(env, spec, nthreads, "mcs")}
+	},
+})
+
+func (l *mcsLock) Acquire(m vprog.Mem) uint64 {
+	l.acquireNode(m, m.TID())
+	return 0
+}
+
+func (l *mcsLock) Release(m vprog.Mem, _ uint64) {
+	l.releaseNode(m, m.TID())
+}
+
+func (l *mcsLock) Contended(m vprog.Mem, _ uint64) bool {
+	me := uint64(m.TID()) + 1
+	return m.Load(l.tail, vprog.Rlx) != me
+}
+
+// ---------------------------------------------------------------------
+// certikosmcs: the CertiKOS kernel's MCS variant (Gu et al., OSDI'16):
+// the same queue discipline written in the fence-based style of the
+// verified C sources (plain accesses ordered by explicit fences), which
+// gives the optimizer fence-elimination opportunities.
+// ---------------------------------------------------------------------
+
+type certikosLock struct{ *mcsState }
+
+// CertiKOSMCS is the CertiKOS MCS lock.
+var CertiKOSMCS = register(&Algorithm{
+	Name: "certikosmcs",
+	Doc:  "CertiKOS MCS lock (fence-based style, Gu et al.)",
+	Kind: KindMutex,
+	DefaultSpec: func() *vprog.BarrierSpec {
+		return vprog.NewSpec().
+			Def("certikos.init_locked", vprog.Rlx).
+			Def("certikos.init_next", vprog.Rlx).
+			DefFence("certikos.pre_xchg_fence", vprog.ModeNone).
+			Def("certikos.xchg_tail", vprog.AcqRel).
+			Def("certikos.set_prev_next", vprog.Rel).
+			Def("certikos.await_locked", vprog.Acq).
+			DefFence("certikos.post_await_fence", vprog.ModeNone).
+			Def("certikos.read_next", vprog.Acq).
+			Def("certikos.cas_tail", vprog.Rel).
+			Def("certikos.await_next", vprog.Acq).
+			DefFence("certikos.pre_handoff_fence", vprog.ModeNone).
+			Def("certikos.handoff", vprog.Rel)
+	},
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) Lock {
+		return &certikosLock{newMCSState(env, spec, nthreads, "certikos")}
+	},
+})
+
+func (l *certikosLock) Acquire(m vprog.Mem) uint64 {
+	t := m.TID()
+	me := uint64(t) + 1
+	m.Store(l.locked[t], 1, l.spec.M("certikos.init_locked"))
+	m.Store(l.next[t], 0, l.spec.M("certikos.init_next"))
+	m.Fence(l.spec.M("certikos.pre_xchg_fence"))
+	prev := m.Xchg(l.tail, me, l.spec.M("certikos.xchg_tail"))
+	if prev != 0 {
+		m.Store(l.next[prev-1], me, l.spec.M("certikos.set_prev_next"))
+		m.AwaitWhile(func() bool {
+			wait := m.Load(l.locked[t], l.spec.M("certikos.await_locked")) == 1
+			if wait {
+				m.Pause()
+			}
+			return wait
+		})
+	}
+	m.Fence(l.spec.M("certikos.post_await_fence"))
+	return 0
+}
+
+func (l *certikosLock) Release(m vprog.Mem, _ uint64) {
+	t := m.TID()
+	me := uint64(t) + 1
+	nxt := m.Load(l.next[t], l.spec.M("certikos.read_next"))
+	if nxt == 0 {
+		if _, ok := m.CmpXchg(l.tail, me, 0, l.spec.M("certikos.cas_tail")); ok {
+			return
+		}
+		m.AwaitWhile(func() bool {
+			nxt = m.Load(l.next[t], l.spec.M("certikos.await_next"))
+			if nxt == 0 {
+				m.Pause()
+			}
+			return nxt == 0
+		})
+	}
+	m.Fence(l.spec.M("certikos.pre_handoff_fence"))
+	m.Store(l.locked[nxt-1], 0, l.spec.M("certikos.handoff"))
+}
+
+// ---------------------------------------------------------------------
+// dpdkmcs: the DPDK v20.05 MCS lock of §3.1 — including the bug.
+// ---------------------------------------------------------------------
+
+// dpdkLock reproduces rte_mcslock (Fig. 13). With buggy=true the store
+// to prev->next is relaxed (the shipped code): the node can become
+// visible through prev->next before the node's own initialization is,
+// so the releaser's hand-off can be modification-ordered *before* the
+// waiter's locked=1 store — and the waiter hangs (Figs. 14/16). The fix
+// makes the store release and the releaser's read acquire (Fig. 15).
+type dpdkLock struct {
+	*mcsState
+	prefix string
+}
+
+func dpdkSpec(prefix string, buggy bool) func() *vprog.BarrierSpec {
+	return func() *vprog.BarrierSpec {
+		setNext, readNext := vprog.Rel, vprog.Acq
+		if buggy {
+			setNext, readNext = vprog.Rlx, vprog.Rlx
+		}
+		return vprog.NewSpec().
+			Def(prefix+".init_locked", vprog.Rlx).
+			Def(prefix+".init_next", vprog.Rlx).
+			Def(prefix+".xchg_tail", vprog.AcqRel).
+			Def(prefix+".set_prev_next", setNext).
+			// The explicit fence at Fig. 13 line 32 — which §3.1 notes is
+			// useless and removable.
+			DefFence(prefix+".pre_await_fence", vprog.AcqRel).
+			Def(prefix+".await_locked", vprog.Acq).
+			Def(prefix+".read_next", readNext).
+			Def(prefix+".await_next", readNext).
+			Def(prefix+".cas_tail", vprog.Rel).
+			Def(prefix+".handoff", vprog.Rel)
+	}
+}
+
+// DPDKMCSBuggy is the shipped DPDK v20.05 lock with the missing release
+// barrier; AMC finds the await-termination violation of Fig. 14.
+var DPDKMCSBuggy = register(&Algorithm{
+	Name:        "dpdkmcs-buggy",
+	Doc:         "DPDK v20.05 rte_mcslock with the §3.1 missing-release bug",
+	Kind:        KindMutex,
+	Buggy:       true,
+	DefaultSpec: dpdkSpec("dpdkbug", true),
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) Lock {
+		return &dpdkLock{mcsState: newMCSState(env, spec, nthreads, "dpdkbug"), prefix: "dpdkbug"}
+	},
+})
+
+// DPDKMCS is the fixed DPDK lock (release publication, acquire read).
+var DPDKMCS = register(&Algorithm{
+	Name:        "dpdkmcs",
+	Doc:         "DPDK rte_mcslock with the §3.1 fix applied",
+	Kind:        KindMutex,
+	DefaultSpec: dpdkSpec("dpdk", false),
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) Lock {
+		return &dpdkLock{mcsState: newMCSState(env, spec, nthreads, "dpdk"), prefix: "dpdk"}
+	},
+})
+
+func (l *dpdkLock) Acquire(m vprog.Mem) uint64 {
+	t := m.TID()
+	me := uint64(t) + 1
+	m.Store(l.locked[t], 1, l.spec.M(l.prefix+".init_locked"))
+	m.Store(l.next[t], 0, l.spec.M(l.prefix+".init_next"))
+	prev := m.Xchg(l.tail, me, l.spec.M(l.prefix+".xchg_tail"))
+	if prev == 0 {
+		return 0
+	}
+	m.Store(l.next[prev-1], me, l.spec.M(l.prefix+".set_prev_next"))
+	m.Fence(l.spec.M(l.prefix + ".pre_await_fence"))
+	m.AwaitWhile(func() bool {
+		wait := m.Load(l.locked[t], l.spec.M(l.prefix+".await_locked")) == 1
+		if wait {
+			m.Pause()
+		}
+		return wait
+	})
+	return 0
+}
+
+func (l *dpdkLock) Release(m vprog.Mem, _ uint64) {
+	t := m.TID()
+	me := uint64(t) + 1
+	nxt := m.Load(l.next[t], l.spec.M(l.prefix+".read_next"))
+	if nxt == 0 {
+		if _, ok := m.CmpXchg(l.tail, me, 0, l.spec.M(l.prefix+".cas_tail")); ok {
+			return
+		}
+		m.AwaitWhile(func() bool {
+			nxt = m.Load(l.next[t], l.spec.M(l.prefix+".await_next"))
+			if nxt == 0 {
+				m.Pause()
+			}
+			return nxt == 0
+		})
+	}
+	m.Store(l.locked[nxt-1], 0, l.spec.M(l.prefix+".handoff"))
+}
+
+// ---------------------------------------------------------------------
+// huaweimcs: the internal-product MCS lock of §3.2 — including the bug.
+// ---------------------------------------------------------------------
+
+// huaweiLock reproduces Fig. 18: an x86-ported MCS lock written with
+// compiler builtins and explicit fences. With buggy=true the acquire
+// fence after the spin loop is missing: the critical section can read
+// stale data even though the hand-off was observed, losing updates
+// (Fig. 19). The fix adds the acquire barrier at Fig. 18 line 20.
+type huaweiLock struct {
+	*mcsState
+	prefix string
+}
+
+func huaweiSpec(prefix string, buggy bool) func() *vprog.BarrierSpec {
+	return func() *vprog.BarrierSpec {
+		post := vprog.Acq
+		if buggy {
+			post = vprog.ModeNone // the missing smp_mb() of line 20
+		}
+		return vprog.NewSpec().
+			Def(prefix+".init_next", vprog.Rlx).
+			Def(prefix+".init_spin", vprog.Rlx).
+			// smp_wmb() at line 10, treated as an SC fence per §3.2.
+			DefFence(prefix+".wmb", vprog.SC).
+			// __sync_lock_test_and_set has acquire semantics.
+			Def(prefix+".xchg_tail", vprog.Acq).
+			Def(prefix+".set_prev_next", vprog.Rlx).
+			// smp_mb() at line 18 (§3.2 notes it is redundant).
+			DefFence(prefix+".mb_acquire", vprog.SC).
+			Def(prefix+".await_spin", vprog.Rlx).
+			DefFence(prefix+".post_await_fence", post).
+			Def(prefix+".read_next", vprog.Rlx).
+			// __sync_val_compare_and_swap has SC semantics.
+			Def(prefix+".cas_tail", vprog.SC).
+			Def(prefix+".await_next", vprog.Rlx).
+			// smp_mb() at line 37.
+			DefFence(prefix+".mb_release", vprog.SC).
+			Def(prefix+".handoff", vprog.Rlx)
+	}
+}
+
+// HuaweiMCSBuggy is the shipped lock with the missing acquire barrier;
+// AMC finds the lost-update safety violation of Fig. 19.
+var HuaweiMCSBuggy = register(&Algorithm{
+	Name:        "huaweimcs-buggy",
+	Doc:         "internal-product MCS lock with the §3.2 missing-acquire bug",
+	Kind:        KindMutex,
+	Buggy:       true,
+	DefaultSpec: huaweiSpec("hwbug", true),
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) Lock {
+		return &huaweiLock{mcsState: newMCSState(env, spec, nthreads, "hwbug"), prefix: "hwbug"}
+	},
+})
+
+// HuaweiMCS is the fixed lock (acquire barrier after the spin loop).
+var HuaweiMCS = register(&Algorithm{
+	Name:        "huaweimcs",
+	Doc:         "internal-product MCS lock with the §3.2 fix applied",
+	Kind:        KindMutex,
+	DefaultSpec: huaweiSpec("hw", false),
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) Lock {
+		return &huaweiLock{mcsState: newMCSState(env, spec, nthreads, "hw"), prefix: "hw"}
+	},
+})
+
+func (l *huaweiLock) Acquire(m vprog.Mem) uint64 {
+	t := m.TID()
+	me := uint64(t) + 1
+	m.Store(l.next[t], 0, l.spec.M(l.prefix+".init_next"))
+	m.Store(l.locked[t], 1, l.spec.M(l.prefix+".init_spin"))
+	m.Fence(l.spec.M(l.prefix + ".wmb"))
+	prev := m.Xchg(l.tail, me, l.spec.M(l.prefix+".xchg_tail"))
+	if prev == 0 {
+		return 0
+	}
+	m.Store(l.next[prev-1], me, l.spec.M(l.prefix+".set_prev_next"))
+	m.Fence(l.spec.M(l.prefix + ".mb_acquire"))
+	m.AwaitWhile(func() bool {
+		wait := m.Load(l.locked[t], l.spec.M(l.prefix+".await_spin")) == 1
+		if wait {
+			m.Pause()
+		}
+		return wait
+	})
+	m.Fence(l.spec.M(l.prefix + ".post_await_fence"))
+	return 0
+}
+
+func (l *huaweiLock) Release(m vprog.Mem, _ uint64) {
+	t := m.TID()
+	me := uint64(t) + 1
+	nxt := m.Load(l.next[t], l.spec.M(l.prefix+".read_next"))
+	if nxt == 0 {
+		if _, ok := m.CmpXchg(l.tail, me, 0, l.spec.M(l.prefix+".cas_tail")); ok {
+			return
+		}
+		m.AwaitWhile(func() bool {
+			nxt = m.Load(l.next[t], l.spec.M(l.prefix+".await_next"))
+			if nxt == 0 {
+				m.Pause()
+			}
+			return nxt == 0
+		})
+	}
+	m.Fence(l.spec.M(l.prefix + ".mb_release"))
+	m.Store(l.locked[nxt-1], 0, l.spec.M(l.prefix+".handoff"))
+}

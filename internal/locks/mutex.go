@@ -1,0 +1,257 @@
+package locks
+
+import "repro/internal/vprog"
+
+// ---------------------------------------------------------------------
+// mutex: Drepper's 3-state futex mutex ("Futexes are Tricky").
+// ---------------------------------------------------------------------
+
+// mutex3 states: 0 free, 1 locked, 2 locked with (possible) waiters.
+// The futex system call is modelled by its observable effect: a waiter
+// sleeps until the word changes away from 2 (the kernel re-checks the
+// word under its own lock, which our await models exactly), and wake is
+// the releaser's store making the word != 2.
+type mutex3Lock struct {
+	spec  modeSource
+	state *vprog.Var
+}
+
+// Mutex3 is the 3-state futex mutex.
+var Mutex3 = register(&Algorithm{
+	Name: "mutex",
+	Doc:  "3-state futex mutex (Drepper, 'Futexes are Tricky')",
+	Kind: KindMutex,
+	DefaultSpec: func() *vprog.BarrierSpec {
+		return vprog.NewSpec().
+			Def("mutex.fast_cas", vprog.Acq).
+			Def("mutex.xchg", vprog.Acq).
+			Def("mutex.futex_wait", vprog.Rlx).
+			Def("mutex.unlock", vprog.Rel)
+	},
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, _ int) Lock {
+		return &mutex3Lock{spec: spec, state: env.Var("mutex.state", 0)}
+	},
+})
+
+func (l *mutex3Lock) Acquire(m vprog.Mem) uint64 {
+	if _, ok := m.CmpXchg(l.state, 0, 1, l.spec.M("mutex.fast_cas")); ok {
+		return 0
+	}
+	for {
+		// Mark contended; if the lock was free we now own it.
+		if m.Xchg(l.state, 2, l.spec.M("mutex.xchg")) == 0 {
+			return 0
+		}
+		// futex_wait(&state, 2): sleep while the word is still 2.
+		m.AwaitWhile(func() bool {
+			wait := m.Load(l.state, l.spec.M("mutex.futex_wait")) == 2
+			if wait {
+				m.Pause()
+			}
+			return wait
+		})
+	}
+}
+
+func (l *mutex3Lock) Release(m vprog.Mem, _ uint64) {
+	// Releasing from either state (1 or 2) frees the lock; the store
+	// doubles as the futex wake (waiters observe state != 2).
+	m.Store(l.state, 0, l.spec.M("mutex.unlock"))
+}
+
+// ---------------------------------------------------------------------
+// musl: the musl libc normal mutex.
+// ---------------------------------------------------------------------
+
+// muslLock models musl's pthread_mutex_lock for normal mutexes: a CAS
+// fast path, then a wait loop that registers in a waiter count so the
+// unlocker knows whether to issue a wake.
+type muslLock struct {
+	spec    modeSource
+	word    *vprog.Var
+	waiters *vprog.Var
+}
+
+// Musl is the musl-libc style mutex.
+var Musl = register(&Algorithm{
+	Name: "musl",
+	Doc:  "musl libc normal mutex (CAS + waiter count futex)",
+	Kind: KindMutex,
+	DefaultSpec: func() *vprog.BarrierSpec {
+		return vprog.NewSpec().
+			Def("musl.cas", vprog.Acq).
+			Def("musl.waiters_inc", vprog.Rlx).
+			Def("musl.wait", vprog.Rlx).
+			Def("musl.waiters_dec", vprog.Rlx).
+			Def("musl.unlock", vprog.Rel).
+			Def("musl.read_waiters", vprog.Rlx)
+	},
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, _ int) Lock {
+		return &muslLock{
+			spec:    spec,
+			word:    env.Var("musl.word", 0),
+			waiters: env.Var("musl.waiters", 0),
+		}
+	},
+})
+
+func (l *muslLock) Acquire(m vprog.Mem) uint64 {
+	for {
+		if _, ok := m.CmpXchg(l.word, 0, 1, l.spec.M("musl.cas")); ok {
+			return 0
+		}
+		m.FetchAdd(l.waiters, 1, l.spec.M("musl.waiters_inc"))
+		// futex_wait(&word, 1): sleep while locked.
+		m.AwaitWhile(func() bool {
+			wait := m.Load(l.word, l.spec.M("musl.wait")) != 0
+			if wait {
+				m.Pause()
+			}
+			return wait
+		})
+		m.FetchAdd(l.waiters, ^uint64(0), l.spec.M("musl.waiters_dec"))
+	}
+}
+
+func (l *muslLock) Release(m vprog.Mem, _ uint64) {
+	m.Store(l.word, 0, l.spec.M("musl.unlock"))
+	// The wake decision; the wake itself is the store above.
+	m.Load(l.waiters, l.spec.M("musl.read_waiters"))
+}
+
+// ---------------------------------------------------------------------
+// semaphore: counting semaphore, used as a binary lock in the
+// evaluation.
+// ---------------------------------------------------------------------
+
+type semLock struct {
+	spec modeSource
+	cnt  *vprog.Var
+}
+
+// Semaphore is a counting semaphore (capacity 1 when used as a mutex by
+// the benchmark client); Acquire is a P/wait, Release a V/post.
+var Semaphore = register(&Algorithm{
+	Name: "semaphore",
+	Doc:  "counting semaphore (CAS decrement with await, FAA post)",
+	Kind: KindSemaphore,
+	DefaultSpec: func() *vprog.BarrierSpec {
+		return vprog.NewSpec().
+			Def("sem.poll", vprog.Rlx).
+			Def("sem.dec", vprog.Acq).
+			Def("sem.post", vprog.Rel)
+	},
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, _ int) Lock {
+		return &semLock{spec: spec, cnt: env.Var("sem.cnt", 1)}
+	},
+})
+
+func (l *semLock) Acquire(m vprog.Mem) uint64 {
+	for {
+		// Wait for capacity, then try to take one unit.
+		var v uint64
+		m.AwaitWhile(func() bool {
+			v = m.Load(l.cnt, l.spec.M("sem.poll"))
+			if v == 0 {
+				m.Pause()
+			}
+			return v == 0
+		})
+		if _, ok := m.CmpXchg(l.cnt, v, v-1, l.spec.M("sem.dec")); ok {
+			return 0
+		}
+	}
+}
+
+func (l *semLock) Release(m vprog.Mem, _ uint64) {
+	m.FetchAdd(l.cnt, 1, l.spec.M("sem.post"))
+}
+
+// ---------------------------------------------------------------------
+// rw: writer-preference reader-writer lock.
+// ---------------------------------------------------------------------
+
+type rwLock struct {
+	spec  modeSource
+	wflag *vprog.Var // 1 while a writer holds or claims the lock
+	rcnt  *vprog.Var // active reader count
+}
+
+// RW is the reader-writer lock; the benchmark uses its writer side (the
+// paper's microbenchmark takes every lock as a writer lock).
+var RW = register(&Algorithm{
+	Name: "rw",
+	Doc:  "writer-preference reader-writer lock",
+	Kind: KindRW,
+	DefaultSpec: func() *vprog.BarrierSpec {
+		// The writer-claim/reader-entry handshake is a Dekker (store
+		// buffering) pattern — writer: W(wflag);R(rcnt), reader:
+		// W(rcnt);R(wflag) — so those four points need SC; release/
+		// acquire alone admits a torn read (our own AMC found this).
+		return vprog.NewSpec().
+			Def("rw.wcas", vprog.SC).
+			Def("rw.wait_readers", vprog.SC).
+			Def("rw.wunlock", vprog.Rel).
+			Def("rw.rwait", vprog.Rlx).
+			Def("rw.rinc", vprog.SC).
+			Def("rw.rcheck", vprog.SC).
+			Def("rw.rbackoff", vprog.Rlx).
+			Def("rw.runlock", vprog.Rel)
+	},
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, _ int) Lock {
+		return &rwLock{
+			spec:  spec,
+			wflag: env.Var("rw.wflag", 0),
+			rcnt:  env.Var("rw.rcnt", 0),
+		}
+	},
+})
+
+func (l *rwLock) Acquire(m vprog.Mem) uint64 {
+	// Writer side: claim the writer flag, then drain readers.
+	m.AwaitWhile(func() bool {
+		_, ok := m.CmpXchg(l.wflag, 0, 1, l.spec.M("rw.wcas"))
+		if !ok {
+			m.Pause()
+		}
+		return !ok
+	})
+	m.AwaitWhile(func() bool {
+		wait := m.Load(l.rcnt, l.spec.M("rw.wait_readers")) != 0
+		if wait {
+			m.Pause()
+		}
+		return wait
+	})
+	return 0
+}
+
+func (l *rwLock) Release(m vprog.Mem, _ uint64) {
+	m.Store(l.wflag, 0, l.spec.M("rw.wunlock"))
+}
+
+// AcquireShared takes the lock for reading: optimistic reader count
+// increment with writer-preference backoff.
+func (l *rwLock) AcquireShared(m vprog.Mem) uint64 {
+	for {
+		m.AwaitWhile(func() bool {
+			wait := m.Load(l.wflag, l.spec.M("rw.rwait")) == 1
+			if wait {
+				m.Pause()
+			}
+			return wait
+		})
+		m.FetchAdd(l.rcnt, 1, l.spec.M("rw.rinc"))
+		if m.Load(l.wflag, l.spec.M("rw.rcheck")) == 0 {
+			return 0
+		}
+		// A writer claimed the flag between our check and increment:
+		// back off so the writer can drain.
+		m.FetchAdd(l.rcnt, ^uint64(0), l.spec.M("rw.rbackoff"))
+	}
+}
+
+// ReleaseShared drops a reader.
+func (l *rwLock) ReleaseShared(m vprog.Mem, _ uint64) {
+	m.FetchAdd(l.rcnt, ^uint64(0), l.spec.M("rw.runlock"))
+}

@@ -1,0 +1,215 @@
+package locks
+
+import "repro/internal/vprog"
+
+// qspinlock is the Linux queued spinlock (Corbet, LWN '14; Long &
+// Zijlstra), the subject of §3.3 and Table 1. The 32-bit lock word
+// packs three fields:
+//
+//	bits 0..7   locked byte
+//	bit  8      pending
+//	bits 16..   tail (encoded CPU/thread id + 1)
+//
+// The first contender sets the pending bit and spins on the locked
+// byte; further contenders queue on per-CPU MCS nodes. The paper's
+// study ports Linux 4.4 (with the 5.6 prefetch backports) to
+// VSYNC-atomics; the union of mixed-size accesses is replaced by whole-
+// word accesses — the same simplification the authors made, since AMC
+// requires uniform access sizes (§3.3 "Code preparation").
+//
+// Barrier-point names follow Fig. 20; DefaultSpec carries the
+// VSync-suggested modes of the bold column.
+const (
+	qLocked      = 1
+	qPending     = 1 << 8
+	qTailShift   = 16
+	qLockedMask  = 0xff
+	qPendingMask = qPending
+	qMask        = qLockedMask | qPendingMask // locked+pending
+	qTailMask    = ^uint64(qMask | 0xfe00)    // bits 16+
+)
+
+type qspinLock struct {
+	spec   modeSource
+	val    *vprog.Var
+	next   []*vprog.Var // MCS node successor per thread
+	locked []*vprog.Var // MCS node wait flag per thread (1 = go)
+}
+
+// Qspin is the Linux qspinlock.
+var Qspin = register(&Algorithm{
+	Name: "qspin",
+	Doc:  "Linux queued spinlock (pending bit + MCS tail queue)",
+	Kind: KindMutex,
+	DefaultSpec: func() *vprog.BarrierSpec {
+		return vprog.NewSpec().
+			// lock fast path: atomic32_cmpxchg --> acquire
+			Def("qspin.fast_cmpxchg", vprog.Acq).
+			// slowpath: atomic32_await_neq_rlx (pending->locked settle)
+			Def("qspin.await_pending_owner", vprog.Rlx).
+			// pending claim: atomic32_cmpxchg --> acquire
+			Def("qspin.pending_cmpxchg", vprog.Acq).
+			// pending waiter: atomic32_await_mask_eq --> relaxed
+			Def("qspin.await_locked_clear", vprog.Rlx).
+			// clear_pending_set_locked: atomic32_add --> acquire
+			Def("qspin.clear_pending_set_locked", vprog.Acq).
+			// node initialization: atomic32_write_rlx / atomicptr_write_rlx
+			Def("qspin.node_init_locked", vprog.Rlx).
+			Def("qspin.node_init_next", vprog.Rlx).
+			// xchg_tail: atomic32_cmpxchg --> seq_cst
+			Def("qspin.xchg_tail", vprog.SC).
+			// prev->next publication: Fig. 20 keeps this relaxed because
+			// IMM honours the releaser's address dependency; our WMM
+			// (RC11-style, no dependency tracking) needs the release —
+			// this is the Linux 4.16 fix (commit 95bcade33a8a), which AMC
+			// rediscovers as an AT violation if the point is relaxed.
+			Def("qspin.set_prev_next", vprog.Rel).
+			// queue wait: atomic32_await_neq_acq
+			Def("qspin.await_node_locked", vprog.Acq).
+			// head wait: atomic32_await_mask_eq --> relaxed
+			Def("qspin.await_owner_clear", vprog.Rlx).
+			// uncontended tail claim: atomic32_cmpxchg --> acquire
+			Def("qspin.tail_cmpxchg", vprog.Acq).
+			// set_locked: atomic32_or --> acquire
+			Def("qspin.or_locked", vprog.Acq).
+			// successor wait: relaxed in Fig. 20 (address dependency);
+			// acquire under WMM for the same reason as set_prev_next.
+			Def("qspin.await_next", vprog.Acq).
+			// hand-off: atomic32_write_rel
+			Def("qspin.handoff", vprog.Rel).
+			// unlock: atomic32_sub --> release
+			Def("qspin.unlock_sub", vprog.Rel)
+	},
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) Lock {
+		return &qspinLock{
+			spec:   spec,
+			val:    env.Var("qspin.val", 0),
+			next:   varArray(env, "qspin.next", nthreads, 0),
+			locked: varArray(env, "qspin.locked", nthreads, 0),
+		}
+	},
+})
+
+func (l *qspinLock) tailCode(tid int) uint64 { return uint64(tid+1) << qTailShift }
+
+func (l *qspinLock) Acquire(m vprog.Mem) uint64 {
+	old, ok := m.CmpXchg(l.val, 0, qLocked, l.spec.M("qspin.fast_cmpxchg"))
+	if ok {
+		return 0
+	}
+	l.slowpath(m, old)
+	return 0
+}
+
+// slowpath is queued_spin_lock_slowpath of Linux 4.4 with whole-word
+// accesses.
+func (l *qspinLock) slowpath(m vprog.Mem, val uint64) {
+	t := m.TID()
+
+	// A pending->locked hand-over is in flight (pending set, lock
+	// free): wait for it to settle so we do not race the owner claim.
+	if val == qPending {
+		m.AwaitWhile(func() bool {
+			v := m.Load(l.val, l.spec.M("qspin.await_pending_owner"))
+			if v == qPending {
+				m.Pause()
+				return true
+			}
+			val = v
+			return false
+		})
+	}
+
+	// Try to become the pending waiter (no queue, at most an owner).
+	for val&^uint64(qLockedMask) == 0 {
+		old, ok := m.CmpXchg(l.val, val, val|qPending, l.spec.M("qspin.pending_cmpxchg"))
+		if ok {
+			// We hold pending: wait for the owner to drop the locked
+			// byte, then take ownership, clearing pending and setting
+			// locked in one atomic add (1 - 256 with wrap-around).
+			m.AwaitWhile(func() bool {
+				wait := m.Load(l.val, l.spec.M("qspin.await_locked_clear"))&qLockedMask != 0
+				if wait {
+					m.Pause()
+				}
+				return wait
+			})
+			delta := ^uint64(qPending) + 1 + qLocked // two's complement: -PENDING+LOCKED
+			m.FetchAdd(l.val, delta, l.spec.M("qspin.clear_pending_set_locked"))
+			return
+		}
+		val = old
+	}
+
+	// Queue on our MCS node.
+	me := l.tailCode(t)
+	m.Store(l.locked[t], 0, l.spec.M("qspin.node_init_locked"))
+	m.Store(l.next[t], 0, l.spec.M("qspin.node_init_next"))
+
+	// xchg_tail: publish ourselves as the new tail (cmpxchg loop on the
+	// whole word, as in the 32-bit kernel path).
+	var old uint64
+	for {
+		v := m.Load(l.val, vprog.Rlx)
+		nv := (v &^ qTailMask) | me
+		prev, ok := m.CmpXchg(l.val, v, nv, l.spec.M("qspin.xchg_tail"))
+		if ok {
+			old = v
+			break
+		}
+		_ = prev
+		m.Pause()
+	}
+
+	if old&qTailMask != 0 {
+		// We have a predecessor: link in and wait for its hand-off.
+		prev := int(old>>qTailShift) - 1
+		m.Store(l.next[prev], uint64(t)+1, l.spec.M("qspin.set_prev_next"))
+		m.AwaitWhile(func() bool {
+			wait := m.Load(l.locked[t], l.spec.M("qspin.await_node_locked")) == 0
+			if wait {
+				m.Pause()
+			}
+			return wait
+		})
+	}
+
+	// We are the queue head: wait for owner and pending to clear.
+	var v uint64
+	m.AwaitWhile(func() bool {
+		v = m.Load(l.val, l.spec.M("qspin.await_owner_clear"))
+		if v&qMask != 0 {
+			m.Pause()
+			return true
+		}
+		return false
+	})
+
+	// If we are also the tail, claim the lock and empty the queue in one
+	// step; otherwise set the locked byte and hand off to our successor.
+	if v&qTailMask == me {
+		if _, ok := m.CmpXchg(l.val, v, qLocked, l.spec.M("qspin.tail_cmpxchg")); ok {
+			return
+		}
+	}
+	// A successor exists (or is enqueueing): set locked...
+	m.FetchAdd(l.val, qLocked, l.spec.M("qspin.or_locked"))
+	// ...wait for it to link itself, and pass the MCS baton.
+	var nxt uint64
+	m.AwaitWhile(func() bool {
+		nxt = m.Load(l.next[t], l.spec.M("qspin.await_next"))
+		if nxt == 0 {
+			m.Pause()
+		}
+		return nxt == 0
+	})
+	m.Store(l.locked[nxt-1], 1, l.spec.M("qspin.handoff"))
+}
+
+func (l *qspinLock) Release(m vprog.Mem, _ uint64) {
+	m.FetchAdd(l.val, ^uint64(qLocked)+1, l.spec.M("qspin.unlock_sub")) // val -= LOCKED
+}
+
+func (l *qspinLock) Contended(m vprog.Mem, _ uint64) bool {
+	return m.Load(l.val, vprog.Rlx)&^uint64(qLockedMask) != 0
+}

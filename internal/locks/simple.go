@@ -1,0 +1,309 @@
+package locks
+
+import "repro/internal/vprog"
+
+// ---------------------------------------------------------------------
+// spin: the plain CAS (test-and-set) lock.
+// ---------------------------------------------------------------------
+
+type spinLock struct {
+	spec modeSource
+	word *vprog.Var
+}
+
+// Spin is the compare-and-swap spinlock: acquire retries CAS(0→1) in an
+// await loop (failed CASes have no effect, satisfying Bounded-Effect).
+var Spin = register(&Algorithm{
+	Name: "spin",
+	Doc:  "CAS (test-and-set) spinlock",
+	Kind: KindMutex,
+	DefaultSpec: func() *vprog.BarrierSpec {
+		return vprog.NewSpec().
+			Def("spin.cas", vprog.Acq).
+			Def("spin.unlock", vprog.Rel)
+	},
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, _ int) Lock {
+		return &spinLock{spec: spec, word: env.Var("spin.word", 0)}
+	},
+})
+
+func (l *spinLock) Acquire(m vprog.Mem) uint64 {
+	m.AwaitWhile(func() bool {
+		_, ok := m.CmpXchg(l.word, 0, 1, l.spec.M("spin.cas"))
+		if !ok {
+			m.Pause()
+		}
+		return !ok
+	})
+	return 0
+}
+
+func (l *spinLock) Release(m vprog.Mem, _ uint64) {
+	m.Store(l.word, 0, l.spec.M("spin.unlock"))
+}
+
+// ---------------------------------------------------------------------
+// ttas: test-and-test-and-set (the paper's Fig. 3).
+// ---------------------------------------------------------------------
+
+type ttasLock struct {
+	spec modeSource
+	word *vprog.Var
+}
+
+// ttasPoints registers the TTAS barrier points under a prefix.
+func ttasPoints(s *vprog.BarrierSpec, prefix string) *vprog.BarrierSpec {
+	return s.
+		Def(prefix+".poll", vprog.Rlx).
+		Def(prefix+".xchg", vprog.Acq).
+		Def(prefix+".unlock", vprog.Rel)
+}
+
+func newTTASState(env vprog.Env, spec modeSource, prefix string) *ttasLock {
+	return &ttasLock{spec: spec, word: env.Var(prefix+".word", 0)}
+}
+
+// TTAS is the test-and-test-and-set lock of Fig. 3: an inner await
+// polls until the lock looks free, then the outer loop attempts the
+// exchange.
+var TTAS = register(&Algorithm{
+	Name: "ttas",
+	Doc:  "test-and-test-and-set lock (Herlihy & Shavit)",
+	Kind: KindMutex,
+	DefaultSpec: func() *vprog.BarrierSpec {
+		return ttasPoints(vprog.NewSpec(), "ttas")
+	},
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, _ int) Lock {
+		return newTTASState(env, spec, "ttas")
+	},
+})
+
+func (l *ttasLock) Acquire(m vprog.Mem) uint64 {
+	for {
+		m.AwaitWhile(func() bool {
+			busy := m.Load(l.word, l.spec.M("ttas.poll")) == 1
+			if busy {
+				m.Pause()
+			}
+			return busy
+		})
+		if m.Xchg(l.word, 1, l.spec.M("ttas.xchg")) == 0 {
+			return 0
+		}
+	}
+}
+
+func (l *ttasLock) Release(m vprog.Mem, _ uint64) {
+	m.Store(l.word, 0, l.spec.M("ttas.unlock"))
+}
+
+// ---------------------------------------------------------------------
+// ticket: the classic FIFO ticket lock.
+// ---------------------------------------------------------------------
+
+type ticketLock struct {
+	spec  modeSource
+	next  *vprog.Var
+	owner *vprog.Var
+}
+
+// ticketPoints registers the ticket barrier points under a prefix.
+func ticketPoints(s *vprog.BarrierSpec, prefix string) *vprog.BarrierSpec {
+	return s.
+		Def(prefix+".faa", vprog.Rlx).
+		Def(prefix+".await", vprog.Acq).
+		Def(prefix+".unlock", vprog.Rel)
+}
+
+func newTicketState(env vprog.Env, spec modeSource, prefix string) *ticketLock {
+	return &ticketLock{
+		spec:  spec,
+		next:  env.Var(prefix+".next", 0),
+		owner: env.Var(prefix+".owner", 0),
+	}
+}
+
+// Ticket is the Linux-style ticket lock: a fetch-and-add draws a
+// ticket, the holder hands the grant counter to the next ticket.
+var Ticket = register(&Algorithm{
+	Name: "ticket",
+	Doc:  "FIFO ticket lock (Linux ticketlock)",
+	Kind: KindMutex,
+	DefaultSpec: func() *vprog.BarrierSpec {
+		return ticketPoints(vprog.NewSpec(), "ticket")
+	},
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, _ int) Lock {
+		return newTicketState(env, spec, "ticket")
+	},
+})
+
+func (l *ticketLock) Acquire(m vprog.Mem) uint64 {
+	t := m.FetchAdd(l.next, 1, l.spec.M("ticket.faa"))
+	m.AwaitWhile(func() bool {
+		wait := m.Load(l.owner, l.spec.M("ticket.await")) != t
+		if wait {
+			m.Pause()
+		}
+		return wait
+	})
+	return t
+}
+
+func (l *ticketLock) Release(m vprog.Mem, token uint64) {
+	m.Store(l.owner, token+1, l.spec.M("ticket.unlock"))
+}
+
+func (l *ticketLock) Contended(m vprog.Mem, token uint64) bool {
+	return m.Load(l.next, vprog.Rlx) > token+1
+}
+
+// ---------------------------------------------------------------------
+// recspin: CAS lock with recursive (re-entrant) acquisition.
+// ---------------------------------------------------------------------
+
+type recLock struct {
+	spec modeSource
+	word *vprog.Var // 0 free, tid+1 held
+}
+
+// RecSpin is the recursive CAS lock: the owner may re-acquire; the
+// token distinguishes the outermost acquisition from nested ones.
+var RecSpin = register(&Algorithm{
+	Name: "recspin",
+	Doc:  "recursive CAS lock (owner re-entry by thread id)",
+	Kind: KindMutex,
+	DefaultSpec: func() *vprog.BarrierSpec {
+		return vprog.NewSpec().
+			Def("recspin.check", vprog.Rlx).
+			Def("recspin.cas", vprog.Acq).
+			Def("recspin.unlock", vprog.Rel)
+	},
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, _ int) Lock {
+		return &recLock{spec: spec, word: env.Var("recspin.word", 0)}
+	},
+})
+
+func (l *recLock) Acquire(m vprog.Mem) uint64 {
+	me := uint64(m.TID()) + 1
+	// Only the owner can observe its own id here, so a relaxed read is
+	// safe: it is either our own store or a foreign value ≠ me.
+	if m.Load(l.word, l.spec.M("recspin.check")) == me {
+		return 1 // nested acquisition
+	}
+	m.AwaitWhile(func() bool {
+		_, ok := m.CmpXchg(l.word, 0, me, l.spec.M("recspin.cas"))
+		if !ok {
+			m.Pause()
+		}
+		return !ok
+	})
+	return 0
+}
+
+func (l *recLock) Release(m vprog.Mem, token uint64) {
+	if token == 1 {
+		return // nested release: still held by this thread
+	}
+	m.Store(l.word, 0, l.spec.M("recspin.unlock"))
+}
+
+// ---------------------------------------------------------------------
+// twa: ticket lock augmented with a waiting array (Dice & Kogan '19).
+// ---------------------------------------------------------------------
+
+// twaSlots is the waiting-array size; collisions are safe (waiters
+// re-check the grant counter after each array wake-up).
+const twaSlots = 4
+
+type twaLock struct {
+	spec  modeSource
+	next  *vprog.Var
+	grant *vprog.Var
+	wa    []*vprog.Var
+}
+
+// twaPoints registers the TWA barrier points under a prefix.
+func twaPoints(s *vprog.BarrierSpec, prefix string) *vprog.BarrierSpec {
+	return s.
+		Def(prefix+".faa", vprog.Rlx).
+		Def(prefix+".read_grant", vprog.Rlx).
+		Def(prefix+".await_slot", vprog.Rlx).
+		Def(prefix+".await_grant", vprog.Acq).
+		Def(prefix+".publish_slot", vprog.Rel).
+		Def(prefix+".unlock", vprog.Rel)
+}
+
+func newTWAState(env vprog.Env, spec modeSource, prefix string) *twaLock {
+	return &twaLock{
+		spec:  spec,
+		next:  env.Var(prefix+".next", 0),
+		grant: env.Var(prefix+".grant", 0),
+		wa:    varArray(env, prefix+".wa", twaSlots, 0),
+	}
+}
+
+// TWA is the ticket lock with a waiting array: threads far from their
+// turn spin on a hashed array slot instead of the hot grant counter;
+// the releaser publishes progress to both.
+var TWA = register(&Algorithm{
+	Name: "twa",
+	Doc:  "ticket lock augmented with a waiting array (Dice & Kogan)",
+	Kind: KindMutex,
+	DefaultSpec: func() *vprog.BarrierSpec {
+		return twaPoints(vprog.NewSpec(), "twa")
+	},
+	New: func(env vprog.Env, spec *vprog.BarrierSpec, _ int) Lock {
+		return newTWAState(env, spec, "twa")
+	},
+})
+
+func (l *twaLock) Acquire(m vprog.Mem) uint64 {
+	t := m.FetchAdd(l.next, 1, l.spec.M("twa.faa"))
+	for {
+		cur := m.Load(l.grant, l.spec.M("twa.read_grant"))
+		if cur == t {
+			break
+		}
+		if t-cur >= 2 {
+			// Long wait: park on the waiting array. Slot values are
+			// monotone (tickets hitting one slot differ by twaSlots), so
+			// wait until the slot reaches our ticket, then re-check.
+			slot := l.wa[t%twaSlots]
+			m.AwaitWhile(func() bool {
+				wait := m.Load(slot, l.spec.M("twa.await_slot")) < t
+				if wait {
+					m.Pause()
+				}
+				return wait
+			})
+			continue
+		}
+		// Next in line: spin on the grant counter itself.
+		m.AwaitWhile(func() bool {
+			wait := m.Load(l.grant, l.spec.M("twa.await_grant")) != t
+			if wait {
+				m.Pause()
+			}
+			return wait
+		})
+		break
+	}
+	// Synchronize with the releaser (the paths above may have completed
+	// on a relaxed read).
+	m.AwaitWhile(func() bool {
+		return m.Load(l.grant, l.spec.M("twa.await_grant")) != t
+	})
+	return t
+}
+
+func (l *twaLock) Release(m vprog.Mem, token uint64) {
+	g := token + 1
+	m.Store(l.grant, g, l.spec.M("twa.unlock"))
+	// Publish progress to the waiting array: the waiter holding ticket g
+	// parked on slot g%twaSlots awaiting a value >= g.
+	m.Store(l.wa[g%twaSlots], g, l.spec.M("twa.publish_slot"))
+}
+
+func (l *twaLock) Contended(m vprog.Mem, token uint64) bool {
+	return m.Load(l.next, vprog.Rlx) > token+1
+}

@@ -1,0 +1,47 @@
+package locks
+
+import "repro/internal/vprog"
+
+// TryLock is implemented by primitives that support non-blocking
+// acquisition. The paper's Bounded-Effect discussion (§1.2) singles out
+// the await_while(!trylock(&L)) pattern: a failed TryAcquire has no
+// global side effect, so polling it in an await satisfies the
+// principle.
+type TryLock interface {
+	Lock
+	// TryAcquire attempts to take the lock without blocking; on success
+	// it returns a token for Release.
+	TryAcquire(m vprog.Mem) (token uint64, ok bool)
+}
+
+// TryAcquire implements TryLock for the CAS spinlock.
+func (l *spinLock) TryAcquire(m vprog.Mem) (uint64, bool) {
+	_, ok := m.CmpXchg(l.word, 0, 1, l.spec.M("spin.cas"))
+	return 0, ok
+}
+
+// TryAcquire implements TryLock for the TTAS lock: a cheap relaxed test
+// first, then the exchange.
+func (l *ttasLock) TryAcquire(m vprog.Mem) (uint64, bool) {
+	if m.Load(l.word, l.spec.M("ttas.poll")) == 1 {
+		return 0, false
+	}
+	return 0, m.Xchg(l.word, 1, l.spec.M("ttas.xchg")) == 0
+}
+
+// TryAcquire implements TryLock for the 3-state futex mutex.
+func (l *mutex3Lock) TryAcquire(m vprog.Mem) (uint64, bool) {
+	_, ok := m.CmpXchg(l.state, 0, 1, l.spec.M("mutex.fast_cas"))
+	return 0, ok
+}
+
+// TryAcquire implements TryLock for the recursive CAS lock (nested
+// re-entry also succeeds, as for Acquire).
+func (l *recLock) TryAcquire(m vprog.Mem) (uint64, bool) {
+	me := uint64(m.TID()) + 1
+	if m.Load(l.word, l.spec.M("recspin.check")) == me {
+		return 1, true
+	}
+	_, ok := m.CmpXchg(l.word, 0, me, l.spec.M("recspin.cas"))
+	return 0, ok
+}

@@ -1,0 +1,54 @@
+package locks_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/mm"
+)
+
+// TestAllMutexesVerifyWMM is the headline verification matrix: every
+// non-buggy primitive, with its maximally-relaxed (VSync-style) barrier
+// spec, must satisfy mutual exclusion, hand-off ordering and await
+// termination under the weak memory model with two contending threads.
+func TestAllMutexesVerifyWMM(t *testing.T) {
+	for _, alg := range locks.Verifiable() {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			t.Parallel()
+			p := harness.MutexClient(alg, alg.DefaultSpec(), 2, 1)
+			res := core.New(mm.WMM).Run(p)
+			if !res.Ok() {
+				t.Fatalf("%s failed verification: %v\nwitness:\n%s",
+					alg.Name, res, witness(res))
+			}
+			t.Logf("%s: %v", alg.Name, res)
+		})
+	}
+}
+
+// TestAllMutexesVerifySCOnly checks the paper's baseline variant: the
+// all-SC spec must of course verify too.
+func TestAllMutexesVerifySCOnly(t *testing.T) {
+	for _, alg := range locks.Verifiable() {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			t.Parallel()
+			p := harness.MutexClient(alg, alg.DefaultSpec().AllSC(), 2, 1)
+			res := core.New(mm.WMM).Run(p)
+			if !res.Ok() {
+				t.Fatalf("%s (sc-only) failed verification: %v\nwitness:\n%s",
+					alg.Name, res, witness(res))
+			}
+		})
+	}
+}
+
+func witness(res *core.Result) string {
+	if res.Witness == nil {
+		return "(none)"
+	}
+	return res.Witness.Render()
+}

@@ -1,0 +1,349 @@
+// Package mm implements weak memory models as consistency predicates
+// over execution graphs (the consM of the paper, §1.1).
+//
+// Three models are provided:
+//
+//   - SC: sequential consistency — a single total order refines po, rf,
+//     mo and fr. The strongest model; used for the "sc-only" baseline
+//     and for differential testing.
+//   - TSO: x86-style total store order — stores may be delayed past
+//     subsequent loads unless an SC fence or a locked RMW intervenes.
+//   - WMM: an RC11-flavoured release/acquire model standing in for the
+//     paper's IMM: per-location coherence, RMW atomicity,
+//     release/acquire synchronization (sw ⊆ hb), SC-fence/access
+//     ordering (psc), and no-thin-air (acyclic(po ∪ rf)).
+//
+// All models share the RMW atomicity axiom: a non-degraded update must
+// read from its immediate mo-predecessor.
+package mm
+
+import "repro/internal/graph"
+
+// Model is a weak memory model: a consistency predicate over execution
+// graphs. Consistent must be monotone under event removal (a subgraph
+// of a consistent graph is consistent), which every axiomatic
+// (acyclicity-based) model satisfies; AMC relies on this to prune.
+type Model interface {
+	Name() string
+	Consistent(g *graph.Graph) bool
+}
+
+// Registry of the built-in models.
+var (
+	SC  Model = scModel{}
+	TSO Model = tsoModel{}
+	WMM Model = wmmModel{}
+	// RA is WMM without the SC axiom (psc) — an ablation model showing
+	// which verification results depend on sequentially-consistent
+	// accesses/fences: e.g. the reader-writer lock's Dekker handshake
+	// verifies under WMM but not here without stronger primitives, and
+	// SC-fenced store buffering becomes observable.
+	RA Model = raModel{}
+)
+
+// All returns the built-in models, strongest first.
+func All() []Model { return []Model{SC, TSO, WMM} }
+
+// raModel is wmmModel minus the psc axiom.
+type raModel struct{}
+
+func (raModel) Name() string { return "ra" }
+
+func (raModel) Consistent(g *graph.Graph) bool {
+	if !atomicity(g) {
+		return false
+	}
+	r := graph.BuildRels(g)
+	if !r.Hb.Irreflexive() {
+		return false
+	}
+	for i := 0; i < r.N; i++ {
+		for j := 0; j < r.N; j++ {
+			if r.Hb.Get(i, j) && r.Eco.Get(j, i) {
+				return false
+			}
+		}
+	}
+	porf := r.Sb.Clone()
+	porf.OrWith(r.RfM)
+	return !porf.HasCycle()
+}
+
+// ByName returns the model with the given name, or nil. The ablation
+// model "ra" is addressable by name but not part of All().
+func ByName(name string) Model {
+	for _, m := range append(All(), RA) {
+		if m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// atomicity checks the shared RMW axiom: each non-degraded update reads
+// from its immediate mo-predecessor (no write intervenes between the
+// source and the update in mo).
+func atomicity(g *graph.Graph) bool {
+	for _, evs := range g.Threads {
+		for _, e := range evs {
+			if e.Kind != graph.KUpdate || e.Degraded {
+				continue
+			}
+			rf := g.Rf[e.ID]
+			if rf.Bottom {
+				continue // blocked update: constrains nothing yet
+			}
+			src := g.MoIndex(e.Loc, rf.W)
+			self := g.MoIndex(e.Loc, e.ID)
+			if src < 0 || self < 0 || self != src+1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// scModel: acyclic(sb ∪ rf ∪ mo ∪ fr) over all events.
+type scModel struct{}
+
+func (scModel) Name() string { return "sc" }
+
+func (scModel) Consistent(g *graph.Graph) bool {
+	if !atomicity(g) {
+		return false
+	}
+	r := graph.BuildRels(g)
+	u := r.Sb.Clone()
+	u.OrWith(r.RfM)
+	u.OrWith(r.MoM)
+	u.OrWith(r.FrM)
+	return !u.HasCycle()
+}
+
+// tsoModel: per-location coherence plus a global order on ppo, external
+// rf, mo and fr, where ppo relaxes store→load pairs unless separated by
+// an SC fence or a locked RMW.
+type tsoModel struct{}
+
+func (tsoModel) Name() string { return "tso" }
+
+func (tsoModel) Consistent(g *graph.Graph) bool {
+	if !atomicity(g) {
+		return false
+	}
+	r := graph.BuildRels(g)
+
+	// Per-location coherence (sc-per-loc).
+	coh := r.SbLoc.Clone()
+	coh.OrWith(r.RfM)
+	coh.OrWith(r.MoM)
+	coh.OrWith(r.FrM)
+	if coh.HasCycle() {
+		return false
+	}
+
+	// Global happens-before: ppo ∪ rfe ∪ mo ∪ fr.
+	ghb := graph.NewBitMat(r.N)
+	visible := func(e *graph.Event) bool {
+		if e.Kind == graph.KError {
+			return false
+		}
+		if e.Kind == graph.KFence {
+			return e.Mode.IsSC() // only mfence-like fences order on TSO
+		}
+		return true
+	}
+	nInit := len(g.InitVals)
+	for i := 0; i < nInit; i++ {
+		for j := nInit; j < r.N; j++ {
+			if visible(r.Ev[j]) {
+				ghb.Set(i, j)
+			}
+		}
+	}
+	for _, evs := range g.Threads {
+		for a := 0; a < len(evs); a++ {
+			ea := evs[a]
+			if !visible(ea) {
+				continue
+			}
+			for b := a + 1; b < len(evs); b++ {
+				eb := evs[b]
+				if !visible(eb) {
+					continue
+				}
+				// Store→load is relaxed unless drained in between.
+				if ea.Kind == graph.KWrite && eb.Kind == graph.KRead {
+					drained := false
+					for k := a + 1; k < b; k++ {
+						ek := evs[k]
+						if (ek.Kind == graph.KFence && ek.Mode.IsSC()) || ek.Kind == graph.KUpdate {
+							drained = true
+							break
+						}
+					}
+					if !drained {
+						continue
+					}
+				}
+				ghb.Set(r.Idx[ea.ID], r.Idx[eb.ID])
+			}
+		}
+	}
+	// External rf only (store forwarding lets a thread read its own
+	// buffered store early).
+	for rd, rf := range g.Rf {
+		if rf.Bottom || rf.W.Thread == rd.Thread {
+			continue
+		}
+		ghb.Set(r.Idx[rf.W], r.Idx[rd])
+	}
+	ghb.OrWith(r.MoM)
+	ghb.OrWith(r.FrM)
+	return !ghb.HasCycle()
+}
+
+// wmmModel: the RC11-flavoured stand-in for IMM.
+type wmmModel struct{}
+
+func (wmmModel) Name() string { return "wmm" }
+
+func (wmmModel) Consistent(g *graph.Graph) bool {
+	if !atomicity(g) {
+		return false
+	}
+	r := graph.BuildRels(g)
+
+	// COHERENCE: irreflexive(hb ; eco?).
+	if !r.Hb.Irreflexive() {
+		return false
+	}
+	for i := 0; i < r.N; i++ {
+		for j := 0; j < r.N; j++ {
+			if r.Hb.Get(i, j) && r.Eco.Get(j, i) {
+				return false
+			}
+		}
+	}
+
+	// NO-THIN-AIR: acyclic(sb ∪ rf).
+	porf := r.Sb.Clone()
+	porf.OrWith(r.RfM)
+	if porf.HasCycle() {
+		return false
+	}
+
+	// SC: acyclic(psc_base ∪ psc_f), RC11-style.
+	return !pscCycle(r)
+}
+
+// pscCycle computes the RC11 partial-SC relation and reports whether it
+// is cyclic. Events with SC mode and SC fences participate.
+func pscCycle(r *graph.Rels) bool {
+	n := r.N
+	// Quick exit: fewer than two SC participants can never form a cycle.
+	scCount := 0
+	for i := 0; i < n; i++ {
+		if r.IsSCEvent(i) {
+			scCount++
+		}
+	}
+	if scCount < 2 {
+		return false
+	}
+
+	hbq := r.Hb.Clone() // hb? as hb with identity handled inline
+	// sbNeqLoc = sb \ sbloc.
+	sbNeq := graph.NewBitMat(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Sb.Get(i, j) && !r.SbLoc.Get(i, j) {
+				sbNeq.Set(i, j)
+			}
+		}
+	}
+	// hbLoc = hb ∩ same-location accesses.
+	hbLoc := graph.NewBitMat(n)
+	for i := 0; i < n; i++ {
+		ei := r.Ev[i]
+		if ei.Kind == graph.KFence || ei.Kind == graph.KError {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			ej := r.Ev[j]
+			if ej.Kind == graph.KFence || ej.Kind == graph.KError {
+				continue
+			}
+			if ei.Loc == ej.Loc && r.Hb.Get(i, j) {
+				hbLoc.Set(i, j)
+			}
+		}
+	}
+	// scb = sb ∪ sbNeq;hb;sbNeq ∪ hbLoc ∪ mo ∪ fr.
+	scb := r.Sb.Clone()
+	mid := sbNeq.Compose(hbq).Compose(sbNeq)
+	scb.OrWith(mid)
+	scb.OrWith(hbLoc)
+	scb.OrWith(r.MoM)
+	scb.OrWith(r.FrM)
+
+	isSCAccess := func(i int) bool { return r.IsSCEvent(i) && r.Ev[i].Kind != graph.KFence }
+	isSCF := func(i int) bool { return r.IsSCFence(i) }
+
+	// left(i) holds the SC anchors from which a psc_base edge can start
+	// when the scb path starts at i: i itself if an SC access, and any SC
+	// fence f with f hb? i.
+	psc := graph.NewBitMat(n)
+	addEdges := func(from, to []int) {
+		for _, a := range from {
+			for _, b := range to {
+				psc.Set(a, b)
+			}
+		}
+	}
+	lefts := make([][]int, n)
+	rights := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if isSCAccess(i) {
+			lefts[i] = append(lefts[i], i)
+			rights[i] = append(rights[i], i)
+		}
+		for f := 0; f < n; f++ {
+			if !isSCF(f) {
+				continue
+			}
+			if f == i || hbq.Get(f, i) {
+				lefts[i] = append(lefts[i], f)
+			}
+			if f == i || hbq.Get(i, f) {
+				rights[i] = append(rights[i], f)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if len(lefts[i]) == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if scb.Get(i, j) && len(rights[j]) > 0 {
+				addEdges(lefts[i], rights[j])
+			}
+		}
+	}
+	// psc_f = [Fsc] ; (hb ∪ hb;eco;hb) ; [Fsc].
+	hbEcoHb := r.Hb.Compose(r.Eco).Compose(r.Hb)
+	for i := 0; i < n; i++ {
+		if !isSCF(i) {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if !isSCF(j) || i == j {
+				continue
+			}
+			if r.Hb.Get(i, j) || hbEcoHb.Get(i, j) {
+				psc.Set(i, j)
+			}
+		}
+	}
+	return psc.HasCycle()
+}

@@ -1,0 +1,230 @@
+package mm_test
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mm"
+)
+
+// gb is a tiny builder for hand-crafted execution graphs.
+type gb struct{ g *graph.Graph }
+
+func newGB(nthreads, nlocs int) *gb {
+	inits := make([]graph.Val, nlocs)
+	names := make([]string, nlocs)
+	return &gb{g: graph.New(nthreads, inits, names)}
+}
+
+func (b *gb) write(t int, loc graph.Loc, v graph.Val, m graph.Mode, moPos int) graph.EventID {
+	e := &graph.Event{
+		ID:   graph.EventID{Thread: t, Index: len(b.g.Threads[t])},
+		Kind: graph.KWrite, Mode: m, Loc: loc, Val: v, AwaitSeq: -1,
+	}
+	b.g.Append(e)
+	b.g.InsertMo(loc, e.ID, moPos)
+	return e.ID
+}
+
+func (b *gb) read(t int, loc graph.Loc, m graph.Mode, from graph.EventID) graph.EventID {
+	e := &graph.Event{
+		ID:   graph.EventID{Thread: t, Index: len(b.g.Threads[t])},
+		Kind: graph.KRead, Mode: m, Loc: loc, AwaitSeq: -1,
+	}
+	e.RVal = b.g.WriteVal(from)
+	b.g.Append(e)
+	b.g.SetRF(e.ID, graph.FromW(from))
+	return e.ID
+}
+
+func (b *gb) update(t int, loc graph.Loc, newV graph.Val, m graph.Mode, from graph.EventID, moPos int) graph.EventID {
+	e := &graph.Event{
+		ID:   graph.EventID{Thread: t, Index: len(b.g.Threads[t])},
+		Kind: graph.KUpdate, Mode: m, Loc: loc, Val: newV, AwaitSeq: -1,
+	}
+	e.RVal = b.g.WriteVal(from)
+	b.g.Append(e)
+	b.g.SetRF(e.ID, graph.FromW(from))
+	b.g.InsertMo(loc, e.ID, moPos)
+	return e.ID
+}
+
+func (b *gb) fence(t int, m graph.Mode) {
+	e := &graph.Event{
+		ID:   graph.EventID{Thread: t, Index: len(b.g.Threads[t])},
+		Kind: graph.KFence, Mode: m, AwaitSeq: -1,
+	}
+	b.g.Append(e)
+}
+
+func init0(loc graph.Loc) graph.EventID {
+	return graph.EventID{Thread: graph.InitThread, Index: int(loc)}
+}
+
+// sbGraph builds the store-buffering outcome: both threads write their
+// own flag and read 0 (init) from the other's.
+func sbGraph(w, r, f graph.Mode) *graph.Graph {
+	b := newGB(2, 2)
+	b.write(0, 0, 1, w, 1)
+	if f != graph.ModeNone {
+		b.fence(0, f)
+	}
+	b.read(0, 1, r, init0(1))
+	b.write(1, 1, 1, w, 1)
+	if f != graph.ModeNone {
+		b.fence(1, f)
+	}
+	b.read(1, 0, r, init0(0))
+	return b.g
+}
+
+func TestSBDirect(t *testing.T) {
+	relaxed := sbGraph(graph.Rlx, graph.Rlx, graph.ModeNone)
+	if mm.SC.Consistent(relaxed) {
+		t.Error("SC must reject the SB outcome")
+	}
+	if !mm.TSO.Consistent(relaxed) {
+		t.Error("TSO must accept the relaxed SB outcome")
+	}
+	if !mm.WMM.Consistent(relaxed) {
+		t.Error("WMM must accept the relaxed SB outcome")
+	}
+
+	scAcc := sbGraph(graph.SC, graph.SC, graph.ModeNone)
+	if mm.WMM.Consistent(scAcc) {
+		t.Error("WMM must reject SB with SC accesses (psc)")
+	}
+
+	fenced := sbGraph(graph.Rlx, graph.Rlx, graph.SC)
+	if mm.WMM.Consistent(fenced) {
+		t.Error("WMM must reject SB across SC fences (psc_f)")
+	}
+	if mm.TSO.Consistent(fenced) {
+		t.Error("TSO must reject SB across mfence")
+	}
+}
+
+// mpGraph builds the message-passing stale-read outcome.
+func mpGraph(w, r graph.Mode) *graph.Graph {
+	b := newGB(2, 2) // loc0 = data, loc1 = flag
+	b.write(0, 0, 1, graph.Rlx, 1)
+	b.write(0, 1, 1, w, 1)
+	fl := graph.EventID{Thread: 0, Index: 1}
+	b.read(1, 1, r, fl)               // sees the flag
+	b.read(1, 0, graph.Rlx, init0(0)) // but stale data
+	return b.g
+}
+
+func TestMPDirect(t *testing.T) {
+	if !mm.WMM.Consistent(mpGraph(graph.Rlx, graph.Rlx)) {
+		t.Error("WMM must accept the relaxed MP outcome")
+	}
+	if mm.WMM.Consistent(mpGraph(graph.Rel, graph.Acq)) {
+		t.Error("WMM must reject the MP outcome under release/acquire (sw ⊆ hb, coherence)")
+	}
+	if mm.TSO.Consistent(mpGraph(graph.Rlx, graph.Rlx)) {
+		t.Error("TSO must reject the MP outcome")
+	}
+	if mm.SC.Consistent(mpGraph(graph.Rlx, graph.Rlx)) {
+		t.Error("SC must reject the MP outcome")
+	}
+}
+
+// TestReleaseSequenceThroughRMW: an update chained between the release
+// write and the acquire read must preserve synchronization (C++20
+// release sequences).
+func TestReleaseSequenceThroughRMW(t *testing.T) {
+	b := newGB(3, 2) // loc0 data, loc1 flag
+	b.write(0, 0, 1, graph.Rlx, 1)
+	rel := b.write(0, 1, 1, graph.Rel, 1)
+	// T1 atomically bumps the flag (relaxed RMW reading the release).
+	u := b.update(1, 1, 2, graph.Rlx, rel, 2)
+	// T2 acquires via the RMW's write and reads the data stale: must be
+	// inconsistent, because u is in rel's release sequence.
+	b.read(2, 1, graph.Acq, u)
+	b.read(2, 0, graph.Rlx, init0(0))
+	if mm.WMM.Consistent(b.g) {
+		t.Error("WMM must carry synchronization through the RMW release sequence")
+	}
+}
+
+// TestAtomicityDirect: two updates reading from the same write violate
+// atomicity on every model.
+func TestAtomicityDirect(t *testing.T) {
+	b := newGB(2, 1)
+	u0 := b.update(0, 0, 1, graph.Rlx, init0(0), 1)
+	_ = u0
+	// Second update also reads init but is placed mo-last: a write
+	// (u0) intervenes between its source and itself.
+	b.update(1, 0, 1, graph.Rlx, init0(0), 2)
+	for _, m := range mm.All() {
+		if m.Consistent(b.g) {
+			t.Errorf("%s must reject overlapping RMWs (atomicity)", m.Name())
+		}
+	}
+}
+
+// TestCoherenceCoRR: reading new-then-old from one location violates
+// coherence everywhere.
+func TestCoherenceCoRR(t *testing.T) {
+	b := newGB(2, 1)
+	w := b.write(0, 0, 1, graph.Rlx, 1)
+	b.read(1, 0, graph.Rlx, w)
+	b.read(1, 0, graph.Rlx, init0(0)) // older write after newer: fr;mo cycle
+	for _, m := range mm.All() {
+		if m.Consistent(b.g) {
+			t.Errorf("%s must reject CoRR", m.Name())
+		}
+	}
+}
+
+// TestFenceSynchronization: release fence before a relaxed store +
+// acquire fence after a relaxed load synchronize (RC11 fence sw).
+func TestFenceSynchronization(t *testing.T) {
+	b := newGB(2, 2)
+	b.write(0, 0, 1, graph.Rlx, 1)
+	b.fence(0, graph.Rel)
+	flag := b.write(0, 1, 1, graph.Rlx, 1)
+	b.read(1, 1, graph.Rlx, flag)
+	b.fence(1, graph.Acq)
+	b.read(1, 0, graph.Rlx, init0(0)) // stale data: must be forbidden
+	if mm.WMM.Consistent(b.g) {
+		t.Error("WMM must synchronize through rel/acq fences")
+	}
+}
+
+// TestByName covers the registry.
+func TestByName(t *testing.T) {
+	for _, name := range []string{"sc", "tso", "wmm"} {
+		if m := mm.ByName(name); m == nil || m.Name() != name {
+			t.Errorf("ByName(%q) broken", name)
+		}
+	}
+	if mm.ByName("bogus") != nil {
+		t.Error("ByName must return nil for unknown models")
+	}
+}
+
+// TestMonotoneRemoval: removing the last event of a thread from a
+// consistent graph keeps it consistent (the pruning-soundness property
+// AMC relies on).
+func TestMonotoneRemoval(t *testing.T) {
+	g := mpGraph(graph.Rel, graph.Acq)
+	// Make it consistent first: let the data read see the data write.
+	g.SetRF(graph.EventID{Thread: 1, Index: 1}, graph.FromW(graph.EventID{Thread: 0, Index: 0}))
+	g.Threads[1][1].RVal = 1
+	if !mm.WMM.Consistent(g) {
+		t.Fatal("setup graph should be consistent")
+	}
+	keep := map[graph.EventID]bool{
+		{Thread: 0, Index: 0}: true,
+		{Thread: 0, Index: 1}: true,
+		{Thread: 1, Index: 0}: true,
+	}
+	g.RestrictTo(keep)
+	for _, m := range mm.All() {
+		if !m.Consistent(g) {
+			t.Errorf("%s lost consistency after event removal", m.Name())
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package native runs vprog programs on real hardware: the Mem
+// interface is implemented directly over sync/atomic, so the very same
+// lock implementations verified by AMC and measured in wmsim execute as
+// genuine Go synchronization primitives. Go's atomics are sequentially
+// consistent, which is stronger than any requested mode — safe in the
+// "all modes map to something at least as strong" sense — so the native
+// backend is for functional stress testing and real benchmarking of the
+// algorithms, not for measuring barrier-relaxation gains (that is the
+// simulator's job).
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/locks"
+	"repro/internal/vprog"
+)
+
+// Mem is the native backend for one OS thread/goroutine.
+type Mem struct {
+	tid int
+	// Failures records failed assertions (checked by the harness after
+	// a run); shared across the program's threads.
+	failures *failures
+}
+
+type failures struct {
+	mu   sync.Mutex
+	msgs []string
+}
+
+// Load implements vprog.Mem.
+func (m *Mem) Load(v *vprog.Var, _ vprog.Mode) uint64 { return atomic.LoadUint64(&v.Cell) }
+
+// Store implements vprog.Mem.
+func (m *Mem) Store(v *vprog.Var, x uint64, _ vprog.Mode) { atomic.StoreUint64(&v.Cell, x) }
+
+// Xchg implements vprog.Mem.
+func (m *Mem) Xchg(v *vprog.Var, x uint64, _ vprog.Mode) uint64 {
+	return atomic.SwapUint64(&v.Cell, x)
+}
+
+// CmpXchg implements vprog.Mem. Go exposes only the success flag, so a
+// failed exchange re-reads the cell; callers must treat the returned
+// prior value as advisory on failure (every lock in this repository
+// does).
+func (m *Mem) CmpXchg(v *vprog.Var, old, new uint64, _ vprog.Mode) (uint64, bool) {
+	if atomic.CompareAndSwapUint64(&v.Cell, old, new) {
+		return old, true
+	}
+	return atomic.LoadUint64(&v.Cell), false
+}
+
+// FetchAdd implements vprog.Mem.
+func (m *Mem) FetchAdd(v *vprog.Var, delta uint64, _ vprog.Mode) uint64 {
+	return atomic.AddUint64(&v.Cell, delta) - delta
+}
+
+// Fence implements vprog.Mem. Go's atomics already order everything;
+// an explicit fence needs no instruction beyond preventing compiler
+// motion, which the surrounding atomics provide.
+func (m *Mem) Fence(_ vprog.Mode) {}
+
+// AwaitWhile implements vprog.Mem: a plain spin loop.
+func (m *Mem) AwaitWhile(cond func() bool) {
+	for cond() {
+	}
+}
+
+// Pause implements vprog.Mem by yielding the processor.
+func (m *Mem) Pause() { runtime.Gosched() }
+
+// TID implements vprog.Mem.
+func (m *Mem) TID() int { return m.tid }
+
+// Assert implements vprog.Mem by recording the failure.
+func (m *Mem) Assert(ok bool, msg string) {
+	if ok {
+		return
+	}
+	m.failures.mu.Lock()
+	m.failures.msgs = append(m.failures.msgs, fmt.Sprintf("T%d: %s", m.tid, msg))
+	m.failures.mu.Unlock()
+}
+
+// RunProgram executes a vprog program natively, one goroutine per
+// thread, and evaluates its final check. It returns an error carrying
+// every failed assertion or the final-check message.
+func RunProgram(p *vprog.Program) error {
+	vars := &vprog.VarSet{}
+	threads, final := p.Build(vars)
+	for _, v := range vars.Vars {
+		atomic.StoreUint64(&v.Cell, v.Init)
+	}
+	f := &failures{}
+	var wg sync.WaitGroup
+	wg.Add(len(threads))
+	for t, fn := range threads {
+		go func(t int, fn vprog.ThreadFunc) {
+			defer wg.Done()
+			fn(&Mem{tid: t, failures: f})
+		}(t, fn)
+	}
+	wg.Wait()
+	if len(f.msgs) > 0 {
+		return fmt.Errorf("native: %d assertion failure(s): %v", len(f.msgs), f.msgs)
+	}
+	if final != nil {
+		ok, msg := final(func(v *vprog.Var) uint64 { return atomic.LoadUint64(&v.Cell) })
+		if !ok {
+			return fmt.Errorf("native: final check failed: %s", msg)
+		}
+	}
+	return nil
+}
+
+// Locker adapts a verified lock algorithm to Go's sync.Locker so it can
+// be dropped into ordinary Go code. Each goroutine using the Locker
+// must first register with Bind to obtain its thread id view.
+type Locker struct {
+	lk  locks.Lock
+	tid int
+	tok uint64
+}
+
+// LockSet instantiates a lock algorithm natively for nthreads threads.
+type LockSet struct {
+	lk   locks.Lock
+	vars *vprog.VarSet
+	n    int
+}
+
+// NewLockSet builds the named algorithm with its default (maximally
+// relaxed, verified) barrier spec.
+func NewLockSet(name string, nthreads int) (*LockSet, error) {
+	alg := locks.ByName(name)
+	if alg == nil {
+		return nil, fmt.Errorf("native: unknown lock %q", name)
+	}
+	vars := &vprog.VarSet{}
+	lk := alg.New(vars, alg.DefaultSpec(), nthreads)
+	for _, v := range vars.Vars {
+		atomic.StoreUint64(&v.Cell, v.Init)
+	}
+	return &LockSet{lk: lk, vars: vars, n: nthreads}, nil
+}
+
+// Bind returns the sync.Locker view for one thread id (0 <= tid <
+// nthreads). Each concurrent goroutine needs its own id.
+func (s *LockSet) Bind(tid int) *Locker {
+	if tid < 0 || tid >= s.n {
+		panic(fmt.Sprintf("native: tid %d out of range [0,%d)", tid, s.n))
+	}
+	return &Locker{lk: s.lk, tid: tid}
+}
+
+// Lock implements sync.Locker.
+func (l *Locker) Lock() { l.tok = l.lk.Acquire(&Mem{tid: l.tid, failures: &failures{}}) }
+
+// Unlock implements sync.Locker.
+func (l *Locker) Unlock() { l.lk.Release(&Mem{tid: l.tid, failures: &failures{}}, l.tok) }

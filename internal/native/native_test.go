@@ -1,0 +1,86 @@
+package native_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/native"
+)
+
+// TestNativeMutexStress runs every benchmarkable lock natively with
+// real goroutines hammering a critical section — the functional stress
+// companion to the model-checking proofs (and a race-detector target:
+// run with -race).
+func TestNativeMutexStress(t *testing.T) {
+	nthreads := runtime.GOMAXPROCS(0)
+	if nthreads > 8 {
+		nthreads = 8
+	}
+	if nthreads < 2 {
+		nthreads = 2
+	}
+	iters := 2000
+	if testing.Short() {
+		iters = 300
+	}
+	for _, alg := range locks.Benchmarkable() {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			t.Parallel()
+			p := harness.MutexClient(alg, alg.DefaultSpec(), nthreads, iters)
+			if err := native.RunProgram(p); err != nil {
+				t.Fatalf("%s: %v", alg.Name, err)
+			}
+		})
+	}
+}
+
+// TestNativeRWStress exercises the reader-writer client natively.
+func TestNativeRWStress(t *testing.T) {
+	alg := locks.ByName("rw")
+	iters := 1000
+	if testing.Short() {
+		iters = 200
+	}
+	p := harness.RWClient(alg, alg.DefaultSpec(), 2, 2, iters)
+	if err := native.RunProgram(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockerInterface drops a verified lock into ordinary Go code via
+// sync.Locker.
+func TestLockerInterface(t *testing.T) {
+	set, err := native.NewLockSet("mcs", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counter int // plain variable: the lock must protect it
+	var wg sync.WaitGroup
+	for tid := 0; tid < 4; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			l := set.Bind(tid)
+			for i := 0; i < 500; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if counter != 4*500 {
+		t.Fatalf("counter = %d, want %d", counter, 4*500)
+	}
+}
+
+// TestNativeUnknownLock covers the error path.
+func TestNativeUnknownLock(t *testing.T) {
+	if _, err := native.NewLockSet("no-such-lock", 2); err == nil {
+		t.Fatal("expected error for unknown lock")
+	}
+}

@@ -1,0 +1,200 @@
+// Package optimize implements VSync's push-button barrier optimization
+// (§3.3): starting from a verified barrier assignment (typically the
+// all-SC baseline), it relaxes each barrier point to the weakest mode
+// under which the client programs still verify — safety, mutual
+// exclusion and await termination all checked by AMC on every
+// candidate. Standalone fences may be eliminated entirely (ModeNone),
+// reproducing the paper's finding that e.g. the DPDK fence at Fig. 13
+// line 32 is useless.
+//
+// The search is the greedy per-point descent used in practice: for each
+// point, in registration order, try the candidate modes from weakest to
+// strongest and keep the weakest verified one. The paper notes that
+// multiple maximally-relaxed combinations exist; the greedy result is
+// one of them.
+package optimize
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mm"
+	"repro/internal/vprog"
+)
+
+// Step records one attempted relaxation.
+type Step struct {
+	Point    string
+	Tried    vprog.Mode
+	Accepted bool
+	Verdict  core.Verdict
+	Duration time.Duration
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	// Initial and Final are the starting and optimized specs.
+	Initial, Final *vprog.BarrierSpec
+	// Steps lists every attempted relaxation in order.
+	Steps []Step
+	// Verifications counts AMC runs (including the initial check).
+	Verifications int
+	// Duration is the total wall time — the paper's Table 1 "Time"
+	// column (11 minutes for qspinlock on their setup).
+	Duration time.Duration
+}
+
+// Counts returns the mode tally of the optimized spec (Table 1 shape).
+func (r *Result) Counts() vprog.ModeCounts { return r.Final.Counts() }
+
+// Changed renders the accepted relaxations, Fig. 20 style.
+func (r *Result) Changed() string { return r.Initial.Diff(r.Final) }
+
+// Optimizer drives the relaxation search.
+type Optimizer struct {
+	// Model is the memory model to verify against (the paper uses IMM;
+	// we use its WMM stand-in by default).
+	Model mm.Model
+	// Programs builds the client programs that must verify for a spec to
+	// be accepted (typically MutexClient instances of varying shapes).
+	Programs func(spec *vprog.BarrierSpec) []*vprog.Program
+	// MaxGraphs bounds each AMC run (0 = checker default).
+	MaxGraphs int
+	// Passes caps the number of full point sweeps (0 or 1 = single
+	// pass). Because the greedy descent is order-dependent, a point
+	// rejected early can become relaxable after later points settle;
+	// additional passes run until a fixpoint or the cap.
+	Passes int
+}
+
+// rank orders modes for descent; equal-rank modes (Acq/Rel) are both
+// tried.
+func rank(m vprog.Mode) int {
+	switch m {
+	case vprog.ModeNone:
+		return 0
+	case vprog.Rlx:
+		return 1
+	case vprog.Acq, vprog.Rel:
+		return 2
+	case vprog.AcqRel:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// candidates returns the modes to try for a point, weakest first,
+// strictly weaker than the current mode.
+func candidates(spec *vprog.BarrierSpec, point string) []vprog.Mode {
+	cur := spec.M(point)
+	var order []vprog.Mode
+	if spec.IsFence(point) {
+		order = []vprog.Mode{vprog.ModeNone, vprog.Rlx, vprog.Acq, vprog.Rel, vprog.AcqRel}
+	} else {
+		order = []vprog.Mode{vprog.Rlx, vprog.Acq, vprog.Rel, vprog.AcqRel}
+	}
+	var out []vprog.Mode
+	for _, m := range order {
+		if rank(m) < rank(cur) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// verify runs AMC on every client program; it returns OK only if all
+// verify, otherwise the first non-OK verdict.
+func (o *Optimizer) verify(spec *vprog.BarrierSpec) (core.Verdict, error) {
+	for _, p := range o.Programs(spec) {
+		c := core.New(o.Model)
+		if o.MaxGraphs > 0 {
+			c.MaxGraphs = o.MaxGraphs
+		}
+		res := c.Run(p)
+		if res.Verdict == core.Error {
+			return core.Error, fmt.Errorf("optimizer: checking %s: %w", p.Name, res.Err)
+		}
+		if res.Verdict != core.OK {
+			return res.Verdict, nil
+		}
+	}
+	return core.OK, nil
+}
+
+// Run optimizes the spec. The initial spec must verify; Run then
+// relaxes point by point and returns the final verified assignment.
+func (o *Optimizer) Run(initial *vprog.BarrierSpec) (*Result, error) {
+	start := time.Now()
+	res := &Result{Initial: initial.Clone()}
+	spec := initial.Clone()
+
+	v, err := o.verify(spec)
+	res.Verifications++
+	if err != nil {
+		return nil, err
+	}
+	if v != core.OK {
+		return nil, fmt.Errorf("optimizer: initial spec does not verify (%v); fix the algorithm first", v)
+	}
+
+	passes := o.Passes
+	if passes < 1 {
+		passes = 1
+	}
+	for pass := 0; pass < passes; pass++ {
+		changed := false
+		for _, point := range spec.Points() {
+			orig := spec.M(point)
+			for _, cand := range candidates(spec, point) {
+				spec.Set(point, cand)
+				t0 := time.Now()
+				verdict, err := o.verify(spec)
+				res.Verifications++
+				if err != nil {
+					return nil, err
+				}
+				accepted := verdict == core.OK
+				res.Steps = append(res.Steps, Step{
+					Point: point, Tried: cand, Accepted: accepted,
+					Verdict: verdict, Duration: time.Since(t0),
+				})
+				if accepted {
+					orig = cand
+					changed = true
+					break // weakest verified mode found for this point
+				}
+				spec.Set(point, orig) // roll back and try the next stronger mode
+			}
+		}
+		if !changed {
+			break // fixpoint
+		}
+	}
+	res.Final = spec
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// Report renders the optimization in the shape of Fig. 20: one line per
+// point, with the accepted relaxation marked.
+func (r *Result) Report() string {
+	out := ""
+	for _, p := range r.Initial.Points() {
+		from, to := r.Initial.M(p), r.Final.M(p)
+		if from == to {
+			out += fmt.Sprintf("%-40s %s\n", p, from)
+			continue
+		}
+		suffix := ""
+		if to == vprog.ModeNone {
+			suffix = " (fence removed)"
+		}
+		out += fmt.Sprintf("%-40s %s --> %s%s\n", p, from, to, suffix)
+	}
+	c := r.Final.Counts()
+	out += fmt.Sprintf("modes: rlx=%d acq=%d rel=%d acqrel=%d sc=%d removed=%d | %d verifications in %v\n",
+		c.Rlx, c.Acq, c.Rel, c.AcqRel, c.SC, c.Removed, r.Verifications, r.Duration)
+	return out
+}

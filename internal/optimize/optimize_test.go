@@ -1,0 +1,174 @@
+package optimize_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/mm"
+	"repro/internal/optimize"
+	"repro/internal/vprog"
+)
+
+// mutexOptimizer builds the standard optimizer for a mutex algorithm:
+// candidates must verify the two-thread hand-off client.
+func mutexOptimizer(alg *locks.Algorithm) *optimize.Optimizer {
+	return &optimize.Optimizer{
+		Model: mm.WMM,
+		Programs: func(spec *vprog.BarrierSpec) []*vprog.Program {
+			return []*vprog.Program{harness.MutexClient(alg, spec, 2, 1)}
+		},
+	}
+}
+
+// scCount sums the "expensive" modes of a spec (everything above rlx).
+func strongCount(s *vprog.BarrierSpec) int {
+	c := s.Counts()
+	return c.Acq + c.Rel + c.AcqRel + c.SC
+}
+
+// TestOptimizeTTAS relaxes the all-SC TTAS lock; the known
+// maximally-relaxed assignment is poll=rlx, xchg=acq, unlock=rel.
+func TestOptimizeTTAS(t *testing.T) {
+	alg := locks.ByName("ttas")
+	res, err := mutexOptimizer(alg).Run(alg.DefaultSpec().AllSC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]vprog.Mode{
+		"ttas.poll":   vprog.Rlx,
+		"ttas.xchg":   vprog.Acq,
+		"ttas.unlock": vprog.Rel,
+	}
+	for p, m := range want {
+		if got := res.Final.M(p); got != m {
+			t.Errorf("%s: got %s, want %s\n%s", p, got, m, res.Report())
+		}
+	}
+	if res.Verifications < 4 {
+		t.Errorf("suspiciously few verifications: %d", res.Verifications)
+	}
+}
+
+// TestOptimizeSpinAndTicket checks two more known-optimal results.
+func TestOptimizeSpinAndTicket(t *testing.T) {
+	spin := locks.ByName("spin")
+	res, err := mutexOptimizer(spin).Run(spin.DefaultSpec().AllSC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Final.M("spin.cas"); got != vprog.Acq {
+		t.Errorf("spin.cas: got %s, want acq", got)
+	}
+	if got := res.Final.M("spin.unlock"); got != vprog.Rel {
+		t.Errorf("spin.unlock: got %s, want rel", got)
+	}
+
+	tkt := locks.ByName("ticket")
+	res, err = mutexOptimizer(tkt).Run(tkt.DefaultSpec().AllSC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Final.M("ticket.faa"); got != vprog.Rlx {
+		t.Errorf("ticket.faa: got %s, want rlx", got)
+	}
+	if got := res.Final.M("ticket.await"); got != vprog.Acq {
+		t.Errorf("ticket.await: got %s, want acq", got)
+	}
+	if got := res.Final.M("ticket.unlock"); got != vprog.Rel {
+		t.Errorf("ticket.unlock: got %s, want rel", got)
+	}
+}
+
+// TestOptimizedSpecStillVerifies is the optimizer's soundness
+// invariant: whatever it returns must verify — checked here on an
+// independent, larger client than the one used during the search.
+func TestOptimizedSpecStillVerifies(t *testing.T) {
+	for _, name := range []string{"ttas", "mcs", "mutex"} {
+		alg := locks.ByName(name)
+		res, err := mutexOptimizer(alg).Run(alg.DefaultSpec().AllSC())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p := harness.MutexClient(alg, res.Final, 2, 2)
+		if v := core.New(mm.WMM).Run(p); !v.Ok() {
+			t.Errorf("%s: optimized spec fails the 2x2 client: %v", name, v)
+		}
+	}
+}
+
+// TestOptimizeRejectsBuggyStart: optimization must refuse a spec that
+// does not verify to begin with (no false "optimizations" of broken
+// code — §3.3: "Optimizations with VSYNC are verified and hence not
+// affected by such bugs").
+func TestOptimizeRejectsBuggyStart(t *testing.T) {
+	alg := locks.ByName("dpdkmcs-buggy")
+	_, err := mutexOptimizer(alg).Run(alg.DefaultSpec())
+	if err == nil {
+		t.Fatal("optimizer must reject an initial spec that fails verification")
+	}
+}
+
+// TestOptimizeDPDKRemovesUselessFence reproduces the §3.1 finding that
+// the explicit fence at Fig. 13 line 32 "is useless and can be
+// removed": optimizing the fixed DPDK lock eliminates it.
+func TestOptimizeDPDKRemovesUselessFence(t *testing.T) {
+	alg := locks.ByName("dpdkmcs")
+	res, err := mutexOptimizer(alg).Run(alg.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Final.M("dpdk.pre_await_fence"); got != vprog.ModeNone {
+		t.Errorf("the useless DPDK fence should be removed, still %s\n%s", got, res.Report())
+	}
+}
+
+// TestOptimizeMCS relaxes the all-SC MCS lock and sanity-checks the
+// result: strictly fewer strong barriers, still verifying, and the
+// hand-off points keep their required release/acquire pairing.
+func TestOptimizeMCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MCS optimization is slow")
+	}
+	alg := locks.ByName("mcs")
+	initial := alg.DefaultSpec().AllSC()
+	res, err := mutexOptimizer(alg).Run(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strongCount(res.Final) >= strongCount(initial) {
+		t.Errorf("optimization made no progress:\n%s", res.Report())
+	}
+	if res.Final.M("mcs.init_locked") != vprog.Rlx {
+		t.Errorf("mcs.init_locked should relax to rlx, got %s", res.Final.M("mcs.init_locked"))
+	}
+	t.Logf("MCS optimization:\n%s", res.Report())
+}
+
+// TestOptimizePasses: multi-pass optimization reaches a fixpoint and
+// never does worse than a single pass.
+func TestOptimizePasses(t *testing.T) {
+	alg := locks.ByName("mcs")
+	single := mutexOptimizer(alg)
+	resSingle, err := single.Run(alg.DefaultSpec().AllSC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := mutexOptimizer(alg)
+	multi.Passes = 3
+	resMulti, err := multi.Run(alg.DefaultSpec().AllSC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strongCount(resMulti.Final) > strongCount(resSingle.Final) {
+		t.Errorf("multi-pass result stronger than single-pass: %d vs %d",
+			strongCount(resMulti.Final), strongCount(resSingle.Final))
+	}
+	// The multi-pass result must itself be a fixpoint: one more pass
+	// cannot relax anything (verified via verification count accounting).
+	if resMulti.Verifications <= resSingle.Verifications {
+		t.Errorf("multi-pass should at least re-sweep once: %d vs %d",
+			resMulti.Verifications, resSingle.Verifications)
+	}
+}

@@ -1,0 +1,174 @@
+// Package report renders the evaluation artifacts as text: aligned
+// tables (Tables 1–5), density histograms (Figs. 23/24) and heat maps
+// (Figs. 25/26) — the same rows and series the paper prints, in a form
+// a terminal can show.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders measurement values compactly (scientific for
+// large magnitudes, as the paper's tables do).
+func FormatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1e6:
+		return fmt.Sprintf("%.4g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// HistogramText renders a density histogram as horizontal bars, one
+// line per bin: "  [1.00..1.16)  ######## 42".
+func HistogramText(title string, centers []float64, counts []int, maxWidth int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxCount := 1
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range counts {
+		bar := strings.Repeat("#", c*maxWidth/maxCount)
+		fmt.Fprintf(&b, "  %8.3f | %-*s %d\n", centers[i], maxWidth, bar, c)
+	}
+	return b.String()
+}
+
+// Heatmap renders a rows×cols matrix of values as a character grid,
+// mapping each value range to a shade — the textual analogue of the
+// paper's Figs. 25/26. Missing values (NaN encoded as ok=false in
+// valid) print as '.', matching the paper's white filtered-out squares.
+func Heatmap(title string, rowLabels, colLabels []string, vals [][]float64, valid [][]bool) string {
+	shades := []byte(" .:-=+*#%@")
+	lo, hi := 0.0, 0.0
+	first := true
+	for i := range vals {
+		for j := range vals[i] {
+			if !valid[i][j] {
+				continue
+			}
+			v := vals[i][j]
+			if first {
+				lo, hi, first = v, v, false
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	width := 0
+	for _, r := range rowLabels {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s   (scale: '%c'=%.2f .. '%c'=%.2f, '?'=filtered)\n",
+		title, shades[1], lo, shades[len(shades)-1], hi)
+	fmt.Fprintf(&b, "%-*s ", width, "")
+	for _, c := range colLabels {
+		fmt.Fprintf(&b, "%4s", c)
+	}
+	b.WriteByte('\n')
+	for i, r := range rowLabels {
+		fmt.Fprintf(&b, "%-*s ", width, r)
+		for j := range colLabels {
+			if !valid[i][j] {
+				b.WriteString("   ?")
+				continue
+			}
+			idx := 1 + int((vals[i][j]-lo)/span*float64(len(shades)-2))
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			fmt.Fprintf(&b, "   %c", shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

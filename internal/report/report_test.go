@@ -1,0 +1,68 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Add("short", 1)
+	tb.Add("a-much-longer-name", 123456.789)
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "name") {
+		t.Fatalf("missing title/headers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Every data row starts with the name column padded to equal width.
+	idx := strings.Index(lines[3], "1")
+	if idx < 0 || strings.Index(lines[4], "1.235e+05") < 0 && !strings.Contains(lines[4], "123456") {
+		t.Fatalf("rows not rendered:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		3.18e+07: "3.18e+07",
+		150.5:    "150.5",
+		0.611:    "0.6110",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestHistogramText(t *testing.T) {
+	out := HistogramText("density", []float64{1.0, 2.0}, []int{3, 6}, 10)
+	if !strings.Contains(out, "density") || !strings.Contains(out, "#") {
+		t.Fatalf("bad histogram:\n%s", out)
+	}
+	// The larger bin gets the full width.
+	if !strings.Contains(out, strings.Repeat("#", 10)) {
+		t.Fatalf("max bin not full width:\n%s", out)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	vals := [][]float64{{0.1, 0.9}, {0.5, 0}}
+	valid := [][]bool{{true, true}, {true, false}}
+	out := Heatmap("map", []string{"rowA", "rowB"}, []string{"1", "2"}, vals, valid)
+	if !strings.Contains(out, "rowA") || !strings.Contains(out, "?") {
+		t.Fatalf("heatmap missing row or filtered marker:\n%s", out)
+	}
+	if !strings.Contains(out, "scale") {
+		t.Fatalf("heatmap missing scale:\n%s", out)
+	}
+}
+
+func TestHeatmapUniform(t *testing.T) {
+	vals := [][]float64{{2, 2}}
+	valid := [][]bool{{true, true}}
+	out := Heatmap("m", []string{"r"}, []string{"a", "b"}, vals, valid)
+	if out == "" {
+		t.Fatal("uniform heatmap must still render")
+	}
+}

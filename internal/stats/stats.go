@@ -1,0 +1,108 @@
+// Package stats provides the descriptive statistics used throughout the
+// paper's optimized-code evaluation (§4.2.2): mean, median, standard
+// deviation, and the stability metric (max/min of repeated runs) that
+// drives record filtering and Table 4 / Fig. 23.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes one sample of repeated measurements.
+type Summary struct {
+	N         int
+	Mean      float64
+	Median    float64
+	Std       float64
+	Min       float64
+	Max       float64
+	Stability float64 // max/min; 1.0 = perfectly stable
+}
+
+// Summarize computes the summary of xs. It panics on an empty sample —
+// callers group records before summarizing, and an empty group is a
+// harness bug.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Median = Median(sorted)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	if s.Min > 0 {
+		s.Stability = s.Max / s.Min
+	} else {
+		s.Stability = math.Inf(1)
+	}
+	return s
+}
+
+// Median returns the median of an already-sorted slice.
+func Median(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		panic("stats: empty sample")
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Histogram bins values into nbins equal-width buckets over [min, max].
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram bins xs into nbins buckets spanning the data range.
+func NewHistogram(xs []float64, nbins int) Histogram {
+	h := Histogram{Counts: make([]int, nbins)}
+	if len(xs) == 0 {
+		return h
+	}
+	h.Lo, h.Hi = xs[0], xs[0]
+	for _, x := range xs {
+		if x < h.Lo {
+			h.Lo = x
+		}
+		if x > h.Hi {
+			h.Hi = x
+		}
+	}
+	width := (h.Hi - h.Lo) / float64(nbins)
+	if width == 0 {
+		h.Counts[0] = len(xs)
+		return h
+	}
+	for _, x := range xs {
+		i := int((x - h.Lo) / width)
+		if i >= nbins {
+			i = nbins - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// BinCenter returns the midpoint of bucket i.
+func (h Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + width*(float64(i)+0.5)
+}

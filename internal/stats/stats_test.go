@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("median = %v", s.Median)
+	}
+	if math.Abs(s.Std-2.138) > 0.01 { // sample std
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Stability != 4.5 {
+		t.Fatalf("stability = %v", s.Stability)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.Median != 3 || s.Std != 0 || s.Stability != 1 {
+		t.Fatalf("bad single summary: %+v", s)
+	}
+}
+
+func TestSummarizeZeroMin(t *testing.T) {
+	s := Summarize([]float64{0, 1})
+	if !math.IsInf(s.Stability, 1) {
+		t.Fatalf("stability with zero min should be +Inf, got %v", s.Stability)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if Median([]float64{1, 2, 3}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("even median")
+	}
+}
+
+// Property: min <= median <= max, mean within [min,max], stability >= 1
+// for positive samples.
+func TestSummaryProperties(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1 // positive
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Stability >= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram bin counts sum to the sample size, regardless of
+// data distribution.
+func TestHistogramConservation(t *testing.T) {
+	prop := func(raw []int16, nbRaw uint8) bool {
+		nb := int(nbRaw%10) + 1
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		h := NewHistogram(xs, nb)
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBins(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h := NewHistogram(xs, 5)
+	for i, want := range []int{2, 2, 2, 2, 2} {
+		if h.Counts[i] != want {
+			t.Fatalf("bin %d = %d, want %d (%v)", i, h.Counts[i], want, h.Counts)
+		}
+	}
+	if c := h.BinCenter(0); math.Abs(c-0.9) > 1e-9 {
+		t.Fatalf("center = %v", c)
+	}
+	sort.Float64s(xs) // no-op, keeps the import honest
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{5, 5, 5}, 4)
+	if h.Counts[0] != 3 {
+		t.Fatalf("constant data should land in bin 0: %v", h.Counts)
+	}
+	if h := NewHistogram(nil, 3); len(h.Counts) != 3 {
+		t.Fatal("empty histogram malformed")
+	}
+}

@@ -1,0 +1,245 @@
+// Package tinylang implements the paper's "tiny concurrent
+// assembly-like language" (§2.1 of the technical report), the formal
+// foundation of the AMC correctness proof: threads are finite sequences
+// of statements, where a statement is either an event-generating
+// instruction step(ε, δ) — a pair of an event generator and a state
+// transformer over thread-local registers — or a do-await-while
+// await(n, κ) that re-executes the previous n statements while the loop
+// condition κ holds.
+//
+// Programs in this language satisfy the Bounded-Length principle by
+// construction (the only loops are awaits; bounded loops must be
+// unrolled, Fig. 10), and the package enforces the syntactic
+// restrictions of §2.1.1: awaits are not nested and an await jumping
+// back n statements sits at position ≥ n.
+//
+// Compile bridges tiny-language programs onto the vprog API, so they
+// run under the model checker, the simulator and the native backend
+// like any other program — the execution-graph-driven semantics of
+// §2.1.2 is exactly what internal/core's replayer implements.
+package tinylang
+
+import (
+	"fmt"
+
+	"repro/internal/vprog"
+)
+
+// Register names a thread-local register.
+type Register string
+
+// State is the thread-local register state σ (§2.1: State = Register →
+// Value). Missing registers read as zero.
+type State map[Register]uint64
+
+// Get returns σ(r).
+func (s State) Get(r Register) uint64 { return s[r] }
+
+// Update is the register-update list returned by state transformers
+// (the µ of Fig. 8); nil means no registers change.
+type Update map[Register]uint64
+
+// EventKind classifies generated events.
+type EventKind uint8
+
+// Event kinds of the language (Fig. 8): reads, writes, fences (with
+// Frlx doubling as the NOP of conditional branches), and error events.
+const (
+	ERead EventKind = iota
+	EWrite
+	EFence // Frlx acts as "no event" per §2.1.1
+	EError
+)
+
+// EventSpec is the event chosen by an event generator for the current
+// state: kind, location, mode, and the value for writes.
+type EventSpec struct {
+	Kind EventKind
+	Loc  *vprog.Var
+	Mode vprog.Mode
+	Val  uint64
+	Msg  string // EError
+}
+
+// Nop is the event of instructions that generate nothing in the
+// current state (the relaxed fence of the paper's encoding).
+var Nop = EventSpec{Kind: EFence, Mode: vprog.ModeNone}
+
+// Gen is an event generator ε : State → Event.
+type Gen func(s State) EventSpec
+
+// Trans is a state transformer δ : State × Value? → Update; v is the
+// read result when the generated event was a read, 0 otherwise.
+type Trans func(s State, v uint64) Update
+
+// Cond is a loop condition κ : State → {0, 1}.
+type Cond func(s State) bool
+
+// Stmt is one statement: either a step or an await.
+type Stmt struct {
+	// step(ε, δ): both non-nil.
+	Gen   Gen
+	Trans Trans
+	// await(N, Cond): Cond non-nil, N = number of body statements.
+	N    int
+	Cond Cond
+}
+
+// Step builds an event-generating instruction.
+func Step(g Gen, t Trans) Stmt {
+	if t == nil {
+		t = func(State, uint64) Update { return nil }
+	}
+	return Stmt{Gen: g, Trans: t}
+}
+
+// Await builds a do-await-while statement re-executing the previous n
+// statements while cond holds.
+func Await(n int, cond Cond) Stmt { return Stmt{N: n, Cond: cond} }
+
+// Thread is a finite program text P_T.
+type Thread struct {
+	Name  string
+	Stmts []Stmt
+	Init  State // initial register state σ(0); may be nil
+}
+
+// Validate enforces the syntactic restrictions of §2.1.1:
+// P_T(k) = await(n, _) → n ≤ k ∧ ∀k' ∈ [k−n, k): P_T(k') ≠ await.
+func (t *Thread) Validate() error {
+	for k, s := range t.Stmts {
+		if s.Cond == nil {
+			if s.Gen == nil {
+				return fmt.Errorf("%s: statement %d is neither step nor await", t.Name, k)
+			}
+			continue
+		}
+		if s.N > k {
+			return fmt.Errorf("%s: await at %d jumps back %d past the program start", t.Name, k, s.N)
+		}
+		for k2 := k - s.N; k2 < k; k2++ {
+			if t.Stmts[k2].Cond != nil {
+				return fmt.Errorf("%s: await at %d nests await at %d", t.Name, k, k2)
+			}
+		}
+	}
+	return nil
+}
+
+// Program is a parallel composition of threads (Fig. 8) with an
+// optional final-state check over shared memory.
+type Program struct {
+	Name    string
+	Threads []*Thread
+	Final   vprog.FinalCheck
+}
+
+// run interprets one thread against a Mem, realizing the semantics of
+// §2.1.2: the position of control moves forward one statement at a
+// time except for awaits, which either exit or jump back N statements;
+// each step evaluates ε on σ, performs the event, and applies δ.
+func run(t *Thread, m vprog.Mem) {
+	σ := State{}
+	for r, v := range t.Init {
+		σ[r] = v
+	}
+	apply := func(u Update) {
+		for r, v := range u {
+			σ[r] = v
+		}
+	}
+	exec := func(s Stmt) {
+		ev := s.Gen(σ)
+		var read uint64
+		switch ev.Kind {
+		case ERead:
+			read = m.Load(ev.Loc, ev.Mode)
+		case EWrite:
+			m.Store(ev.Loc, ev.Val, ev.Mode)
+		case EFence:
+			m.Fence(ev.Mode) // ModeNone (Nop) emits nothing
+		case EError:
+			m.Assert(false, ev.Msg)
+		}
+		apply(s.Trans(σ, read))
+	}
+	for k := 0; k < len(t.Stmts); {
+		s := t.Stmts[k]
+		if s.Cond == nil {
+			exec(s)
+			k++
+			continue
+		}
+		// do-await-while: the body (the previous N statements) has
+		// already run once on the way here; AwaitWhile brackets each
+		// further evaluation of body+condition as one await iteration.
+		first := true
+		m.AwaitWhile(func() bool {
+			if !first {
+				for k2 := k - s.N; k2 < k; k2++ {
+					exec(t.Stmts[k2])
+				}
+			}
+			first = false
+			return s.Cond(σ)
+		})
+		k++
+	}
+}
+
+// Compile lowers the tiny-language program onto the vprog API so it can
+// run on any backend. It returns an error if a thread violates the
+// syntactic restrictions.
+func Compile(p *Program) (*vprog.Program, error) {
+	for _, t := range p.Threads {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	threads := p.Threads
+	return &vprog.Program{
+		Name: "tinylang/" + p.Name,
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			fns := make([]vprog.ThreadFunc, len(threads))
+			for i, t := range threads {
+				t := t
+				fns[i] = func(m vprog.Mem) { run(t, m) }
+			}
+			return fns, p.Final
+		},
+	}, nil
+}
+
+// Convenience generators mirroring the encodings of Figs. 9–11.
+
+// LoadTo generates a read of v and stores the result into register r.
+func LoadTo(r Register, v *vprog.Var, mode vprog.Mode) Stmt {
+	return Step(
+		func(State) EventSpec { return EventSpec{Kind: ERead, Loc: v, Mode: mode} },
+		func(_ State, val uint64) Update { return Update{r: val} },
+	)
+}
+
+// StoreFrom generates a write of f(σ) to v.
+func StoreFrom(v *vprog.Var, mode vprog.Mode, f func(State) uint64) Stmt {
+	return Step(
+		func(s State) EventSpec {
+			return EventSpec{Kind: EWrite, Loc: v, Mode: mode, Val: f(s)}
+		}, nil)
+}
+
+// StoreConst generates a write of a constant.
+func StoreConst(v *vprog.Var, mode vprog.Mode, val uint64) Stmt {
+	return StoreFrom(v, mode, func(State) uint64 { return val })
+}
+
+// AssertReg generates an error event when pred(σ) fails.
+func AssertReg(msg string, pred func(State) bool) Stmt {
+	return Step(
+		func(s State) EventSpec {
+			if pred(s) {
+				return Nop
+			}
+			return EventSpec{Kind: EError, Msg: msg}
+		}, nil)
+}

@@ -1,0 +1,246 @@
+package tinylang_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mm"
+	"repro/internal/native"
+	"repro/internal/tinylang"
+	"repro/internal/vprog"
+)
+
+// vars carries the shared variables of a test program; tiny-language
+// event generators capture them as *vprog.Var.
+type vars struct{ x, y, q, locked *vprog.Var }
+
+// declare allocates them through an env stash so Compile's Build can
+// bind them. tinylang programs reference Vars directly, so we allocate
+// from a VarSet shared with the Build closure via vprog's name-keyed
+// allocation (the same names resolve to the same Vars).
+func declare(env vprog.Env) vars {
+	return vars{
+		x:      env.Var("x", 0),
+		y:      env.Var("y", 0),
+		q:      env.Var("q", 0),
+		locked: env.Var("locked", 0),
+	}
+}
+
+// buildProgram wraps a tinylang program whose threads need the shared
+// vars: the builder runs inside vprog's Build via a late-bound closure.
+func buildProgram(t *testing.T, name string, mk func(v vars) ([]*tinylang.Thread, vprog.FinalCheck)) *vprog.Program {
+	t.Helper()
+	return &vprog.Program{
+		Name: "tinylang/" + name,
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			v := declare(env)
+			threads, final := mk(v)
+			inner := &tinylang.Program{Name: name, Threads: threads, Final: final}
+			compiled, err := tinylang.Compile(inner)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return compiled.Build(env)
+		},
+	}
+}
+
+// TestFig9Encoding reproduces Fig. 9: a conditional branch implemented
+// through the internal logic of the event generators —
+//
+//	x = r1; r1 = y; if (r1 == 0) r2 = x;
+func TestFig9Encoding(t *testing.T) {
+	p := buildProgram(t, "fig9", func(v vars) ([]*tinylang.Thread, vprog.FinalCheck) {
+		th := &tinylang.Thread{
+			Name: "T0",
+			Init: tinylang.State{"r1": 5},
+			Stmts: []tinylang.Stmt{
+				tinylang.StoreFrom(v.x, vprog.Rlx, func(s tinylang.State) uint64 { return s.Get("r1") }),
+				tinylang.LoadTo("r1", v.y, vprog.Rlx),
+				// Branch: read x only when r1 == 0 (else a NOP, the F^rlx
+				// of the paper's encoding).
+				tinylang.Step(
+					func(s tinylang.State) tinylang.EventSpec {
+						if s.Get("r1") == 0 {
+							return tinylang.EventSpec{Kind: tinylang.ERead, Loc: v.x, Mode: vprog.Rlx}
+						}
+						return tinylang.Nop
+					},
+					func(s tinylang.State, val uint64) tinylang.Update {
+						if s.Get("r1") == 0 {
+							return tinylang.Update{"r2": val}
+						}
+						return nil
+					},
+				),
+				tinylang.AssertReg("r2 must hold x when the branch ran",
+					func(s tinylang.State) bool { return s.Get("r1") != 0 || s.Get("r2") == 5 }),
+			},
+		}
+		final := func(load func(*vprog.Var) uint64) (bool, string) {
+			if load(v.x) != 5 {
+				return false, "x lost the store"
+			}
+			return true, ""
+		}
+		return []*tinylang.Thread{th}, final
+	})
+	res := core.New(mm.WMM).Run(p)
+	if !res.Ok() {
+		t.Fatalf("fig9: %v", res)
+	}
+}
+
+// TestFig11DoAwaitWhile reproduces Fig. 11's encoding of
+// do_awaitwhile({ r1 = y; }, x == 1): the body statement plus the
+// trailing await(2, κ) — and checks AT both ways.
+func TestFig11DoAwaitWhile(t *testing.T) {
+	mk := func(writer bool) func(v vars) ([]*tinylang.Thread, vprog.FinalCheck) {
+		return func(v vars) ([]*tinylang.Thread, vprog.FinalCheck) {
+			waiter := &tinylang.Thread{
+				Name: "waiter",
+				Stmts: []tinylang.Stmt{
+					tinylang.LoadTo("r1", v.y, vprog.Rlx),
+					tinylang.LoadTo("r2", v.x, vprog.Acq),
+					tinylang.Await(2, func(s tinylang.State) bool { return s.Get("r2") == 1 }),
+				},
+			}
+			threads := []*tinylang.Thread{waiter}
+			if writer {
+				threads = append(threads, &tinylang.Thread{
+					Name:  "writer",
+					Stmts: []tinylang.Stmt{tinylang.StoreConst(v.x, vprog.Rel, 0)},
+				})
+			}
+			return threads, nil
+		}
+	}
+	// x initially 0: the await exits immediately; with a writer storing
+	// 0 nothing changes — AT holds either way.
+	res := core.New(mm.WMM).Run(buildProgram(t, "fig11", mk(true)))
+	if !res.Ok() {
+		t.Fatalf("fig11: %v", res)
+	}
+
+	// Now make the condition wait for a value nobody writes: AT fails.
+	hang := buildProgram(t, "fig11-hang", func(v vars) ([]*tinylang.Thread, vprog.FinalCheck) {
+		waiter := &tinylang.Thread{
+			Name: "waiter",
+			Stmts: []tinylang.Stmt{
+				tinylang.LoadTo("r2", v.x, vprog.Acq),
+				tinylang.Await(1, func(s tinylang.State) bool { return s.Get("r2") == 0 }),
+			},
+		}
+		return []*tinylang.Thread{waiter}, nil
+	})
+	res = core.New(mm.WMM).Run(hang)
+	if res.Verdict != core.ATViolation {
+		t.Fatalf("fig11-hang: want AT violation, got %v", res)
+	}
+}
+
+// TestFig1InTinyLang re-states the paper's Fig. 1 partial MCS hand-off
+// in the formal language and confirms the §1 analysis: rel/acq on q
+// gives AT; fully relaxed hangs.
+func TestFig1InTinyLang(t *testing.T) {
+	mk := func(wq, rq vprog.Mode) func(v vars) ([]*tinylang.Thread, vprog.FinalCheck) {
+		return func(v vars) ([]*tinylang.Thread, vprog.FinalCheck) {
+			locker := &tinylang.Thread{
+				Name: "T1-lock",
+				Stmts: []tinylang.Stmt{
+					tinylang.StoreConst(v.locked, vprog.Rlx, 1),
+					tinylang.StoreConst(v.q, wq, 1),
+					tinylang.LoadTo("l", v.locked, vprog.Acq),
+					tinylang.Await(1, func(s tinylang.State) bool { return s.Get("l") == 1 }),
+				},
+			}
+			unlocker := &tinylang.Thread{
+				Name: "T2-unlock",
+				Stmts: []tinylang.Stmt{
+					tinylang.LoadTo("qv", v.q, rq),
+					tinylang.Await(1, func(s tinylang.State) bool { return s.Get("qv") == 0 }),
+					tinylang.StoreConst(v.locked, vprog.Rlx, 0),
+				},
+			}
+			return []*tinylang.Thread{locker, unlocker}, nil
+		}
+	}
+	if res := core.New(mm.WMM).Run(buildProgram(t, "fig1-sync", mk(vprog.Rel, vprog.Acq))); !res.Ok() {
+		t.Fatalf("fig1 rel/acq: %v", res)
+	}
+	res := core.New(mm.WMM).Run(buildProgram(t, "fig1-rlx", mk(vprog.Rlx, vprog.Rlx)))
+	if res.Verdict != core.ATViolation {
+		t.Fatalf("fig1 relaxed: want AT violation, got %v", res)
+	}
+	if !strings.Contains(res.Witness.Render(), "⊥") {
+		t.Error("witness should show the missing rf edge")
+	}
+}
+
+// TestSyntacticRestrictions: nested awaits and out-of-range jumps are
+// rejected at compile time (§2.1.1).
+func TestSyntacticRestrictions(t *testing.T) {
+	v := &vprog.VarSet{}
+	x := v.Var("x", 0)
+	bad := &tinylang.Program{
+		Name: "bad-jump",
+		Threads: []*tinylang.Thread{{
+			Name: "T0",
+			Stmts: []tinylang.Stmt{
+				tinylang.Await(1, func(tinylang.State) bool { return false }),
+			},
+		}},
+	}
+	if _, err := tinylang.Compile(bad); err == nil {
+		t.Error("await jumping past the program start must be rejected")
+	}
+	nested := &tinylang.Program{
+		Name: "nested",
+		Threads: []*tinylang.Thread{{
+			Name: "T0",
+			Stmts: []tinylang.Stmt{
+				tinylang.LoadTo("r", x, vprog.Rlx),
+				tinylang.Await(1, func(tinylang.State) bool { return false }),
+				tinylang.Await(2, func(tinylang.State) bool { return false }),
+			},
+		}},
+	}
+	if _, err := tinylang.Compile(nested); err == nil {
+		t.Error("nested awaits must be rejected")
+	}
+}
+
+// TestTinyLangNative: the compiled program also runs on the native
+// backend (Fig. 10's unrolled-loop encoding).
+func TestTinyLangNative(t *testing.T) {
+	p := buildProgram(t, "fig10-unrolled", func(v vars) ([]*tinylang.Thread, vprog.FinalCheck) {
+		// for (r1 = 0; r1 < 3; r1++) { x = r1; } unrolled to three
+		// store/increment pairs, as Fig. 10 requires.
+		var stmts []tinylang.Stmt
+		for i := 0; i < 3; i++ {
+			stmts = append(stmts,
+				tinylang.StoreFrom(v.x, vprog.Rlx, func(s tinylang.State) uint64 { return s.Get("r1") }),
+				tinylang.Step(
+					func(tinylang.State) tinylang.EventSpec { return tinylang.Nop },
+					func(s tinylang.State, _ uint64) tinylang.Update {
+						return tinylang.Update{"r1": s.Get("r1") + 1}
+					}))
+		}
+		th := &tinylang.Thread{Name: "T0", Stmts: stmts}
+		final := func(load func(*vprog.Var) uint64) (bool, string) {
+			if load(v.x) != 2 {
+				return false, "final x must be the last loop value"
+			}
+			return true, ""
+		}
+		return []*tinylang.Thread{th}, final
+	})
+	if err := native.RunProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	if res := core.New(mm.SC).Run(p); !res.Ok() {
+		t.Fatal(res)
+	}
+}

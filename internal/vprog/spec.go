@@ -1,0 +1,148 @@
+package vprog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BarrierSpec is a mutable assignment of barrier modes to named barrier
+// points of an algorithm. Lock implementations read their modes from a
+// spec (l.spec.M("xchg_tail")); the optimizer (internal/optimize)
+// mutates a spec point by point, re-verifying after each change — the
+// push-button barrier optimization of the paper (§3.3, Table 1).
+type BarrierSpec struct {
+	order []string
+	modes map[string]Mode
+	// fencePoints marks points that are standalone fences; those may be
+	// relaxed all the way to ModeNone (eliminated) by the optimizer.
+	fencePoints map[string]bool
+}
+
+// NewSpec returns an empty spec.
+func NewSpec() *BarrierSpec {
+	return &BarrierSpec{modes: make(map[string]Mode), fencePoints: make(map[string]bool)}
+}
+
+// Def registers a barrier point with its mode, keeping registration
+// order for rendering. Redefining a point overwrites its mode.
+func (s *BarrierSpec) Def(name string, m Mode) *BarrierSpec {
+	if _, ok := s.modes[name]; !ok {
+		s.order = append(s.order, name)
+	}
+	s.modes[name] = m
+	return s
+}
+
+// DefFence registers a standalone-fence point (eligible for complete
+// elimination by the optimizer).
+func (s *BarrierSpec) DefFence(name string, m Mode) *BarrierSpec {
+	s.Def(name, m)
+	s.fencePoints[name] = true
+	return s
+}
+
+// M returns the mode of a point. It panics on unknown points: a typo in
+// a lock implementation should fail loudly, not silently verify with a
+// zero mode.
+func (s *BarrierSpec) M(name string) Mode {
+	m, ok := s.modes[name]
+	if !ok {
+		panic(fmt.Sprintf("vprog: unknown barrier point %q", name))
+	}
+	return m
+}
+
+// Set changes the mode of an existing point.
+func (s *BarrierSpec) Set(name string, m Mode) {
+	if _, ok := s.modes[name]; !ok {
+		panic(fmt.Sprintf("vprog: unknown barrier point %q", name))
+	}
+	s.modes[name] = m
+}
+
+// IsFence reports whether the point is a standalone fence.
+func (s *BarrierSpec) IsFence(name string) bool { return s.fencePoints[name] }
+
+// Points returns the point names in registration order.
+func (s *BarrierSpec) Points() []string { return append([]string(nil), s.order...) }
+
+// Clone returns an independent copy.
+func (s *BarrierSpec) Clone() *BarrierSpec {
+	c := NewSpec()
+	for _, p := range s.order {
+		c.Def(p, s.modes[p])
+		if s.fencePoints[p] {
+			c.fencePoints[p] = true
+		}
+	}
+	return c
+}
+
+// AllSC returns a copy of the spec with every point raised to SC — the
+// paper's "sc-only" baseline variant.
+func (s *BarrierSpec) AllSC() *BarrierSpec {
+	c := s.Clone()
+	for _, p := range c.order {
+		c.modes[p] = SC
+	}
+	return c
+}
+
+// ModeCounts tallies the modes in use, in the shape of the paper's
+// Table 1 (relaxed points are not reported there; eliminated fences
+// count as removed).
+type ModeCounts struct {
+	Rlx, Acq, Rel, AcqRel, SC, Removed int
+}
+
+// Counts returns the tally of modes across all points.
+func (s *BarrierSpec) Counts() ModeCounts {
+	var c ModeCounts
+	for _, p := range s.order {
+		switch s.modes[p] {
+		case ModeNone:
+			c.Removed++
+		case Rlx:
+			c.Rlx++
+		case Acq:
+			c.Acq++
+		case Rel:
+			c.Rel++
+		case AcqRel:
+			c.AcqRel++
+		case SC:
+			c.SC++
+		}
+	}
+	return c
+}
+
+// String renders the spec one point per line, in registration order —
+// the shape of the paper's Figs. 20/21 barrier-mode listings.
+func (s *BarrierSpec) String() string {
+	var b strings.Builder
+	for _, p := range s.order {
+		fmt.Fprintf(&b, "%-36s %s", p, s.modes[p])
+		if s.fencePoints[p] && s.modes[p] == ModeNone {
+			b.WriteString(" (removed)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Diff returns a rendering of the points whose mode differs between s
+// and the other spec, "point: old --> new" per line, sorted by point
+// registration order in s.
+func (s *BarrierSpec) Diff(o *BarrierSpec) string {
+	var lines []string
+	for _, p := range s.order {
+		om, ok := o.modes[p]
+		if ok && om != s.modes[p] {
+			lines = append(lines, fmt.Sprintf("%-36s %s --> %s", p, s.modes[p], om))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

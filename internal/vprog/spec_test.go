@@ -1,0 +1,99 @@
+package vprog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecBasics(t *testing.T) {
+	s := NewSpec().Def("a.x", Acq).Def("a.y", Rel).DefFence("a.f", SC)
+	if s.M("a.x") != Acq || s.M("a.y") != Rel || s.M("a.f") != SC {
+		t.Fatal("modes lost")
+	}
+	if !s.IsFence("a.f") || s.IsFence("a.x") {
+		t.Fatal("fence flags wrong")
+	}
+	if got := s.Points(); len(got) != 3 || got[0] != "a.x" || got[2] != "a.f" {
+		t.Fatalf("points order wrong: %v", got)
+	}
+	s.Set("a.x", Rlx)
+	if s.M("a.x") != Rlx {
+		t.Fatal("Set did not stick")
+	}
+}
+
+func TestSpecUnknownPointPanics(t *testing.T) {
+	s := NewSpec().Def("a.x", Acq)
+	for _, f := range []func(){
+		func() { s.M("nope") },
+		func() { s.Set("nope", Rlx) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on unknown point")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSpecCloneAndAllSC(t *testing.T) {
+	s := NewSpec().Def("a.x", Rlx).DefFence("a.f", ModeNone)
+	c := s.Clone()
+	c.Set("a.x", SC)
+	if s.M("a.x") != Rlx {
+		t.Fatal("clone not independent")
+	}
+	sc := s.AllSC()
+	if sc.M("a.x") != SC || sc.M("a.f") != SC {
+		t.Fatal("AllSC did not raise every point")
+	}
+	if !sc.IsFence("a.f") {
+		t.Fatal("AllSC lost fence flag")
+	}
+}
+
+func TestSpecCounts(t *testing.T) {
+	s := NewSpec().
+		Def("a", Rlx).Def("b", Acq).Def("c", Acq).Def("d", Rel).
+		Def("e", AcqRel).Def("f", SC).DefFence("g", ModeNone)
+	c := s.Counts()
+	if c.Rlx != 1 || c.Acq != 2 || c.Rel != 1 || c.AcqRel != 1 || c.SC != 1 || c.Removed != 1 {
+		t.Fatalf("counts wrong: %+v", c)
+	}
+}
+
+func TestSpecStringAndDiff(t *testing.T) {
+	s := NewSpec().Def("a.x", SC).DefFence("a.f", ModeNone)
+	out := s.String()
+	if !strings.Contains(out, "a.x") || !strings.Contains(out, "removed") {
+		t.Fatalf("String missing pieces:\n%s", out)
+	}
+	o := s.Clone()
+	o.Set("a.x", Acq)
+	d := s.Diff(o)
+	if !strings.Contains(d, "a.x") || !strings.Contains(d, "sc --> acq") {
+		t.Fatalf("Diff wrong: %q", d)
+	}
+	if s.Diff(s.Clone()) != "" {
+		t.Fatal("Diff of identical specs should be empty")
+	}
+}
+
+func TestVarSet(t *testing.T) {
+	vs := &VarSet{}
+	a := vs.Var("a", 3)
+	b := vs.Var("b", 4)
+	if a.ID != 0 || b.ID != 1 {
+		t.Fatalf("ids wrong: %d %d", a.ID, b.ID)
+	}
+	if vs.Var("a", 99) != a {
+		t.Fatal("re-allocation must return the same var")
+	}
+	names, inits := vs.Names(), vs.Inits()
+	if names[0] != "a" || names[1] != "b" || inits[0] != 3 || inits[1] != 4 {
+		t.Fatalf("names/inits wrong: %v %v", names, inits)
+	}
+}

@@ -1,0 +1,152 @@
+// Package vprog defines the concurrent-program API shared by every
+// VSync backend: the model checker (internal/core), the weak-memory
+// performance simulator (internal/wmsim) and the native atomics runner
+// (internal/native).
+//
+// It is the Go realization of the paper's tiny concurrent assembly-like
+// language (§2.1): threads are deterministic closures whose only
+// interaction with shared state goes through the Mem interface, and
+// await loops are marked explicitly with Mem.AwaitWhile so that Await
+// Model Checking can bracket their iterations.
+//
+// Programs written against this API must obey the paper's two
+// principles for AMC to be applicable:
+//
+//   - Bounded-Length: apart from AwaitWhile loops, every thread performs
+//     a bounded number of Mem operations.
+//   - Bounded-Effect: a failed await iteration must not produce
+//     value-changing writes; its only effects are thread-local. (A CAS
+//     that fails or an exchange that stores back the value it read are
+//     fine — the paper's footnote 5.)
+package vprog
+
+import "repro/internal/graph"
+
+// Mode re-exports the barrier modes so lock implementations need only
+// import vprog.
+type Mode = graph.Mode
+
+// Barrier modes, weakest to strongest.
+const (
+	ModeNone = graph.ModeNone
+	Rlx      = graph.Rlx
+	Acq      = graph.Acq
+	Rel      = graph.Rel
+	AcqRel   = graph.AcqRel
+	SC       = graph.SC
+)
+
+// Var is a shared memory cell. Vars are allocated through an Env so
+// that each backend can assign them locations (checker), cache lines
+// (simulator) or real memory (native runner). The zero Var is not
+// usable.
+type Var struct {
+	Name string
+	ID   int // dense location id assigned by the Env
+	Init uint64
+
+	// Cell is the backing storage used by the native backend (accessed
+	// with sync/atomic). The padding keeps distinct Vars on distinct
+	// cache lines so native benchmarks do not suffer false sharing.
+	Cell uint64
+	_    [7]uint64
+}
+
+// Env allocates shared variables during program build.
+type Env interface {
+	// Var allocates (or returns the previously allocated) variable with
+	// the given name and initial value.
+	Var(name string, init uint64) *Var
+}
+
+// Mem is the shared-memory interface threads program against. Every
+// operation takes an explicit barrier mode; ModeNone is only meaningful
+// for Fence (an eliminated fence).
+type Mem interface {
+	// Load returns the current value of v.
+	Load(v *Var, m Mode) uint64
+	// Store writes x to v.
+	Store(v *Var, x uint64, m Mode)
+	// Xchg atomically swaps v to x and returns the prior value.
+	Xchg(v *Var, x uint64, m Mode) uint64
+	// CmpXchg atomically compares v with old and, if equal, stores new.
+	// It returns the prior value and whether the exchange happened.
+	CmpXchg(v *Var, old, new uint64, m Mode) (uint64, bool)
+	// FetchAdd atomically adds delta to v and returns the prior value.
+	FetchAdd(v *Var, delta uint64, m Mode) uint64
+	// Fence issues a memory fence; ModeNone is a no-op (an optimized-away
+	// fence).
+	Fence(m Mode)
+	// AwaitWhile marks an await loop: cond is evaluated repeatedly (at
+	// least once) until it returns false. Each evaluation is one await
+	// iteration for the model checker's wasteful-execution filter and
+	// ⊥-rf await-termination detection.
+	AwaitWhile(cond func() bool)
+	// Pause is a spin-wait hint (cpu_relax / WFE); semantically a no-op.
+	Pause()
+	// TID returns the executing thread's index within the program.
+	TID() int
+	// Assert records a safety-property check. On the model checker a
+	// false assertion becomes an error event (a counterexample); on the
+	// other backends it is recorded or panics, per backend documentation.
+	Assert(ok bool, msg string)
+}
+
+// ThreadFunc is the code of one thread. It must be deterministic given
+// the sequence of values its Mem operations return: the model checker
+// replays it many times against execution graphs.
+type ThreadFunc func(m Mem)
+
+// FinalCheck inspects the final memory state of a complete execution
+// (load returns the final value of a variable) and reports whether the
+// program's postcondition holds. A nil FinalCheck means no final-state
+// assertion.
+type FinalCheck func(load func(v *Var) uint64) (ok bool, msg string)
+
+// Program is a closed concurrent program: Build allocates its shared
+// variables in the provided Env and returns the thread bodies plus an
+// optional final-state check. Build is invoked once per backend
+// instantiation and must be deterministic.
+type Program struct {
+	Name  string
+	Build func(env Env) ([]ThreadFunc, FinalCheck)
+}
+
+// VarSet is a ready-made Env that backends embed: it allocates dense
+// location ids and remembers names and initial values.
+type VarSet struct {
+	Vars  []*Var
+	byKey map[string]*Var
+}
+
+// Var implements Env.
+func (vs *VarSet) Var(name string, init uint64) *Var {
+	if vs.byKey == nil {
+		vs.byKey = make(map[string]*Var)
+	}
+	if v, ok := vs.byKey[name]; ok {
+		return v
+	}
+	v := &Var{Name: name, ID: len(vs.Vars), Init: init, Cell: init}
+	vs.Vars = append(vs.Vars, v)
+	vs.byKey[name] = v
+	return v
+}
+
+// Names returns the variable names indexed by location id.
+func (vs *VarSet) Names() []string {
+	out := make([]string, len(vs.Vars))
+	for i, v := range vs.Vars {
+		out[i] = v.Name
+	}
+	return out
+}
+
+// Inits returns the initial values indexed by location id.
+func (vs *VarSet) Inits() []uint64 {
+	out := make([]uint64, len(vs.Vars))
+	for i, v := range vs.Vars {
+		out[i] = v.Init
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+package wmsim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/vprog"
+)
+
+// lineState tracks MESI-style ownership of one cache line (one Var).
+type lineState struct {
+	owner   int    // core holding the line exclusively/modified, -1 none
+	sharers uint64 // bitmask of cores with a shared copy (clamped to 64; groups of 2 beyond)
+}
+
+// Sim is one simulation instance: a machine, shared memory, per-thread
+// clocks and the token-passing scheduler.
+type Sim struct {
+	mc       *Machine
+	nthreads int
+	seed     uint64
+
+	vals  []uint64    // shared memory, indexed by Var.ID
+	lines []lineState // cache-line state per Var
+
+	clocks   []uint64
+	done     []bool
+	chans    []chan struct{}
+	counts   []uint64 // client-defined completion counters
+	deadline uint64
+	rng      uint64
+	env      *simEnv
+
+	wg sync.WaitGroup
+}
+
+// sharerBit maps a core to a bit in the (64-bit) sharer mask.
+func sharerBit(tid int) uint64 { return 1 << (uint(tid) % 64) }
+
+// NewSim builds a simulation for the machine with the given thread
+// count, virtual duration (cycles) and jitter seed. Vars must be
+// allocated through the returned Env before Run.
+func NewSim(mc *Machine, nthreads int, deadline uint64, seed uint64) *Sim {
+	if nthreads > mc.Cores {
+		panic(fmt.Sprintf("wmsim: %d threads exceed %s's %d cores", nthreads, mc.Name, mc.Cores))
+	}
+	return &Sim{
+		mc:       mc,
+		nthreads: nthreads,
+		seed:     seed,
+		clocks:   make([]uint64, nthreads),
+		done:     make([]bool, nthreads),
+		chans:    makeChans(nthreads),
+		counts:   make([]uint64, nthreads),
+		deadline: deadline,
+		rng:      seed*0x9E3779B97F4A7C15 + 1,
+	}
+}
+
+func makeChans(n int) []chan struct{} {
+	out := make([]chan struct{}, n)
+	for i := range out {
+		out[i] = make(chan struct{}, 1)
+	}
+	return out
+}
+
+// simEnv is the Env used to size shared memory.
+type simEnv struct {
+	vprog.VarSet
+	s *Sim
+}
+
+// Env returns the variable allocator for this simulation. Initial
+// values are materialized when Run starts, because lock constructors
+// may adjust Var.Init after allocation (CLH node ownership, the array
+// lock's pre-granted slot).
+func (s *Sim) Env() vprog.Env {
+	if s.env == nil {
+		s.env = &simEnv{s: s}
+	}
+	return s.env
+}
+
+func (e *simEnv) Var(name string, init uint64) *vprog.Var {
+	v := e.VarSet.Var(name, init)
+	for len(e.s.vals) <= v.ID {
+		e.s.vals = append(e.s.vals, 0)
+		e.s.lines = append(e.s.lines, lineState{owner: -1})
+	}
+	return v
+}
+
+// jitter perturbs a cost by up to ±5% using a deterministic xorshift
+// stream; this is the run-to-run noise summarized by the paper's
+// stability metric.
+func (s *Sim) jitter(cost uint64) uint64 {
+	if cost == 0 {
+		return 0
+	}
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	span := cost/10 + 1 // [0, 10%) of cost
+	return cost - cost/20 + s.rng%span
+}
+
+// missCost returns the transfer latency for tid pulling a line whose
+// current holder is `from` (-1 = memory at node 0).
+func (s *Sim) missCost(tid, from int) uint64 {
+	myc := s.mc.ClusterOf(tid, s.nthreads)
+	fromc := 0
+	if from >= 0 {
+		fromc = s.mc.ClusterOf(from, s.nthreads)
+	}
+	if myc == fromc {
+		return s.mc.LocalMiss
+	}
+	return s.mc.RemoteMiss
+}
+
+// loadCost charges a load of v by tid and updates line state.
+func (s *Sim) loadCost(tid int, v *vprog.Var) uint64 {
+	ln := &s.lines[v.ID]
+	if ln.owner == tid || (ln.owner == -1 && ln.sharers&sharerBit(tid) != 0) {
+		return s.mc.L1Hit
+	}
+	if ln.sharers&sharerBit(tid) != 0 && ln.owner == -1 {
+		return s.mc.L1Hit
+	}
+	cost := s.missCost(tid, ln.owner)
+	// Line becomes shared.
+	if ln.owner >= 0 {
+		ln.sharers |= sharerBit(ln.owner)
+	}
+	ln.owner = -1
+	ln.sharers |= sharerBit(tid)
+	return cost
+}
+
+// storeCost charges a store/RMW write of v by tid and updates state.
+func (s *Sim) storeCost(tid int, v *vprog.Var) uint64 {
+	ln := &s.lines[v.ID]
+	if ln.owner == tid && ln.sharers&^sharerBit(tid) == 0 {
+		return s.mc.StoreOwned
+	}
+	var cost uint64
+	if ln.owner != tid {
+		cost = s.missCost(tid, ln.owner)
+	} else {
+		cost = s.mc.StoreOwned
+	}
+	if ln.sharers&^sharerBit(tid) != 0 {
+		cost += s.mc.L1Hit * 2 // invalidation round
+	}
+	ln.owner = tid
+	ln.sharers = sharerBit(tid)
+	return cost
+}
+
+// simMem implements vprog.Mem for one simulated thread.
+type simMem struct {
+	s   *Sim
+	tid int
+}
+
+// advance charges cycles to the thread and yields to whichever thread
+// now has the smallest clock (token passing keeps exactly one thread
+// executing, so the sim state needs no further synchronization).
+func (m *simMem) advance(cost uint64) {
+	s := m.s
+	s.clocks[m.tid] += s.jitter(cost)
+	next := -1
+	var best uint64
+	for t := 0; t < s.nthreads; t++ {
+		if s.done[t] {
+			continue
+		}
+		if next == -1 || s.clocks[t] < best {
+			next, best = t, s.clocks[t]
+		}
+	}
+	if next != m.tid && next != -1 {
+		s.chans[next] <- struct{}{}
+		<-s.chans[m.tid]
+	}
+}
+
+func (m *simMem) Load(v *vprog.Var, mode vprog.Mode) uint64 {
+	m.advance(m.s.loadCost(m.tid, v) + m.s.mc.LoadExtra(mode))
+	return m.s.vals[v.ID]
+}
+
+func (m *simMem) Store(v *vprog.Var, x uint64, mode vprog.Mode) {
+	m.advance(m.s.storeCost(m.tid, v) + m.s.mc.StoreExtra(mode))
+	m.s.vals[v.ID] = x
+}
+
+func (m *simMem) rmw(v *vprog.Var, mode vprog.Mode) {
+	m.advance(m.s.storeCost(m.tid, v) + m.s.mc.RMWBase + m.s.mc.RMWExtra(mode))
+}
+
+func (m *simMem) Xchg(v *vprog.Var, x uint64, mode vprog.Mode) uint64 {
+	m.rmw(v, mode)
+	old := m.s.vals[v.ID]
+	m.s.vals[v.ID] = x
+	return old
+}
+
+func (m *simMem) CmpXchg(v *vprog.Var, old, new uint64, mode vprog.Mode) (uint64, bool) {
+	m.rmw(v, mode)
+	cur := m.s.vals[v.ID]
+	if cur != old {
+		return cur, false
+	}
+	m.s.vals[v.ID] = new
+	return cur, true
+}
+
+func (m *simMem) FetchAdd(v *vprog.Var, delta uint64, mode vprog.Mode) uint64 {
+	m.rmw(v, mode)
+	old := m.s.vals[v.ID]
+	m.s.vals[v.ID] = old + delta
+	return old
+}
+
+func (m *simMem) Fence(mode vprog.Mode) {
+	if mode == vprog.ModeNone {
+		return
+	}
+	m.advance(m.s.mc.FenceCost(mode))
+}
+
+func (m *simMem) AwaitWhile(cond func() bool) {
+	for cond() {
+	}
+}
+
+func (m *simMem) Pause()   { m.advance(m.s.mc.PauseCost) }
+func (m *simMem) TID() int { return m.tid }
+
+func (m *simMem) Assert(ok bool, msg string) {
+	if !ok {
+		panic("wmsim: assertion failed during simulation: " + msg +
+			" (locks are verified by AMC before benchmarking; this indicates a harness bug)")
+	}
+}
+
+// Work charges n units of non-memory computation (critical-section
+// payload work between memory touches).
+func (m *simMem) Work(n int) { m.advance(uint64(n) * m.s.mc.WorkCost) }
+
+// Value returns the final contents of a shared variable after Run — the
+// benchmark's shared counter readback (Listing 1's return).
+func (s *Sim) Value(v *vprog.Var) uint64 { return s.vals[v.ID] }
+
+// Body is one thread's benchmark loop body; it is invoked repeatedly
+// until the virtual deadline passes. done() reports completions.
+type Body func(m vprog.Mem, tid int, done func())
+
+// Run executes the benchmark: every thread loops over body until its
+// clock passes the deadline. It returns per-thread completion counts
+// and the final virtual time (max clock).
+func (s *Sim) Run(body Body) (counts []uint64, elapsed uint64) {
+	if s.env != nil {
+		for _, v := range s.env.Vars {
+			s.vals[v.ID] = v.Init
+		}
+	}
+	s.wg.Add(s.nthreads)
+	for t := 0; t < s.nthreads; t++ {
+		t := t
+		go func() {
+			defer s.wg.Done()
+			<-s.chans[t] // wait for the token
+			m := &simMem{s: s, tid: t}
+			for s.clocks[t] < s.deadline {
+				body(m, t, func() { s.counts[t]++ })
+			}
+			s.done[t] = true
+			// Pass the token onward.
+			next := -1
+			var best uint64
+			for u := 0; u < s.nthreads; u++ {
+				if s.done[u] {
+					continue
+				}
+				if next == -1 || s.clocks[u] < best {
+					next, best = u, s.clocks[u]
+				}
+			}
+			if next != -1 {
+				s.chans[next] <- struct{}{}
+			}
+		}()
+	}
+	// Kick the first thread (all clocks zero: thread 0 starts).
+	s.chans[0] <- struct{}{}
+	s.wg.Wait()
+	var maxClock uint64
+	for _, c := range s.clocks {
+		if c > maxClock {
+			maxClock = c
+		}
+	}
+	return s.counts, maxClock
+}

@@ -1,0 +1,134 @@
+package wmsim_test
+
+import (
+	"testing"
+
+	"repro/internal/locks"
+	"repro/internal/vprog"
+	"repro/internal/wmsim"
+)
+
+// runLock simulates the Listing-1 loop on a lock and returns total CS
+// count and elapsed cycles.
+func runLock(t *testing.T, mc *wmsim.Machine, name string, threads int, sc bool, seed uint64) (uint64, uint64) {
+	t.Helper()
+	alg := locks.ByName(name)
+	if alg == nil {
+		t.Fatalf("unknown lock %s", name)
+	}
+	spec := alg.DefaultSpec()
+	if sc {
+		spec = spec.AllSC()
+	}
+	sim := wmsim.NewSim(mc, threads, 100_000, seed)
+	env := sim.Env()
+	lk := alg.New(env, spec, threads)
+	x := env.Var("x", 0)
+	counts, elapsed := sim.Run(func(m vprog.Mem, tid int, done func()) {
+		tok := lk.Acquire(m)
+		m.Store(x, m.Load(x, vprog.Rlx)+1, vprog.Rlx)
+		lk.Release(m, tok)
+		done()
+	})
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	return total, elapsed
+}
+
+// TestSimMutualExclusionConservation: the shared counter must equal the
+// total number of critical sections — the simulator's conservation law
+// (locks are verified; the simulator must not lose interleavings).
+func TestSimMutualExclusionConservation(t *testing.T) {
+	for _, name := range []string{"spin", "ttas", "ticket", "mcs", "clh", "qspin", "array", "mutex", "cmcsticket", "hclh"} {
+		for _, threads := range []int{1, 2, 4, 16} {
+			alg := locks.ByName(name)
+			sim := wmsim.NewSim(wmsim.ARMv8(), threads, 60_000, 42)
+			env := sim.Env()
+			lk := alg.New(env, alg.DefaultSpec(), threads)
+			x := env.Var("x", 0)
+			counts, _ := sim.Run(func(m vprog.Mem, tid int, done func()) {
+				tok := lk.Acquire(m)
+				m.Store(x, m.Load(x, vprog.Rlx)+1, vprog.Rlx)
+				lk.Release(m, tok)
+				done()
+			})
+			var total uint64
+			for _, c := range counts {
+				total += c
+			}
+			if total == 0 {
+				t.Fatalf("%s/%d: no critical sections completed", name, threads)
+			}
+			if got := sim.Value(x); got != total {
+				t.Fatalf("%s/%d: conservation violated: counter=%d but %d critical sections ran",
+					name, threads, got, total)
+			}
+		}
+	}
+}
+
+// TestSimDeterminism: identical seeds give identical results; different
+// seeds differ (the jitter driving the stability statistics).
+func TestSimDeterminism(t *testing.T) {
+	a1, e1 := runLock(t, wmsim.ARMv8(), "mcs", 8, false, 7)
+	a2, e2 := runLock(t, wmsim.ARMv8(), "mcs", 8, false, 7)
+	if a1 != a2 || e1 != e2 {
+		t.Fatalf("simulation not deterministic: (%d,%d) vs (%d,%d)", a1, e1, a2, e2)
+	}
+	b1, _ := runLock(t, wmsim.ARMv8(), "mcs", 8, false, 8)
+	if b1 == a1 {
+		t.Log("different seeds produced identical counts (possible but unlikely)")
+	}
+}
+
+// TestSimOptimizedBeatsSC: the headline shape of the evaluation — on
+// both platforms, the VSync-optimized variant must not be slower than
+// the sc-only variant at low contention, and the single-thread x86 gap
+// must be large (the paper reports up to 7× there).
+func TestSimOptimizedBeatsSC(t *testing.T) {
+	for _, mc := range wmsim.Machines() {
+		for _, name := range []string{"spin", "ttas", "mcs", "ticket", "qspin", "clh"} {
+			opt, eo := runLock(t, mc, name, 1, false, 3)
+			seq, es := runLock(t, mc, name, 1, true, 3)
+			to := float64(opt) / float64(eo)
+			ts := float64(seq) / float64(es)
+			if to < ts*0.98 {
+				t.Errorf("%s/%s single-thread: optimized (%.4f cs/cy) slower than sc-only (%.4f cs/cy)",
+					mc.Name, name, to, ts)
+			}
+		}
+	}
+	// x86 single-thread speedup should be pronounced for CAS-style locks.
+	opt, eo := runLock(t, wmsim.X86(), "spin", 1, false, 3)
+	seq, es := runLock(t, wmsim.X86(), "spin", 1, true, 3)
+	speedup := (float64(opt) / float64(eo)) / (float64(seq) / float64(es))
+	if speedup < 1.2 {
+		t.Errorf("x86 single-thread spin speedup %.2f, want a clear win (paper: up to 7x for some locks)", speedup)
+	}
+}
+
+// TestSimScalesThreads: the simulator must cope with the paper's
+// maximum contention (127 threads on the ARM box) in reasonable time.
+func TestSimScalesThreads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("127-thread simulation")
+	}
+	total, elapsed := runLock(t, wmsim.ARMv8(), "mcs", 127, false, 1)
+	if total == 0 || elapsed == 0 {
+		t.Fatal("127-thread simulation made no progress")
+	}
+	t.Logf("127 threads: %d critical sections in %d cycles", total, elapsed)
+}
+
+// TestSimRejectsOversubscription: thread counts beyond the core count
+// must be refused, as on the real platforms.
+func TestSimRejectsOversubscription(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 127 threads on the 96-core x86 box")
+		}
+	}()
+	wmsim.NewSim(wmsim.X86(), 127, 1000, 1)
+}

@@ -1,0 +1,46 @@
+package vsync_test
+
+import (
+	"fmt"
+
+	"repro/vsync"
+)
+
+// ExampleVerifyLock verifies the TTAS lock's maximally-relaxed barriers
+// under the weak memory model.
+func ExampleVerifyLock() {
+	alg := vsync.LockByName("ttas")
+	res := vsync.VerifyLock(alg, alg.DefaultSpec(), 2, 1)
+	fmt.Println(res.Verdict)
+	// Output: ok
+}
+
+// ExampleVerifyLock_violation shows a counterexample verdict: with the
+// unlock store relaxed, the critical-section hand-off loses its
+// ordering and an increment disappears.
+func ExampleVerifyLock_violation() {
+	alg := vsync.LockByName("ttas")
+	spec := alg.DefaultSpec()
+	spec.Set("ttas.xchg", vsync.Rlx)
+	spec.Set("ttas.unlock", vsync.Rlx)
+	res := vsync.VerifyLock(alg, spec, 2, 1)
+	fmt.Println(res.Verdict)
+	fmt.Println(res.Message)
+	// Output:
+	// safety violation
+	// final-state check failed: lost update: counter = 1, want 2
+}
+
+// ExampleOptimizeLock relaxes the CAS spinlock from the all-SC
+// baseline: the acquire CAS and the release store are all that remain.
+func ExampleOptimizeLock() {
+	res, err := vsync.OptimizeLock(vsync.LockByName("spin"), 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("spin.cas:", res.Final.M("spin.cas"))
+	fmt.Println("spin.unlock:", res.Final.M("spin.unlock"))
+	// Output:
+	// spin.cas: acq
+	// spin.unlock: rel
+}

@@ -1,0 +1,159 @@
+// Package vsync is the public API of this reproduction of "VSync:
+// Push-Button Verification and Optimization for Synchronization
+// Primitives on Weak Memory Models" (Oberhauser et al., ASPLOS 2021).
+//
+// It exposes the three things VSync does:
+//
+//   - Verify: run Await Model Checking (AMC) on a concurrent program or
+//     a lock's generic client — safety, mutual exclusion and await
+//     termination on a weak memory model, in finite time, with
+//     counterexample execution graphs on failure.
+//
+//   - Optimize: push-button barrier relaxation — start from the all-SC
+//     assignment and relax every barrier point as far as verification
+//     allows (§3.3, Table 1).
+//
+//   - Benchmark: the §4.2 microbenchmark campaign of the sc-only vs
+//     optimized variants on simulated ARMv8 and x86 platforms, plus the
+//     table/figure emitters (Tables 2–5, Figs. 23–27).
+//
+// Quick start:
+//
+//	alg := vsync.LockByName("ttas")
+//	res := vsync.VerifyLock(alg, alg.DefaultSpec(), 2, 1)
+//	fmt.Println(res)                       // ok: N executions ...
+//
+//	opt, _ := vsync.OptimizeLock(alg, 2)   // relax from all-SC
+//	fmt.Println(opt.Report())
+package vsync
+
+import (
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/mm"
+	"repro/internal/optimize"
+	"repro/internal/vprog"
+	"repro/internal/wmsim"
+)
+
+// Re-exported building blocks. The internal packages carry the full
+// documentation; these aliases make the library usable from a single
+// import.
+type (
+	// Program is a concurrent program: shared variables plus thread
+	// closures over the Mem interface.
+	Program = vprog.Program
+	// Mem is the shared-memory interface thread code programs against.
+	Mem = vprog.Mem
+	// Var is a shared memory cell.
+	Var = vprog.Var
+	// Mode is a barrier mode (Rlx … SC).
+	Mode = vprog.Mode
+	// BarrierSpec assigns modes to an algorithm's barrier points.
+	BarrierSpec = vprog.BarrierSpec
+	// Algorithm is a registered lock implementation.
+	Algorithm = locks.Algorithm
+	// Result is a verification outcome with statistics and witness.
+	Result = core.Result
+	// Verdict classifies a verification outcome.
+	Verdict = core.Verdict
+	// OptResult is a barrier-optimization outcome.
+	OptResult = optimize.Result
+	// Model is a weak memory model (consistency predicate).
+	Model = mm.Model
+	// Machine is a simulated benchmark platform.
+	Machine = wmsim.Machine
+	// BenchConfig parameterizes the evaluation campaign.
+	BenchConfig = bench.Config
+	// BenchRecord is one raw measurement (Table 2 row).
+	BenchRecord = bench.Record
+)
+
+// Barrier modes.
+const (
+	ModeNone = vprog.ModeNone
+	Rlx      = vprog.Rlx
+	Acq      = vprog.Acq
+	Rel      = vprog.Rel
+	AcqRel   = vprog.AcqRel
+	SC       = vprog.SC
+)
+
+// Verdicts.
+const (
+	OK              = core.OK
+	SafetyViolation = core.SafetyViolation
+	ATViolation     = core.ATViolation
+)
+
+// Memory models.
+var (
+	// ModelSC is sequential consistency.
+	ModelSC = mm.SC
+	// ModelTSO is x86-style total store order.
+	ModelTSO = mm.TSO
+	// ModelWMM is the RC11-flavoured weak model standing in for IMM.
+	ModelWMM = mm.WMM
+)
+
+// Verify model-checks an arbitrary program under the given model.
+func Verify(model Model, p *Program) *Result {
+	return core.New(model).Run(p)
+}
+
+// VerifyLock model-checks a lock algorithm under WMM with the paper's
+// generic mutex client: nthreads threads each perform iters lock-
+// protected increments; AMC checks mutual exclusion, hand-off ordering
+// and await termination.
+func VerifyLock(alg *Algorithm, spec *BarrierSpec, nthreads, iters int) *Result {
+	return Verify(ModelWMM, harness.MutexClient(alg, spec, nthreads, iters))
+}
+
+// Locks returns every registered algorithm (including the buggy study-
+// case variants, marked Buggy).
+func Locks() []*Algorithm { return locks.All() }
+
+// LockByName returns a registered algorithm or nil.
+func LockByName(name string) *Algorithm { return locks.ByName(name) }
+
+// MutexClient builds the paper's generic client program for a lock.
+func MutexClient(alg *Algorithm, spec *BarrierSpec, nthreads, iters int) *Program {
+	return harness.MutexClient(alg, spec, nthreads, iters)
+}
+
+// OptimizeLock relaxes a lock's barriers from the all-SC baseline until
+// maximally relaxed while the nthreads-client still verifies under WMM.
+func OptimizeLock(alg *Algorithm, nthreads int) (*OptResult, error) {
+	opt := &optimize.Optimizer{
+		Model: ModelWMM,
+		Programs: func(spec *BarrierSpec) []*Program {
+			return []*Program{harness.MutexClient(alg, spec, nthreads, 1)}
+		},
+	}
+	return opt.Run(alg.DefaultSpec().AllSC())
+}
+
+// OptimizeWith runs the optimizer with a caller-supplied client set and
+// starting spec (for multi-client searches like the qspinlock study).
+func OptimizeWith(model Model, programs func(*BarrierSpec) []*Program, initial *BarrierSpec) (*OptResult, error) {
+	opt := &optimize.Optimizer{Model: model, Programs: programs}
+	return opt.Run(initial)
+}
+
+// Machines returns the simulated evaluation platforms (ARMv8, x86_64).
+func Machines() []*Machine { return wmsim.Machines() }
+
+// DefaultBench returns the full §4.2 campaign configuration,
+// QuickBench a reduced one.
+func DefaultBench() BenchConfig { return bench.Default() }
+
+// QuickBench returns a fast campaign for smoke runs.
+func QuickBench() BenchConfig { return bench.Quick() }
+
+// RunBench executes a campaign and returns the raw records.
+func RunBench(cfg BenchConfig) []BenchRecord { return bench.RunCampaign(cfg) }
+
+// BenchReport runs a campaign and renders Tables 2–5 and Figs. 23–26.
+func BenchReport(cfg BenchConfig) string { return bench.CampaignReport(cfg) }

@@ -1,0 +1,34 @@
+# CI and humans run the exact same commands: the workflow in
+# .github/workflows/ci.yml calls these targets and nothing else.
+
+GO ?= go
+
+.PHONY: build vet test test-short race bench-smoke fmt-check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+
+# Full suite, including the slow optimization studies (minutes).
+test:
+	$(GO) test ./...
+
+# CI wall-clock suite: slow paths are gated behind testing.Short().
+test-short:
+	$(GO) test -short ./...
+
+# Race-detect the packages that exercise the parallel verification
+# engine (worker pool, speculative ladder, verdict cache).
+race:
+	$(GO) test -race -short ./internal/core ./internal/optimize ./vsync
+
+# One cheap pass over the benchmark harness to catch bit-rot in the
+# table/figure emitters without running the full campaign.
+bench-smoke:
+	$(GO) test -short -bench=. -benchtime=1x -run=^$$ .

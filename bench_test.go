@@ -81,6 +81,7 @@ func BenchmarkTable1_QspinlockOptimization(b *testing.B) {
 					harness.MutexClient(alg, spec, 3, 1),
 				}
 			},
+			Parallelism: 1, // the paper-faithful sequential baseline
 		}
 		start := time.Now()
 		res, err := opt.Run(alg.DefaultSpec().AllSC())
@@ -88,6 +89,40 @@ func BenchmarkTable1_QspinlockOptimization(b *testing.B) {
 			b.Fatal(err)
 		}
 		emit("table1", bench.Table1(res.Counts(), time.Since(start).Round(time.Second).String())+
+			"\n"+res.Report())
+	}
+}
+
+// BenchmarkTable1_QspinlockOptimizationParallel is Table 1 on the
+// parallel verification engine: client programs fan across GOMAXPROCS
+// workers, candidate ladders race speculatively, and verdicts are
+// memoized. The final spec is identical to the sequential run; the
+// wall-clock difference (and the per-worker breakdown in the report) is
+// the point.
+func BenchmarkTable1_QspinlockOptimizationParallel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("qspinlock optimization takes minutes")
+	}
+	alg := locks.ByName("qspin")
+	for i := 0; i < b.N; i++ {
+		opt := &optimize.Optimizer{
+			Model: mm.WMM,
+			Programs: func(spec *vprog.BarrierSpec) []*vprog.Program {
+				return []*vprog.Program{
+					harness.MutexClient(alg, spec, 2, 1),
+					harness.QspinQueuePathLitmus(spec),
+					harness.MutexClient(alg, spec, 3, 1),
+				}
+			},
+			Parallelism: 0, // GOMAXPROCS
+			Speculate:   true,
+			Cache:       optimize.NewCache(),
+		}
+		res, err := opt.Run(alg.DefaultSpec().AllSC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("table1par", bench.Table1(res.Counts(), res.Duration.Round(time.Second).String())+
 			"\n"+res.Report())
 	}
 }

@@ -4,7 +4,12 @@
 // Usage:
 //
 //	vsynccheck -lock mcs [-model wmm] [-threads 2] [-iters 1] [-sc] [-dot out.dot]
+//	vsynccheck -all [-par N]
 //	vsynccheck -list
+//
+// -all verifies every registered correct (non-study-case) algorithm,
+// fanning the AMC runs across -par workers (0 = GOMAXPROCS); the first
+// failure cancels the remaining runs.
 //
 // Exit status 0 on successful verification, 1 on a violation, 2 on
 // usage or checker errors.
@@ -14,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -21,6 +27,14 @@ import (
 	"repro/internal/mm"
 	"repro/vsync"
 )
+
+// par0 renders the effective worker count of a -par value.
+func par0(par int) int {
+	if par <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return par
+}
 
 func main() {
 	var (
@@ -31,6 +45,8 @@ func main() {
 		scOnly   = flag.Bool("sc", false, "verify the sc-only (all-SC barrier) variant")
 		dotOut   = flag.String("dot", "", "write the counterexample graph as Graphviz DOT to this file")
 		list     = flag.Bool("list", false, "list registered algorithms and exit")
+		all      = flag.Bool("all", false, "verify every registered correct algorithm in parallel")
+		par      = flag.Int("par", 0, "concurrent AMC runs for -all (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -42,6 +58,32 @@ func main() {
 			}
 			fmt.Printf("%-16s %s%s\n", alg.Name, alg.Doc, tag)
 		}
+		return
+	}
+	if *all {
+		m := mm.ByName(*model)
+		if m == nil {
+			fmt.Fprintf(os.Stderr, "vsynccheck: unknown model %q (sc, tso, wmm)\n", *model)
+			os.Exit(2)
+		}
+		var ps []*vsync.Program
+		for _, alg := range locks.All() {
+			if alg.Buggy {
+				continue
+			}
+			ps = append(ps, harness.MutexClient(alg, alg.DefaultSpec(), *threads, *iters))
+		}
+		fmt.Printf("checking %d algorithms under %s (%d threads × %d iterations, %d workers)...\n",
+			len(ps), m.Name(), *threads, *iters, par0(*par))
+		res, failed := vsync.VerifySuite(m, *par, ps)
+		if failed >= 0 {
+			fmt.Printf("%s: %s\n", ps[failed].Name, res)
+			if res.Verdict == core.Error {
+				os.Exit(2)
+			}
+			os.Exit(1)
+		}
+		fmt.Println(res)
 		return
 	}
 	if *lockName == "" {

@@ -4,9 +4,16 @@
 // Checking allows, and the resulting Fig. 20-style mode listing is
 // printed.
 //
+// The verification engine is parallel by default: candidate specs fan
+// their client programs across -par workers, each point's candidate
+// ladder is raced speculatively, and verdicts are memoized. -par 1
+// -no-speculate -no-cache recovers the strictly sequential search; the
+// resulting spec is identical either way.
+//
 // Usage:
 //
 //	vsyncopt -lock qspinlock [-threads 2] [-from-default]
+//	         [-par N] [-passes N] [-no-speculate] [-no-cache]
 package main
 
 import (
@@ -26,6 +33,10 @@ func main() {
 		lockName    = flag.String("lock", "", "lock algorithm to optimize")
 		threads     = flag.Int("threads", 2, "contending threads in the verification client")
 		fromDefault = flag.Bool("from-default", false, "start from the default spec instead of all-SC")
+		par         = flag.Int("par", 0, "concurrent AMC runs (0 = GOMAXPROCS, 1 = sequential)")
+		passes      = flag.Int("passes", 1, "full point sweeps (descent repeats until fixpoint or cap)")
+		noSpeculate = flag.Bool("no-speculate", false, "disable the speculative candidate ladder")
+		noCache     = flag.Bool("no-cache", false, "disable verdict memoization")
 	)
 	flag.Parse()
 
@@ -46,6 +57,12 @@ func main() {
 			}
 			return ps
 		},
+		Passes:      *passes,
+		Parallelism: *par,
+		Speculate:   !*noSpeculate,
+	}
+	if !*noCache {
+		opt.Cache = optimize.NewCache()
 	}
 	initial := alg.DefaultSpec().AllSC()
 	if *fromDefault {

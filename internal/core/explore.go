@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -65,6 +66,18 @@ type run struct {
 // await termination. It returns the first violation found (with a
 // counterexample graph) or OK.
 func (c *Checker) Run(p *vprog.Program) *Result {
+	return c.RunCtx(context.Background(), p)
+}
+
+// cancelCheckEvery is how many popped states pass between context
+// checks in RunCtx: cheap enough to be invisible, frequent enough that
+// a pool short-circuit stops a multi-second run within milliseconds.
+const cancelCheckEvery = 256
+
+// RunCtx is Run with cooperative cancellation: when ctx is canceled the
+// exploration stops at the next check point and returns a Canceled
+// result (no verdict about the program is implied).
+func (c *Checker) RunCtx(ctx context.Context, p *vprog.Program) *Result {
 	start := time.Now()
 	r := &run{c: c, visited: make(map[string]bool), res: &Result{}}
 	defer func() { r.res.Duration = time.Since(start) }()
@@ -80,6 +93,12 @@ func (c *Checker) Run(p *vprog.Program) *Result {
 	r.stack = []item{{g: g0}}
 
 	for len(r.stack) > 0 {
+		if r.res.Stats.Popped%cancelCheckEvery == 0 && ctx.Err() != nil {
+			r.res.Verdict = Canceled
+			r.res.Err = ctx.Err()
+			r.res.Message = "exploration canceled: " + ctx.Err().Error()
+			return r.res
+		}
 		if r.res.Stats.Popped >= c.MaxGraphs {
 			r.res.Verdict = Error
 			r.res.Err = fmt.Errorf("exceeded MaxGraphs=%d (program may violate the Bounded-Length principle)", c.MaxGraphs)

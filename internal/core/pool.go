@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/vprog"
+)
+
+// Job is one AMC invocation: a checker configuration applied to one
+// program. Checkers are cheap structs; each job gets its own so that
+// concurrent runs never share mutable state.
+type Job struct {
+	Checker *Checker
+	Program *vprog.Program
+}
+
+// PoolStats is a snapshot of the work a Pool has performed since
+// creation. Busy and Jobs are indexed by worker slot; their sums are
+// the pool-wide totals.
+type PoolStats struct {
+	Workers  int
+	Busy     []time.Duration // cumulative in-checker time per worker slot
+	Jobs     []int           // completed jobs per worker slot (canceled runs included)
+	Canceled int             // jobs that ended Canceled (short-circuited)
+}
+
+// TotalBusy sums the per-worker busy time (the CPU-side cost the pool
+// amortized across workers).
+func (s PoolStats) TotalBusy() time.Duration {
+	var t time.Duration
+	for _, d := range s.Busy {
+		t += d
+	}
+	return t
+}
+
+// Pool fans Checker.Run invocations across a bounded set of workers.
+// It is safe for concurrent use: overlapping RunAll calls (e.g. the
+// optimizer's speculative ladder verifying several candidate specs at
+// once) share the same worker slots, so total concurrency never
+// exceeds Workers.
+type Pool struct {
+	// Workers is the concurrency bound, fixed at NewPool time.
+	Workers int
+
+	slots chan int // free worker slot ids; receiving acquires a slot
+
+	mu       sync.Mutex
+	busy     []time.Duration
+	jobs     []int
+	canceled int
+}
+
+// NewPool returns a pool with the given concurrency; workers <= 0
+// selects GOMAXPROCS, the "as fast as the hardware allows" default.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		Workers: workers,
+		slots:   make(chan int, workers),
+		busy:    make([]time.Duration, workers),
+		jobs:    make([]int, workers),
+	}
+	for i := 0; i < workers; i++ {
+		p.slots <- i
+	}
+	return p
+}
+
+// Stats returns a copy of the pool's cumulative accounting.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Workers:  p.Workers,
+		Busy:     append([]time.Duration(nil), p.busy...),
+		Jobs:     append([]int(nil), p.jobs...),
+		Canceled: p.canceled,
+	}
+}
+
+// RunAll executes every job on the pool and returns the results in job
+// order. When failFast is set, the first completed non-OK result
+// cancels the jobs still queued or running; those return Canceled
+// results. Jobs whose context is canceled before they acquire a worker
+// never run a checker at all.
+func (p *Pool) RunAll(ctx context.Context, jobs []Job, failFast bool) []*Result {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*Result, len(jobs))
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job Job) {
+			defer wg.Done()
+			var slot int
+			select {
+			case <-ctx.Done():
+				results[i] = canceledResult(ctx)
+				p.mu.Lock()
+				p.canceled++
+				p.mu.Unlock()
+				return
+			case slot = <-p.slots:
+			}
+			t0 := time.Now()
+			res := job.Checker.RunCtx(ctx, job.Program)
+			d := time.Since(t0)
+			p.slots <- slot
+			p.mu.Lock()
+			p.busy[slot] += d
+			p.jobs[slot]++
+			if res.Verdict == Canceled {
+				p.canceled++
+			}
+			p.mu.Unlock()
+			results[i] = res
+			if failFast && res.Verdict != OK && res.Verdict != Canceled {
+				cancel()
+			}
+		}(i, job)
+	}
+	wg.Wait()
+	return results
+}
+
+// VerifyAll runs every job with fail-fast cancellation and reduces the
+// results to a single verdict: OK only if every job verified, otherwise
+// the lowest-indexed decisive (non-canceled) failure. It returns the
+// index of the deciding job (-1 when all verified) and the per-job
+// results so callers can cache completed verdicts.
+func (p *Pool) VerifyAll(ctx context.Context, jobs []Job) (Verdict, int, []*Result) {
+	results := p.RunAll(ctx, jobs, true)
+	for i, res := range results {
+		if res.Verdict != OK && res.Verdict != Canceled {
+			return res.Verdict, i, results
+		}
+	}
+	for i, res := range results {
+		if res.Verdict == Canceled {
+			// Only possible when the parent ctx itself was canceled (a
+			// fail-fast cancel implies a decisive failure above).
+			return Canceled, i, results
+		}
+	}
+	return OK, -1, results
+}
+
+// canceledResult is the placeholder for a job that never started.
+func canceledResult(ctx context.Context) *Result {
+	return &Result{Verdict: Canceled, Err: ctx.Err(), Message: "canceled before start"}
+}

@@ -22,6 +22,10 @@ const (
 	// Error: the checker could not complete (internal limit or a
 	// program outside AMC's fragment).
 	Error
+	// Canceled: the run was cut short by context cancellation before a
+	// verdict was reached (pool short-circuiting, caller timeout). It
+	// carries no information about the program.
+	Canceled
 )
 
 func (v Verdict) String() string {
@@ -34,6 +38,8 @@ func (v Verdict) String() string {
 		return "await-termination violation"
 	case Error:
 		return "error"
+	case Canceled:
+		return "canceled"
 	}
 	return "unknown"
 }

@@ -1,0 +1,80 @@
+package optimize
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Cache memoizes AMC verdicts across the optimization search. The key
+// is (memory model, candidate-spec fingerprint, program name): the spec
+// fully determines the barrier modes of the generated program and the
+// program name encodes its shape (algorithm, thread count, iterations),
+// so two lookups with equal keys describe the same verification
+// problem. The greedy descent revisits assignments whenever it runs
+// more than one pass — pass n+1 re-tries every point against a spec
+// that pass n already judged for the points that settled early — and
+// the speculative ladder can race the same candidate from different
+// passes; the cache collapses all of those to a map lookup.
+//
+// Only decisive verdicts (OK, SafetyViolation, ATViolation) are stored;
+// Error and Canceled runs carry no reusable information. A Cache is
+// safe for concurrent use and may be shared across Optimizer runs —
+// e.g. optimizing the same lock against growing client suites.
+type Cache struct {
+	mu      sync.Mutex
+	m       map[string]core.Verdict
+	hits    int
+	lookups int
+}
+
+// NewCache returns an empty verdict cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[string]core.Verdict)}
+}
+
+// lookup returns the cached verdict for key, counting the probe.
+func (c *Cache) lookup(key string) (core.Verdict, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lookups++
+	v, ok := c.m[key]
+	if ok {
+		c.hits++
+	}
+	return v, ok
+}
+
+// store records a decisive verdict; indecisive ones are dropped.
+func (c *Cache) store(key string, v core.Verdict) {
+	if v == core.Error || v == core.Canceled {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]core.Verdict)
+	}
+	c.m[key] = v
+}
+
+// Hits returns the number of successful probes so far.
+func (c *Cache) Hits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Lookups returns the total number of probes so far.
+func (c *Cache) Lookups() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lookups
+}
+
+// Len returns the number of memoized verdicts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -12,10 +12,22 @@
 // strongest and keep the weakest verified one. The paper notes that
 // multiple maximally-relaxed combinations exist; the greedy result is
 // one of them.
+//
+// The independent AMC runs of the search are embarrassingly parallel,
+// and the engine exploits that on two axes without changing the result:
+// the client programs of one candidate spec fan out across a
+// core.Pool (a failing program cancels its siblings), and in
+// speculative-ladder mode the candidate modes of one point race each
+// other, the weakest verified one winning — exactly the mode the
+// sequential descent would have accepted. A Cache memoizes verdicts so
+// multi-pass descents never re-verify an assignment already judged.
 package optimize
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -23,7 +35,10 @@ import (
 	"repro/internal/vprog"
 )
 
-// Step records one attempted relaxation.
+// Step records one attempted relaxation. Speculative-ladder runs also
+// record the overshoot: candidates stronger than the accepted one that
+// the sequential descent would never have tried; those appear with
+// Verdict Canceled when the short-circuit stopped them early.
 type Step struct {
 	Point    string
 	Tried    vprog.Mode
@@ -38,8 +53,19 @@ type Result struct {
 	Initial, Final *vprog.BarrierSpec
 	// Steps lists every attempted relaxation in order.
 	Steps []Step
-	// Verifications counts AMC runs (including the initial check).
+	// Verifications counts spec-level verification attempts, including
+	// the initial check and any speculative attempts the ladder launched
+	// beyond the greedy minimum.
 	Verifications int
+	// CacheHits and CacheLookups count memo-cache probes made during
+	// this run (zero when the optimizer has no Cache).
+	CacheHits, CacheLookups int
+	// Workers is the AMC concurrency the run used (1 = sequential).
+	Workers int
+	// Pool is the worker-pool accounting: per-worker busy time and job
+	// counts, and how many runs the fail-fast short-circuit canceled.
+	// Zero-valued for sequential runs.
+	Pool core.PoolStats
 	// Duration is the total wall time — the paper's Table 1 "Time"
 	// column (11 minutes for qspinlock on their setup).
 	Duration time.Duration
@@ -58,6 +84,8 @@ type Optimizer struct {
 	Model mm.Model
 	// Programs builds the client programs that must verify for a spec to
 	// be accepted (typically MutexClient instances of varying shapes).
+	// It must be safe for concurrent invocation: the parallel engine
+	// builds several candidates' program suites at once.
 	Programs func(spec *vprog.BarrierSpec) []*vprog.Program
 	// MaxGraphs bounds each AMC run (0 = checker default).
 	MaxGraphs int
@@ -66,6 +94,21 @@ type Optimizer struct {
 	// rejected early can become relaxable after later points settle;
 	// additional passes run until a fixpoint or the cap.
 	Passes int
+	// Parallelism bounds the number of concurrent AMC runs: 0 selects
+	// GOMAXPROCS, 1 forces the strictly sequential engine. The final
+	// spec is identical either way.
+	Parallelism int
+	// Speculate races each point's candidate ladder concurrently
+	// (weakest→strongest launched together, weakest verified accepted)
+	// instead of trying candidates one at a time. Requires
+	// Parallelism != 1 to have any effect. Speculation can launch
+	// verifications the sequential descent would have skipped — wall
+	// clock improves, total CPU may not.
+	Speculate bool
+	// Cache, when non-nil, memoizes verdicts by (model, spec
+	// fingerprint, program name) so repeated assignments — multi-pass
+	// sweeps, shared caches across runs — are never re-verified.
+	Cache *Cache
 }
 
 // rank orders modes for descent; equal-rank modes (Acq/Rel) are both
@@ -104,36 +147,191 @@ func candidates(spec *vprog.BarrierSpec, point string) []vprog.Mode {
 	return out
 }
 
-// verify runs AMC on every client program; it returns OK only if all
-// verify, otherwise the first non-OK verdict.
-func (o *Optimizer) verify(spec *vprog.BarrierSpec) (core.Verdict, error) {
-	for _, p := range o.Programs(spec) {
-		c := core.New(o.Model)
-		if o.MaxGraphs > 0 {
-			c.MaxGraphs = o.MaxGraphs
+// engine carries the mutable state of one optimization run.
+type engine struct {
+	o     *Optimizer
+	pool  *core.Pool // nil: strictly sequential
+	cache *Cache     // nil: memoization disabled
+	res   *Result
+
+	mu sync.Mutex // guards the res cache counters (probed concurrently)
+}
+
+func (e *engine) countProbe(hit bool) {
+	e.mu.Lock()
+	e.res.CacheLookups++
+	if hit {
+		e.res.CacheHits++
+	}
+	e.mu.Unlock()
+}
+
+// checker builds a fresh Checker for one job; checkers are mutable and
+// must not be shared across concurrent runs.
+func (e *engine) checker() *core.Checker {
+	c := core.New(e.o.Model)
+	if e.o.MaxGraphs > 0 {
+		c.MaxGraphs = e.o.MaxGraphs
+	}
+	return c
+}
+
+// verify runs AMC on every client program of spec; it returns OK only
+// if all verify, otherwise a decisive failure verdict — or Canceled
+// when ctx was canceled first (the speculative ladder pruning a
+// candidate that can no longer win). Decisive per-program verdicts are
+// memoized; cached failures decide without any AMC run.
+func (e *engine) verify(ctx context.Context, spec *vprog.BarrierSpec) (core.Verdict, error) {
+	progs := e.o.Programs(spec)
+	keyPrefix := ""
+	if e.cache != nil {
+		keyPrefix = e.o.Model.Name() + "|" + spec.Fingerprint() + "|"
+	}
+	var jobs []core.Job
+	var names []string
+	for _, p := range progs {
+		if e.cache != nil {
+			v, ok := e.cache.lookup(keyPrefix + p.Name)
+			e.countProbe(ok)
+			if ok {
+				if v != core.OK {
+					return v, nil
+				}
+				continue // already known to verify
+			}
 		}
-		res := c.Run(p)
-		if res.Verdict == core.Error {
-			return core.Error, fmt.Errorf("optimizer: checking %s: %w", p.Name, res.Err)
+		jobs = append(jobs, core.Job{Checker: e.checker(), Program: p})
+		names = append(names, p.Name)
+	}
+	if len(jobs) == 0 {
+		return core.OK, nil
+	}
+
+	if e.pool == nil {
+		for i, j := range jobs {
+			res := j.Checker.RunCtx(ctx, j.Program)
+			if res.Verdict == core.Canceled {
+				return core.Canceled, nil
+			}
+			if res.Verdict == core.Error {
+				return core.Error, fmt.Errorf("optimizer: checking %s: %w", names[i], res.Err)
+			}
+			if e.cache != nil {
+				e.cache.store(keyPrefix+names[i], res.Verdict)
+			}
+			if res.Verdict != core.OK {
+				return res.Verdict, nil
+			}
 		}
-		if res.Verdict != core.OK {
-			return res.Verdict, nil
+		return core.OK, nil
+	}
+
+	verdict, failed, results := e.pool.VerifyAll(ctx, jobs)
+	if e.cache != nil {
+		for i, r := range results {
+			e.cache.store(keyPrefix+names[i], r.Verdict) // drops indecisive verdicts
 		}
 	}
-	return core.OK, nil
+	if verdict == core.Error {
+		return core.Error, fmt.Errorf("optimizer: checking %s: %w", names[failed], results[failed].Err)
+	}
+	return verdict, nil
+}
+
+// ladder speculatively races every candidate mode of one point and
+// returns the index of the accepted candidate (-1: none verified).
+// The accepted index is the lowest one whose suite verified — the same
+// mode the sequential weakest-first sweep accepts — and once some
+// candidate verifies, every stronger candidate still in flight is
+// canceled, since it can no longer be chosen.
+func (e *engine) ladder(ctx context.Context, spec *vprog.BarrierSpec, point string, cands []vprog.Mode) (int, error) {
+	parent, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	cctx := make([]context.Context, len(cands))
+	cancel := make([]context.CancelFunc, len(cands))
+	for i := range cands {
+		cctx[i], cancel[i] = context.WithCancel(parent)
+	}
+
+	type outcome struct {
+		verdict core.Verdict
+		err     error
+		dur     time.Duration
+	}
+	outcomes := make([]outcome, len(cands))
+	best := len(cands)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, cand := range cands {
+		wg.Add(1)
+		go func(i int, cand vprog.Mode) {
+			defer wg.Done()
+			s := spec.Clone()
+			s.Set(point, cand)
+			t0 := time.Now()
+			v, err := e.verify(cctx[i], s)
+			outcomes[i] = outcome{verdict: v, err: err, dur: time.Since(t0)}
+			if v == core.OK {
+				mu.Lock()
+				if i < best {
+					best = i
+					for j := i + 1; j < len(cands); j++ {
+						cancel[j]()
+					}
+				}
+				mu.Unlock()
+			}
+		}(i, cand)
+	}
+	wg.Wait()
+
+	accepted := -1
+	if best < len(cands) {
+		accepted = best
+	}
+	// The sequential descent would have evaluated candidates 0..accepted
+	// in order; an Error among those aborts the run exactly as it would
+	// have there. Candidates beyond the accepted one are speculative
+	// overshoot — recorded for the report, never fatal.
+	for i, oc := range outcomes {
+		if oc.err != nil && (accepted < 0 || i <= accepted) {
+			return -1, oc.err
+		}
+		e.res.Steps = append(e.res.Steps, Step{
+			Point: point, Tried: cands[i], Accepted: i == accepted,
+			Verdict: oc.verdict, Duration: oc.dur,
+		})
+		e.res.Verifications++
+	}
+	return accepted, nil
 }
 
 // Run optimizes the spec. The initial spec must verify; Run then
 // relaxes point by point and returns the final verified assignment.
 func (o *Optimizer) Run(initial *vprog.BarrierSpec) (*Result, error) {
+	return o.RunCtx(context.Background(), initial)
+}
+
+// RunCtx is Run with cooperative cancellation.
+func (o *Optimizer) RunCtx(ctx context.Context, initial *vprog.BarrierSpec) (*Result, error) {
 	start := time.Now()
-	res := &Result{Initial: initial.Clone()}
+	workers := o.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &engine{o: o, cache: o.Cache, res: &Result{Initial: initial.Clone(), Workers: workers}}
+	if workers > 1 {
+		e.pool = core.NewPool(workers)
+	}
 	spec := initial.Clone()
 
-	v, err := o.verify(spec)
-	res.Verifications++
+	v, err := e.verify(ctx, spec)
+	e.res.Verifications++
 	if err != nil {
 		return nil, err
+	}
+	if v == core.Canceled {
+		return nil, ctx.Err()
 	}
 	if v != core.OK {
 		return nil, fmt.Errorf("optimizer: initial spec does not verify (%v); fix the algorithm first", v)
@@ -146,17 +344,41 @@ func (o *Optimizer) Run(initial *vprog.BarrierSpec) (*Result, error) {
 	for pass := 0; pass < passes; pass++ {
 		changed := false
 		for _, point := range spec.Points() {
-			orig := spec.M(point)
-			for _, cand := range candidates(spec, point) {
-				spec.Set(point, cand)
-				t0 := time.Now()
-				verdict, err := o.verify(spec)
-				res.Verifications++
+			cands := candidates(spec, point)
+			if len(cands) == 0 {
+				continue
+			}
+			if e.pool != nil && o.Speculate && len(cands) > 1 {
+				accepted, err := e.ladder(ctx, spec, point, cands)
 				if err != nil {
 					return nil, err
 				}
+				if ctx.Err() != nil {
+					// A dead caller context makes every ladder outcome
+					// Canceled; without this check the descent would
+					// "finish" with a truncated, under-relaxed spec.
+					return nil, ctx.Err()
+				}
+				if accepted >= 0 {
+					spec.Set(point, cands[accepted])
+					changed = true
+				}
+				continue
+			}
+			orig := spec.M(point)
+			for _, cand := range cands {
+				spec.Set(point, cand)
+				t0 := time.Now()
+				verdict, err := e.verify(ctx, spec)
+				e.res.Verifications++
+				if err != nil {
+					return nil, err
+				}
+				if verdict == core.Canceled {
+					return nil, ctx.Err()
+				}
 				accepted := verdict == core.OK
-				res.Steps = append(res.Steps, Step{
+				e.res.Steps = append(e.res.Steps, Step{
 					Point: point, Tried: cand, Accepted: accepted,
 					Verdict: verdict, Duration: time.Since(t0),
 				})
@@ -172,13 +394,18 @@ func (o *Optimizer) Run(initial *vprog.BarrierSpec) (*Result, error) {
 			break // fixpoint
 		}
 	}
-	res.Final = spec
-	res.Duration = time.Since(start)
-	return res, nil
+	e.res.Final = spec
+	e.res.Duration = time.Since(start)
+	if e.pool != nil {
+		e.res.Pool = e.pool.Stats()
+	}
+	return e.res, nil
 }
 
 // Report renders the optimization in the shape of Fig. 20: one line per
-// point, with the accepted relaxation marked.
+// point, with the accepted relaxation marked, followed by the mode
+// tally and — for parallel/cached runs — the engine accounting: cache
+// effectiveness and the per-worker timing breakdown.
 func (r *Result) Report() string {
 	out := ""
 	for _, p := range r.Initial.Points() {
@@ -196,5 +423,16 @@ func (r *Result) Report() string {
 	c := r.Final.Counts()
 	out += fmt.Sprintf("modes: rlx=%d acq=%d rel=%d acqrel=%d sc=%d removed=%d | %d verifications in %v\n",
 		c.Rlx, c.Acq, c.Rel, c.AcqRel, c.SC, c.Removed, r.Verifications, r.Duration)
+	if r.CacheLookups > 0 {
+		out += fmt.Sprintf("cache: %d hits / %d lookups\n", r.CacheHits, r.CacheLookups)
+	}
+	if r.Pool.Workers > 0 {
+		out += fmt.Sprintf("parallel: %d workers, %d runs canceled by short-circuit, busy %v total\n",
+			r.Pool.Workers, r.Pool.Canceled, r.Pool.TotalBusy().Round(time.Millisecond))
+		for i := range r.Pool.Busy {
+			out += fmt.Sprintf("  worker %d: %3d jobs, %v busy\n",
+				i, r.Pool.Jobs[i], r.Pool.Busy[i].Round(time.Millisecond))
+		}
+	}
 	return out
 }

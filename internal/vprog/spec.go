@@ -89,6 +89,25 @@ func (s *BarrierSpec) AllSC() *BarrierSpec {
 	return c
 }
 
+// Fingerprint returns a canonical encoding of the assignment —
+// point names in registration order with their modes and fence flags —
+// suitable as a memoization key: two specs with equal fingerprints
+// produce identical programs and hence identical verification
+// verdicts.
+func (s *BarrierSpec) Fingerprint() string {
+	var b strings.Builder
+	for _, p := range s.order {
+		b.WriteString(p)
+		if s.fencePoints[p] {
+			b.WriteByte('!')
+		}
+		b.WriteByte('=')
+		b.WriteString(s.modes[p].String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
 // ModeCounts tallies the modes in use, in the shape of the paper's
 // Table 1 (relaxed points are not reported there; eliminated fences
 // count as removed).

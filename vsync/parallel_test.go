@@ -1,0 +1,69 @@
+package vsync_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/vsync"
+)
+
+// TestVerifySuiteOK: the suite fan-out verifies a batch of correct
+// locks and aggregates their statistics.
+func TestVerifySuiteOK(t *testing.T) {
+	var ps []*vsync.Program
+	for _, name := range []string{"spin", "ttas", "ticket"} {
+		alg := vsync.LockByName(name)
+		ps = append(ps, vsync.MutexClient(alg, alg.DefaultSpec(), 2, 1))
+	}
+	res, failed := vsync.VerifySuite(vsync.ModelWMM, 4, ps)
+	if failed != -1 {
+		t.Fatalf("suite failed at program %d: %v", failed, res)
+	}
+	if !res.Ok() || res.Stats.Executions == 0 {
+		t.Fatalf("aggregate result looks wrong: %v", res)
+	}
+}
+
+// TestVerifySuiteFailFast: a buggy member fails the suite and is
+// identified by index; its siblings are short-circuited, not misjudged.
+func TestVerifySuiteFailFast(t *testing.T) {
+	good := vsync.LockByName("mcs")
+	bad := vsync.LockByName("huaweimcs-buggy")
+	ps := []*vsync.Program{
+		vsync.MutexClient(good, good.DefaultSpec(), 2, 1),
+		vsync.MutexClient(bad, bad.DefaultSpec(), 2, 1),
+		vsync.MutexClient(good, good.DefaultSpec(), 3, 1),
+	}
+	res, failed := vsync.VerifySuite(vsync.ModelWMM, 2, ps)
+	if failed != 1 {
+		t.Fatalf("failed index = %d, want 1 (%v)", failed, res)
+	}
+	if res.Verdict != vsync.SafetyViolation {
+		t.Fatalf("verdict = %v, want safety violation", res.Verdict)
+	}
+}
+
+// TestFacadeOptimizeOptions: the options path works end to end and the
+// report carries the engine accounting.
+func TestFacadeOptimizeOptions(t *testing.T) {
+	alg := vsync.LockByName("ttas")
+	cache := vsync.NewOptCache()
+	res, err := vsync.Optimize(vsync.ModelWMM, func(spec *vsync.BarrierSpec) []*vsync.Program {
+		return []*vsync.Program{vsync.MutexClient(alg, spec, 2, 1)}
+	}, alg.DefaultSpec().AllSC(), vsync.OptimizeOptions{
+		Parallelism: 2, Speculate: true, Cache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.M("ttas.poll") != vsync.Rlx {
+		t.Fatalf("unexpected result:\n%s", res.Report())
+	}
+	rep := res.Report()
+	if !strings.Contains(rep, "cache:") || !strings.Contains(rep, "worker") {
+		t.Errorf("report missing engine accounting:\n%s", rep)
+	}
+	if cache.Len() == 0 {
+		t.Error("shared cache not populated")
+	}
+}

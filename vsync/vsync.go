@@ -28,6 +28,8 @@
 package vsync
 
 import (
+	"context"
+
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -61,6 +63,13 @@ type (
 	Verdict = core.Verdict
 	// OptResult is a barrier-optimization outcome.
 	OptResult = optimize.Result
+	// OptCache memoizes verification verdicts across optimization runs
+	// (keyed by model, spec fingerprint and program shape).
+	OptCache = optimize.Cache
+	// Pool fans AMC runs across a bounded worker set.
+	Pool = core.Pool
+	// PoolStats is the per-worker accounting of a Pool.
+	PoolStats = core.PoolStats
 	// Model is a weak memory model (consistency predicate).
 	Model = mm.Model
 	// Machine is a simulated benchmark platform.
@@ -86,6 +95,7 @@ const (
 	OK              = core.OK
 	SafetyViolation = core.SafetyViolation
 	ATViolation     = core.ATViolation
+	Canceled        = core.Canceled
 )
 
 // Memory models.
@@ -103,6 +113,38 @@ func Verify(model Model, p *Program) *Result {
 	return core.New(model).Run(p)
 }
 
+// VerifySuite model-checks several programs concurrently: the runs fan
+// out across a pool of parallelism workers (0 = GOMAXPROCS) and the
+// first failure cancels the rest. It returns the failing result and the
+// index of its program, or an OK result (with aggregated statistics)
+// and -1 when every program verifies.
+func VerifySuite(model Model, parallelism int, ps []*Program) (*Result, int) {
+	pool := core.NewPool(parallelism)
+	jobs := make([]core.Job, len(ps))
+	for i, p := range ps {
+		jobs[i] = core.Job{Checker: core.New(model), Program: p}
+	}
+	verdict, failed, results := pool.VerifyAll(context.Background(), jobs)
+	if verdict != core.OK {
+		return results[failed], failed
+	}
+	agg := &Result{Verdict: core.OK}
+	for _, r := range results {
+		agg.Stats.Popped += r.Stats.Popped
+		agg.Stats.Pushed += r.Stats.Pushed
+		agg.Stats.Executions += r.Stats.Executions
+		agg.Stats.Revisits += r.Stats.Revisits
+		agg.Stats.Duplicates += r.Stats.Duplicates
+		agg.Stats.Wasteful += r.Stats.Wasteful
+		agg.Stats.Inconsist += r.Stats.Inconsist
+		agg.Stats.Blocked += r.Stats.Blocked
+		if r.Duration > agg.Duration {
+			agg.Duration = r.Duration // wall clock ≈ the slowest run
+		}
+	}
+	return agg, -1
+}
+
 // VerifyLock model-checks a lock algorithm under WMM with the paper's
 // generic mutex client: nthreads threads each perform iters lock-
 // protected increments; AMC checks mutual exclusion, hand-off ordering
@@ -110,6 +152,14 @@ func Verify(model Model, p *Program) *Result {
 func VerifyLock(alg *Algorithm, spec *BarrierSpec, nthreads, iters int) *Result {
 	return Verify(ModelWMM, harness.MutexClient(alg, spec, nthreads, iters))
 }
+
+// NewPool returns a worker pool for fanning out AMC runs
+// (workers <= 0 selects GOMAXPROCS).
+func NewPool(workers int) *Pool { return core.NewPool(workers) }
+
+// NewOptCache returns an empty verdict cache to share across
+// optimization runs.
+func NewOptCache() *OptCache { return optimize.NewCache() }
 
 // Locks returns every registered algorithm (including the buggy study-
 // case variants, marked Buggy).
@@ -123,23 +173,68 @@ func MutexClient(alg *Algorithm, spec *BarrierSpec, nthreads, iters int) *Progra
 	return harness.MutexClient(alg, spec, nthreads, iters)
 }
 
-// OptimizeLock relaxes a lock's barriers from the all-SC baseline until
-// maximally relaxed while the nthreads-client still verifies under WMM.
-func OptimizeLock(alg *Algorithm, nthreads int) (*OptResult, error) {
-	opt := &optimize.Optimizer{
-		Model: ModelWMM,
-		Programs: func(spec *BarrierSpec) []*Program {
-			return []*Program{harness.MutexClient(alg, spec, nthreads, 1)}
-		},
+// OptimizeOptions tunes the optimizer's parallel verification engine.
+// The final spec is identical whatever the settings; they only change
+// how fast (and with how much speculative work) it is reached.
+type OptimizeOptions struct {
+	// Parallelism bounds concurrent AMC runs: 0 = GOMAXPROCS, 1 =
+	// strictly sequential.
+	Parallelism int
+	// Speculate races each point's candidate modes concurrently and
+	// accepts the weakest verified one.
+	Speculate bool
+	// Cache memoizes verdicts across candidates and passes. A nil Cache
+	// with CacheOn set uses a fresh private cache.
+	CacheOn bool
+	// Cache, when non-nil, is used (and shared) instead of a private
+	// one; it implies CacheOn.
+	Cache *OptCache
+	// Passes caps full point sweeps (0 or 1 = single pass).
+	Passes int
+	// MaxGraphs bounds each AMC run (0 = checker default).
+	MaxGraphs int
+}
+
+// DefaultOptimizeOptions is the fast push-button configuration:
+// GOMAXPROCS workers, speculative ladders, memoization on.
+func DefaultOptimizeOptions() OptimizeOptions {
+	return OptimizeOptions{Parallelism: 0, Speculate: true, CacheOn: true}
+}
+
+// Optimize runs the barrier-relaxation search with explicit engine
+// options; programs builds the client suite a candidate spec must
+// verify, initial is the (verified) starting assignment.
+func Optimize(model Model, programs func(*BarrierSpec) []*Program, initial *BarrierSpec, opts OptimizeOptions) (*OptResult, error) {
+	cache := opts.Cache
+	if cache == nil && opts.CacheOn {
+		cache = optimize.NewCache()
 	}
-	return opt.Run(alg.DefaultSpec().AllSC())
+	opt := &optimize.Optimizer{
+		Model:       model,
+		Programs:    programs,
+		MaxGraphs:   opts.MaxGraphs,
+		Passes:      opts.Passes,
+		Parallelism: opts.Parallelism,
+		Speculate:   opts.Speculate,
+		Cache:       cache,
+	}
+	return opt.Run(initial)
+}
+
+// OptimizeLock relaxes a lock's barriers from the all-SC baseline until
+// maximally relaxed while the nthreads-client still verifies under WMM,
+// using the fast default engine options.
+func OptimizeLock(alg *Algorithm, nthreads int) (*OptResult, error) {
+	return Optimize(ModelWMM, func(spec *BarrierSpec) []*Program {
+		return []*Program{harness.MutexClient(alg, spec, nthreads, 1)}
+	}, alg.DefaultSpec().AllSC(), DefaultOptimizeOptions())
 }
 
 // OptimizeWith runs the optimizer with a caller-supplied client set and
-// starting spec (for multi-client searches like the qspinlock study).
+// starting spec (for multi-client searches like the qspinlock study),
+// using the fast default engine options.
 func OptimizeWith(model Model, programs func(*BarrierSpec) []*Program, initial *BarrierSpec) (*OptResult, error) {
-	opt := &optimize.Optimizer{Model: model, Programs: programs}
-	return opt.Run(initial)
+	return Optimize(model, programs, initial, DefaultOptimizeOptions())
 }
 
 // Machines returns the simulated evaluation platforms (ARMv8, x86_64).

@@ -29,6 +29,9 @@ race:
 	$(GO) test -race -short ./internal/core ./internal/optimize ./vsync
 
 # One cheap pass over the benchmark harness to catch bit-rot in the
-# table/figure emitters without running the full campaign.
+# table/figure emitters without running the full campaign, then the AMC
+# hot-path suite (one measured run per target) -> BENCH_amc.json, the
+# tracked record of the checker's own performance.
 bench-smoke:
 	$(GO) test -short -bench=. -benchtime=1x -run=^$$ .
+	$(GO) run ./cmd/vsyncbench -amc -amcruns 1 -amcjson BENCH_amc.json

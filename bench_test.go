@@ -261,19 +261,59 @@ func BenchmarkStudyCases(b *testing.B) {
 }
 
 // BenchmarkAMC measures verification throughput on representative
-// locks (the cost of one push-button check).
+// locks (the cost of one push-button check). graphs/sec is the
+// headline hot-path metric tracked in BENCH_amc.json.
 func BenchmarkAMC(b *testing.B) {
 	for _, name := range []string{"spin", "ttas", "ticket", "mcs", "clh", "qspin"} {
 		name := name
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			alg := locks.ByName(name)
+			p := harness.MutexClient(alg, alg.DefaultSpec(), 2, 1)
+			graphs := 0
 			for i := 0; i < b.N; i++ {
-				res := core.New(mm.WMM).Run(harness.MutexClient(alg, alg.DefaultSpec(), 2, 1))
+				res := core.New(mm.WMM).Run(p)
 				if !res.Ok() {
 					b.Fatal(res)
 				}
+				graphs += res.Stats.Popped
 			}
+			b.ReportMetric(float64(graphs)/b.Elapsed().Seconds(), "graphs/sec")
 		})
+	}
+}
+
+// BenchmarkAMCLitmus measures the checker on the litmus corpus — small
+// explorations where fixed per-run overhead dominates.
+func BenchmarkAMCLitmus(b *testing.B) {
+	for _, name := range harness.LitmusNames() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			p := harness.Litmus(name, false)
+			graphs := 0
+			for i := 0; i < b.N; i++ {
+				res := core.New(mm.WMM).Run(p)
+				if res.Verdict == core.Error {
+					b.Fatal(res)
+				}
+				graphs += res.Stats.Popped
+			}
+			b.ReportMetric(float64(graphs)/b.Elapsed().Seconds(), "graphs/sec")
+		})
+	}
+}
+
+// BenchmarkAMCSuite exercises the tracked-suite driver itself (one
+// measured run per target), catching bit-rot in the BENCH_amc.json
+// emitter the way the table benchmarks do for the paper artifacts.
+func BenchmarkAMCSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		suite := bench.RunAMCSuite(1)
+		if len(suite.Results) == 0 {
+			b.Fatal("empty AMC suite")
+		}
+		emit("amcsuite", suite.String())
 	}
 }
 

@@ -1,5 +1,6 @@
 // vsyncbench runs the §4.2 evaluation campaign on the simulated ARMv8
-// and x86 platforms and prints the paper's tables and figures.
+// and x86 platforms and prints the paper's tables and figures, plus the
+// AMC hot-path benchmark suite that tracks the checker's own speed.
 //
 // Usage:
 //
@@ -7,11 +8,13 @@
 //	vsyncbench -full        # the paper's full parameter grid
 //	vsyncbench -fig27       # the MCS implementation comparison
 //	vsyncbench -sweep       # the §4.2.2 cs_size / es_size findings
+//	vsyncbench -amc         # checker hot-path suite -> BENCH_amc.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"time"
 
 	"repro/internal/bench"
@@ -20,14 +23,29 @@ import (
 
 func main() {
 	var (
-		full  = flag.Bool("full", false, "run the paper's full parameter grid")
-		fig27 = flag.Bool("fig27", false, "run the Fig. 27 MCS implementation comparison")
-		sweep = flag.Bool("sweep", false, "run the §4.2.2 critical/outside section size sweeps")
+		full    = flag.Bool("full", false, "run the paper's full parameter grid")
+		fig27   = flag.Bool("fig27", false, "run the Fig. 27 MCS implementation comparison")
+		sweep   = flag.Bool("sweep", false, "run the §4.2.2 critical/outside section size sweeps")
+		amc     = flag.Bool("amc", false, "run the AMC hot-path benchmark suite (graphs/sec, allocs)")
+		amcRuns = flag.Int("amcruns", 5, "measured runs per target in the AMC suite")
+		amcJSON = flag.String("amcjson", "BENCH_amc.json", "path of the AMC suite JSON artifact (empty: don't write)")
 	)
 	flag.Parse()
 
 	start := time.Now()
 	switch {
+	case *amc:
+		suite := bench.RunAMCSuite(*amcRuns)
+		fmt.Print(suite)
+		if *amcJSON != "" {
+			if err := suite.WriteJSON(*amcJSON); err != nil {
+				log.Fatalf("writing %s: %v", *amcJSON, err)
+			}
+			fmt.Printf("wrote %s\n", *amcJSON)
+		}
+		if bad := suite.Errors(); len(bad) > 0 {
+			log.Fatalf("checker errors on: %v", bad)
+		}
 	case *fig27:
 		for _, mc := range wmsim.Machines() {
 			fmt.Println(bench.Fig27(mc, bench.PaperThreads, 3, 150_000))

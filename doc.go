@@ -10,4 +10,11 @@
 // evaluation:
 //
 //	go test -bench=. -benchmem .
+//
+// The model checker's own hot path — incremental relation extension,
+// 128-bit hashed dedup, copy-on-write graph branching, pooled scratch
+// matrices — is documented under "Performance architecture" in
+// README.md and tracked as a machine-readable artifact:
+//
+//	go run ./cmd/vsyncbench -amc   # writes BENCH_amc.json
 package repro

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/mm"
+	"repro/internal/vprog"
+)
+
+// The AMC benchmark suite tracks the verification hot path itself —
+// graphs/sec, ns/run and allocs/run for every litmus test and the
+// representative lock clients — as a machine-readable artifact
+// (BENCH_amc.json), so the perf trajectory of the checker is recorded
+// PR over PR instead of living in one-off benchmark logs. CI runs the
+// suite with one measured run per target (bench-smoke); locally,
+// `vsyncbench -amc` runs it with repetitions.
+
+// AMCResult is one measured verification target.
+type AMCResult struct {
+	Name         string  `json:"name"`
+	Model        string  `json:"model"`
+	Verdict      string  `json:"verdict"`
+	Graphs       int     `json:"graphs"`     // states popped per run
+	Executions   int     `json:"executions"` // complete executions per run
+	Runs         int     `json:"runs"`
+	NsPerRun     int64   `json:"ns_per_run"`
+	GraphsPerSec float64 `json:"graphs_per_sec"`
+	AllocsPerRun uint64  `json:"allocs_per_run"`
+	BytesPerRun  uint64  `json:"bytes_per_run"`
+}
+
+// AMCSuite is the artifact written to BENCH_amc.json.
+type AMCSuite struct {
+	Schema  string      `json:"schema"` // "amc-bench/v1"
+	Go      string      `json:"go"`
+	GOOS    string      `json:"goos"`
+	GOARCH  string      `json:"goarch"`
+	CPUs    int         `json:"cpus"`
+	Date    string      `json:"date"`
+	Results []AMCResult `json:"results"`
+}
+
+// amcTarget is one verification problem of the suite.
+type amcTarget struct {
+	name  string
+	model mm.Model
+	prog  func() *vprog.Program
+}
+
+// amcTargets enumerates the suite: the litmus corpus (weak variants
+// under WMM) and the single-lock clients the paper's studies revolve
+// around.
+func amcTargets() []amcTarget {
+	var ts []amcTarget
+	for _, name := range harness.LitmusNames() {
+		name := name
+		ts = append(ts, amcTarget{
+			name:  "litmus/" + name,
+			model: mm.WMM,
+			prog:  func() *vprog.Program { return harness.Litmus(name, false) },
+		})
+	}
+	for _, lk := range []string{"spin", "ttas", "ticket", "mcs", "clh", "qspin"} {
+		lk := lk
+		ts = append(ts, amcTarget{
+			name:  "lock/" + lk,
+			model: mm.WMM,
+			prog: func() *vprog.Program {
+				alg := locks.ByName(lk)
+				return harness.MutexClient(alg, alg.DefaultSpec(), 2, 1)
+			},
+		})
+	}
+	return ts
+}
+
+// RunAMCSuite measures every target with the given number of measured
+// runs (after one warm-up) and returns the suite artifact.
+func RunAMCSuite(runs int) AMCSuite {
+	if runs < 1 {
+		runs = 1
+	}
+	s := AMCSuite{
+		Schema: "amc-bench/v1",
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Date:   time.Now().UTC().Format(time.RFC3339),
+	}
+	var ms0, ms1 runtime.MemStats
+	for _, tgt := range amcTargets() {
+		p := tgt.prog()
+		warm := core.New(tgt.model).Run(p) // warm-up; also fixes the expected profile
+		r := AMCResult{
+			Name:       tgt.name,
+			Model:      tgt.model.Name(),
+			Verdict:    warm.Verdict.String(),
+			Graphs:     warm.Stats.Popped,
+			Executions: warm.Stats.Executions,
+			Runs:       runs,
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			core.New(tgt.model).Run(p)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		r.NsPerRun = elapsed.Nanoseconds() / int64(runs)
+		if r.NsPerRun > 0 {
+			r.GraphsPerSec = float64(r.Graphs) * float64(time.Second) / float64(r.NsPerRun)
+		}
+		r.AllocsPerRun = (ms1.Mallocs - ms0.Mallocs) / uint64(runs)
+		r.BytesPerRun = (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(runs)
+		s.Results = append(s.Results, r)
+	}
+	return s
+}
+
+// WriteJSON writes the suite artifact to path.
+func (s AMCSuite) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// String renders the suite as a table.
+func (s AMCSuite) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "AMC hot-path benchmark (%s %s/%s, %d cpus, %d run(s) per target)\n",
+		s.Go, s.GOOS, s.GOARCH, s.CPUs, runsOf(s))
+	fmt.Fprintf(&b, "%-18s %-8s %8s %12s %14s %12s %12s\n",
+		"target", "verdict", "graphs", "ns/run", "graphs/sec", "allocs/run", "B/run")
+	for _, r := range s.Results {
+		fmt.Fprintf(&b, "%-18s %-8s %8d %12d %14.0f %12d %12d\n",
+			r.Name, shortVerdict(r.Verdict), r.Graphs, r.NsPerRun, r.GraphsPerSec,
+			r.AllocsPerRun, r.BytesPerRun)
+	}
+	return b.String()
+}
+
+// Errors returns the names of targets whose verification ended in an
+// internal error — the checker failing, not the program. CI fails the
+// bench-smoke job on these.
+func (s AMCSuite) Errors() []string {
+	var bad []string
+	for _, r := range s.Results {
+		if r.Verdict == core.Error.String() {
+			bad = append(bad, r.Name)
+		}
+	}
+	return bad
+}
+
+func runsOf(s AMCSuite) int {
+	if len(s.Results) == 0 {
+		return 0
+	}
+	return s.Results[0].Runs
+}
+
+func shortVerdict(v string) string {
+	switch v {
+	case "safety violation":
+		return "safety"
+	case "await-termination violation":
+		return "at-viol"
+	}
+	return v
+}

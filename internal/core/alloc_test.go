@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/mm"
+)
+
+// Allocation-regression bars for the AMC hot path. The bounds are
+// deliberately loose (~1.5x the measured steady state) so they only
+// trip on real regressions — a reintroduced per-state string key, a
+// lost matrix pool, a Clone that deep-copies again — not on noise.
+// Gated out of -short: AllocsPerRun wants quiescent, repeated runs.
+
+// TestAllocsExploreStep bounds the allocations per popped exploration
+// state on the MCS client — the per-step cost of clone + replay +
+// consistency check + dedup, amortized over a full verification run.
+func TestAllocsExploreStep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation regression bars are not run in -short")
+	}
+	alg := locks.ByName("mcs")
+	p := harness.MutexClient(alg, alg.DefaultSpec(), 2, 1)
+	var popped int
+	allocs := testing.AllocsPerRun(3, func() {
+		res := core.New(mm.WMM).Run(p)
+		if !res.Ok() {
+			t.Fatal(res)
+		}
+		popped = res.Stats.Popped
+	})
+	perStep := allocs / float64(popped)
+	// Steady state measured at ~50 allocs per popped graph (dominated by
+	// the extended relation matrices); the pre-optimization checker sat
+	// at ~120.
+	const maxPerStep = 75
+	if perStep > maxPerStep {
+		t.Errorf("explore step allocates %.1f objects/graph (%0.f total / %d graphs), regression bar is %d",
+			perStep, allocs, popped, maxPerStep)
+	}
+}
+
+// TestAllocsLitmus bounds a complete small-litmus verification — the
+// fixed overhead path (program build, root graph, result) plus a small
+// exploration.
+func TestAllocsLitmus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation regression bars are not run in -short")
+	}
+	p := harness.Litmus("MP", false)
+	allocs := testing.AllocsPerRun(5, func() {
+		res := core.New(mm.WMM).Run(p)
+		if res.Verdict != core.SafetyViolation {
+			t.Fatal(res)
+		}
+	})
+	// Measured ~1.4k; bar at 2.5k.
+	if allocs > 2500 {
+		t.Errorf("MP verification allocates %.0f objects, regression bar is 2500", allocs)
+	}
+}

@@ -118,7 +118,8 @@ func resolveWith(g *graph.Graph, e *graph.Event, w graph.EventID) *graph.Graph {
 		e2.Degraded = true // read-only resolution; see doc comment
 		e2.Val = 0
 	}
-	g2.Threads[e.ID.Thread][e.ID.Index] = &e2
+	// ReplaceEvent, not an indexed store: clones share thread slices.
+	g2.ReplaceEvent(e.ID, &e2)
 	g2.SetRF(e.ID, graph.FromW(w))
 	return g2
 }

@@ -25,6 +25,11 @@ type Checker struct {
 	// multiple paths; the fingerprint set prunes them and guarantees
 	// termination; disabling it shows the duplication cost).
 	DisableDedup bool
+	// LegacyDedup keys the visited set on canonical fingerprint strings
+	// instead of 128-bit structural hashes. Test-only: the differential
+	// tests run both paths and assert identical exploration (same pop
+	// counts, same verdicts); the hashed path is strictly faster.
+	LegacyDedup bool
 }
 
 // New returns a Checker for the given memory model with default limits.
@@ -42,10 +47,29 @@ type item struct {
 	forcedW   graph.EventID
 }
 
-func (it item) key() string {
+// keyLegacy is the historical string dedup key: the canonical graph
+// fingerprint plus a fmt-built forced-rf suffix. Kept only for the
+// differential tests (Checker.LegacyDedup).
+func (it item) keyLegacy() string {
 	k := it.g.Fingerprint()
 	if it.hasForced {
 		k += fmt.Sprintf("|F%v<-%v", it.forcedR, it.forcedW)
+	}
+	return k
+}
+
+// key returns the 128-bit structural dedup key: the graph's hash with
+// any forced (read, write) revisit pair folded in — no strings, no fmt,
+// two words per state.
+func (it item) key() graph.Hash128 {
+	k := it.g.Fingerprint128()
+	if it.hasForced {
+		h := graph.NewHasher128()
+		h.Word(k[0])
+		h.Word(k[1])
+		h.Word(uint64(uint32(it.forcedR.Thread))<<32 | uint64(uint32(it.forcedR.Index)))
+		h.Word(uint64(uint32(it.forcedW.Thread))<<32 | uint64(uint32(it.forcedW.Index)))
+		k = h.Sum()
 	}
 	return k
 }
@@ -57,8 +81,15 @@ type run struct {
 	vars    *vprog.VarSet
 	final   vprog.FinalCheck
 	stack   []item
-	visited map[string]bool
-	res     *Result
+	visited map[graph.Hash128]struct{}
+	// visitedLegacy replaces visited under Checker.LegacyDedup.
+	visitedLegacy map[string]bool
+	res           *Result
+
+	// rres and rfbuf are per-step scratch buffers, reused across the
+	// millions of popped states of a large run.
+	rres  []replayResult
+	rfbuf []graph.RF
 }
 
 // Run verifies the program: it explores the execution graphs of p under
@@ -79,7 +110,12 @@ const cancelCheckEvery = 256
 // result (no verdict about the program is implied).
 func (c *Checker) RunCtx(ctx context.Context, p *vprog.Program) *Result {
 	start := time.Now()
-	r := &run{c: c, visited: make(map[string]bool), res: &Result{}}
+	r := &run{c: c, res: &Result{}}
+	if c.LegacyDedup {
+		r.visitedLegacy = make(map[string]bool)
+	} else {
+		r.visited = make(map[graph.Hash128]struct{})
+	}
 	defer func() { r.res.Duration = time.Since(start) }()
 
 	r.vars = &vprog.VarSet{}
@@ -119,17 +155,29 @@ func (c *Checker) RunCtx(ctx context.Context, p *vprog.Program) *Result {
 // run is finished (violation found or internal error).
 func (r *run) step(it item) bool {
 	if !r.c.DisableDedup {
-		key := it.key()
-		if r.visited[key] {
-			r.res.Stats.Duplicates++
-			return false
+		if r.c.LegacyDedup {
+			key := it.keyLegacy()
+			if r.visitedLegacy[key] {
+				r.res.Stats.Duplicates++
+				return false
+			}
+			r.visitedLegacy[key] = true
+		} else {
+			key := it.key()
+			if _, dup := r.visited[key]; dup {
+				r.res.Stats.Duplicates++
+				return false
+			}
+			r.visited[key] = struct{}{}
 		}
-		r.visited[key] = true
 	}
 
 	// Replay every thread against the graph (reconstructing the program
 	// state, Fig. 6), collecting pending ops and await iteration records.
-	rres := make([]replayResult, len(r.threads))
+	if r.rres == nil {
+		r.rres = make([]replayResult, len(r.threads))
+	}
+	rres := r.rres
 	for t, fn := range r.threads {
 		rres[t] = replayThread(it.g, t, fn, r.vars.Vars)
 		if rres[t].err != nil {
@@ -228,15 +276,18 @@ func (r *run) step(it item) bool {
 		return true
 	case opFence:
 		g2 := it.g.Clone()
-		g2.Append(r.mkEvent(g2, runnable, p))
+		e := r.mkEvent(g2, runnable, p)
+		g2.Append(e)
+		g2.NoteExtended(it.g, e)
 		r.push(item{g: g2})
 	case opWrite:
 		r.extendWrite(it.g, runnable, p)
 	case opRead, opUpdate:
-		var choices []graph.RF
+		choices := r.rfbuf[:0]
 		for _, w := range it.g.Mo[p.loc] {
 			choices = append(choices, graph.FromW(w))
 		}
+		r.rfbuf = choices
 		r.extendReadLike(it.g, runnable, p, choices, p.inAwait)
 	}
 	return false
@@ -245,10 +296,19 @@ func (r *run) step(it item) bool {
 // mkEvent builds the event for pending op p as the next event of thread
 // t in g (value fields filled by the caller for read-likes).
 func (r *run) mkEvent(g *graph.Graph, t int, p *pending) *graph.Event {
-	kind := map[opKind]graph.Kind{
-		opRead: graph.KRead, opWrite: graph.KWrite, opUpdate: graph.KUpdate,
-		opFence: graph.KFence, opError: graph.KError,
-	}[p.kind]
+	var kind graph.Kind
+	switch p.kind {
+	case opRead:
+		kind = graph.KRead
+	case opWrite:
+		kind = graph.KWrite
+	case opUpdate:
+		kind = graph.KUpdate
+	case opFence:
+		kind = graph.KFence
+	case opError:
+		kind = graph.KError
+	}
 	seq, iter := -1, 0
 	if p.inAwait {
 		seq, iter = p.awaitSeq, p.awaitIter
@@ -286,6 +346,7 @@ func (r *run) extendWrite(g *graph.Graph, t int, p *pending) {
 		e := r.mkEvent(g2, t, p)
 		g2.Append(e)
 		g2.InsertMo(p.loc, e.ID, pos)
+		g2.NoteExtended(g, e)
 		r.push(item{g: g2})
 		r.pushRevisits(g2, e)
 	}
@@ -315,10 +376,12 @@ func (r *run) extendReadLike(g *graph.Graph, t int, p *pending, choices []graph.
 				continue // source vanished (cannot happen)
 			}
 			g2.InsertMo(p.loc, e.ID, src+1)
+			g2.NoteExtended(g, e)
 			r.push(item{g: g2})
 			r.pushRevisits(g2, e)
 			continue
 		}
+		g2.NoteExtended(g, e)
 		r.push(item{g: g2})
 	}
 	if withBottom {
@@ -328,6 +391,7 @@ func (r *run) extendReadLike(g *graph.Graph, t int, p *pending, choices []graph.
 		e := r.mkEvent(g2, t, p)
 		g2.Append(e)
 		g2.SetRF(e.ID, graph.BottomRF)
+		g2.NoteExtended(g, e)
 		r.push(item{g: g2})
 	}
 }
@@ -339,71 +403,83 @@ func (r *run) extendReadLike(g *graph.Graph, t int, p *pending, choices []graph.
 // w's porf prefix, and r's re-addition is forced to read from w.
 func (r *run) pushRevisits(g2 *graph.Graph, w *graph.Event) {
 	porf := g2.PorfPrefix(w.ID)
-	rstampOf := func(id graph.EventID) int { return g2.Event(id).Stamp }
-	for _, rd := range g2.ReadsOf(w.Loc) {
-		if rd == w.ID || porf[rd] {
-			continue
-		}
-		if g2.Rf[rd] == graph.FromW(w.ID) {
-			continue
-		}
-		rstamp := rstampOf(rd)
-		keep := make(map[graph.EventID]bool)
-		for _, evs := range g2.Threads {
-			for _, e := range evs {
-				if e.Stamp < rstamp || porf[e.ID] || e.ID == w.ID {
-					keep[e.ID] = true
-				}
+	// Same-location reads in (thread, index) order — the iteration
+	// ReadsOf would return, without materializing the slice per write.
+	for _, revs := range g2.Threads {
+		for _, rdEv := range revs {
+			if !rdEv.IsReadLike() || rdEv.Loc != w.Loc {
+				continue
 			}
+			r.pushRevisit(g2, w, porf, rdEv)
 		}
-		delete(keep, rd)
-		// Closure-drop: a kept read whose rf source was dropped cannot
-		// keep its value; truncate its thread there and iterate.
-		for changed := true; changed; {
-			changed = false
-			for _, evs := range g2.Threads {
-				alive := true
-				for _, e := range evs {
-					if !keep[e.ID] {
-						alive = false
-					}
-					if !alive {
-						if keep[e.ID] {
-							delete(keep, e.ID)
-							changed = true
-						}
-						continue
-					}
-					if e.IsReadLike() {
-						rf := g2.Rf[e.ID]
-						if !rf.Bottom && !rf.W.IsInit() && !keep[rf.W] {
-							delete(keep, e.ID)
-							alive = false
-							changed = true
-						}
-					}
-				}
-			}
-		}
-		if !keep[w.ID] {
-			continue // the new write itself was dropped: nothing to revisit
-		}
-		// r must be re-addable as the next event of its thread.
-		pfx := 0
-		for _, e := range g2.Threads[rd.Thread] {
-			if !keep[e.ID] {
-				break
-			}
-			pfx++
-		}
-		if pfx != rd.Index {
-			continue
-		}
-		g3 := g2.Clone()
-		g3.RestrictTo(keep)
-		r.res.Stats.Revisits++
-		r.push(item{g: g3, hasForced: true, forcedR: rd, forcedW: w.ID})
 	}
+}
+
+// pushRevisit generates the revisit child (if any) for one candidate
+// read rdEv against the freshly added write w.
+func (r *run) pushRevisit(g2 *graph.Graph, w *graph.Event, porf *graph.EventSet, rdEv *graph.Event) {
+	rd := rdEv.ID
+	if rd == w.ID || porf.Has(rdEv) {
+		return
+	}
+	if g2.Rf[rd] == graph.FromW(w.ID) {
+		return
+	}
+	rstamp := rdEv.Stamp
+	keep := graph.NewEventSet(g2.NextStamp)
+	for _, evs := range g2.Threads {
+		for _, e := range evs {
+			if e.Stamp < rstamp || porf.Has(e) || e.ID == w.ID {
+				keep.Add(e)
+			}
+		}
+	}
+	keep.Remove(rdEv)
+	// Closure-drop: a kept read whose rf source was dropped cannot
+	// keep its value; truncate its thread there and iterate.
+	for changed := true; changed; {
+		changed = false
+		for _, evs := range g2.Threads {
+			alive := true
+			for _, e := range evs {
+				if !keep.Has(e) {
+					alive = false
+					continue
+				}
+				if !alive {
+					keep.Remove(e)
+					changed = true
+					continue
+				}
+				if e.IsReadLike() {
+					rf := g2.Rf[e.ID]
+					if !rf.Bottom && !rf.W.IsInit() && !keep.Has(g2.Event(rf.W)) {
+						keep.Remove(e)
+						alive = false
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	if !keep.Has(w) {
+		return // the new write itself was dropped: nothing to revisit
+	}
+	// r must be re-addable as the next event of its thread.
+	pfx := 0
+	for _, e := range g2.Threads[rd.Thread] {
+		if !keep.Has(e) {
+			break
+		}
+		pfx++
+	}
+	if pfx != rd.Index {
+		return
+	}
+	g3 := g2.Clone()
+	g3.RestrictTo(keep)
+	r.res.Stats.Revisits++
+	r.push(item{g: g3, hasForced: true, forcedR: rd, forcedW: w.ID})
 }
 
 // wasteful implements W(G) (Def. 2): some await reads from the same

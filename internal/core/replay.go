@@ -37,8 +37,21 @@ const (
 	opError
 )
 
+// upKind classifies the update operation of an opUpdate pending.
+type upKind uint8
+
+const (
+	upNone upKind = iota
+	upXchg
+	upCAS
+	upFAA
+)
+
 // pending describes the next shared-memory operation a thread wants to
-// perform, discovered by replaying the thread against the graph.
+// perform, discovered by replaying the thread against the graph. It is
+// a plain value (update semantics are carried as operands, not a
+// closure) so the replay loop can build one per instruction on the
+// stack; only the op a thread actually stops on escapes to the heap.
 type pending struct {
 	kind opKind
 	loc  graph.Loc
@@ -50,10 +63,29 @@ type pending struct {
 	awaitSeq  int
 	awaitIter int
 
-	// compute derives the written value of an update from the value
-	// read; degraded reports that the update behaves as a plain read
-	// (failed CAS, or a write of the very value read — footnote 5).
-	compute func(read graph.Val) (write graph.Val, degraded bool)
+	// up/a/b encode the update semantics of an opUpdate: Xchg writes a,
+	// CmpXchg compares against a and writes b, FetchAdd adds a.
+	up   upKind
+	a, b graph.Val
+}
+
+// compute derives the written value of an update from the value read;
+// degraded reports that the update behaves as a plain read (failed
+// CAS, or a write of the very value read — footnote 5 of the paper:
+// only value-changing writes matter).
+func (p *pending) compute(read graph.Val) (write graph.Val, degraded bool) {
+	switch p.up {
+	case upXchg:
+		return p.a, p.a == read
+	case upCAS:
+		if read != p.a {
+			return 0, true // failed CAS: a plain read
+		}
+		return p.b, p.b == read
+	case upFAA:
+		return read + p.a, p.a == 0
+	}
+	panic("core: compute on a non-update pending")
 }
 
 // iterRec records one await iteration observed during replay.
@@ -124,11 +156,15 @@ func (m *replayMem) tag(p *pending) *pending {
 // next consumes the next graph event, checking that it matches what the
 // program generated (the consP consistency of §2.1.2); if the graph has
 // no more events for this thread, it records p as the pending op and
-// unwinds.
-func (m *replayMem) next(kind graph.Kind, loc graph.Loc, mode graph.Mode, p *pending) *graph.Event {
+// unwinds. p is taken by value and copied to the heap only on that
+// stop path — replays run once per thread per popped graph, and the
+// per-instruction pendings must not allocate.
+func (m *replayMem) next(kind graph.Kind, loc graph.Loc, mode graph.Mode, p pending) *graph.Event {
 	evs := m.events()
 	if m.idx >= len(evs) {
-		m.stop(m.tag(p))
+		pp := new(pending)
+		*pp = p
+		m.stop(m.tag(pp))
 	}
 	e := evs[m.idx]
 	if e.Kind != kind || (kind != graph.KFence && e.Loc != loc) || e.Mode != mode {
@@ -161,27 +197,26 @@ func (m *replayMem) recordRead(e *graph.Event) {
 }
 
 func (m *replayMem) Load(v *vprog.Var, mode vprog.Mode) uint64 {
-	e := m.next(graph.KRead, graph.Loc(v.ID), mode, &pending{kind: opRead, loc: graph.Loc(v.ID), mode: mode})
+	e := m.next(graph.KRead, graph.Loc(v.ID), mode, pending{kind: opRead, loc: graph.Loc(v.ID), mode: mode})
 	m.recordRead(e)
 	return m.readVal(e)
 }
 
 func (m *replayMem) Store(v *vprog.Var, x uint64, mode vprog.Mode) {
 	e := m.next(graph.KWrite, graph.Loc(v.ID), mode,
-		&pending{kind: opWrite, loc: graph.Loc(v.ID), mode: mode, val: x})
+		pending{kind: opWrite, loc: graph.Loc(v.ID), mode: mode, val: x})
 	if e.Val != x {
 		m.fail("program stores %d but graph holds %s", x, e)
 	}
 }
 
 // update is the common path of Xchg/CmpXchg/FetchAdd.
-func (m *replayMem) update(v *vprog.Var, mode vprog.Mode,
-	compute func(graph.Val) (graph.Val, bool)) graph.Val {
-	e := m.next(graph.KUpdate, graph.Loc(v.ID), mode,
-		&pending{kind: opUpdate, loc: graph.Loc(v.ID), mode: mode, compute: compute})
+func (m *replayMem) update(v *vprog.Var, mode vprog.Mode, up upKind, a, b graph.Val) graph.Val {
+	p := pending{kind: opUpdate, loc: graph.Loc(v.ID), mode: mode, up: up, a: a, b: b}
+	e := m.next(graph.KUpdate, graph.Loc(v.ID), mode, p)
 	m.recordRead(e)
 	rv := m.readVal(e)
-	wv, degr := compute(rv)
+	wv, degr := p.compute(rv)
 	if degr != e.Degraded || (!degr && wv != e.Val) {
 		m.fail("update recomputation mismatch: read %d gives (%d,%t) but graph holds %s", rv, wv, degr, e)
 	}
@@ -189,28 +224,23 @@ func (m *replayMem) update(v *vprog.Var, mode vprog.Mode,
 }
 
 func (m *replayMem) Xchg(v *vprog.Var, x uint64, mode vprog.Mode) uint64 {
-	return m.update(v, mode, func(r graph.Val) (graph.Val, bool) { return x, x == r })
+	return m.update(v, mode, upXchg, x, 0)
 }
 
 func (m *replayMem) CmpXchg(v *vprog.Var, old, new uint64, mode vprog.Mode) (uint64, bool) {
-	r := m.update(v, mode, func(r graph.Val) (graph.Val, bool) {
-		if r != old {
-			return 0, true // failed CAS: a plain read
-		}
-		return new, new == r
-	})
+	r := m.update(v, mode, upCAS, old, new)
 	return r, r == old
 }
 
 func (m *replayMem) FetchAdd(v *vprog.Var, delta uint64, mode vprog.Mode) uint64 {
-	return m.update(v, mode, func(r graph.Val) (graph.Val, bool) { return r + delta, delta == 0 })
+	return m.update(v, mode, upFAA, delta, 0)
 }
 
 func (m *replayMem) Fence(mode vprog.Mode) {
 	if mode == vprog.ModeNone {
 		return // eliminated fence
 	}
-	m.next(graph.KFence, 0, mode, &pending{kind: opFence, mode: mode})
+	m.next(graph.KFence, 0, mode, pending{kind: opFence, mode: mode})
 }
 
 func (m *replayMem) AwaitWhile(cond func() bool) {

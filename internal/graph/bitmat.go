@@ -1,5 +1,10 @@
 package graph
 
+import (
+	"math/bits"
+	"sync"
+)
+
 // BitMat is a dense n×n boolean matrix backed by uint64 words, used to
 // represent binary relations over events and to compute transitive
 // closures cheaply (row-parallel Warshall). It is the workhorse of the
@@ -14,6 +19,41 @@ type BitMat struct {
 func NewBitMat(n int) *BitMat {
 	w := (n + 63) / 64
 	return &BitMat{n: n, words: w, bits: make([]uint64, n*w)}
+}
+
+// matPool recycles BitMat scratch matrices. The consistency predicates
+// in internal/mm run once per explored graph and need a handful of
+// temporaries each (closure scratch, relation unions, compositions);
+// without pooling those dominate the allocation profile of the AMC hot
+// path. Pooled matrices keep their word buffer across uses and are
+// re-zeroed on checkout.
+var matPool = sync.Pool{New: func() any { return new(BitMat) }}
+
+// NewBitMatPooled returns an empty n×n relation backed by a recycled
+// word buffer when one of sufficient capacity is available. The caller
+// must Release it when done and must not retain references past that.
+func NewBitMatPooled(n int) *BitMat {
+	m := matPool.Get().(*BitMat)
+	w := (n + 63) / 64
+	need := n * w
+	if cap(m.bits) < need {
+		m.bits = make([]uint64, need)
+	} else {
+		m.bits = m.bits[:need]
+		clear(m.bits)
+	}
+	m.n, m.words = n, w
+	return m
+}
+
+// Release returns a matrix obtained from NewBitMatPooled (or
+// ClonePooled) to the scratch pool. Releasing a matrix that is still
+// referenced elsewhere corrupts later users; only release temporaries.
+func (m *BitMat) Release() {
+	if m == nil {
+		return
+	}
+	matPool.Put(m)
 }
 
 // N returns the dimension.
@@ -32,6 +72,46 @@ func (m *BitMat) Clone() *BitMat {
 	c := &BitMat{n: m.n, words: m.words, bits: make([]uint64, len(m.bits))}
 	copy(c.bits, m.bits)
 	return c
+}
+
+// ClonePooled is Clone backed by the scratch pool; Release applies.
+func (m *BitMat) ClonePooled() *BitMat {
+	c := matPool.Get().(*BitMat)
+	if cap(c.bits) < len(m.bits) {
+		c.bits = make([]uint64, len(m.bits))
+	} else {
+		c.bits = c.bits[:len(m.bits)]
+	}
+	copy(c.bits, m.bits)
+	c.n, c.words = m.n, m.words
+	return c
+}
+
+// grown returns an (n+1)×(n+1) copy of m with the new row and column
+// empty — the matrix-shape half of Rels.Extend.
+func (m *BitMat) grown() *BitMat {
+	g := NewBitMat(m.n + 1)
+	if g.words == m.words {
+		copy(g.bits, m.bits)
+		return g
+	}
+	for i := 0; i < m.n; i++ {
+		copy(g.bits[i*g.words:i*g.words+m.words], m.bits[i*m.words:(i+1)*m.words])
+	}
+	return g
+}
+
+// Equal reports whether the two relations hold exactly the same pairs.
+func (m *BitMat) Equal(o *BitMat) bool {
+	if m.n != o.n {
+		return false
+	}
+	for i := range m.bits {
+		if m.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // OrWith adds all pairs of o into m (m |= o). The matrices must have the
@@ -59,16 +139,14 @@ func (m *BitMat) TransClose() {
 }
 
 // HasCycle reports whether the relation (viewed as a directed graph)
-// contains a cycle. m is not modified.
+// contains a cycle. m is not modified; the closure scratch comes from
+// the matrix pool.
 func (m *BitMat) HasCycle() bool {
-	c := m.Clone()
+	c := m.ClonePooled()
 	c.TransClose()
-	for i := 0; i < c.n; i++ {
-		if c.Get(i, i) {
-			return true
-		}
-	}
-	return false
+	cyc := !c.Irreflexive()
+	c.Release()
+	return cyc
 }
 
 // Irreflexive reports whether no element is related to itself.
@@ -84,8 +162,17 @@ func (m *BitMat) Irreflexive() bool {
 // Compose returns the relational composition m;o.
 func (m *BitMat) Compose(o *BitMat) *BitMat {
 	r := NewBitMat(m.n)
+	m.ComposeInto(o, r)
+	return r
+}
+
+// ComposeInto computes dst = m;o in place, overwriting dst (which must
+// have the same dimension and not alias m or o). It is the reuse
+// variant of Compose for pooled scratch matrices.
+func (m *BitMat) ComposeInto(o, dst *BitMat) {
+	clear(dst.bits)
 	for i := 0; i < m.n; i++ {
-		irow := r.bits[i*r.words : (i+1)*r.words]
+		irow := dst.bits[i*dst.words : (i+1)*dst.words]
 		for j := 0; j < m.n; j++ {
 			if m.Get(i, j) {
 				jrow := o.bits[j*o.words : (j+1)*o.words]
@@ -95,5 +182,44 @@ func (m *BitMat) Compose(o *BitMat) *BitMat {
 			}
 		}
 	}
-	return r
+}
+
+// IntersectsTranspose reports whether some pair (i, j) is in m while
+// (j, i) is in o — i.e. whether m ∩ o⁻¹ is non-empty. The memory-model
+// coherence axiom (irreflexive(hb;eco)) is exactly this test on (hb,
+// eco); doing it row-wise over set bits avoids materializing a product.
+func (m *BitMat) IntersectsTranspose(o *BitMat) bool {
+	for i := 0; i < m.n; i++ {
+		row := m.bits[i*m.words : (i+1)*m.words]
+		for w, word := range row {
+			for word != 0 {
+				j := w*64 + bits.TrailingZeros64(word)
+				if j < m.n && o.Get(j, i) {
+					return true
+				}
+				word &= word - 1
+			}
+		}
+	}
+	return false
+}
+
+// rowIntersects reports whether row i of m shares a set bit with the
+// word vector vec (len(vec) >= m.words).
+func (m *BitMat) rowIntersects(i int, vec []uint64) bool {
+	row := m.bits[i*m.words : (i+1)*m.words]
+	for w, word := range row {
+		if word&vec[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// orRowInto ors row i of m into the word vector vec.
+func (m *BitMat) orRowInto(i int, vec []uint64) {
+	row := m.bits[i*m.words : (i+1)*m.words]
+	for w, word := range row {
+		vec[w] |= word
+	}
 }

@@ -1,0 +1,41 @@
+package graph
+
+// EventSet is a bitset over the explicit events of one graph, indexed
+// by addition stamp. It replaces the map[EventID]bool sets that the
+// explorer's revisit machinery used to allocate per pushed state:
+// membership is one shift-and-mask, and the whole set is one word
+// slice. Init events (stamp 0) are never members — the porf prefix and
+// the revisit keep-sets only ever track explicit events.
+type EventSet struct {
+	bits []uint64
+}
+
+// NewEventSet returns an empty set for a graph whose stamps are below
+// nextStamp (pass Graph.NextStamp).
+func NewEventSet(nextStamp int) *EventSet {
+	return &EventSet{bits: make([]uint64, (nextStamp+63)/64)}
+}
+
+// Add inserts the event (no-op for init events, which carry stamp 0).
+func (s *EventSet) Add(e *Event) {
+	if e.Stamp <= 0 {
+		return
+	}
+	s.bits[e.Stamp/64] |= 1 << (uint(e.Stamp) % 64)
+}
+
+// Remove deletes the event from the set.
+func (s *EventSet) Remove(e *Event) {
+	if e.Stamp <= 0 {
+		return
+	}
+	s.bits[e.Stamp/64] &^= 1 << (uint(e.Stamp) % 64)
+}
+
+// Has reports membership. Init events are never members.
+func (s *EventSet) Has(e *Event) bool {
+	if e.Stamp <= 0 {
+		return false
+	}
+	return s.bits[e.Stamp/64]&(1<<(uint(e.Stamp)%64)) != 0
+}

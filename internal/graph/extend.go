@@ -1,0 +1,212 @@
+package graph
+
+// Extend computes the relations of g incrementally, where g was derived
+// from the graph r describes by appending exactly the event e (with its
+// rf choice recorded and, for write-likes, its mo position inserted).
+// This is the exploration hot path: instead of re-deriving sb/rf/mo/fr/
+// sw and re-running two O(n³/64) transitive closures, Extend copies the
+// parent's matrices with one extra row/column and adds only the edges
+// the new event introduces.
+//
+// Why this is sound (and what the invariants are):
+//
+//   - e has the largest stamp in g, so it takes dense index N: existing
+//     indices never shift.
+//   - Appending an event never changes a relation edge between two
+//     existing events, with one exception: eco gains self-loops on
+//     events that both reach and are reached by e. All direct new
+//     sb/sw edges point INTO e (it is the last event of its thread and
+//     nothing reads from it yet), so hb stays closed after adding e's
+//     column. Eco gains both in-edges (rf source, mo predecessors,
+//     fr from reads with earlier sources) and out-edges (mo successors,
+//     fr targets), but every direct in×out pair is already covered by a
+//     direct mo or fr edge between the existing endpoints — except when
+//     the two endpoints coincide, which is exactly the self-loop case.
+//
+// TestExtendMatchesBuild cross-checks every matrix against BuildRels on
+// randomized exploration histories.
+func (r *Rels) Extend(g *Graph, e *Event) *Rels {
+	n := r.N
+	ni := n // dense index of the new event
+	nr := &Rels{G: g, N: n + 1, nInit: r.nInit}
+	nr.Ev = append(r.Ev[:n:n], e)
+	nr.tIdx = make([][]int32, len(r.tIdx))
+	copy(nr.tIdx, r.tIdx)
+	trow := r.tIdx[e.ID.Thread]
+	nr.tIdx[e.ID.Thread] = append(trow[:len(trow):len(trow)], int32(ni))
+
+	nr.Sb = r.Sb.grown()
+	nr.SbLoc = r.SbLoc.grown()
+	nr.RfM = r.RfM.grown()
+	nr.MoM = r.MoM.grown()
+	nr.FrM = r.FrM.grown()
+	nr.SwM = r.SwM.grown()
+
+	words := nr.Sb.words
+	hbIn := make([]uint64, words)  // direct sb ∪ sw edges u -> e
+	ecoIn := make([]uint64, words) // direct rf ∪ mo ∪ fr edges u -> e
+	ecoOut := make([]uint64, words)
+	mark := func(vec []uint64, u int) { vec[u/64] |= 1 << (uint(u) % 64) }
+	marked := func(vec []uint64, u int) bool { return vec[u/64]&(1<<(uint(u)%64)) != 0 }
+
+	// sb / sb-loc: inits and po predecessors precede e.
+	isAccess := e.Kind != KFence && e.Kind != KError
+	for i := 0; i < r.nInit; i++ {
+		nr.Sb.Set(i, ni)
+		mark(hbIn, i)
+		if isAccess && r.Ev[i].Loc == e.Loc {
+			nr.SbLoc.Set(i, ni)
+		}
+	}
+	for _, p := range g.Threads[e.ID.Thread][:e.ID.Index] {
+		pi := int(trow[p.ID.Index])
+		nr.Sb.Set(pi, ni)
+		mark(hbIn, pi)
+		if isAccess && p.Kind != KFence && p.Kind != KError && p.Loc == e.Loc {
+			nr.SbLoc.Set(pi, ni)
+		}
+	}
+
+	// rf and fr contributed by e's read part.
+	rf := g.Rf[e.ID]
+	if e.IsReadLike() && !rf.Bottom {
+		wi := r.IndexOf(rf.W)
+		nr.RfM.Set(wi, ni)
+		mark(ecoIn, wi)
+		order := g.Mo[e.Loc]
+		src := -1
+		for i, w := range order {
+			if w == rf.W {
+				src = i
+				break
+			}
+		}
+		for i := src + 1; src >= 0 && i < len(order); i++ {
+			if order[i] == e.ID {
+				continue // an update never fr-precedes itself
+			}
+			oi := r.IndexOf(order[i])
+			nr.FrM.Set(ni, oi)
+			mark(ecoOut, oi)
+		}
+	}
+
+	// mo and incoming fr contributed by e's write part. A write-like
+	// event absent from mo (a blocked update whose rf is still ⊥)
+	// contributes nothing, exactly as in BuildRels.
+	if e.IsWriteLike() {
+		order := g.Mo[e.Loc]
+		pos := -1
+		for i, w := range order {
+			if w == e.ID {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			order = nil
+		}
+		for i := 0; i < pos; i++ {
+			pi := r.IndexOf(order[i])
+			nr.MoM.Set(pi, ni)
+			mark(ecoIn, pi)
+		}
+		for i := pos + 1; i < len(order); i++ {
+			si := r.IndexOf(order[i])
+			nr.MoM.Set(ni, si)
+			mark(ecoOut, si)
+		}
+		// Every existing read whose source is mo-before e now also
+		// from-reads e.
+		for rd, rrf := range g.Rf {
+			if rrf.Bottom || rd == e.ID {
+				continue
+			}
+			if g.Event(rd).Loc != e.Loc {
+				continue
+			}
+			src := -1
+			for i, w := range order {
+				if w == rrf.W {
+					src = i
+					break
+				}
+			}
+			if src >= 0 && src < pos {
+				ri := r.IndexOf(rd)
+				nr.FrM.Set(ri, ni)
+				mark(ecoIn, ri)
+			}
+		}
+	}
+
+	// sw: as the last event of its thread that nothing reads from yet,
+	// e only ever RECEIVES synchronizes-with edges — as an acquire
+	// read-like from the release sides of its rf source's release
+	// sequence, or as an acquire fence on behalf of the po-earlier reads
+	// of its thread. (Release sides of e affect only future events.)
+	emit := func(s int) {
+		if s != ni {
+			nr.SwM.Set(s, ni)
+			mark(hbIn, s)
+		}
+	}
+	if e.IsReadLike() && !rf.Bottom && e.Mode.HasAcq() {
+		r.swFromBases(g, rf.W, emit)
+	}
+	if e.Kind == KFence && e.Mode.HasAcq() {
+		for _, rd := range g.Threads[e.ID.Thread][:e.ID.Index] {
+			if !rd.IsReadLike() {
+				continue
+			}
+			rrf := g.Rf[rd.ID]
+			if rrf.Bottom {
+				continue
+			}
+			r.swFromBases(g, rrf.W, emit)
+		}
+	}
+
+	// hb: every new edge points into e, so the old closure stays closed;
+	// e's column is the direct predecessors plus everything hb-before
+	// one of them.
+	nr.Hb = r.Hb.grown()
+	for v := 0; v < n; v++ {
+		if marked(hbIn, v) || r.Hb.rowIntersects(v, hbIn) {
+			nr.Hb.Set(v, ni)
+		}
+	}
+
+	// eco: the column is everything that reaches a direct in-edge, the
+	// row everything reachable from a direct out-edge, and the only new
+	// edges between existing events are self-loops on events that both
+	// reach and are reached by e.
+	nr.Eco = r.Eco.grown()
+	ecoCol := make([]uint64, words)
+	ecoRow := make([]uint64, words)
+	copy(ecoRow, ecoOut)
+	for v := 0; v < n; v++ {
+		if marked(ecoOut, v) {
+			r.Eco.orRowInto(v, ecoRow)
+		}
+		if marked(ecoIn, v) || r.Eco.rowIntersects(v, ecoIn) {
+			mark(ecoCol, v)
+			nr.Eco.Set(v, ni)
+		}
+	}
+	cyclic := false
+	for v := 0; v < n; v++ {
+		if marked(ecoRow, v) {
+			nr.Eco.Set(ni, v)
+			if marked(ecoCol, v) {
+				nr.Eco.Set(v, v)
+				cyclic = true
+			}
+		}
+	}
+	if cyclic {
+		nr.Eco.Set(ni, ni)
+	}
+
+	return nr
+}

@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randExtendHistory appends nSteps random events to g the way the
+// explorer does (clone-free here: we mutate one graph and snapshot
+// relations), calling check after every append with the pre-append
+// relations, the post-append graph and the new event.
+func randExtendHistory(t *testing.T, rng *rand.Rand, nThreads, nLocs, nSteps int,
+	check func(prev *Rels, g *Graph, e *Event)) {
+	t.Helper()
+	initVals := make([]Val, nLocs)
+	names := make([]string, nLocs)
+	for l := range names {
+		names[l] = fmt.Sprintf("v%d", l)
+	}
+	g := New(nThreads, initVals, names)
+	modes := []Mode{Rlx, Acq, Rel, AcqRel, SC}
+	val := Val(1)
+	for s := 0; s < nSteps; s++ {
+		prev := BuildRels(g)
+		tid := rng.Intn(nThreads)
+		loc := Loc(rng.Intn(nLocs))
+		mode := modes[rng.Intn(len(modes))]
+		e := &Event{
+			ID:       EventID{Thread: tid, Index: len(g.Threads[tid])},
+			Mode:     mode,
+			Loc:      loc,
+			AwaitSeq: -1,
+		}
+		switch k := rng.Intn(10); {
+		case k < 3: // write
+			e.Kind = KWrite
+			e.Val = val
+			val++
+			g.Append(e)
+			g.InsertMo(loc, e.ID, 1+rng.Intn(len(g.Mo[loc])))
+		case k < 6: // read (sometimes bottom)
+			e.Kind = KRead
+			if rng.Intn(4) == 0 {
+				g.Append(e)
+				g.SetRF(e.ID, BottomRF)
+			} else {
+				order := g.Mo[loc]
+				w := order[rng.Intn(len(order))]
+				e.RVal = g.WriteVal(w)
+				g.Append(e)
+				g.SetRF(e.ID, FromW(w))
+			}
+		case k < 8: // update (sometimes degraded or blocked on ⊥)
+			e.Kind = KUpdate
+			if rng.Intn(5) == 0 {
+				// Blocked update: ⊥ rf, write part not yet in mo.
+				g.Append(e)
+				g.SetRF(e.ID, BottomRF)
+				break
+			}
+			order := g.Mo[loc]
+			src := rng.Intn(len(order))
+			w := order[src]
+			e.RVal = g.WriteVal(w)
+			if rng.Intn(3) == 0 {
+				e.Degraded = true
+				g.Append(e)
+				g.SetRF(e.ID, FromW(w))
+			} else {
+				e.Val = val
+				val++
+				g.Append(e)
+				g.SetRF(e.ID, FromW(w))
+				g.InsertMo(loc, e.ID, src+1)
+			}
+		default: // fence
+			e.Kind = KFence
+			e.Loc = 0
+			g.Append(e)
+		}
+		check(prev, g, e)
+	}
+}
+
+// TestAllocsExtend bounds the allocations of one incremental relation
+// extension: the grown matrices (8), the Rels struct, the index row and
+// the closure-update vectors — and nothing per-event. Gated out of
+// -short like the other allocation bars.
+func TestAllocsExtend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation regression bars are not run in -short")
+	}
+	g := New(2, []Val{0, 0}, []string{"x", "y"})
+	val := Val(1)
+	for i := 0; i < 12; i++ {
+		w := &Event{ID: EventID{Thread: i % 2, Index: i / 2}, Kind: KWrite, Mode: Rel,
+			Loc: Loc(i % 2), Val: val, AwaitSeq: -1}
+		val++
+		g.Append(w)
+		g.InsertMo(w.Loc, w.ID, 1)
+	}
+	prev := BuildRels(g)
+	e := &Event{ID: EventID{Thread: 0, Index: 6}, Kind: KWrite, Mode: Rel, Loc: 0, Val: val, AwaitSeq: -1}
+	g.Append(e)
+	g.InsertMo(0, e.ID, 1)
+	allocs := testing.AllocsPerRun(100, func() {
+		prev.Extend(g, e)
+	})
+	// Measured ~17; bar at 30.
+	if allocs > 30 {
+		t.Errorf("Rels.Extend allocates %.0f objects, regression bar is 30", allocs)
+	}
+}
+
+// TestExtendMatchesBuild is the correctness bar of the incremental
+// relations: on randomized exploration histories, Rels.Extend must
+// produce exactly the matrices BuildRels derives from scratch.
+func TestExtendMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		nThreads := 2 + rng.Intn(2)
+		nLocs := 1 + rng.Intn(3)
+		randExtendHistory(t, rng, nThreads, nLocs, 14, func(prev *Rels, g *Graph, e *Event) {
+			ext := prev.Extend(g, e)
+			full := BuildRels(g)
+			if ext.N != full.N {
+				t.Fatalf("trial %d: N=%d, want %d", trial, ext.N, full.N)
+			}
+			for i, ev := range full.Ev {
+				if ext.Ev[i].ID != ev.ID {
+					t.Fatalf("trial %d: Ev[%d] = %v, want %v", trial, i, ext.Ev[i].ID, ev.ID)
+				}
+			}
+			pairs := []struct {
+				name      string
+				got, want *BitMat
+			}{
+				{"sb", ext.Sb, full.Sb},
+				{"sbloc", ext.SbLoc, full.SbLoc},
+				{"rf", ext.RfM, full.RfM},
+				{"mo", ext.MoM, full.MoM},
+				{"fr", ext.FrM, full.FrM},
+				{"sw", ext.SwM, full.SwM},
+				{"hb", ext.Hb, full.Hb},
+				{"eco", ext.Eco, full.Eco},
+			}
+			for _, p := range pairs {
+				if !p.got.Equal(p.want) {
+					t.Fatalf("trial %d: %s differs after appending %v\ngraph:\n%s",
+						trial, p.name, e, g.Render())
+				}
+			}
+		})
+	}
+}

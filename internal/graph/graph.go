@@ -42,6 +42,37 @@ type Graph struct {
 
 	// NextStamp is the next addition timestamp.
 	NextStamp int
+
+	// initEvs holds the synthesized init write events (stamp 0, one per
+	// location), built once in New and shared by all clones.
+	initEvs []*Event
+
+	// rels memoizes the derived relations of the current graph state
+	// (see RelsOf); every mutation invalidates it. extParent/extEvent
+	// record that this graph was derived from extParent by appending
+	// exactly extEvent (plus its rf/mo bookkeeping), which lets RelsOf
+	// extend the parent's relations incrementally instead of rebuilding
+	// them from scratch.
+	rels      *Rels
+	extParent *Graph
+	extEvent  *Event
+}
+
+// invalidate drops the memoized relations and the extension hint; every
+// mutating method calls it, so a stale hint can never describe a graph
+// that was mutated after NoteExtended.
+func (g *Graph) invalidate() {
+	g.rels = nil
+	g.extParent, g.extEvent = nil, nil
+}
+
+// NoteExtended records that g was derived from parent by appending
+// exactly event e (with its rf choice and mo insertion already
+// applied). RelsOf uses the hint to extend parent's relations with one
+// row/column instead of re-deriving everything. Call it after the last
+// mutation; any further mutation clears the hint.
+func (g *Graph) NoteExtended(parent *Graph, e *Event) {
+	g.extParent, g.extEvent = parent, e
 }
 
 // New returns an empty graph for nthreads threads and the given
@@ -55,14 +86,30 @@ func New(nthreads int, initVals []Val, locNames []string) *Graph {
 		Mo:        make([][]EventID, len(initVals)),
 		NextStamp: 1,
 	}
+	g.initEvs = make([]*Event, len(initVals))
 	for l := range g.Mo {
 		g.Mo[l] = []EventID{{Thread: InitThread, Index: l}}
+		g.initEvs[l] = &Event{
+			ID:       EventID{Thread: InitThread, Index: l},
+			Kind:     KWrite,
+			Mode:     Rlx,
+			Loc:      Loc(l),
+			Val:      initVals[l],
+			AwaitSeq: -1,
+		}
 	}
 	return g
 }
 
 // Clone returns an independent copy of g. Event nodes are shared (they
-// are immutable once added).
+// are immutable once added), and so are the per-thread event slices and
+// per-location mo orders: the clone holds capacity-clamped views
+// (s[:len:len]) of the parent's backing arrays, so any append on either
+// side reallocates instead of writing into shared memory. The only
+// in-place mutations of slice prefixes go through InsertMo,
+// ReplaceEvent and RestrictTo, which always build fresh slices. This
+// makes Clone O(threads + locations) instead of O(events), which
+// matters because exploration clones once per branch.
 func (g *Graph) Clone() *Graph {
 	ng := &Graph{
 		Threads:   make([][]*Event, len(g.Threads)),
@@ -71,15 +118,16 @@ func (g *Graph) Clone() *Graph {
 		Rf:        make(map[EventID]RF, len(g.Rf)),
 		Mo:        make([][]EventID, len(g.Mo)),
 		NextStamp: g.NextStamp,
+		initEvs:   g.initEvs,
 	}
 	for t, evs := range g.Threads {
-		ng.Threads[t] = append([]*Event(nil), evs...)
+		ng.Threads[t] = evs[:len(evs):len(evs)]
 	}
 	for k, v := range g.Rf {
 		ng.Rf[k] = v
 	}
 	for l, order := range g.Mo {
-		ng.Mo[l] = append([]EventID(nil), order...)
+		ng.Mo[l] = order[:len(order):len(order)]
 	}
 	return ng
 }
@@ -94,20 +142,14 @@ func (g *Graph) NumEvents() int {
 }
 
 // Event returns the event with the given id, or nil if absent. Init ids
-// return a synthesized init write event.
+// return the graph's synthesized init write event (shared across clones
+// — init events are immutable like all others).
 func (g *Graph) Event(id EventID) *Event {
 	if id.IsInit() {
 		if id.Index < 0 || id.Index >= len(g.InitVals) {
 			return nil
 		}
-		return &Event{
-			ID:       id,
-			Kind:     KWrite,
-			Mode:     Rlx,
-			Loc:      Loc(id.Index),
-			Val:      g.InitVals[id.Index],
-			AwaitSeq: -1,
-		}
+		return g.initEvs[id.Index]
 	}
 	if id.Thread < 0 || id.Thread >= len(g.Threads) {
 		return nil
@@ -146,22 +188,42 @@ func (g *Graph) Append(e *Event) {
 	e.Stamp = g.NextStamp
 	g.NextStamp++
 	g.Threads[t] = append(g.Threads[t], e)
+	g.invalidate()
 }
 
 // SetRF records the reads-from choice for a read-like event.
-func (g *Graph) SetRF(r EventID, rf RF) { g.Rf[r] = rf }
+func (g *Graph) SetRF(r EventID, rf RF) {
+	g.Rf[r] = rf
+	g.invalidate()
+}
+
+// ReplaceEvent swaps the event at id for e. It always copies the
+// thread's event slice first: clones share slice backing arrays
+// (see Clone), so an in-place element write would leak into siblings.
+func (g *Graph) ReplaceEvent(id EventID, e *Event) {
+	evs := g.Threads[id.Thread]
+	nevs := make([]*Event, len(evs))
+	copy(nevs, evs)
+	nevs[id.Index] = e
+	g.Threads[id.Thread] = nevs
+	g.invalidate()
+}
 
 // InsertMo inserts the write-like event id into the modification order
 // of loc at position pos (1 <= pos <= len, position 0 is the init write).
+// It builds a fresh order slice: clones share mo backing arrays (see
+// Clone), so the shift must not happen in place.
 func (g *Graph) InsertMo(loc Loc, id EventID, pos int) {
 	order := g.Mo[loc]
 	if pos < 1 || pos > len(order) {
 		panic(fmt.Sprintf("graph: mo position %d out of range [1,%d]", pos, len(order)))
 	}
-	order = append(order, NoEvent)
-	copy(order[pos+1:], order[pos:])
-	order[pos] = id
-	g.Mo[loc] = order
+	norder := make([]EventID, len(order)+1)
+	copy(norder, order[:pos])
+	norder[pos] = id
+	copy(norder[pos+1:], order[pos:])
+	g.Mo[loc] = norder
+	g.invalidate()
 }
 
 // MoIndex returns the position of id in the modification order of loc,
@@ -217,32 +279,38 @@ func (g *Graph) BottomReads() []EventID {
 	return out
 }
 
-// PorfPrefix returns the set of event ids that are (po ∪ rf)-ancestors
+// PorfPrefix returns the set of events that are (po ∪ rf)-ancestors
 // of the events in seeds, including the seeds themselves. Init events
-// are not included.
-func (g *Graph) PorfPrefix(seeds ...EventID) map[EventID]bool {
-	seen := make(map[EventID]bool)
-	var stack []EventID
+// are not included. The result is a stamp-indexed bitset (one word per
+// 64 events) rather than a map: revisit generation builds one of these
+// per fresh write, on the exploration hot path.
+func (g *Graph) PorfPrefix(seeds ...EventID) *EventSet {
+	seen := NewEventSet(g.NextStamp)
+	var stack []*Event
 	push := func(id EventID) {
-		if id.IsInit() || seen[id] {
+		if id.IsInit() {
 			return
 		}
-		seen[id] = true
-		stack = append(stack, id)
+		e := g.Event(id)
+		if e == nil || seen.Has(e) {
+			return
+		}
+		seen.Add(e)
+		stack = append(stack, e)
 	}
 	for _, s := range seeds {
 		push(s)
 	}
 	for len(stack) > 0 {
-		id := stack[len(stack)-1]
+		e := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		// po predecessors: it suffices to push the immediate one.
-		if id.Index > 0 {
-			push(EventID{Thread: id.Thread, Index: id.Index - 1})
+		if e.ID.Index > 0 {
+			push(EventID{Thread: e.ID.Thread, Index: e.ID.Index - 1})
 		}
 		// rf source, if a read-like event.
-		if e := g.Event(id); e != nil && e.IsReadLike() {
-			if rf := g.Rf[id]; !rf.Bottom {
+		if e.IsReadLike() {
+			if rf := g.Rf[e.ID]; !rf.Bottom {
 				push(rf.W)
 			}
 		}
@@ -253,33 +321,38 @@ func (g *Graph) PorfPrefix(seeds ...EventID) map[EventID]bool {
 // RestrictTo removes every explicit event not in keep, preserving
 // per-thread po prefixes. keep must be po-prefix-closed per thread (the
 // caller guarantees this; RestrictTo panics otherwise) and rf-closed
-// except for reads that are themselves dropped.
-func (g *Graph) RestrictTo(keep map[EventID]bool) {
-	for t, evs := range g.Threads {
-		cut := len(evs)
-		for i, e := range evs {
-			if !keep[e.ID] {
-				cut = i
-				break
-			}
-		}
-		for i := cut; i < len(evs); i++ {
-			if keep[evs[i].ID] {
-				panic("graph: RestrictTo keep-set not po-prefix-closed")
-			}
-			delete(g.Rf, evs[i].ID)
-		}
-		g.Threads[t] = evs[:cut]
-	}
+// except for reads that are themselves dropped. The truncated thread
+// slices are capacity-clamped and the mo orders rebuilt fresh, so the
+// restriction never writes into arrays shared with clones.
+func (g *Graph) RestrictTo(keep *EventSet) {
+	// Filter mo first: the stamp lookup needs the events still present.
 	for l, order := range g.Mo {
-		dst := order[:1] // init stays
+		dst := make([]EventID, 1, len(order))
+		dst[0] = order[0] // init stays
 		for _, w := range order[1:] {
-			if keep[w] {
+			if keep.Has(g.Event(w)) {
 				dst = append(dst, w)
 			}
 		}
 		g.Mo[l] = dst
 	}
+	for t, evs := range g.Threads {
+		cut := len(evs)
+		for i, e := range evs {
+			if !keep.Has(e) {
+				cut = i
+				break
+			}
+		}
+		for i := cut; i < len(evs); i++ {
+			if keep.Has(evs[i]) {
+				panic("graph: RestrictTo keep-set not po-prefix-closed")
+			}
+			delete(g.Rf, evs[i].ID)
+		}
+		g.Threads[t] = evs[:cut:cut]
+	}
+	g.invalidate()
 }
 
 // Fingerprint returns a canonical string identifying the graph up to

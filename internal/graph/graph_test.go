@@ -87,15 +87,16 @@ func TestPorfPrefix(t *testing.T) {
 	// The prefix must contain the read before it (po) and, through rf,
 	// the write of T0.
 	for _, id := range []EventID{{1, 1}, {1, 0}, {0, 0}} {
-		if !porf[id] {
-			t.Fatalf("porf prefix missing %v (have %v)", id, porf)
+		if !porf.Has(g.Event(id)) {
+			t.Fatalf("porf prefix missing %v", id)
 		}
 	}
 }
 
 func TestRestrictTo(t *testing.T) {
 	g := mkGraph()
-	keep := map[EventID]bool{{0, 0}: true}
+	keep := NewEventSet(g.NextStamp)
+	keep.Add(g.Event(EventID{0, 0}))
 	g.RestrictTo(keep)
 	if g.NumEvents() != 1 {
 		t.Fatalf("restriction kept %d events", g.NumEvents())

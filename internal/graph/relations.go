@@ -1,14 +1,23 @@
 package graph
 
+import "sort"
+
 // Rels materializes the derived relations of an execution graph over a
 // dense event index, ready for the axiomatic consistency predicates in
 // internal/mm. Index layout: init writes first (one per location), then
-// thread events in (thread, po) order.
+// explicit events in stamp (addition) order. Stamp order is what makes
+// Extend possible: the event appended last has the largest stamp, so an
+// extension always adds index N — one new row and column — and never
+// shifts existing indices.
 type Rels struct {
-	G   *Graph
-	N   int
-	Ev  []*Event // indexed events; init events synthesized
-	Idx map[EventID]int
+	G     *Graph
+	N     int
+	Ev    []*Event // indexed events; init events synthesized
+	nInit int
+	// tIdx maps (thread, po-index) to the dense index. The rows follow
+	// the same copy-on-write discipline as Graph.Threads: Extend clamps
+	// and appends, so parent and child share all but the extended row.
+	tIdx [][]int32
 
 	Sb    *BitMat // program order (transitive), init before everything
 	RfM   *BitMat // reads-from as a matrix (w -> r)
@@ -20,28 +29,66 @@ type Rels struct {
 	SbLoc *BitMat // sb restricted to same-location accesses
 }
 
-// BuildRels computes all derived relations of g.
+// IndexOf returns the dense index of the event id.
+func (r *Rels) IndexOf(id EventID) int {
+	if id.IsInit() {
+		return id.Index
+	}
+	return int(r.tIdx[id.Thread][id.Index])
+}
+
+// RelsOf returns the derived relations of g, memoized on the graph:
+// the memory-model consistency predicates (four of them in internal/mm)
+// all go through here, so one graph state is analyzed at most once
+// however many predicates inspect it. When g carries an extension hint
+// (NoteExtended) and its parent's relations are still memoized, the
+// result is computed incrementally from the parent instead of from
+// scratch — the common case during exploration, where every branch is
+// parent-plus-one-event.
+func RelsOf(g *Graph) *Rels {
+	if g.rels != nil {
+		return g.rels
+	}
+	if g.extParent != nil && g.extParent.rels != nil {
+		g.rels = g.extParent.rels.Extend(g, g.extEvent)
+	} else {
+		g.rels = BuildRels(g)
+	}
+	// Drop the hint: it has served its purpose, and holding it would
+	// pin the whole ancestor chain (graphs and relations) in memory.
+	g.extParent, g.extEvent = nil, nil
+	return g.rels
+}
+
+// BuildRels computes all derived relations of g from scratch.
 func BuildRels(g *Graph) *Rels {
-	r := &Rels{G: g, Idx: make(map[EventID]int)}
-	// Index init writes, then thread events.
+	r := &Rels{G: g, nInit: len(g.InitVals)}
+	// Index init writes, then explicit events in stamp order.
 	for l := range g.InitVals {
 		id := EventID{Thread: InitThread, Index: l}
-		r.Idx[id] = len(r.Ev)
 		r.Ev = append(r.Ev, g.Event(id))
 	}
 	for _, evs := range g.Threads {
-		for _, e := range evs {
-			r.Idx[e.ID] = len(r.Ev)
-			r.Ev = append(r.Ev, e)
-		}
+		r.Ev = append(r.Ev, evs...)
 	}
+	sort.Slice(r.Ev[r.nInit:], func(i, j int) bool {
+		return r.Ev[r.nInit+i].Stamp < r.Ev[r.nInit+j].Stamp
+	})
 	r.N = len(r.Ev)
 	n := r.N
+	r.tIdx = make([][]int32, len(g.Threads))
+	for t, evs := range g.Threads {
+		r.tIdx[t] = make([]int32, len(evs))
+	}
+	for i := r.nInit; i < n; i++ {
+		id := r.Ev[i].ID
+		r.tIdx[id.Thread][id.Index] = int32(i)
+	}
 
 	// sb: init before all thread events; po within each thread.
 	r.Sb = NewBitMat(n)
 	r.SbLoc = NewBitMat(n)
-	nInit := len(g.InitVals)
+	nInit := r.nInit
 	for i := 0; i < nInit; i++ {
 		for j := nInit; j < n; j++ {
 			r.Sb.Set(i, j)
@@ -52,9 +99,9 @@ func BuildRels(g *Graph) *Rels {
 	}
 	for _, evs := range g.Threads {
 		for a := 0; a < len(evs); a++ {
-			ia := r.Idx[evs[a].ID]
+			ia := r.IndexOf(evs[a].ID)
 			for b := a + 1; b < len(evs); b++ {
-				ib := r.Idx[evs[b].ID]
+				ib := r.IndexOf(evs[b].ID)
 				r.Sb.Set(ia, ib)
 				ea, eb := evs[a], evs[b]
 				if ea.Kind != KFence && ea.Kind != KError &&
@@ -71,7 +118,7 @@ func BuildRels(g *Graph) *Rels {
 		if rf.Bottom {
 			continue
 		}
-		r.RfM.Set(r.Idx[rf.W], r.Idx[rd])
+		r.RfM.Set(r.IndexOf(rf.W), r.IndexOf(rd))
 	}
 
 	// mo (transitive within each location's total order).
@@ -79,7 +126,7 @@ func BuildRels(g *Graph) *Rels {
 	for _, order := range g.Mo {
 		for a := 0; a < len(order); a++ {
 			for b := a + 1; b < len(order); b++ {
-				r.MoM.Set(r.Idx[order[a]], r.Idx[order[b]])
+				r.MoM.Set(r.IndexOf(order[a]), r.IndexOf(order[b]))
 			}
 		}
 	}
@@ -102,9 +149,9 @@ func BuildRels(g *Graph) *Rels {
 		if src < 0 {
 			continue // source not in mo (cannot happen for well-formed graphs)
 		}
-		ri := r.Idx[rd]
+		ri := r.IndexOf(rd)
 		for i := src + 1; i < len(order); i++ {
-			wi := r.Idx[order[i]]
+			wi := r.IndexOf(order[i])
 			if wi != ri { // an update never fr-precedes itself
 				r.FrM.Set(ri, wi)
 			}
@@ -142,61 +189,59 @@ func (r *Rels) buildSw() *BitMat {
 			continue
 		}
 		re := g.Event(rd)
-		// Walk the release sequence backwards from the rf source: the
-		// source itself, and if it is an update, the write it read from,
-		// transitively.
-		base := rf.W
-		bases := []EventID{base}
-		for {
-			be := g.Event(base)
-			if be == nil || be.Kind != KUpdate {
-				break
-			}
-			prev := g.Rf[base]
-			if prev.Bottom {
-				break
-			}
-			base = prev.W
-			bases = append(bases, base)
-		}
 		// Acquire-side targets.
 		var acqSides []int
 		if re.Mode.HasAcq() {
-			acqSides = append(acqSides, r.Idx[rd])
+			acqSides = append(acqSides, r.IndexOf(rd))
 		}
 		if rd.Thread >= 0 {
 			for _, f := range g.Threads[rd.Thread][rd.Index+1:] {
 				if f.Kind == KFence && f.Mode.HasAcq() {
-					acqSides = append(acqSides, r.Idx[f.ID])
+					acqSides = append(acqSides, r.IndexOf(f.ID))
 				}
 			}
 		}
 		if len(acqSides) == 0 {
 			continue
 		}
-		for _, b := range bases {
-			be := g.Event(b)
-			var relSides []int
-			if be.Mode.HasRel() {
-				relSides = append(relSides, r.Idx[b])
-			}
-			if b.Thread >= 0 {
-				for _, f := range g.Threads[b.Thread][:b.Index] {
-					if f.Kind == KFence && f.Mode.HasRel() {
-						relSides = append(relSides, r.Idx[f.ID])
-					}
+		r.swFromBases(g, rf.W, func(s int) {
+			for _, t := range acqSides {
+				if s != t {
+					sw.Set(s, t)
 				}
 			}
-			for _, s := range relSides {
-				for _, t := range acqSides {
-					if s != t {
-						sw.Set(s, t)
-					}
+		})
+	}
+	return sw
+}
+
+// swFromBases walks the release sequence backwards from the rf source
+// base (the source itself and, through update chains, each write it
+// read from) and calls emit with the index of every release side: the
+// base when it carries release semantics, and every release fence
+// sb-before the base in its thread.
+func (r *Rels) swFromBases(g *Graph, base EventID, emit func(relSide int)) {
+	for {
+		be := g.Event(base)
+		if be.Mode.HasRel() {
+			emit(r.IndexOf(base))
+		}
+		if base.Thread >= 0 {
+			for _, f := range g.Threads[base.Thread][:base.Index] {
+				if f.Kind == KFence && f.Mode.HasRel() {
+					emit(r.IndexOf(f.ID))
 				}
 			}
 		}
+		if be.Kind != KUpdate {
+			return
+		}
+		prev := g.Rf[base]
+		if prev.Bottom {
+			return
+		}
+		base = prev.W
 	}
-	return sw
 }
 
 // IsSCEvent reports whether indexed event i carries SC mode.

@@ -53,20 +53,18 @@ func (raModel) Consistent(g *graph.Graph) bool {
 	if !atomicity(g) {
 		return false
 	}
-	r := graph.BuildRels(g)
+	r := graph.RelsOf(g)
 	if !r.Hb.Irreflexive() {
 		return false
 	}
-	for i := 0; i < r.N; i++ {
-		for j := 0; j < r.N; j++ {
-			if r.Hb.Get(i, j) && r.Eco.Get(j, i) {
-				return false
-			}
-		}
+	if r.Hb.IntersectsTranspose(r.Eco) {
+		return false
 	}
-	porf := r.Sb.Clone()
+	porf := r.Sb.ClonePooled()
 	porf.OrWith(r.RfM)
-	return !porf.HasCycle()
+	cyc := porf.HasCycle()
+	porf.Release()
+	return !cyc
 }
 
 // ByName returns the model with the given name, or nil. The ablation
@@ -112,12 +110,14 @@ func (scModel) Consistent(g *graph.Graph) bool {
 	if !atomicity(g) {
 		return false
 	}
-	r := graph.BuildRels(g)
-	u := r.Sb.Clone()
+	r := graph.RelsOf(g)
+	u := r.Sb.ClonePooled()
 	u.OrWith(r.RfM)
 	u.OrWith(r.MoM)
 	u.OrWith(r.FrM)
-	return !u.HasCycle()
+	cyc := u.HasCycle()
+	u.Release()
+	return !cyc
 }
 
 // tsoModel: per-location coherence plus a global order on ppo, external
@@ -131,19 +131,21 @@ func (tsoModel) Consistent(g *graph.Graph) bool {
 	if !atomicity(g) {
 		return false
 	}
-	r := graph.BuildRels(g)
+	r := graph.RelsOf(g)
 
 	// Per-location coherence (sc-per-loc).
-	coh := r.SbLoc.Clone()
+	coh := r.SbLoc.ClonePooled()
 	coh.OrWith(r.RfM)
 	coh.OrWith(r.MoM)
 	coh.OrWith(r.FrM)
-	if coh.HasCycle() {
+	cyc := coh.HasCycle()
+	coh.Release()
+	if cyc {
 		return false
 	}
 
 	// Global happens-before: ppo ∪ rfe ∪ mo ∪ fr.
-	ghb := graph.NewBitMat(r.N)
+	ghb := graph.NewBitMatPooled(r.N)
 	visible := func(e *graph.Event) bool {
 		if e.Kind == graph.KError {
 			return false
@@ -186,7 +188,7 @@ func (tsoModel) Consistent(g *graph.Graph) bool {
 						continue
 					}
 				}
-				ghb.Set(r.Idx[ea.ID], r.Idx[eb.ID])
+				ghb.Set(r.IndexOf(ea.ID), r.IndexOf(eb.ID))
 			}
 		}
 	}
@@ -196,11 +198,13 @@ func (tsoModel) Consistent(g *graph.Graph) bool {
 		if rf.Bottom || rf.W.Thread == rd.Thread {
 			continue
 		}
-		ghb.Set(r.Idx[rf.W], r.Idx[rd])
+		ghb.Set(r.IndexOf(rf.W), r.IndexOf(rd))
 	}
 	ghb.OrWith(r.MoM)
 	ghb.OrWith(r.FrM)
-	return !ghb.HasCycle()
+	cyc = ghb.HasCycle()
+	ghb.Release()
+	return !cyc
 }
 
 // wmmModel: the RC11-flavoured stand-in for IMM.
@@ -212,24 +216,22 @@ func (wmmModel) Consistent(g *graph.Graph) bool {
 	if !atomicity(g) {
 		return false
 	}
-	r := graph.BuildRels(g)
+	r := graph.RelsOf(g)
 
 	// COHERENCE: irreflexive(hb ; eco?).
 	if !r.Hb.Irreflexive() {
 		return false
 	}
-	for i := 0; i < r.N; i++ {
-		for j := 0; j < r.N; j++ {
-			if r.Hb.Get(i, j) && r.Eco.Get(j, i) {
-				return false
-			}
-		}
+	if r.Hb.IntersectsTranspose(r.Eco) {
+		return false
 	}
 
 	// NO-THIN-AIR: acyclic(sb ∪ rf).
-	porf := r.Sb.Clone()
+	porf := r.Sb.ClonePooled()
 	porf.OrWith(r.RfM)
-	if porf.HasCycle() {
+	cyc := porf.HasCycle()
+	porf.Release()
+	if cyc {
 		return false
 	}
 
@@ -252,9 +254,10 @@ func pscCycle(r *graph.Rels) bool {
 		return false
 	}
 
-	hbq := r.Hb.Clone() // hb? as hb with identity handled inline
+	hbq := r.Hb // hb? as hb with identity handled inline (read-only here)
 	// sbNeqLoc = sb \ sbloc.
-	sbNeq := graph.NewBitMat(n)
+	sbNeq := graph.NewBitMatPooled(n)
+	defer sbNeq.Release()
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if r.Sb.Get(i, j) && !r.SbLoc.Get(i, j) {
@@ -263,7 +266,8 @@ func pscCycle(r *graph.Rels) bool {
 		}
 	}
 	// hbLoc = hb ∩ same-location accesses.
-	hbLoc := graph.NewBitMat(n)
+	hbLoc := graph.NewBitMatPooled(n)
+	defer hbLoc.Release()
 	for i := 0; i < n; i++ {
 		ei := r.Ev[i]
 		if ei.Kind == graph.KFence || ei.Kind == graph.KError {
@@ -280,8 +284,14 @@ func pscCycle(r *graph.Rels) bool {
 		}
 	}
 	// scb = sb ∪ sbNeq;hb;sbNeq ∪ hbLoc ∪ mo ∪ fr.
-	scb := r.Sb.Clone()
-	mid := sbNeq.Compose(hbq).Compose(sbNeq)
+	scb := r.Sb.ClonePooled()
+	defer scb.Release()
+	mid := graph.NewBitMatPooled(n)
+	defer mid.Release()
+	tmp := graph.NewBitMatPooled(n)
+	defer tmp.Release()
+	sbNeq.ComposeInto(hbq, tmp)
+	tmp.ComposeInto(sbNeq, mid)
 	scb.OrWith(mid)
 	scb.OrWith(hbLoc)
 	scb.OrWith(r.MoM)
@@ -293,7 +303,8 @@ func pscCycle(r *graph.Rels) bool {
 	// left(i) holds the SC anchors from which a psc_base edge can start
 	// when the scb path starts at i: i itself if an SC access, and any SC
 	// fence f with f hb? i.
-	psc := graph.NewBitMat(n)
+	psc := graph.NewBitMatPooled(n)
+	defer psc.Release()
 	addEdges := func(from, to []int) {
 		for _, a := range from {
 			for _, b := range to {
@@ -331,7 +342,10 @@ func pscCycle(r *graph.Rels) bool {
 		}
 	}
 	// psc_f = [Fsc] ; (hb ∪ hb;eco;hb) ; [Fsc].
-	hbEcoHb := r.Hb.Compose(r.Eco).Compose(r.Hb)
+	hbEcoHb := graph.NewBitMatPooled(n)
+	defer hbEcoHb.Release()
+	r.Hb.ComposeInto(r.Eco, tmp)
+	tmp.ComposeInto(r.Hb, hbEcoHb)
 	for i := 0; i < n; i++ {
 		if !isSCF(i) {
 			continue

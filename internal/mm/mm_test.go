@@ -216,10 +216,13 @@ func TestMonotoneRemoval(t *testing.T) {
 	if !mm.WMM.Consistent(g) {
 		t.Fatal("setup graph should be consistent")
 	}
-	keep := map[graph.EventID]bool{
-		{Thread: 0, Index: 0}: true,
-		{Thread: 0, Index: 1}: true,
-		{Thread: 1, Index: 0}: true,
+	keep := graph.NewEventSet(g.NextStamp)
+	for _, id := range []graph.EventID{
+		{Thread: 0, Index: 0},
+		{Thread: 0, Index: 1},
+		{Thread: 1, Index: 0},
+	} {
+		keep.Add(g.Event(id))
 	}
 	g.RestrictTo(keep)
 	for _, m := range mm.All() {

@@ -4,7 +4,20 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 )
+
+// cacheKey identifies one verification problem: memory model, the
+// 128-bit structural hash of the candidate spec, and the program name
+// (which encodes algorithm, thread count and iterations). A comparable
+// struct of two words plus two strings — no fmt, no concatenation —
+// so speculative ladders probing thousands of candidates stay off the
+// allocator.
+type cacheKey struct {
+	model string
+	spec  graph.Hash128
+	prog  string
+}
 
 // Cache memoizes AMC verdicts across the optimization search. The key
 // is (memory model, candidate-spec fingerprint, program name): the spec
@@ -23,18 +36,18 @@ import (
 // e.g. optimizing the same lock against growing client suites.
 type Cache struct {
 	mu      sync.Mutex
-	m       map[string]core.Verdict
+	m       map[cacheKey]core.Verdict
 	hits    int
 	lookups int
 }
 
 // NewCache returns an empty verdict cache.
 func NewCache() *Cache {
-	return &Cache{m: make(map[string]core.Verdict)}
+	return &Cache{m: make(map[cacheKey]core.Verdict)}
 }
 
 // lookup returns the cached verdict for key, counting the probe.
-func (c *Cache) lookup(key string) (core.Verdict, bool) {
+func (c *Cache) lookup(key cacheKey) (core.Verdict, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.lookups++
@@ -46,14 +59,14 @@ func (c *Cache) lookup(key string) (core.Verdict, bool) {
 }
 
 // store records a decisive verdict; indecisive ones are dropped.
-func (c *Cache) store(key string, v core.Verdict) {
+func (c *Cache) store(key cacheKey, v core.Verdict) {
 	if v == core.Error || v == core.Canceled {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.m == nil {
-		c.m = make(map[string]core.Verdict)
+		c.m = make(map[cacheKey]core.Verdict)
 	}
 	c.m[key] = v
 }

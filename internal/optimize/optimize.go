@@ -183,15 +183,16 @@ func (e *engine) checker() *core.Checker {
 // memoized; cached failures decide without any AMC run.
 func (e *engine) verify(ctx context.Context, spec *vprog.BarrierSpec) (core.Verdict, error) {
 	progs := e.o.Programs(spec)
-	keyPrefix := ""
+	var key cacheKey
 	if e.cache != nil {
-		keyPrefix = e.o.Model.Name() + "|" + spec.Fingerprint() + "|"
+		key = cacheKey{model: e.o.Model.Name(), spec: spec.Fingerprint128()}
 	}
 	var jobs []core.Job
 	var names []string
 	for _, p := range progs {
 		if e.cache != nil {
-			v, ok := e.cache.lookup(keyPrefix + p.Name)
+			key.prog = p.Name
+			v, ok := e.cache.lookup(key)
 			e.countProbe(ok)
 			if ok {
 				if v != core.OK {
@@ -217,7 +218,8 @@ func (e *engine) verify(ctx context.Context, spec *vprog.BarrierSpec) (core.Verd
 				return core.Error, fmt.Errorf("optimizer: checking %s: %w", names[i], res.Err)
 			}
 			if e.cache != nil {
-				e.cache.store(keyPrefix+names[i], res.Verdict)
+				key.prog = names[i]
+				e.cache.store(key, res.Verdict)
 			}
 			if res.Verdict != core.OK {
 				return res.Verdict, nil
@@ -229,7 +231,8 @@ func (e *engine) verify(ctx context.Context, spec *vprog.BarrierSpec) (core.Verd
 	verdict, failed, results := e.pool.VerifyAll(ctx, jobs)
 	if e.cache != nil {
 		for i, r := range results {
-			e.cache.store(keyPrefix+names[i], r.Verdict) // drops indecisive verdicts
+			key.prog = names[i]
+			e.cache.store(key, r.Verdict) // drops indecisive verdicts
 		}
 	}
 	if verdict == core.Error {

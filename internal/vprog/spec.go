@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/graph"
 )
 
 // BarrierSpec is a mutable assignment of barrier modes to named barrier
@@ -87,6 +89,25 @@ func (s *BarrierSpec) AllSC() *BarrierSpec {
 		c.modes[p] = SC
 	}
 	return c
+}
+
+// Fingerprint128 returns a 128-bit hash of the assignment — point
+// names in registration order with their modes and fence flags. Two
+// specs with equal fingerprints produce identical programs and hence
+// identical verification verdicts; the optimizer's verdict cache keys
+// on this instead of the canonical string (see Fingerprint, kept for
+// rendering and debugging).
+func (s *BarrierSpec) Fingerprint128() graph.Hash128 {
+	h := graph.NewHasher128()
+	for _, p := range s.order {
+		h.String(p)
+		fence := uint64(0)
+		if s.fencePoints[p] {
+			fence = 1
+		}
+		h.Word(uint64(s.modes[p])<<1 | fence)
+	}
+	return h.Sum()
 }
 
 // Fingerprint returns a canonical encoding of the assignment —

@@ -24,9 +24,13 @@ test-short:
 	$(GO) test -short ./...
 
 # Race-detect the packages that exercise the parallel verification
-# engine (worker pool, speculative ladder, verdict cache).
+# engine (worker pool, speculative ladder, verdict cache), then the
+# work-graph explorer's own bars without -short: the full
+# parallel-vs-sequential differential corpus, the stealing/pool-borrow
+# integration runs, and the sharded visited set under concurrent load.
 race:
 	$(GO) test -race -short ./internal/core ./internal/optimize ./vsync
+	$(GO) test -race -run 'TestParallel|TestVisitedSet|TestPoolSlot' ./internal/core
 
 # One cheap pass over the benchmark harness to catch bit-rot in the
 # table/figure emitters without running the full campaign, then the AMC

@@ -1,6 +1,8 @@
 // vsyncbench runs the §4.2 evaluation campaign on the simulated ARMv8
 // and x86 platforms and prints the paper's tables and figures, plus the
-// AMC hot-path benchmark suite that tracks the checker's own speed.
+// AMC hot-path benchmark suite that tracks the checker's own speed —
+// including the intra-run work-stealing scaling curve (graphs/sec at
+// 1/2/4/8 workers on the 3-thread MCS client).
 //
 // Usage:
 //
@@ -9,48 +11,122 @@
 //	vsyncbench -fig27       # the MCS implementation comparison
 //	vsyncbench -sweep       # the §4.2.2 cs_size / es_size findings
 //	vsyncbench -amc         # checker hot-path suite -> BENCH_amc.json
+//
+// Hot-path investigation:
+//
+//	vsyncbench -amc -cpuprofile cpu.out -memprofile mem.out
+//
+// writes pprof profiles of whichever mode ran, for `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/wmsim"
 )
 
+// parseWorkers parses a comma-separated worker ladder like "1,2,4,8".
+func parseWorkers(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func main() {
 	var (
-		full    = flag.Bool("full", false, "run the paper's full parameter grid")
-		fig27   = flag.Bool("fig27", false, "run the Fig. 27 MCS implementation comparison")
-		sweep   = flag.Bool("sweep", false, "run the §4.2.2 critical/outside section size sweeps")
-		amc     = flag.Bool("amc", false, "run the AMC hot-path benchmark suite (graphs/sec, allocs)")
-		amcRuns = flag.Int("amcruns", 5, "measured runs per target in the AMC suite")
-		amcJSON = flag.String("amcjson", "BENCH_amc.json", "path of the AMC suite JSON artifact (empty: don't write)")
+		full       = flag.Bool("full", false, "run the paper's full parameter grid")
+		fig27      = flag.Bool("fig27", false, "run the Fig. 27 MCS implementation comparison")
+		sweep      = flag.Bool("sweep", false, "run the §4.2.2 critical/outside section size sweeps")
+		amc        = flag.Bool("amc", false, "run the AMC hot-path benchmark suite (graphs/sec, allocs, scaling)")
+		amcRuns    = flag.Int("amcruns", 5, "measured runs per target in the AMC suite")
+		amcJSON    = flag.String("amcjson", "BENCH_amc.json", "path of the AMC suite JSON artifact (empty: don't write)")
+		amcWorkers = flag.String("amcworkers", "1,2,4,8", "worker ladder for the AMC scaling targets (empty: skip them)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
+	cpuStarted := false
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		cpuStarted = true
+	}
+
+	runErr := run(*amc, *full, *fig27, *sweep, *amcRuns, *amcJSON, *amcWorkers)
+
+	// Flush both profiles before any fatal exit: log.Fatal skips defers,
+	// and a CPU profile without its StopCPUProfile trailer is unreadable.
+	if cpuStarted {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		runtime.GC() // material for the heap profile, not the transients
+		werr := pprof.WriteHeapProfile(f)
+		f.Close()
+		if werr != nil {
+			log.Fatalf("memprofile: %v", werr)
+		}
+	}
+	if runErr != nil {
+		log.Fatal(runErr)
+	}
+}
+
+// run executes the selected mode, returning (not exiting on) failures
+// so the caller can flush profiles first.
+func run(amc, full, fig27, sweep bool, amcRuns int, amcJSON, amcWorkers string) error {
 	start := time.Now()
 	switch {
-	case *amc:
-		suite := bench.RunAMCSuite(*amcRuns)
+	case amc:
+		ladder, err := parseWorkers(amcWorkers)
+		if err != nil {
+			return fmt.Errorf("-amcworkers: %v", err)
+		}
+		suite := bench.RunAMCSuiteWorkers(amcRuns, ladder)
 		fmt.Print(suite)
-		if *amcJSON != "" {
-			if err := suite.WriteJSON(*amcJSON); err != nil {
-				log.Fatalf("writing %s: %v", *amcJSON, err)
+		if amcJSON != "" {
+			if err := suite.WriteJSON(amcJSON); err != nil {
+				return fmt.Errorf("writing %s: %v", amcJSON, err)
 			}
-			fmt.Printf("wrote %s\n", *amcJSON)
+			fmt.Printf("wrote %s\n", amcJSON)
 		}
 		if bad := suite.Errors(); len(bad) > 0 {
-			log.Fatalf("checker errors on: %v", bad)
+			return fmt.Errorf("checker errors on: %v", bad)
 		}
-	case *fig27:
+	case fig27:
 		for _, mc := range wmsim.Machines() {
 			fmt.Println(bench.Fig27(mc, bench.PaperThreads, 3, 150_000))
 		}
-	case *sweep:
+	case sweep:
 		for _, mc := range wmsim.Machines() {
 			for _, th := range []int{1, 8} {
 				out, _ := bench.CSSweep(mc, "mcs", th, []int{1, 4, 16, 64}, 150_000)
@@ -61,10 +137,11 @@ func main() {
 		}
 	default:
 		cfg := bench.Quick()
-		if *full {
+		if full {
 			cfg = bench.Default()
 		}
 		fmt.Println(bench.CampaignReport(cfg))
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }

@@ -3,13 +3,19 @@
 //
 // Usage:
 //
-//	vsynccheck -lock mcs [-model wmm] [-threads 2] [-iters 1] [-sc] [-dot out.dot]
-//	vsynccheck -all [-par N]
+//	vsynccheck -lock mcs [-model wmm] [-threads 2] [-iters 1] [-sc] [-dot out.dot] [-workers N]
+//	vsynccheck -all [-par N] [-workers N]
 //	vsynccheck -list
 //
 // -all verifies every registered correct (non-study-case) algorithm,
 // fanning the AMC runs across -par workers (0 = GOMAXPROCS); the first
 // failure cancels the remaining runs.
+//
+// -workers enables intra-run work stealing: the exploration frontier of
+// each single run is shared by up to N workers (0 = GOMAXPROCS,
+// 1 = the sequential DFS). Under -all the same pool slots serve both
+// whole runs and stolen items, so the last big run soaks up slots its
+// finished siblings released.
 //
 // Exit status 0 on successful verification, 1 on a violation, 2 on
 // usage or checker errors.
@@ -47,6 +53,7 @@ func main() {
 		list     = flag.Bool("list", false, "list registered algorithms and exit")
 		all      = flag.Bool("all", false, "verify every registered correct algorithm in parallel")
 		par      = flag.Int("par", 0, "concurrent AMC runs for -all (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 1, "intra-run work-stealing workers per AMC run (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -73,9 +80,9 @@ func main() {
 			}
 			ps = append(ps, harness.MutexClient(alg, alg.DefaultSpec(), *threads, *iters))
 		}
-		fmt.Printf("checking %d algorithms under %s (%d threads × %d iterations, %d workers)...\n",
-			len(ps), m.Name(), *threads, *iters, par0(*par))
-		res, failed := vsync.VerifySuite(m, *par, ps)
+		fmt.Printf("checking %d algorithms under %s (%d threads × %d iterations, %d workers, %d per run)...\n",
+			len(ps), m.Name(), *threads, *iters, par0(*par), par0(*workers))
+		res, failed := vsync.VerifySuitePar(m, *par, *workers, ps)
 		if failed >= 0 {
 			fmt.Printf("%s: %s\n", ps[failed].Name, res)
 			if res.Verdict == core.Error {
@@ -106,13 +113,15 @@ func main() {
 	}
 
 	p := harness.MutexClient(alg, spec, *threads, *iters)
-	fmt.Printf("checking %s under %s (%d threads × %d iterations)...\n", p.Name, m.Name(), *threads, *iters)
-	res := vsync.Verify(m, p)
-	fmt.Println(res)
+	fmt.Printf("checking %s under %s (%d threads × %d iterations, %d workers)...\n",
+		p.Name, m.Name(), *threads, *iters, par0(*workers))
+	res := vsync.VerifyPar(m, p, *workers)
 	if res.Verdict == core.Error {
+		fmt.Println(res)
 		os.Exit(2)
 	}
 	if !res.Ok() {
+		fmt.Println(res)
 		if res.Witness != nil {
 			fmt.Println("\ncounterexample execution graph:")
 			fmt.Println(res.Witness.Render())
@@ -126,6 +135,5 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("stats: %d executions, %d graphs, %d revisits, %d wasteful pruned\n",
-		res.Stats.Executions, res.Stats.Popped, res.Stats.Revisits, res.Stats.Wasteful)
+	fmt.Print(res.Report())
 }

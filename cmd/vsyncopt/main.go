@@ -6,14 +6,17 @@
 //
 // The verification engine is parallel by default: candidate specs fan
 // their client programs across -par workers, each point's candidate
-// ladder is raced speculatively, and verdicts are memoized. -par 1
-// -no-speculate -no-cache recovers the strictly sequential search; the
-// resulting spec is identical either way.
+// ladder is raced speculatively, and verdicts are memoized. -workers N
+// additionally lets every AMC run share its exploration frontier with
+// idle pool slots through intra-run work stealing — one scheduler for
+// whole runs and stolen items. -par 1 -no-speculate -no-cache recovers
+// the strictly sequential search; the resulting spec is identical
+// whatever the engine settings.
 //
 // Usage:
 //
 //	vsyncopt -lock qspinlock [-threads 2] [-from-default]
-//	         [-par N] [-passes N] [-no-speculate] [-no-cache]
+//	         [-par N] [-workers N] [-passes N] [-no-speculate] [-no-cache]
 package main
 
 import (
@@ -34,6 +37,7 @@ func main() {
 		threads     = flag.Int("threads", 2, "contending threads in the verification client")
 		fromDefault = flag.Bool("from-default", false, "start from the default spec instead of all-SC")
 		par         = flag.Int("par", 0, "concurrent AMC runs (0 = GOMAXPROCS, 1 = sequential)")
+		workers     = flag.Int("workers", 1, "intra-run work-stealing workers per AMC run (1 = off)")
 		passes      = flag.Int("passes", 1, "full point sweeps (descent repeats until fixpoint or cap)")
 		noSpeculate = flag.Bool("no-speculate", false, "disable the speculative candidate ladder")
 		noCache     = flag.Bool("no-cache", false, "disable verdict memoization")
@@ -57,9 +61,10 @@ func main() {
 			}
 			return ps
 		},
-		Passes:      *passes,
-		Parallelism: *par,
-		Speculate:   !*noSpeculate,
+		Passes:        *passes,
+		Parallelism:   *par,
+		WorkersPerRun: *workers,
+		Speculate:     !*noSpeculate,
 	}
 	if !*noCache {
 		opt.Cache = optimize.NewCache()

@@ -11,10 +11,13 @@
 //
 //	go test -bench=. -benchmem .
 //
-// The model checker's own hot path — incremental relation extension,
-// 128-bit hashed dedup, copy-on-write graph branching, pooled scratch
-// matrices — is documented under "Performance architecture" in
-// README.md and tracked as a machine-readable artifact:
+// The model checker's own hot path — work-graph exploration with
+// intra-run work stealing, incremental relation extension, 128-bit
+// hashed dedup behind a sharded concurrent visited set, copy-on-write
+// graph branching, pooled scratch matrices — is documented under "The
+// work-graph explorer" and "Performance architecture" in README.md and
+// tracked as a machine-readable artifact (including the worker scaling
+// curve):
 //
 //	go run ./cmd/vsyncbench -amc   # writes BENCH_amc.json
 package repro

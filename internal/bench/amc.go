@@ -23,10 +23,11 @@ import (
 // suite with one measured run per target (bench-smoke); locally,
 // `vsyncbench -amc` runs it with repetitions.
 
-// AMCResult is one measured verification target.
+// AMCResult is one measured verification target at one worker count.
 type AMCResult struct {
 	Name         string  `json:"name"`
 	Model        string  `json:"model"`
+	Workers      int     `json:"workers"` // WorkersPerRun of the measured checker
 	Verdict      string  `json:"verdict"`
 	Graphs       int     `json:"graphs"`     // states popped per run
 	Executions   int     `json:"executions"` // complete executions per run
@@ -35,11 +36,16 @@ type AMCResult struct {
 	GraphsPerSec float64 `json:"graphs_per_sec"`
 	AllocsPerRun uint64  `json:"allocs_per_run"`
 	BytesPerRun  uint64  `json:"bytes_per_run"`
+	// Work-graph scheduler counters of the warm-up run (zero for
+	// sequential targets): how the items spread across workers.
+	Steals     int `json:"steals,omitempty"`
+	Stolen     int `json:"stolen,omitempty"`
+	Contention int `json:"shard_contention,omitempty"`
 }
 
 // AMCSuite is the artifact written to BENCH_amc.json.
 type AMCSuite struct {
-	Schema  string      `json:"schema"` // "amc-bench/v1"
+	Schema  string      `json:"schema"` // "amc-bench/v2": v1 + workers/scheduler fields
 	Go      string      `json:"go"`
 	GOOS    string      `json:"goos"`
 	GOARCH  string      `json:"goarch"`
@@ -48,34 +54,56 @@ type AMCSuite struct {
 	Results []AMCResult `json:"results"`
 }
 
-// amcTarget is one verification problem of the suite.
+// amcTarget is one verification problem of the suite at one worker
+// count.
 type amcTarget struct {
-	name  string
-	model mm.Model
-	prog  func() *vprog.Program
+	name    string
+	model   mm.Model
+	workers int
+	prog    func() *vprog.Program
 }
 
+// DefaultScaleWorkers is the worker ladder measured on the scaling
+// targets: the intra-run work-stealing curve recorded PR over PR.
+var DefaultScaleWorkers = []int{1, 2, 4, 8}
+
 // amcTargets enumerates the suite: the litmus corpus (weak variants
-// under WMM) and the single-lock clients the paper's studies revolve
-// around.
-func amcTargets() []amcTarget {
+// under WMM), the single-lock clients the paper's studies revolve
+// around, and — for each entry of scaleWorkers — the large 3-thread MCS
+// client whose work-stealing scaling curve the suite tracks. (On a
+// single-CPU host the curve is necessarily flat; the cpus field records
+// the context.)
+func amcTargets(scaleWorkers []int) []amcTarget {
 	var ts []amcTarget
 	for _, name := range harness.LitmusNames() {
 		name := name
 		ts = append(ts, amcTarget{
-			name:  "litmus/" + name,
-			model: mm.WMM,
-			prog:  func() *vprog.Program { return harness.Litmus(name, false) },
+			name:    "litmus/" + name,
+			model:   mm.WMM,
+			workers: 1,
+			prog:    func() *vprog.Program { return harness.Litmus(name, false) },
 		})
 	}
 	for _, lk := range []string{"spin", "ttas", "ticket", "mcs", "clh", "qspin"} {
 		lk := lk
 		ts = append(ts, amcTarget{
-			name:  "lock/" + lk,
-			model: mm.WMM,
+			name:    "lock/" + lk,
+			model:   mm.WMM,
+			workers: 1,
 			prog: func() *vprog.Program {
 				alg := locks.ByName(lk)
 				return harness.MutexClient(alg, alg.DefaultSpec(), 2, 1)
+			},
+		})
+	}
+	for _, w := range scaleWorkers {
+		ts = append(ts, amcTarget{
+			name:    "scale/mcs-t3",
+			model:   mm.WMM,
+			workers: w,
+			prog: func() *vprog.Program {
+				alg := locks.ByName("mcs")
+				return harness.MutexClient(alg, alg.DefaultSpec(), 3, 1)
 			},
 		})
 	}
@@ -83,42 +111,62 @@ func amcTargets() []amcTarget {
 }
 
 // RunAMCSuite measures every target with the given number of measured
-// runs (after one warm-up) and returns the suite artifact.
+// runs (after one warm-up) and the default scaling ladder.
 func RunAMCSuite(runs int) AMCSuite {
+	return RunAMCSuiteWorkers(runs, DefaultScaleWorkers)
+}
+
+// RunAMCSuiteWorkers is RunAMCSuite with an explicit worker ladder for
+// the scaling targets (empty: skip them).
+func RunAMCSuiteWorkers(runs int, scaleWorkers []int) AMCSuite {
 	if runs < 1 {
 		runs = 1
 	}
 	s := AMCSuite{
-		Schema: "amc-bench/v1",
+		Schema: "amc-bench/v2",
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
 		CPUs:   runtime.NumCPU(),
 		Date:   time.Now().UTC().Format(time.RFC3339),
 	}
+	newChecker := func(tgt amcTarget) *core.Checker {
+		c := core.New(tgt.model)
+		c.WorkersPerRun = tgt.workers
+		return c
+	}
 	var ms0, ms1 runtime.MemStats
-	for _, tgt := range amcTargets() {
+	for _, tgt := range amcTargets(scaleWorkers) {
 		p := tgt.prog()
-		warm := core.New(tgt.model).Run(p) // warm-up; also fixes the expected profile
+		warm := newChecker(tgt).Run(p) // warm-up; also fixes the expected profile
 		r := AMCResult{
 			Name:       tgt.name,
 			Model:      tgt.model.Name(),
+			Workers:    tgt.workers,
 			Verdict:    warm.Verdict.String(),
 			Graphs:     warm.Stats.Popped,
 			Executions: warm.Stats.Executions,
 			Runs:       runs,
+			Steals:     warm.Sched.Steals,
+			Stolen:     warm.Sched.Stolen,
+			Contention: warm.Sched.Contention,
 		}
 		runtime.GC()
 		runtime.ReadMemStats(&ms0)
 		start := time.Now()
+		timedGraphs := 0
 		for i := 0; i < runs; i++ {
-			core.New(tgt.model).Run(p)
+			timedGraphs += newChecker(tgt).Run(p).Stats.Popped
 		}
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&ms1)
 		r.NsPerRun = elapsed.Nanoseconds() / int64(runs)
-		if r.NsPerRun > 0 {
-			r.GraphsPerSec = float64(r.Graphs) * float64(time.Second) / float64(r.NsPerRun)
+		if elapsed > 0 {
+			// Throughput from the timed runs' own pop counts: parallel
+			// schedules pop slightly different state counts run to run, so
+			// pairing the warm-up's count with the timed runs' clock would
+			// bias exactly the scaling curve this suite tracks.
+			r.GraphsPerSec = float64(timedGraphs) / elapsed.Seconds()
 		}
 		r.AllocsPerRun = (ms1.Mallocs - ms0.Mallocs) / uint64(runs)
 		r.BytesPerRun = (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(runs)
@@ -136,17 +184,18 @@ func (s AMCSuite) WriteJSON(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// String renders the suite as a table.
+// String renders the suite as a table, including the work-stealing
+// scheduler counters of the multi-worker scaling targets.
 func (s AMCSuite) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "AMC hot-path benchmark (%s %s/%s, %d cpus, %d run(s) per target)\n",
 		s.Go, s.GOOS, s.GOARCH, s.CPUs, runsOf(s))
-	fmt.Fprintf(&b, "%-18s %-8s %8s %12s %14s %12s %12s\n",
-		"target", "verdict", "graphs", "ns/run", "graphs/sec", "allocs/run", "B/run")
+	fmt.Fprintf(&b, "%-18s %3s %-8s %8s %12s %14s %12s %12s %8s %10s\n",
+		"target", "w", "verdict", "graphs", "ns/run", "graphs/sec", "allocs/run", "B/run", "steals", "contention")
 	for _, r := range s.Results {
-		fmt.Fprintf(&b, "%-18s %-8s %8d %12d %14.0f %12d %12d\n",
-			r.Name, shortVerdict(r.Verdict), r.Graphs, r.NsPerRun, r.GraphsPerSec,
-			r.AllocsPerRun, r.BytesPerRun)
+		fmt.Fprintf(&b, "%-18s %3d %-8s %8d %12d %14.0f %12d %12d %8d %10d\n",
+			r.Name, r.Workers, shortVerdict(r.Verdict), r.Graphs, r.NsPerRun, r.GraphsPerSec,
+			r.AllocsPerRun, r.BytesPerRun, r.Steals, r.Contention)
 	}
 	return b.String()
 }

@@ -18,7 +18,7 @@ import (
 // progress and may produce the writes others wait for — is explored in
 // a separate branch (the rf alternative pushed when the read was added,
 // or a revisit), so this graph is discarded as redundant.
-func (r *run) unresolvableBottom(g *graph.Graph, rres []replayResult) (graph.EventID, bool) {
+func (w *explorer) unresolvableBottom(g *graph.Graph, rres []replayResult) (graph.EventID, bool) {
 	witness := graph.NoEvent
 	for t, res := range rres {
 		if !res.blocked {
@@ -32,7 +32,7 @@ func (r *run) unresolvableBottom(g *graph.Graph, rres []replayResult) (graph.Eve
 		if !e.IsReadLike() || !g.Rf[e.ID].Bottom {
 			return graph.NoEvent, false // blocked threads always end in a ⊥ read
 		}
-		if r.resolvable(g, e, res.spans) {
+		if w.resolvable(g, e, res.spans) {
 			return graph.NoEvent, false
 		}
 		if witness == graph.NoEvent {
@@ -44,7 +44,7 @@ func (r *run) unresolvableBottom(g *graph.Graph, rres []replayResult) (graph.Eve
 
 // resolvable reports whether some write in g can serve the ⊥ read e
 // consistently and non-wastefully.
-func (r *run) resolvable(g *graph.Graph, e *graph.Event, spans []iterRec) bool {
+func (w *explorer) resolvable(g *graph.Graph, e *graph.Event, spans []iterRec) bool {
 	// Locate e's position within its await iteration and the rf tuple of
 	// the previous iteration, to apply the progress requirement: if every
 	// earlier read of the current iteration repeats the previous
@@ -89,15 +89,15 @@ func (r *run) resolvable(g *graph.Graph, e *graph.Event, spans []iterRec) bool {
 		}
 	}
 
-	for _, w := range g.Mo[e.Loc] {
-		if w == e.ID {
+	for _, wid := range g.Mo[e.Loc] {
+		if wid == e.ID {
 			continue
 		}
-		choice := graph.FromW(w)
+		choice := graph.FromW(wid)
 		if forbidden != nil && choice == *forbidden {
 			continue // same source as the previous iteration: wasteful
 		}
-		if r.c.Model.Consistent(resolveWith(g, e, w)) {
+		if w.c.Model.Consistent(resolveWith(g, e, wid)) {
 			return true
 		}
 	}

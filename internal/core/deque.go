@@ -1,0 +1,108 @@
+package core
+
+import "sync"
+
+// Deque sizing. Each worker's deque grows by doubling up to dequeMaxCap;
+// a push into a full deque at the cap spills to the exploration's shared
+// overflow queue instead. 32k pending states is far beyond any frontier
+// the corpus produces (a DFS frontier holds one branch fan-out per graph
+// depth), so the bound caps worst-case memory without being a path real
+// explorations take.
+const (
+	dequeInitCap = 256
+	dequeMaxCap  = 1 << 15
+	// stealBatch caps how many states one steal operation moves. Thieves
+	// take up to half the victim's queue, amortizing the lock traffic,
+	// but never more than this — a huge transfer would just invert the
+	// imbalance.
+	stealBatch = 32
+)
+
+// deque is one worker's bounded work deque, the per-worker shard of the
+// exploration frontier. The owner pushes and pops at the tail: LIFO
+// order is depth-first exploration, which keeps parent graphs hot in
+// cache and the frontier small. Thieves remove batches from the head,
+// the FIFO end, where the shallowest states — the roots of the largest
+// unexplored subtrees — sit, so one steal buys a thief a long run of
+// local work.
+//
+// A plain mutex per deque keeps the implementation obviously correct
+// under the race detector. The owner's acquisition is uncontended
+// unless a thief is active on this deque, and executing one state
+// (replay of every thread plus a consistency check) costs microseconds
+// against the lock's nanoseconds.
+type deque struct {
+	mu   sync.Mutex
+	buf  []ExploreState // ring buffer; len is zero or a power of two
+	head int            // index of the oldest state (steal end)
+	size int
+}
+
+// pushTail adds st at the LIFO end. It reports false when the deque is
+// at its hard bound; the caller spills the state to the shared overflow
+// queue instead of losing it.
+func (d *deque) pushTail(st ExploreState) bool {
+	d.mu.Lock()
+	if d.size == len(d.buf) {
+		if len(d.buf) >= dequeMaxCap {
+			d.mu.Unlock()
+			return false
+		}
+		d.grow()
+	}
+	d.buf[(d.head+d.size)&(len(d.buf)-1)] = st
+	d.size++
+	d.mu.Unlock()
+	return true
+}
+
+// popTail removes the most recently pushed state (the DFS child).
+func (d *deque) popTail() (ExploreState, bool) {
+	d.mu.Lock()
+	if d.size == 0 {
+		d.mu.Unlock()
+		return ExploreState{}, false
+	}
+	d.size--
+	i := (d.head + d.size) & (len(d.buf) - 1)
+	st := d.buf[i]
+	d.buf[i] = ExploreState{} // drop the graph reference
+	d.mu.Unlock()
+	return st, true
+}
+
+// stealHead moves up to max states from the FIFO end into out and
+// returns how many were taken — half the queue, so repeated steals
+// converge on balance instead of ping-ponging single items.
+func (d *deque) stealHead(out []ExploreState, max int) int {
+	d.mu.Lock()
+	n := (d.size + 1) / 2
+	if n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		j := (d.head + i) & (len(d.buf) - 1)
+		out[i] = d.buf[j]
+		d.buf[j] = ExploreState{}
+	}
+	if n > 0 {
+		d.head = (d.head + n) & (len(d.buf) - 1)
+		d.size -= n
+	}
+	d.mu.Unlock()
+	return n
+}
+
+// grow doubles the ring (or allocates the initial one), called with the
+// lock held.
+func (d *deque) grow() {
+	ncap := dequeInitCap
+	if len(d.buf) > 0 {
+		ncap = len(d.buf) * 2
+	}
+	nbuf := make([]ExploreState, ncap)
+	for i := 0; i < d.size; i++ {
+		nbuf[i] = d.buf[(d.head+i)&(len(d.buf)-1)]
+	}
+	d.buf, d.head = nbuf, 0
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/graph"
@@ -20,6 +21,19 @@ type Checker struct {
 	MaxGraphs int
 	// MaxEvents bounds the size of a single execution graph.
 	MaxEvents int
+	// WorkersPerRun is the number of workers sharing this run's
+	// exploration frontier. 1 (or less) selects the historical strictly
+	// sequential DFS, which stops at the first violation it reaches.
+	// With more workers the frontier becomes a work-graph: each worker
+	// executes its own deque LIFO and steals FIFO from the others, the
+	// visited set arbitrates expansions, and the run explores to
+	// completion with deterministic result merging — the verdict always
+	// agrees with the sequential DFS, and execution count and
+	// counterexample are identical at any worker count above 1 (the
+	// sequential explorer's early exit makes its violation-run counts a
+	// partial search instead; see Stats for which counters are
+	// schedule-independent).
+	WorkersPerRun int
 	// DisableDedup turns off the visited-graph set (ablation: the
 	// closure-dropping revisit scheme re-derives some graphs along
 	// multiple paths; the fingerprint set prunes them and guarantees
@@ -30,6 +44,11 @@ type Checker struct {
 	// tests run both paths and assert identical exploration (same pop
 	// counts, same verdicts); the hashed path is strictly faster.
 	LegacyDedup bool
+
+	// pool, when set by Pool.RunAll, lets the run borrow idle pool
+	// slots (up to WorkersPerRun) for intra-run work stealing instead
+	// of spawning private workers.
+	pool *Pool
 }
 
 // New returns a Checker for the given memory model with default limits.
@@ -37,10 +56,15 @@ func New(model mm.Model) *Checker {
 	return &Checker{Model: model, MaxGraphs: 2_000_000, MaxEvents: 4096}
 }
 
-// item is one exploration state: a partial execution graph, plus at most
-// one forced rf choice created by a revisit (applied to the next event
-// of the read's thread before normal branching resumes).
-type item struct {
+// ExploreState is one unit of work in the exploration work-graph: a
+// partial execution graph plus the revisit bookkeeping — at most one
+// forced rf choice created by a write→read revisit, applied to the next
+// event of the read's thread before normal branching resumes. Pending
+// operations are not stored: AMC is stateless, so any worker
+// reconstructs them by replaying the program against the graph. An
+// ExploreState is therefore self-contained — whichever worker pops it
+// (its producer, or a thief) executes it identically.
+type ExploreState struct {
 	g         *graph.Graph
 	hasForced bool
 	forcedR   graph.EventID
@@ -50,7 +74,7 @@ type item struct {
 // keyLegacy is the historical string dedup key: the canonical graph
 // fingerprint plus a fmt-built forced-rf suffix. Kept only for the
 // differential tests (Checker.LegacyDedup).
-func (it item) keyLegacy() string {
+func (it ExploreState) keyLegacy() string {
 	k := it.g.Fingerprint()
 	if it.hasForced {
 		k += fmt.Sprintf("|F%v<-%v", it.forcedR, it.forcedW)
@@ -61,7 +85,7 @@ func (it item) keyLegacy() string {
 // key returns the 128-bit structural dedup key: the graph's hash with
 // any forced (read, write) revisit pair folded in — no strings, no fmt,
 // two words per state.
-func (it item) key() graph.Hash128 {
+func (it ExploreState) key() graph.Hash128 {
 	k := it.g.Fingerprint128()
 	if it.hasForced {
 		h := graph.NewHasher128()
@@ -72,24 +96,6 @@ func (it item) key() graph.Hash128 {
 		k = h.Sum()
 	}
 	return k
-}
-
-// run carries the mutable state of one exploration.
-type run struct {
-	c       *Checker
-	threads []vprog.ThreadFunc
-	vars    *vprog.VarSet
-	final   vprog.FinalCheck
-	stack   []item
-	visited map[graph.Hash128]struct{}
-	// visitedLegacy replaces visited under Checker.LegacyDedup.
-	visitedLegacy map[string]bool
-	res           *Result
-
-	// rres and rfbuf are per-step scratch buffers, reused across the
-	// millions of popped states of a large run.
-	rres  []replayResult
-	rfbuf []graph.RF
 }
 
 // Run verifies the program: it explores the execution graphs of p under
@@ -110,92 +116,119 @@ const cancelCheckEvery = 256
 // result (no verdict about the program is implied).
 func (c *Checker) RunCtx(ctx context.Context, p *vprog.Program) *Result {
 	start := time.Now()
-	r := &run{c: c, res: &Result{}}
-	if c.LegacyDedup {
-		r.visitedLegacy = make(map[string]bool)
-	} else {
-		r.visited = make(map[graph.Hash128]struct{})
+	workers := c.WorkersPerRun
+	if workers < 1 {
+		workers = 1
 	}
-	defer func() { r.res.Duration = time.Since(start) }()
+	x := &exploration{c: c, prog: p, ctx: ctx, single: workers == 1}
+	x.parkCond = sync.NewCond(&x.parkMu)
+	if !c.DisableDedup {
+		if c.LegacyDedup {
+			x.legacy = newLegacyVisited()
+		} else {
+			x.visited = NewVisitedSet()
+		}
+	}
+	x.workers = make([]*explorer, workers)
+	for i := range x.workers {
+		x.workers[i] = &explorer{x: x, c: c, id: i}
+	}
 
-	r.vars = &vprog.VarSet{}
-	r.threads, r.final = p.Build(r.vars)
-	if len(r.threads) == 0 {
-		r.res.Err = fmt.Errorf("program %q has no threads", p.Name)
-		r.res.Verdict = Error
-		return r.res
+	finish := func(res *Result) *Result {
+		if x.visited != nil {
+			x.visited.release()
+			x.visited = nil
+		}
+		res.Duration = time.Since(start)
+		return res
 	}
-	g0 := graph.New(len(r.threads), r.vars.Inits(), r.vars.Names())
-	r.stack = []item{{g: g0}}
 
-	for len(r.stack) > 0 {
-		if r.res.Stats.Popped%cancelCheckEvery == 0 && ctx.Err() != nil {
-			r.res.Verdict = Canceled
-			r.res.Err = ctx.Err()
-			r.res.Message = "exploration canceled: " + ctx.Err().Error()
-			return r.res
-		}
-		if r.res.Stats.Popped >= c.MaxGraphs {
-			r.res.Verdict = Error
-			r.res.Err = fmt.Errorf("exceeded MaxGraphs=%d (program may violate the Bounded-Length principle)", c.MaxGraphs)
-			return r.res
-		}
-		it := r.stack[len(r.stack)-1]
-		r.stack = r.stack[:len(r.stack)-1]
-		r.res.Stats.Popped++
-		if done := r.step(it); done {
-			return r.res
+	w0 := x.workers[0]
+	w0.build()
+	if len(w0.threads) == 0 {
+		return finish(&Result{
+			Verdict: Error,
+			Err:     fmt.Errorf("program %q has no threads", p.Name),
+		})
+	}
+	if err := ctx.Err(); err != nil {
+		return finish(&Result{Verdict: Canceled, Err: err, Message: "exploration canceled: " + err.Error()})
+	}
+
+	g0 := graph.New(len(w0.threads), w0.vars.Inits(), w0.vars.Names())
+	x.inflight.Store(1)
+	w0.dq.pushTail(ExploreState{g: g0})
+	x.queued.Store(1)
+
+	if !x.single {
+		if c.pool != nil {
+			// Borrow idle pool slots on demand; worker ids 1..n-1 are the
+			// borrowable seats.
+			x.freeSlots = make([]int, 0, workers-1)
+			for id := workers - 1; id >= 1; id-- {
+				x.freeSlots = append(x.freeSlots, id)
+			}
+		} else {
+			// Standalone parallel run: staff every seat up front.
+			for _, w := range x.workers[1:] {
+				x.wg.Add(1)
+				go func(w *explorer) {
+					defer x.wg.Done()
+					w.build()
+					x.runWorker(w)
+				}(w)
+			}
 		}
 	}
-	r.res.Verdict = OK
-	return r.res
+
+	x.runWorker(w0)
+	x.stopAll()
+	x.wg.Wait()
+	return finish(x.merge())
 }
 
-// step processes one popped exploration state; it returns true when the
-// run is finished (violation found or internal error).
-func (r *run) step(it item) bool {
-	if !r.c.DisableDedup {
-		if r.c.LegacyDedup {
-			key := it.keyLegacy()
-			if r.visitedLegacy[key] {
-				r.res.Stats.Duplicates++
-				return false
+// step processes one popped exploration state. It returns nil to
+// continue (children, if any, buffered in w.childBuf) or the deciding
+// Result of this state (violation or internal error) — in which case no
+// children were buffered.
+func (w *explorer) step(it ExploreState) *Result {
+	x := w.x
+	if !w.c.DisableDedup {
+		if w.c.LegacyDedup {
+			if !x.legacy.insertNew(it.keyLegacy()) {
+				w.stats.Duplicates++
+				return nil
 			}
-			r.visitedLegacy[key] = true
 		} else {
-			key := it.key()
-			if _, dup := r.visited[key]; dup {
-				r.res.Stats.Duplicates++
-				return false
+			if !x.visited.InsertNew(it.key()) {
+				w.stats.Duplicates++
+				return nil
 			}
-			r.visited[key] = struct{}{}
 		}
 	}
 
 	// Replay every thread against the graph (reconstructing the program
 	// state, Fig. 6), collecting pending ops and await iteration records.
-	if r.rres == nil {
-		r.rres = make([]replayResult, len(r.threads))
+	if w.rres == nil {
+		w.rres = make([]replayResult, len(w.threads))
 	}
-	rres := r.rres
-	for t, fn := range r.threads {
-		rres[t] = replayThread(it.g, t, fn, r.vars.Vars)
+	rres := w.rres
+	for t, fn := range w.threads {
+		rres[t] = replayThread(it.g, t, fn, w.vars.Vars)
 		if rres[t].err != nil {
-			r.res.Verdict = Error
-			r.res.Err = rres[t].err
-			return true
+			return &Result{Verdict: Error, Err: rres[t].err}
 		}
 	}
 
 	// consM(G): discard graphs inconsistent with the memory model.
-	if !r.c.Model.Consistent(it.g) {
-		r.res.Stats.Inconsist++
-		return false
+	if !w.c.Model.Consistent(it.g) {
+		w.stats.Inconsist++
+		return nil
 	}
 	// ¬W(G): discard wasteful graphs (Def. 2).
 	if wasteful(it.g, rres) {
-		r.res.Stats.Wasteful++
-		return false
+		w.stats.Wasteful++
+		return nil
 	}
 
 	// A pending forced rf (from a revisit) is applied before anything
@@ -205,19 +238,18 @@ func (r *run) step(it item) bool {
 		p := rres[t].pending
 		if p == nil || (p.kind != opRead && p.kind != opUpdate) ||
 			len(it.g.Threads[t]) != it.forcedR.Index {
-			r.res.Verdict = Error
-			r.res.Err = fmt.Errorf("revisit target %v is not the next read of its thread", it.forcedR)
-			return true
+			return &Result{Verdict: Error,
+				Err: fmt.Errorf("revisit target %v is not the next read of its thread", it.forcedR)}
 		}
-		r.extendReadLike(it.g, t, p, []graph.RF{graph.FromW(it.forcedW)}, false)
-		return false
+		w.extendReadLike(it.g, t, p, []graph.RF{graph.FromW(it.forcedW)}, false)
+		return nil
 	}
 
 	// Collect runnable threads.
 	runnable := -1
 	anyBlocked := false
 	allFinished := true
-	for t := range r.threads {
+	for t := range w.threads {
 		if rres[t].blocked {
 			anyBlocked = true
 			allFinished = false
@@ -237,65 +269,68 @@ func (r *run) step(it item) bool {
 			// TG = ∅ with ⊥ reads present: a potential AT violation. It is
 			// real iff some ⊥ read cannot be resolved by any consistent,
 			// non-wasteful write (§1.3).
-			if id, ok := r.unresolvableBottom(it.g, rres); ok {
-				r.res.Verdict = ATViolation
-				r.res.Message = fmt.Sprintf("await of thread T%d never terminates: read %v has no remaining write to observe", id.Thread, id)
-				r.res.Witness = it.g
-				return true
+			if id, ok := w.unresolvableBottom(it.g, rres); ok {
+				return &Result{
+					Verdict: ATViolation,
+					Message: fmt.Sprintf("await of thread T%d never terminates: read %v has no remaining write to observe", id.Thread, id),
+					Witness: it.g,
+				}
 			}
-			r.res.Stats.Blocked++
-			return false
+			w.stats.Blocked++
+			return nil
 		}
 		if allFinished {
-			r.res.Stats.Executions++
-			if r.final != nil {
-				ok, msg := r.final(func(v *vprog.Var) uint64 {
+			w.stats.Executions++
+			if w.final != nil {
+				ok, msg := w.final(func(v *vprog.Var) uint64 {
 					return it.g.FinalVal(graph.Loc(v.ID))
 				})
 				if !ok {
-					r.res.Verdict = SafetyViolation
-					r.res.Message = "final-state check failed: " + msg
-					r.res.Witness = it.g
-					return true
+					return &Result{
+						Verdict: SafetyViolation,
+						Message: "final-state check failed: " + msg,
+						Witness: it.g,
+					}
 				}
 			}
 		}
-		return false
+		return nil
 	}
 
 	// Extend with the next instruction of the chosen thread.
 	p := rres[runnable].pending
 	switch p.kind {
 	case opError:
-		e := r.mkEvent(it.g, runnable, p)
+		e := w.mkEvent(it.g, runnable, p)
 		g2 := it.g.Clone()
 		g2.Append(e)
-		r.res.Verdict = SafetyViolation
-		r.res.Message = "assertion failed: " + p.msg
-		r.res.Witness = g2
-		return true
+		return &Result{
+			Verdict: SafetyViolation,
+			Message: "assertion failed: " + p.msg,
+			Witness: g2,
+		}
 	case opFence:
 		g2 := it.g.Clone()
-		e := r.mkEvent(g2, runnable, p)
+		e := w.mkEvent(g2, runnable, p)
 		g2.Append(e)
 		g2.NoteExtended(it.g, e)
-		r.push(item{g: g2})
+		w.push(ExploreState{g: g2})
 	case opWrite:
-		r.extendWrite(it.g, runnable, p)
+		w.extendWrite(it.g, runnable, p)
 	case opRead, opUpdate:
-		choices := r.rfbuf[:0]
-		for _, w := range it.g.Mo[p.loc] {
-			choices = append(choices, graph.FromW(w))
+		choices := w.rfbuf[:0]
+		for _, wr := range it.g.Mo[p.loc] {
+			choices = append(choices, graph.FromW(wr))
 		}
-		r.rfbuf = choices
-		r.extendReadLike(it.g, runnable, p, choices, p.inAwait)
+		w.rfbuf = choices
+		w.extendReadLike(it.g, runnable, p, choices, p.inAwait)
 	}
-	return false
+	return nil
 }
 
 // mkEvent builds the event for pending op p as the next event of thread
 // t in g (value fields filled by the caller for read-likes).
-func (r *run) mkEvent(g *graph.Graph, t int, p *pending) *graph.Event {
+func (w *explorer) mkEvent(g *graph.Graph, t int, p *pending) *graph.Event {
 	var kind graph.Kind
 	switch p.kind {
 	case opRead:
@@ -325,30 +360,33 @@ func (r *run) mkEvent(g *graph.Graph, t int, p *pending) *graph.Event {
 	}
 }
 
-// push adds a child state to the exploration stack, guarding graph size.
-func (r *run) push(it item) {
-	if it.g.NumEvents() > r.c.MaxEvents {
-		// Guard against runaway growth; the parent pop already counted.
-		// Report as an error via a sentinel on the stack is overkill: the
-		// MaxGraphs guard will fire; simply refuse to grow further.
+// push buffers a child state, guarding graph size. Children publish to
+// the worker's deque only after the whole step finishes
+// (flushChildren), so thieves never observe a graph its producer is
+// still reading.
+func (w *explorer) push(it ExploreState) {
+	if it.g.NumEvents() > w.c.MaxEvents {
+		// Guard against runaway growth; the MaxGraphs guard will fire if
+		// the state space is genuinely unbounded — simply refuse to grow
+		// this branch further.
 		return
 	}
-	r.res.Stats.Pushed++
-	r.stack = append(r.stack, it)
+	w.stats.Pushed++
+	w.childBuf = append(w.childBuf, it)
 }
 
 // extendWrite adds a plain write: one child per modification-order
 // placement, each followed by its revisit children.
-func (r *run) extendWrite(g *graph.Graph, t int, p *pending) {
+func (w *explorer) extendWrite(g *graph.Graph, t int, p *pending) {
 	npos := len(g.Mo[p.loc])
 	for pos := 1; pos <= npos; pos++ {
 		g2 := g.Clone()
-		e := r.mkEvent(g2, t, p)
+		e := w.mkEvent(g2, t, p)
 		g2.Append(e)
 		g2.InsertMo(p.loc, e.ID, pos)
 		g2.NoteExtended(g, e)
-		r.push(item{g: g2})
-		r.pushRevisits(g2, e)
+		w.push(ExploreState{g: g2})
+		w.pushRevisits(g2, e)
 	}
 }
 
@@ -356,10 +394,10 @@ func (r *run) extendWrite(g *graph.Graph, t int, p *pending) {
 // (plus a ⊥ branch when the read sits in an await), handling update
 // degradation, atomic mo placement, and revisits by the update's write
 // part.
-func (r *run) extendReadLike(g *graph.Graph, t int, p *pending, choices []graph.RF, withBottom bool) {
+func (w *explorer) extendReadLike(g *graph.Graph, t int, p *pending, choices []graph.RF, withBottom bool) {
 	for _, rf := range choices {
 		g2 := g.Clone()
-		e := r.mkEvent(g2, t, p)
+		e := w.mkEvent(g2, t, p)
 		e.RVal = g2.WriteVal(rf.W)
 		if p.kind == opUpdate {
 			wv, degr := p.compute(e.RVal)
@@ -377,59 +415,59 @@ func (r *run) extendReadLike(g *graph.Graph, t int, p *pending, choices []graph.
 			}
 			g2.InsertMo(p.loc, e.ID, src+1)
 			g2.NoteExtended(g, e)
-			r.push(item{g: g2})
-			r.pushRevisits(g2, e)
+			w.push(ExploreState{g: g2})
+			w.pushRevisits(g2, e)
 			continue
 		}
 		g2.NoteExtended(g, e)
-		r.push(item{g: g2})
+		w.push(ExploreState{g: g2})
 	}
 	if withBottom {
 		// ⊥ branch: the potential AT violation marker. Pushed last so the
 		// DFS examines it first, surfacing hangs early.
 		g2 := g.Clone()
-		e := r.mkEvent(g2, t, p)
+		e := w.mkEvent(g2, t, p)
 		g2.Append(e)
 		g2.SetRF(e.ID, graph.BottomRF)
 		g2.NoteExtended(g, e)
-		r.push(item{g: g2})
+		w.push(ExploreState{g: g2})
 	}
 }
 
 // pushRevisits generates the write→read revisit children for the
-// freshly added write-like event w in g2 (the CalcRevisits of Fig. 6):
-// each same-location read r not in w's porf prefix may instead read
-// from w; the graph is restricted to the events added before r plus
-// w's porf prefix, and r's re-addition is forced to read from w.
-func (r *run) pushRevisits(g2 *graph.Graph, w *graph.Event) {
-	porf := g2.PorfPrefix(w.ID)
+// freshly added write-like event wv in g2 (the CalcRevisits of Fig. 6):
+// each same-location read r not in wv's porf prefix may instead read
+// from wv; the graph is restricted to the events added before r plus
+// wv's porf prefix, and r's re-addition is forced to read from wv.
+func (w *explorer) pushRevisits(g2 *graph.Graph, wv *graph.Event) {
+	porf := g2.PorfPrefix(wv.ID)
 	// Same-location reads in (thread, index) order — the iteration
 	// ReadsOf would return, without materializing the slice per write.
 	for _, revs := range g2.Threads {
 		for _, rdEv := range revs {
-			if !rdEv.IsReadLike() || rdEv.Loc != w.Loc {
+			if !rdEv.IsReadLike() || rdEv.Loc != wv.Loc {
 				continue
 			}
-			r.pushRevisit(g2, w, porf, rdEv)
+			w.pushRevisit(g2, wv, porf, rdEv)
 		}
 	}
 }
 
 // pushRevisit generates the revisit child (if any) for one candidate
-// read rdEv against the freshly added write w.
-func (r *run) pushRevisit(g2 *graph.Graph, w *graph.Event, porf *graph.EventSet, rdEv *graph.Event) {
+// read rdEv against the freshly added write wv.
+func (w *explorer) pushRevisit(g2 *graph.Graph, wv *graph.Event, porf *graph.EventSet, rdEv *graph.Event) {
 	rd := rdEv.ID
-	if rd == w.ID || porf.Has(rdEv) {
+	if rd == wv.ID || porf.Has(rdEv) {
 		return
 	}
-	if g2.Rf[rd] == graph.FromW(w.ID) {
+	if g2.Rf[rd] == graph.FromW(wv.ID) {
 		return
 	}
 	rstamp := rdEv.Stamp
 	keep := graph.NewEventSet(g2.NextStamp)
 	for _, evs := range g2.Threads {
 		for _, e := range evs {
-			if e.Stamp < rstamp || porf.Has(e) || e.ID == w.ID {
+			if e.Stamp < rstamp || porf.Has(e) || e.ID == wv.ID {
 				keep.Add(e)
 			}
 		}
@@ -462,7 +500,7 @@ func (r *run) pushRevisit(g2 *graph.Graph, w *graph.Event, porf *graph.EventSet,
 			}
 		}
 	}
-	if !keep.Has(w) {
+	if !keep.Has(wv) {
 		return // the new write itself was dropped: nothing to revisit
 	}
 	// r must be re-addable as the next event of its thread.
@@ -478,8 +516,8 @@ func (r *run) pushRevisit(g2 *graph.Graph, w *graph.Event, porf *graph.EventSet,
 	}
 	g3 := g2.Clone()
 	g3.RestrictTo(keep)
-	r.res.Stats.Revisits++
-	r.push(item{g: g3, hasForced: true, forcedR: rd, forcedW: w.ID})
+	w.stats.Revisits++
+	w.push(ExploreState{g: g3, hasForced: true, forcedR: rd, forcedW: wv.ID})
 }
 
 // wasteful implements W(G) (Def. 2): some await reads from the same

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/vprog"
@@ -25,6 +26,7 @@ type PoolStats struct {
 	Busy     []time.Duration // cumulative in-checker time per worker slot
 	Jobs     []int           // completed jobs per worker slot (canceled runs included)
 	Canceled int             // jobs that ended Canceled (short-circuited)
+	Borrows  int             // idle slots lent out for intra-run work stealing
 }
 
 // TotalBusy sums the per-worker busy time (the CPU-side cost the pool
@@ -37,21 +39,32 @@ func (s PoolStats) TotalBusy() time.Duration {
 	return t
 }
 
-// Pool fans Checker.Run invocations across a bounded set of workers.
+// Pool is the scheduler shared by both granularities of AMC work: whole
+// runs (jobs submitted to RunAll, the PR 1 behavior) and stolen
+// intra-run exploration items. Every job's checker is attached to the
+// pool, so a run whose WorkersPerRun exceeds 1 can borrow slots that
+// would otherwise idle and point them at its own frontier
+// (exploration.maybeRecruit). Whole runs always have priority: a borrow
+// is refused while any job is waiting for a slot, and a borrowed slot
+// returns to the pool the moment the frontier has nothing left to
+// steal.
+//
 // It is safe for concurrent use: overlapping RunAll calls (e.g. the
 // optimizer's speculative ladder verifying several candidate specs at
-// once) share the same worker slots, so total concurrency never
-// exceeds Workers.
+// once) share the same worker slots, so total concurrency never exceeds
+// Workers.
 type Pool struct {
 	// Workers is the concurrency bound, fixed at NewPool time.
 	Workers int
 
-	slots chan int // free worker slot ids; receiving acquires a slot
+	slots   chan int     // free worker slot ids; receiving acquires a slot
+	waiting atomic.Int32 // jobs currently blocked on a slot
 
 	mu       sync.Mutex
 	busy     []time.Duration
 	jobs     []int
 	canceled int
+	borrows  int
 }
 
 // NewPool returns a pool with the given concurrency; workers <= 0
@@ -81,7 +94,33 @@ func (p *Pool) Stats() PoolStats {
 		Busy:     append([]time.Duration(nil), p.busy...),
 		Jobs:     append([]int(nil), p.jobs...),
 		Canceled: p.canceled,
+		Borrows:  p.borrows,
 	}
+}
+
+// tryAcquire hands out a free slot for intra-run work stealing, without
+// blocking and never while a whole run is waiting for one — queued jobs
+// outrank borrows in the unified scheduler.
+func (p *Pool) tryAcquire() (int, bool) {
+	if p.waiting.Load() > 0 {
+		return 0, false
+	}
+	select {
+	case s := <-p.slots:
+		return s, true
+	default:
+		return 0, false
+	}
+}
+
+// finishBorrow returns a borrowed slot, crediting its active time to
+// the slot's busy accounting.
+func (p *Pool) finishBorrow(slot int, d time.Duration) {
+	p.mu.Lock()
+	p.busy[slot] += d
+	p.borrows++
+	p.mu.Unlock()
+	p.slots <- slot
 }
 
 // RunAll executes every job on the pool and returns the results in job
@@ -100,17 +139,26 @@ func (p *Pool) RunAll(ctx context.Context, jobs []Job, failFast bool) []*Result 
 		go func(i int, job Job) {
 			defer wg.Done()
 			var slot int
+			p.waiting.Add(1)
 			select {
 			case <-ctx.Done():
+				p.waiting.Add(-1)
 				results[i] = canceledResult(ctx)
 				p.mu.Lock()
 				p.canceled++
 				p.mu.Unlock()
 				return
 			case slot = <-p.slots:
+				p.waiting.Add(-1)
 			}
+			// Attach the pool so the run can borrow idle slots for
+			// intra-run stealing (bounded by WorkersPerRun) — on a
+			// per-run copy, so the caller's Checker is never mutated and
+			// never retains a pool reference past this job.
+			c := *job.Checker
+			c.pool = p
 			t0 := time.Now()
-			res := job.Checker.RunCtx(ctx, job.Program)
+			res := c.RunCtx(ctx, job.Program)
 			d := time.Since(t0)
 			p.slots <- slot
 			p.mu.Lock()

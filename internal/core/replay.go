@@ -2,13 +2,16 @@
 // contribution (§1): a stateless model checker for concurrent programs
 // with await loops on weak memory models.
 //
-// AMC explores execution graphs with a depth-first search driven by a
-// stack of partial graphs (Fig. 6). Reads branch over every write they
-// could read from — plus, inside await loops, a ⊥ (missing rf) branch
-// that tracks potential await-termination violations. Writes branch
-// over modification-order placements and additionally *revisit* existing
-// reads, transplanting them onto the new write. Two filters make the
-// search finite and sound for awaiting programs:
+// AMC explores execution graphs depth-first over a work-graph of
+// partial-graph states (Fig. 6): each worker executes its own frontier
+// deque LIFO and steals FIFO from the others when WorkersPerRun > 1
+// (see workgraph.go; one worker recovers the classic stack machine).
+// Reads branch over every write they could read from — plus, inside
+// await loops, a ⊥ (missing rf) branch that tracks potential
+// await-termination violations. Writes branch over modification-order
+// placements and additionally *revisit* existing reads, transplanting
+// them onto the new write. Two filters make the search finite and sound
+// for awaiting programs:
 //
 //   - wasteful executions (Def. 2) — an await reading the same writes in
 //     two consecutive iterations — are pruned, collapsing the infinite

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/graph"
@@ -45,8 +46,21 @@ func (v Verdict) String() string {
 }
 
 // Stats counts the work performed by an exploration.
+//
+// Determinism across worker counts: for runs that explore to
+// completion, Executions and Blocked are schedule-independent — the
+// visited set's atomic insert-if-absent admits each structural
+// fingerprint once, and every complete execution (and maximal blocked
+// graph) is derived exactly once whichever worker reaches it first.
+// The traversal counters (Popped, Pushed, Revisits, Duplicates,
+// Wasteful, Inconsist) can vary by a few percent between schedules:
+// graphs with equal fingerprints but different addition histories carry
+// different stamp orders, the revisit restriction depends on stamp
+// order, and which representative a parallel run expands depends on pop
+// timing. The verdict and the counterexample never do (see
+// exploration.offerViolation).
 type Stats struct {
-	Popped     int // graphs popped from the exploration stack
+	Popped     int // graphs popped from the exploration frontier
 	Pushed     int // graphs pushed
 	Executions int // complete consistent executions examined
 	Revisits   int // write→read revisit graphs generated
@@ -56,12 +70,60 @@ type Stats struct {
 	Blocked    int // stuck graphs whose ⊥ reads were all resolvable
 }
 
+// Add accumulates o into s (per-worker and suite-level aggregation).
+func (s *Stats) Add(o Stats) {
+	s.Popped += o.Popped
+	s.Pushed += o.Pushed
+	s.Executions += o.Executions
+	s.Revisits += o.Revisits
+	s.Duplicates += o.Duplicates
+	s.Wasteful += o.Wasteful
+	s.Inconsist += o.Inconsist
+	s.Blocked += o.Blocked
+}
+
+// SchedStats describes how the work-graph scheduler executed a run:
+// which workers participated, how the items were distributed, and how
+// much cross-worker traffic the run generated. These counters are
+// diagnostic and schedule-dependent, which is why they are kept out of
+// Stats (whose equality across worker counts the differential tests
+// assert).
+type SchedStats struct {
+	Workers    int   // worker seats configured (WorkersPerRun, min 1)
+	Active     int   // workers that executed at least one item
+	Executed   []int // items executed per worker seat
+	Steals     int   // successful steal operations
+	Stolen     int   // items moved between workers by steals
+	Spills     int   // items spilled from full deques to the overflow queue
+	Contention int   // contended visited-shard lock acquisitions
+	Recruited  int   // pool slots borrowed for intra-run stealing
+}
+
+// Accumulate sums the portable counters of o into s for suite-level
+// aggregation (the per-seat breakdown does not compose across runs and
+// is dropped).
+func (s *SchedStats) Accumulate(o SchedStats) {
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	if o.Active > s.Active {
+		s.Active = o.Active
+	}
+	s.Executed = nil
+	s.Steals += o.Steals
+	s.Stolen += o.Stolen
+	s.Spills += o.Spills
+	s.Contention += o.Contention
+	s.Recruited += o.Recruited
+}
+
 // Result is the outcome of Checker.Run.
 type Result struct {
 	Verdict  Verdict
 	Message  string
 	Witness  *graph.Graph // counterexample graph (violations only)
 	Stats    Stats
+	Sched    SchedStats // work-graph scheduler counters
 	Duration time.Duration
 	Err      error // set when Verdict == Error
 }
@@ -80,4 +142,30 @@ func (r *Result) String() string {
 	default:
 		return fmt.Sprintf("%s: %s", r.Verdict, r.Message)
 	}
+}
+
+// Report renders the result with its exploration statistics and the
+// work-graph scheduler counters — the multi-line companion of String.
+func (r *Result) Report() string {
+	var b strings.Builder
+	b.WriteString(r.String())
+	b.WriteByte('\n')
+	s := r.Stats
+	fmt.Fprintf(&b, "exploration: %d popped, %d pushed, %d executions, %d revisits, %d duplicates, %d wasteful, %d inconsistent, %d blocked\n",
+		s.Popped, s.Pushed, s.Executions, s.Revisits, s.Duplicates, s.Wasteful, s.Inconsist, s.Blocked)
+	sc := r.Sched
+	if sc.Workers > 0 {
+		fmt.Fprintf(&b, "scheduler: %d/%d workers active, %d steals moving %d items, %d spills, %d contended shard locks",
+			sc.Active, sc.Workers, sc.Steals, sc.Stolen, sc.Spills, sc.Contention)
+		if sc.Recruited > 0 {
+			fmt.Fprintf(&b, ", %d pool slots borrowed", sc.Recruited)
+		}
+		b.WriteByte('\n')
+		if sc.Workers > 1 {
+			for i, n := range sc.Executed {
+				fmt.Fprintf(&b, "  worker %d: %d items\n", i, n)
+			}
+		}
+	}
+	return b.String()
 }

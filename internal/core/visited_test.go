@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// TestVisitedSetInsertLookup: basic insert-if-absent semantics.
+func TestVisitedSetInsertLookup(t *testing.T) {
+	v := core.NewVisitedSet()
+	k := graph.Hash128{0xdead, 0xbeef}
+	if v.Has(k) {
+		t.Fatal("empty set claims membership")
+	}
+	if !v.InsertNew(k) {
+		t.Fatal("first insert must report new")
+	}
+	if v.InsertNew(k) {
+		t.Fatal("second insert must report duplicate")
+	}
+	if !v.Has(k) || v.Len() != 1 {
+		t.Fatalf("Has=%v Len=%d after one insert", v.Has(k), v.Len())
+	}
+}
+
+// TestVisitedSetSameShard: keys that collide on the same shard (equal
+// low bits of the shard lane) stay distinct entries.
+func TestVisitedSetSameShard(t *testing.T) {
+	v := core.NewVisitedSet()
+	const n = 128
+	for i := 0; i < n; i++ {
+		// Same low 6 bits of k[1] => same shard for every key.
+		k := graph.Hash128{uint64(i), uint64(i) << 16}
+		if !v.InsertNew(k) {
+			t.Fatalf("key %d reported duplicate on first insert", i)
+		}
+	}
+	if v.Len() != n {
+		t.Fatalf("Len = %d, want %d", v.Len(), n)
+	}
+}
+
+// TestVisitedSetConcurrent: many goroutines race to insert overlapping
+// key sets — every key must be admitted exactly once, and lookups must
+// never tear. Run under -race this is the memory-safety bar for the
+// parallel explorer's dedup path.
+func TestVisitedSetConcurrent(t *testing.T) {
+	v := core.NewVisitedSet()
+	const (
+		goroutines = 8
+		keys       = 4000
+	)
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				// Every goroutine inserts the same key set, shifted so that
+				// neighbors collide on shards: contention plus duplication.
+				k := graph.Hash128{uint64(i) * 0x9e3779b97f4a7c15, uint64(i)}
+				if v.InsertNew(k) {
+					admitted.Add(1)
+				}
+				if !v.Has(k) {
+					t.Errorf("key %d vanished after insert", i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != keys {
+		t.Fatalf("admitted %d keys, want exactly %d (one winner per key)", got, keys)
+	}
+	if v.Len() != keys {
+		t.Fatalf("Len = %d, want %d", v.Len(), keys)
+	}
+}

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/vprog"
+)
+
+// This file is the work-graph scheduler: one Checker.Run is no longer a
+// private recursive stack machine but a shared frontier of ExploreState
+// items that any number of workers execute cooperatively. Each worker
+// owns a bounded deque (LIFO-local execution, FIFO stealing); a
+// hash-sharded VisitedSet arbitrates which worker expands each state;
+// and results merge deterministically, so a parallel run is observably
+// identical to a sequential one (see merge below).
+//
+// Workers come from two sources, scheduled through one mechanism:
+//
+//   - standalone runs with WorkersPerRun > 1 spawn their workers
+//     up front;
+//   - runs launched through a Pool borrow idle pool slots on demand
+//     (maybeRecruit), so the same slots that fan out whole runs —
+//     PR 1's scheduling unit — also execute stolen intra-run items
+//     when no whole run is waiting for them. Queued runs always have
+//     priority over borrows (Pool.tryAcquire refuses while a run
+//     waits), so intra-run stealing only soaks up capacity that would
+//     otherwise idle.
+
+// recruitThreshold is how many queued states a run must have before it
+// tries to borrow an idle pool slot: below this the run would finish
+// before the helper warmed up.
+const recruitThreshold = 8
+
+// explorer is one worker's private view of an exploration. Everything
+// a step touches — its own build of the program (thread closures are
+// not reentrant across concurrent replays), replay scratch, child
+// buffer, statistics — lives here, so executing an item never contends
+// beyond the deque locks and the visited set.
+type explorer struct {
+	x      *exploration
+	c      *Checker
+	id     int
+	helper bool // borrowed pool slot: exits when idle instead of parking
+
+	// Per-worker instantiation of the program under test.
+	threads []vprog.ThreadFunc
+	vars    *vprog.VarSet
+	final   vprog.FinalCheck
+	built   bool
+
+	dq       deque
+	childBuf []ExploreState
+	stealBuf [stealBatch]ExploreState
+
+	// Replay scratch, reused across every item this worker executes.
+	rres  []replayResult
+	rfbuf []graph.RF
+
+	stats    Stats
+	executed int
+	steals   int
+	stolen   int
+}
+
+// build instantiates the program for this worker. Build is
+// deterministic (vprog.Program contract), so every worker sees the same
+// variable layout the root graph was created with.
+func (w *explorer) build() {
+	w.vars = &vprog.VarSet{}
+	w.threads, w.final = w.x.prog.Build(w.vars)
+	w.built = true
+}
+
+// exploration is the shared work-graph of one Checker run.
+type exploration struct {
+	c    *Checker
+	prog *vprog.Program
+	ctx  context.Context
+
+	// single selects the historical strictly-sequential semantics:
+	// exactly one worker, DFS order, stop at the first violation.
+	single bool
+
+	visited *VisitedSet
+	legacy  *legacyVisited
+
+	workers []*explorer
+
+	// overflow receives pushes that found their deque at the hard
+	// bound; every worker drains it before trying to steal.
+	ofMu     sync.Mutex
+	overflow []ExploreState
+	spills   int
+
+	queued   atomic.Int64 // states sitting in deques + overflow (advisory, for parking)
+	inflight atomic.Int64 // queued + currently executing; 0 <=> exploration drained
+	popped   atomic.Int64 // MaxGraphs guard and cancellation cadence
+
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	parked   int
+	parkedN  atomic.Int32 // mirror of parked, readable without the lock
+	done     atomic.Bool
+
+	// Result merging. hard is a run-terminating result (Error,
+	// Canceled, or — in single mode — the first violation); vio is the
+	// deterministic winner among violations found by a parallel run.
+	resMu    sync.Mutex
+	hard     *Result
+	vio      *Result
+	vioStamp int
+	vioKey   graph.Hash128
+
+	// Pool-slot borrowing.
+	helperMu  sync.Mutex
+	freeSlots []int
+	recruited atomic.Int32
+
+	wg sync.WaitGroup
+}
+
+// runWorker is the scheduling loop every worker executes: take the next
+// item (local LIFO, then overflow, then steal), run it, and detect
+// global completion when the in-flight count drains to zero.
+func (x *exploration) runWorker(w *explorer) {
+	for {
+		st, ok := x.next(w)
+		if !ok {
+			return
+		}
+		x.execute(w, st)
+		if x.inflight.Add(-1) == 0 {
+			x.stopAll()
+			return
+		}
+	}
+}
+
+// next finds work for w, or reports that the run is over (done flag, or
+// — for pool helpers — nothing left to steal right now).
+func (x *exploration) next(w *explorer) (ExploreState, bool) {
+	for {
+		if x.done.Load() {
+			return ExploreState{}, false
+		}
+		if w.helper && x.c.pool.waiting.Load() > 0 {
+			// A whole run is queued on the pool: yield the borrowed slot
+			// immediately — jobs outrank borrows. Anything left in this
+			// worker's deque stays stealable by the run's other workers.
+			return ExploreState{}, false
+		}
+		if st, ok := w.dq.popTail(); ok {
+			x.queued.Add(-1)
+			return st, true
+		}
+		if st, ok := x.takeOverflow(); ok {
+			x.queued.Add(-1)
+			return st, true
+		}
+		if x.single {
+			// One worker, empty deque, empty overflow: the run is drained
+			// (the inflight count hit zero on the previous decrement).
+			return ExploreState{}, false
+		}
+		if st, ok := x.steal(w); ok {
+			x.queued.Add(-1)
+			return st, true
+		}
+		if w.helper {
+			// A borrowed slot with nothing to steal goes back to the pool;
+			// the run re-recruits if its frontier grows again.
+			return ExploreState{}, false
+		}
+		x.park()
+	}
+}
+
+// execute runs one item: global guards (cancellation cadence,
+// MaxGraphs), then the step, then either publishes the children or
+// merges the violation.
+func (x *exploration) execute(w *explorer, st ExploreState) {
+	n := x.popped.Add(1)
+	if n%cancelCheckEvery == 0 && x.ctx.Err() != nil {
+		err := x.ctx.Err()
+		x.halt(&Result{Verdict: Canceled, Err: err, Message: "exploration canceled: " + err.Error()})
+		return
+	}
+	if n > int64(x.c.MaxGraphs) {
+		x.halt(&Result{Verdict: Error, Err: fmt.Errorf(
+			"exceeded MaxGraphs=%d (program may violate the Bounded-Length principle)", x.c.MaxGraphs)})
+		return
+	}
+	w.stats.Popped++
+	w.executed++
+	res := w.step(st)
+	if res == nil {
+		w.flushChildren()
+		return
+	}
+	// A deciding item never contributes children (step returns before
+	// pushing on every violation path); drop any stale buffer content
+	// defensively.
+	w.childBuf = w.childBuf[:0]
+	if res.Verdict == Error || x.single {
+		x.halt(res)
+		return
+	}
+	x.offerViolation(st, res)
+}
+
+// flushChildren publishes the children of the item just executed. They
+// are buffered during the step and pushed only afterwards, so a graph
+// is never visible to thieves while its producer still reads it (the
+// revisit calculation inspects a child graph after creating it).
+// Publication order matches the historical stack: the LIFO pop then
+// examines children in exactly the order the sequential DFS did.
+func (w *explorer) flushChildren() {
+	buf := w.childBuf
+	if len(buf) == 0 {
+		return
+	}
+	x := w.x
+	// inflight before queued: a thief may execute and retire a child the
+	// instant it lands in the deque, and the drain detector must never
+	// see inflight dip to zero while states exist.
+	x.inflight.Add(int64(len(buf)))
+	for _, ch := range buf {
+		if !w.dq.pushTail(ch) {
+			x.spill(ch)
+		}
+	}
+	x.queued.Add(int64(len(buf)))
+	for i := range buf {
+		buf[i] = ExploreState{}
+	}
+	w.childBuf = buf[:0]
+	if !x.single {
+		x.wake()
+		x.maybeRecruit()
+	}
+}
+
+func (x *exploration) spill(st ExploreState) {
+	x.ofMu.Lock()
+	x.overflow = append(x.overflow, st)
+	x.spills++
+	x.ofMu.Unlock()
+}
+
+func (x *exploration) takeOverflow() (ExploreState, bool) {
+	x.ofMu.Lock()
+	if len(x.overflow) == 0 {
+		x.ofMu.Unlock()
+		return ExploreState{}, false
+	}
+	st := x.overflow[0]
+	x.overflow[0] = ExploreState{}
+	x.overflow = x.overflow[1:]
+	x.ofMu.Unlock()
+	return st, true
+}
+
+// steal scans the other workers' deques round-robin from w and takes a
+// batch from the first non-empty head. The first stolen state is
+// executed immediately; the rest seed w's own deque.
+func (x *exploration) steal(w *explorer) (ExploreState, bool) {
+	for i := 1; i < len(x.workers); i++ {
+		v := x.workers[(w.id+i)%len(x.workers)]
+		n := v.dq.stealHead(w.stealBuf[:], stealBatch)
+		if n == 0 {
+			continue
+		}
+		w.steals++
+		w.stolen += n
+		st := w.stealBuf[0]
+		for j := 1; j < n; j++ {
+			if !w.dq.pushTail(w.stealBuf[j]) {
+				x.spill(w.stealBuf[j])
+			}
+		}
+		for j := 0; j < n; j++ {
+			w.stealBuf[j] = ExploreState{}
+		}
+		return st, true
+	}
+	return ExploreState{}, false
+}
+
+// park blocks until new work is published or the run ends. The queued
+// counter is re-checked under the lock, and wake signals under the same
+// lock, so a publication between the last failed steal and the wait
+// cannot be lost.
+func (x *exploration) park() {
+	x.parkMu.Lock()
+	x.parked++
+	x.parkedN.Store(int32(x.parked))
+	for x.queued.Load() == 0 && !x.done.Load() {
+		x.parkCond.Wait()
+	}
+	x.parked--
+	x.parkedN.Store(int32(x.parked))
+	x.parkMu.Unlock()
+}
+
+// wake rouses parked workers after a publication. The common case — no
+// one parked — costs one atomic load.
+func (x *exploration) wake() {
+	if x.parkedN.Load() == 0 {
+		return
+	}
+	x.parkMu.Lock()
+	if x.parked > 0 {
+		x.parkCond.Broadcast()
+	}
+	x.parkMu.Unlock()
+}
+
+// stopAll ends the run: drained, hard-stopped, or canceled.
+func (x *exploration) stopAll() {
+	x.done.Store(true)
+	x.parkMu.Lock()
+	x.parkCond.Broadcast()
+	x.parkMu.Unlock()
+}
+
+// halt records a run-terminating result and stops every worker. A
+// decisive verdict is never downgraded to Canceled by a later check.
+func (x *exploration) halt(res *Result) {
+	x.resMu.Lock()
+	if x.hard == nil || (x.hard.Verdict == Canceled && res.Verdict != Canceled) {
+		x.hard = res
+	}
+	x.resMu.Unlock()
+	x.stopAll()
+}
+
+// offerViolation merges a violation found by a parallel worker.
+// Exploration continues (the violating item just contributes no
+// children, exactly as in a sequential run), and among all violations
+// of the complete run the item lowest in the stamp-count order —
+// (events in the graph, structural key) as the schedule-independent
+// stand-in for the addition-stamp depth — wins. Both components are
+// functions of the state alone, so repeated parallel runs at any worker
+// count report the same counterexample.
+func (x *exploration) offerViolation(st ExploreState, res *Result) {
+	stamp, key := st.g.NumEvents(), st.key()
+	x.resMu.Lock()
+	if x.vio == nil || stamp < x.vioStamp ||
+		(stamp == x.vioStamp && keyLess(key, x.vioKey)) {
+		x.vio, x.vioStamp, x.vioKey = res, stamp, key
+	}
+	x.resMu.Unlock()
+}
+
+func keyLess(a, b graph.Hash128) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// maybeRecruit tries to borrow one idle pool slot for this run. It is
+// called after publications, costs an atomic load when the run is not
+// pool-attached or already fully staffed, and backs off whenever the
+// pool has whole runs waiting — those always win the slot.
+func (x *exploration) maybeRecruit() {
+	pool := x.c.pool
+	if pool == nil || x.queued.Load() < recruitThreshold {
+		return
+	}
+	x.helperMu.Lock()
+	if len(x.freeSlots) == 0 {
+		x.helperMu.Unlock()
+		return
+	}
+	slot, ok := pool.tryAcquire()
+	if !ok {
+		x.helperMu.Unlock()
+		return
+	}
+	id := x.freeSlots[len(x.freeSlots)-1]
+	x.freeSlots = x.freeSlots[:len(x.freeSlots)-1]
+	x.helperMu.Unlock()
+	x.recruited.Add(1)
+	x.wg.Add(1)
+	go x.helperLoop(x.workers[id], slot)
+}
+
+// helperLoop runs a borrowed pool slot as a worker until the frontier
+// has nothing for it, then returns the slot (its busy time credited to
+// the pool's accounting) and frees its worker id for a later borrow.
+func (x *exploration) helperLoop(w *explorer, slot int) {
+	defer x.wg.Done()
+	t0 := time.Now()
+	if !w.built {
+		w.build()
+	}
+	w.helper = true
+	x.runWorker(w)
+	x.helperMu.Lock()
+	x.freeSlots = append(x.freeSlots, w.id)
+	x.helperMu.Unlock()
+	x.c.pool.finishBorrow(slot, time.Since(t0))
+}
+
+// merge assembles the final Result: the deterministic violation winner
+// if the run found any, else the hard stop (Error/Canceled), else OK —
+// with statistics summed over every worker that participated. A true
+// counterexample outranks a MaxGraphs error or a cancellation: it is a
+// sound verdict about the program, where the others only describe the
+// run.
+func (x *exploration) merge() *Result {
+	var res *Result
+	switch {
+	case x.vio != nil:
+		res = x.vio
+	case x.hard != nil:
+		res = x.hard
+	default:
+		res = &Result{Verdict: OK}
+	}
+	sched := SchedStats{Workers: len(x.workers), Executed: make([]int, len(x.workers))}
+	for i, w := range x.workers {
+		res.Stats.Add(w.stats)
+		sched.Executed[i] = w.executed
+		if w.executed > 0 {
+			sched.Active++
+		}
+		sched.Steals += w.steals
+		sched.Stolen += w.stolen
+	}
+	sched.Spills = x.spills
+	if x.visited != nil {
+		sched.Contention = x.visited.Contention()
+	}
+	sched.Recruited = int(x.recruited.Load())
+	res.Sched = sched
+	return res
+}

@@ -195,13 +195,42 @@ func TestFenceSynchronization(t *testing.T) {
 
 // TestByName covers the registry.
 func TestByName(t *testing.T) {
-	for _, name := range []string{"sc", "tso", "wmm"} {
+	for _, name := range []string{"sc", "tso", "wmm", "ra"} {
 		if m := mm.ByName(name); m == nil || m.Name() != name {
 			t.Errorf("ByName(%q) broken", name)
 		}
 	}
 	if mm.ByName("bogus") != nil {
 		t.Error("ByName must return nil for unknown models")
+	}
+}
+
+// TestByNameRoundTrip: every registered model — the correctness models
+// of All() and the ablation models — round-trips through its name to
+// the identical instance, and names are unique across the registry.
+func TestByNameRoundTrip(t *testing.T) {
+	all := append(mm.All(), mm.Ablations()...)
+	seen := map[string]bool{}
+	for _, m := range all {
+		name := m.Name()
+		if seen[name] {
+			t.Errorf("duplicate model name %q in the registry", name)
+		}
+		seen[name] = true
+		if got := mm.ByName(name); got != m {
+			t.Errorf("ByName(%q) = %#v, want the registered instance %#v", name, got, m)
+		}
+	}
+	// RA is an ablation, not a correctness model: All() must not grow it
+	// silently, because the corpus asserts all-model properties that RA
+	// deliberately breaks (see the All doc comment).
+	for _, m := range mm.All() {
+		if m.Name() == "ra" {
+			t.Error("ra must not be part of All(); it belongs to Ablations()")
+		}
+	}
+	if len(mm.Ablations()) == 0 || mm.Ablations()[0] != mm.RA {
+		t.Error("Ablations() must expose RA")
 	}
 }
 

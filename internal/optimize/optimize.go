@@ -14,13 +14,17 @@
 // one of them.
 //
 // The independent AMC runs of the search are embarrassingly parallel,
-// and the engine exploits that on two axes without changing the result:
-// the client programs of one candidate spec fan out across a
-// core.Pool (a failing program cancels its siblings), and in
+// and the engine exploits that on three axes without changing the
+// result: the client programs of one candidate spec fan out across a
+// core.Pool (a failing program cancels its siblings); in
 // speculative-ladder mode the candidate modes of one point race each
 // other, the weakest verified one winning — exactly the mode the
-// sequential descent would have accepted. A Cache memoizes verdicts so
-// multi-pass descents never re-verify an assignment already judged.
+// sequential descent would have accepted; and with WorkersPerRun > 1
+// the runs and the ladder share one scheduler — idle pool slots are
+// borrowed for intra-run work stealing inside whichever exploration is
+// still going, instead of nesting a second pool under the first. A
+// Cache memoizes verdicts so multi-pass descents never re-verify an
+// assignment already judged.
 package optimize
 
 import (
@@ -98,6 +102,14 @@ type Optimizer struct {
 	// GOMAXPROCS, 1 forces the strictly sequential engine. The final
 	// spec is identical either way.
 	Parallelism int
+	// WorkersPerRun, when > 1, lets every AMC run of the search share
+	// its exploration frontier through the pool's unified scheduler:
+	// idle pool slots — e.g. at the tail of a speculative ladder when
+	// only the slowest candidate is still verifying — are borrowed for
+	// intra-run work stealing instead of sitting dead. Verdicts (and
+	// therefore the final spec) are identical at any value; only the
+	// wall-clock shape of the search changes.
+	WorkersPerRun int
 	// Speculate races each point's candidate ladder concurrently
 	// (weakest→strongest launched together, weakest verified accepted)
 	// instead of trying candidates one at a time. Requires
@@ -173,6 +185,7 @@ func (e *engine) checker() *core.Checker {
 	if e.o.MaxGraphs > 0 {
 		c.MaxGraphs = e.o.MaxGraphs
 	}
+	c.WorkersPerRun = e.o.WorkersPerRun
 	return c
 }
 
@@ -430,8 +443,8 @@ func (r *Result) Report() string {
 		out += fmt.Sprintf("cache: %d hits / %d lookups\n", r.CacheHits, r.CacheLookups)
 	}
 	if r.Pool.Workers > 0 {
-		out += fmt.Sprintf("parallel: %d workers, %d runs canceled by short-circuit, busy %v total\n",
-			r.Pool.Workers, r.Pool.Canceled, r.Pool.TotalBusy().Round(time.Millisecond))
+		out += fmt.Sprintf("parallel: %d workers, %d runs canceled by short-circuit, %d slots borrowed for intra-run stealing, busy %v total\n",
+			r.Pool.Workers, r.Pool.Canceled, r.Pool.Borrows, r.Pool.TotalBusy().Round(time.Millisecond))
 		for i := range r.Pool.Busy {
 			out += fmt.Sprintf("  worker %d: %3d jobs, %v busy\n",
 				i, r.Pool.Jobs[i], r.Pool.Busy[i].Round(time.Millisecond))

@@ -29,6 +29,7 @@ package vsync
 
 import (
 	"context"
+	"runtime"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -66,10 +67,14 @@ type (
 	// OptCache memoizes verification verdicts across optimization runs
 	// (keyed by model, spec fingerprint and program shape).
 	OptCache = optimize.Cache
-	// Pool fans AMC runs across a bounded worker set.
+	// Pool schedules AMC work across a bounded worker set — whole runs
+	// and stolen intra-run exploration items through one scheduler.
 	Pool = core.Pool
 	// PoolStats is the per-worker accounting of a Pool.
 	PoolStats = core.PoolStats
+	// SchedStats is the work-graph scheduler accounting of one run
+	// (active workers, steals, spills, shard contention).
+	SchedStats = core.SchedStats
 	// Model is a weak memory model (consistency predicate).
 	Model = mm.Model
 	// Machine is a simulated benchmark platform.
@@ -113,9 +118,28 @@ var (
 	ModelWMM = mm.WMM
 )
 
-// Verify model-checks an arbitrary program under the given model.
+// Verify model-checks an arbitrary program under the given model with
+// the historical sequential explorer.
 func Verify(model Model, p *Program) *Result {
-	return core.New(model).Run(p)
+	return VerifyPar(model, p, 1)
+}
+
+// VerifyPar is Verify with intra-run work stealing: the single run's
+// exploration frontier is shared by up to workersPerRun workers
+// (0 = GOMAXPROCS, 1 = sequential). The verdict always agrees with the
+// sequential explorer; among parallel runs (workersPerRun > 1) the
+// execution count and counterexample are additionally identical at
+// every worker count, because they explore to completion and merge
+// deterministically — the sequential explorer instead stops at its
+// first DFS counterexample, so on violating programs its statistics
+// and witness reflect that partial search.
+func VerifyPar(model Model, p *Program, workersPerRun int) *Result {
+	if workersPerRun <= 0 {
+		workersPerRun = runtime.GOMAXPROCS(0)
+	}
+	c := core.New(model)
+	c.WorkersPerRun = workersPerRun
+	return c.Run(p)
 }
 
 // VerifySuite model-checks several programs concurrently: the runs fan
@@ -124,10 +148,26 @@ func Verify(model Model, p *Program) *Result {
 // index of its program, or an OK result (with aggregated statistics)
 // and -1 when every program verifies.
 func VerifySuite(model Model, parallelism int, ps []*Program) (*Result, int) {
+	return VerifySuitePar(model, parallelism, 1, ps)
+}
+
+// VerifySuitePar is VerifySuite with both parallel axes exposed:
+// parallelism bounds the concurrent whole runs, and workersPerRun
+// (0 = GOMAXPROCS) lets each run's exploration frontier additionally be
+// worked by stolen intra-run items on pool slots that would otherwise
+// idle (for example once only the biggest run is still going). Whole
+// runs keep priority over borrows, so workersPerRun > 1 never slows the
+// fan-out down.
+func VerifySuitePar(model Model, parallelism, workersPerRun int, ps []*Program) (*Result, int) {
+	if workersPerRun <= 0 {
+		workersPerRun = runtime.GOMAXPROCS(0)
+	}
 	pool := core.NewPool(parallelism)
 	jobs := make([]core.Job, len(ps))
 	for i, p := range ps {
-		jobs[i] = core.Job{Checker: core.New(model), Program: p}
+		c := core.New(model)
+		c.WorkersPerRun = workersPerRun
+		jobs[i] = core.Job{Checker: c, Program: p}
 	}
 	verdict, failed, results := pool.VerifyAll(context.Background(), jobs)
 	if verdict != core.OK {
@@ -135,14 +175,8 @@ func VerifySuite(model Model, parallelism int, ps []*Program) (*Result, int) {
 	}
 	agg := &Result{Verdict: core.OK}
 	for _, r := range results {
-		agg.Stats.Popped += r.Stats.Popped
-		agg.Stats.Pushed += r.Stats.Pushed
-		agg.Stats.Executions += r.Stats.Executions
-		agg.Stats.Revisits += r.Stats.Revisits
-		agg.Stats.Duplicates += r.Stats.Duplicates
-		agg.Stats.Wasteful += r.Stats.Wasteful
-		agg.Stats.Inconsist += r.Stats.Inconsist
-		agg.Stats.Blocked += r.Stats.Blocked
+		agg.Stats.Add(r.Stats)
+		agg.Sched.Accumulate(r.Sched)
 		if r.Duration > agg.Duration {
 			agg.Duration = r.Duration // wall clock ≈ the slowest run
 		}
@@ -185,6 +219,16 @@ type OptimizeOptions struct {
 	// Parallelism bounds concurrent AMC runs: 0 = GOMAXPROCS, 1 =
 	// strictly sequential.
 	Parallelism int
+	// WorkersPerRun lets each AMC run additionally share its
+	// exploration frontier with idle pool slots via intra-run work
+	// stealing (0 or 1 = off). Late in a speculative ladder, when only
+	// the slowest candidate is still verifying, its run soaks up the
+	// slots its finished siblings released. Note the trade-off: a
+	// parallel run explores to completion on violations (for
+	// deterministic merging), so candidates expected to FAIL lose the
+	// sequential early exit — worth it for big verifying runs, not for
+	// descents dominated by failing candidates.
+	WorkersPerRun int
 	// Speculate races each point's candidate modes concurrently and
 	// accepts the weakest verified one.
 	Speculate bool
@@ -201,7 +245,9 @@ type OptimizeOptions struct {
 }
 
 // DefaultOptimizeOptions is the fast push-button configuration:
-// GOMAXPROCS workers, speculative ladders, memoization on.
+// GOMAXPROCS workers, speculative ladders, memoization on. Intra-run
+// stealing stays off: the descent is dominated by failing candidates,
+// which want the sequential early exit (see WorkersPerRun).
 func DefaultOptimizeOptions() OptimizeOptions {
 	return OptimizeOptions{Parallelism: 0, Speculate: true, CacheOn: true}
 }
@@ -215,13 +261,14 @@ func Optimize(model Model, programs func(*BarrierSpec) []*Program, initial *Barr
 		cache = optimize.NewCache()
 	}
 	opt := &optimize.Optimizer{
-		Model:       model,
-		Programs:    programs,
-		MaxGraphs:   opts.MaxGraphs,
-		Passes:      opts.Passes,
-		Parallelism: opts.Parallelism,
-		Speculate:   opts.Speculate,
-		Cache:       cache,
+		Model:         model,
+		Programs:      programs,
+		MaxGraphs:     opts.MaxGraphs,
+		Passes:        opts.Passes,
+		Parallelism:   opts.Parallelism,
+		WorkersPerRun: opts.WorkersPerRun,
+		Speculate:     opts.Speculate,
+		Cache:         cache,
 	}
 	return opt.Run(initial)
 }

@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: build vet test test-short race bench-smoke fmt-check
+# Persistent verdict store used by the incremental suite runner; CI
+# caches this directory so warm runs skip already-decided AMC work.
+STORE ?= .vsync-store/verdicts.log
+
+.PHONY: build vet test test-short race bench-smoke fmt-check suite suite-warm
 
 build:
 	$(GO) build ./...
@@ -29,7 +33,7 @@ test-short:
 # parallel-vs-sequential differential corpus, the stealing/pool-borrow
 # integration runs, and the sharded visited set under concurrent load.
 race:
-	$(GO) test -race -short ./internal/core ./internal/optimize ./vsync
+	$(GO) test -race -short ./internal/core ./internal/optimize ./internal/store ./vsync
 	$(GO) test -race -run 'TestParallel|TestVisitedSet|TestPoolSlot' ./internal/core
 
 # One cheap pass over the benchmark harness to catch bit-rot in the
@@ -39,3 +43,16 @@ race:
 bench-smoke:
 	$(GO) test -short -bench=. -benchtime=1x -run=^$$ .
 	$(GO) run ./cmd/vsyncbench -amc -amcruns 1 -amcjson BENCH_amc.json
+
+# Incremental verification suite: every non-buggy lock's client and the
+# litmus corpus under every model, consulting the persistent verdict
+# store first. Cells the store already decided cost a hash lookup; new
+# decisive verdicts are appended for the next run.
+suite:
+	$(GO) run ./cmd/vsyncsuite -store $(STORE)
+
+# Warm assertion: over an unchanged corpus the store must serve at
+# least 99% of the cells (CI runs `make suite` first, so in practice
+# 100% — the whole matrix without a single AMC run).
+suite-warm:
+	$(GO) run ./cmd/vsyncsuite -store $(STORE) -min-hit-rate 0.99

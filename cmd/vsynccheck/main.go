@@ -7,6 +7,11 @@
 //	vsynccheck -all [-par N] [-workers N]
 //	vsynccheck -list
 //
+// -store PATH consults the persistent verdict store first — a problem
+// some earlier run already decided (same model, same barrier spec, same
+// program shape) is answered by a hash lookup with no model checking —
+// and appends every decisive verdict this invocation computes.
+//
 // -all verifies every registered correct (non-study-case) algorithm,
 // fanning the AMC runs across -par workers (0 = GOMAXPROCS); the first
 // failure cancels the remaining runs.
@@ -31,8 +36,25 @@ import (
 	"repro/internal/harness"
 	"repro/internal/locks"
 	"repro/internal/mm"
+	"repro/internal/store"
+	"repro/internal/vprog"
 	"repro/vsync"
 )
+
+// storeKey builds the content address of one verification problem.
+func storeKey(m mm.Model, spec *vprog.BarrierSpec, p *vsync.Program) store.Key {
+	return store.Key{Model: m.Name(), Spec: spec.Fingerprint128(), Prog: p.Fingerprint128()}
+}
+
+// storePut appends a verdict, reporting rather than swallowing
+// failures: an append error means the verdict will be re-computed next
+// run, and a conflict means the keying itself broke — both things the
+// operator must see.
+func storePut(st *store.Store, k store.Key, v core.Verdict, name string) {
+	if err := st.Put(k, v, name); err != nil {
+		fmt.Fprintln(os.Stderr, "vsynccheck: warning:", err)
+	}
+}
 
 // par0 renders the effective worker count of a -par value.
 func par0(par int) int {
@@ -44,18 +66,30 @@ func par0(par int) int {
 
 func main() {
 	var (
-		lockName = flag.String("lock", "", "lock algorithm to verify (see -list)")
-		model    = flag.String("model", "wmm", "memory model: sc, tso or wmm")
-		threads  = flag.Int("threads", 2, "contending threads in the generic client")
-		iters    = flag.Int("iters", 1, "critical sections per thread")
-		scOnly   = flag.Bool("sc", false, "verify the sc-only (all-SC barrier) variant")
-		dotOut   = flag.String("dot", "", "write the counterexample graph as Graphviz DOT to this file")
-		list     = flag.Bool("list", false, "list registered algorithms and exit")
-		all      = flag.Bool("all", false, "verify every registered correct algorithm in parallel")
-		par      = flag.Int("par", 0, "concurrent AMC runs for -all (0 = GOMAXPROCS)")
-		workers  = flag.Int("workers", 1, "intra-run work-stealing workers per AMC run (0 = GOMAXPROCS, 1 = sequential)")
+		lockName  = flag.String("lock", "", "lock algorithm to verify (see -list)")
+		model     = flag.String("model", "wmm", "memory model: sc, tso or wmm")
+		threads   = flag.Int("threads", 2, "contending threads in the generic client")
+		iters     = flag.Int("iters", 1, "critical sections per thread")
+		scOnly    = flag.Bool("sc", false, "verify the sc-only (all-SC barrier) variant")
+		dotOut    = flag.String("dot", "", "write the counterexample graph as Graphviz DOT to this file")
+		list      = flag.Bool("list", false, "list registered algorithms and exit")
+		all       = flag.Bool("all", false, "verify every registered correct algorithm in parallel")
+		par       = flag.Int("par", 0, "concurrent AMC runs for -all (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 1, "intra-run work-stealing workers per AMC run (0 = GOMAXPROCS, 1 = sequential)")
+		storePath = flag.String("store", "", "persistent verdict store: serve already-decided problems, append new verdicts")
 	)
 	flag.Parse()
+
+	var st *store.Store
+	if *storePath != "" {
+		var err error
+		st, err = store.Open(*storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vsynccheck:", err)
+			os.Exit(2)
+		}
+		defer st.Close()
+	}
 
 	if *list {
 		for _, alg := range locks.All() {
@@ -74,21 +108,54 @@ func main() {
 			os.Exit(2)
 		}
 		var ps []*vsync.Program
+		var keys []store.Key
+		served := 0
 		for _, alg := range locks.All() {
 			if alg.Buggy {
 				continue
 			}
-			ps = append(ps, harness.MutexClient(alg, alg.DefaultSpec(), *threads, *iters))
+			spec := alg.DefaultSpec()
+			p := harness.MutexClient(alg, spec, *threads, *iters)
+			if st != nil {
+				k := storeKey(m, spec, p)
+				if v, ok := st.Lookup(k); ok {
+					if v != core.OK {
+						fmt.Printf("%s: %s (verdict served from store)\n", p.Name, v)
+						os.Exit(1)
+					}
+					served++
+					continue // already known to verify
+				}
+				keys = append(keys, k)
+			}
+			ps = append(ps, p)
+		}
+		if served > 0 {
+			fmt.Printf("store: %d of %d algorithms already verified, %d to check\n",
+				served, served+len(ps), len(ps))
+		}
+		if len(ps) == 0 {
+			fmt.Println("ok: every algorithm served from the verdict store")
+			return
 		}
 		fmt.Printf("checking %d algorithms under %s (%d threads × %d iterations, %d workers, %d per run)...\n",
 			len(ps), m.Name(), *threads, *iters, par0(*par), par0(*workers))
 		res, failed := vsync.VerifySuitePar(m, *par, *workers, ps)
 		if failed >= 0 {
 			fmt.Printf("%s: %s\n", ps[failed].Name, res)
+			if st != nil && res.Verdict != core.Error {
+				storePut(st, keys[failed], res.Verdict, m.Name()+"/"+ps[failed].Name)
+			}
 			if res.Verdict == core.Error {
 				os.Exit(2)
 			}
 			os.Exit(1)
+		}
+		if st != nil {
+			// Every fanned-out run verified; record them all.
+			for i, p := range ps {
+				storePut(st, keys[i], core.OK, m.Name()+"/"+p.Name)
+			}
 		}
 		fmt.Println(res)
 		return
@@ -113,9 +180,25 @@ func main() {
 	}
 
 	p := harness.MutexClient(alg, spec, *threads, *iters)
+	if st != nil && *dotOut != "" {
+		// A counterexample graph only exists on a real run; don't let a
+		// store hit silently skip the artifact the user asked for.
+		fmt.Println("note: -dot requested, bypassing the verdict store for this check")
+	} else if st != nil {
+		if v, ok := st.Lookup(storeKey(m, spec, p)); ok {
+			fmt.Printf("%s under %s: %s (verdict served from store, no AMC run)\n", p.Name, m.Name(), v)
+			if v != core.OK {
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	fmt.Printf("checking %s under %s (%d threads × %d iterations, %d workers)...\n",
 		p.Name, m.Name(), *threads, *iters, par0(*workers))
 	res := vsync.VerifyPar(m, p, *workers)
+	if st != nil {
+		storePut(st, storeKey(m, spec, p), res.Verdict, m.Name()+"/"+p.Name)
+	}
 	if res.Verdict == core.Error {
 		fmt.Println(res)
 		os.Exit(2)

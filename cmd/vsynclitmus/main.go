@@ -2,6 +2,13 @@
 // and prints the allowed/forbidden matrix — a conformance view of the
 // consistency predicates (SC, TSO, WMM, and the psc-ablation model RA).
 //
+// Every verdict is mapped explicitly: "forbidden" (no execution shows
+// the weak outcome), "ALLOWED" (some execution does), "await-hang" (an
+// await loop can spin forever — a litmus test outside AMC's terminating
+// fragment), and "ERROR" for engine failures, whose details go to
+// stderr. Exit status is 2 when any cell was an engine error (or
+// canceled), 0 otherwise.
+//
 // Usage:
 //
 //	vsynclitmus            # weak (relaxed) variants
@@ -41,6 +48,7 @@ func main() {
 		strength = "strong"
 	}
 	t := report.NewTable(fmt.Sprintf("litmus conformance (%s variants): is the weak outcome observable?", strength), headers...)
+	hadError := false
 	for _, n := range names {
 		p := harness.Litmus(n, *strong)
 		if p == nil {
@@ -50,16 +58,26 @@ func main() {
 		row := []any{n}
 		for _, m := range models {
 			res := core.New(m).Run(p)
+			// Verdict.LitmusLabel maps every verdict explicitly: an
+			// unexplained raw string in the observability matrix would
+			// leave the reader guessing whether the *outcome* or the
+			// *engine* is at fault. Engine failures additionally explain
+			// themselves on stderr and fail the invocation.
+			row = append(row, res.Verdict.LitmusLabel())
 			switch res.Verdict {
-			case core.OK:
-				row = append(row, "forbidden")
-			case core.SafetyViolation:
-				row = append(row, "ALLOWED")
+			case core.OK, core.SafetyViolation, core.ATViolation:
+			case core.Canceled:
+				hadError = true
+				fmt.Fprintf(os.Stderr, "vsynclitmus: %s under %s: run canceled before a verdict\n", n, m.Name())
 			default:
-				row = append(row, res.Verdict.String())
+				hadError = true
+				fmt.Fprintf(os.Stderr, "vsynclitmus: %s under %s: %v\n", n, m.Name(), res.Err)
 			}
 		}
 		t.Add(row...)
 	}
 	fmt.Println(t.String())
+	if hadError {
+		os.Exit(2)
+	}
 }

@@ -15,8 +15,14 @@
 //
 // Usage:
 //
-//	vsyncopt -lock qspinlock [-threads 2] [-from-default]
+//	vsyncopt -lock qspinlock [-threads 2] [-from-default] [-store PATH]
 //	         [-par N] [-workers N] [-passes N] [-no-speculate] [-no-cache]
+//
+// -store PATH backs the verdict cache with the persistent store at
+// PATH: candidates some earlier process (a previous vsyncopt run, the
+// vsyncsuite orchestrator, CI) already judged cost a hash lookup
+// instead of a model-checking run, and every decisive verdict this run
+// computes is appended for the next one.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"repro/internal/locks"
 	"repro/internal/mm"
 	"repro/internal/optimize"
+	"repro/internal/store"
 	"repro/internal/vprog"
 )
 
@@ -41,6 +48,7 @@ func main() {
 		passes      = flag.Int("passes", 1, "full point sweeps (descent repeats until fixpoint or cap)")
 		noSpeculate = flag.Bool("no-speculate", false, "disable the speculative candidate ladder")
 		noCache     = flag.Bool("no-cache", false, "disable verdict memoization")
+		storePath   = flag.String("store", "", "persistent verdict store backing the cache (implies caching)")
 	)
 	flag.Parse()
 
@@ -66,7 +74,18 @@ func main() {
 		WorkersPerRun: *workers,
 		Speculate:     !*noSpeculate,
 	}
-	if !*noCache {
+	var st *store.Store
+	if *storePath != "" {
+		var err error
+		st, err = store.Open(*storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vsyncopt:", err)
+			os.Exit(2)
+		}
+		defer st.Close()
+		opt.Cache = optimize.NewCacheWithStore(st)
+		fmt.Printf("store: %s — %d verdicts loaded\n", st.Path(), st.Stats().Loaded)
+	} else if !*noCache {
 		opt.Cache = optimize.NewCache()
 	}
 	initial := alg.DefaultSpec().AllSC()
@@ -80,4 +99,16 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Println(res.Report())
+	if st != nil {
+		s := st.Stats()
+		fmt.Printf("store: %d verdicts served (%d probes), %d appended, %d total\n",
+			s.Hits, s.Hits+s.Misses, s.Appended, st.Len())
+		if s.Conflicts > 0 {
+			// The cache's write-through is best-effort, but a conflict is
+			// never routine: it means two runs judged one key differently,
+			// i.e. the fingerprint keying (or the checker) broke.
+			fmt.Fprintf(os.Stderr, "vsyncopt: warning: %d verdict conflicts — the store and this run disagree on already-stored problems; distrust the store file\n", s.Conflicts)
+			os.Exit(2)
+		}
+	}
 }

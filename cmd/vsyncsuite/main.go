@@ -1,0 +1,118 @@
+// vsyncsuite runs the full verification corpus — every registered
+// non-buggy lock's generic client across a thread-count ladder, plus
+// the litmus conformance tests, under every memory model —
+// incrementally against a persistent verdict store: cells the store has
+// already decided are served by a hash lookup and their AMC runs
+// skipped, cells it hasn't fan out across a worker pool and their
+// decisive verdicts are appended for the next run. A warm re-run over
+// an unchanged corpus does no model checking at all.
+//
+// Usage:
+//
+//	vsyncsuite [-store PATH] [-models sc,tso,wmm] [-locks a,b,...]
+//	           [-threads N] [-iters N] [-no-litmus]
+//	           [-par N] [-workers N] [-min-hit-rate F] [-v]
+//
+// -threads N covers the ladder 2..N (default 2). -min-hit-rate F exits
+// non-zero when the store served less than fraction F of the cells —
+// CI uses it to assert that a warm pass did near-zero AMC work.
+//
+// Exit status: 0 all lock cells verified (and hit-rate satisfied),
+// 1 a lock cell failed verification or the hit-rate floor was missed,
+// 2 usage or engine errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/locks"
+	"repro/internal/mm"
+	"repro/vsync"
+)
+
+func main() {
+	var (
+		storePath  = flag.String("store", "", "persistent verdict store (append-only log); empty = no store, every cell runs AMC")
+		modelsFlag = flag.String("models", "", "comma-separated memory models (default: sc,tso,wmm)")
+		locksFlag  = flag.String("locks", "", "comma-separated lock algorithms (default: every non-buggy one)")
+		threads    = flag.Int("threads", 2, "client thread-count ladder 2..N")
+		iters      = flag.Int("iters", 1, "critical sections per client thread")
+		noLitmus   = flag.Bool("no-litmus", false, "drop the litmus conformance corpus")
+		par        = flag.Int("par", 0, "concurrent AMC runs (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 1, "intra-run work-stealing workers per AMC run (0 = GOMAXPROCS)")
+		minHitRate = flag.Float64("min-hit-rate", 0, "fail unless the store served at least this fraction of cells")
+		verbose    = flag.Bool("v", false, "print the full per-cell table, not just the summary")
+	)
+	flag.Parse()
+
+	cfg := vsync.MatrixConfig{
+		MaxThreads:    *threads,
+		Iters:         *iters,
+		NoLitmus:      *noLitmus,
+		Parallelism:   *par,
+		WorkersPerRun: *workers,
+	}
+	if *modelsFlag != "" {
+		for _, name := range strings.Split(*modelsFlag, ",") {
+			m := mm.ByName(strings.TrimSpace(name))
+			if m == nil {
+				fmt.Fprintf(os.Stderr, "vsyncsuite: unknown model %q (sc, tso, wmm)\n", name)
+				os.Exit(2)
+			}
+			cfg.Models = append(cfg.Models, m)
+		}
+	}
+	if *locksFlag != "" {
+		for _, name := range strings.Split(*locksFlag, ",") {
+			alg := locks.ByName(strings.TrimSpace(name))
+			if alg == nil {
+				fmt.Fprintf(os.Stderr, "vsyncsuite: unknown lock %q (see vsynccheck -list)\n", name)
+				os.Exit(2)
+			}
+			cfg.Locks = append(cfg.Locks, alg)
+		}
+	}
+	if *storePath != "" {
+		st, err := vsync.OpenStore(*storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vsyncsuite:", err)
+			os.Exit(2)
+		}
+		defer st.Close()
+		cfg.Store = st
+		s := st.Stats()
+		fmt.Printf("store: %s — %d verdicts loaded", st.Path(), s.Loaded)
+		if s.Corrupted > 0 {
+			fmt.Printf(", %d corrupt tail bytes discarded", s.Corrupted)
+		}
+		fmt.Println()
+	}
+
+	res := vsync.VerifyMatrix(cfg)
+	if *verbose {
+		fmt.Print(res.Report())
+	} else {
+		fmt.Print(res.Summary())
+	}
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		if c.Err != nil {
+			fmt.Fprintf(os.Stderr, "vsyncsuite: %s under %s: %v\n", c.Program, c.Model, c.Err)
+		} else if c.Failed() {
+			fmt.Fprintf(os.Stderr, "vsyncsuite: %s under %s: %s\n", c.Program, c.Model, c.Verdict)
+		}
+	}
+	switch {
+	case res.Errors > 0:
+		os.Exit(2)
+	case res.Failures > 0:
+		os.Exit(1)
+	case res.HitRate() < *minHitRate:
+		fmt.Fprintf(os.Stderr, "vsyncsuite: hit rate %.1f%% below required %.1f%% — the warm pass did AMC work it should have skipped\n",
+			100*res.HitRate(), 100**minHitRate)
+		os.Exit(1)
+	}
+}

@@ -45,6 +45,32 @@ func (v Verdict) String() string {
 	return "unknown"
 }
 
+// LitmusLabel renders the verdict as a litmus-conformance answer.
+// Litmus programs are phrased so the interesting weak outcome fails the
+// final-state check, so running the checker answers reachability: OK
+// means the outcome is forbidden, a safety violation means it is
+// ALLOWED. The remaining verdicts answer neither way and get explicit
+// labels too — every consumer of a conformance matrix (vsynclitmus,
+// vsync.MatrixResult.Report) maps through here so no raw verdict
+// string ever lands in a table cell unexplained.
+func (v Verdict) LitmusLabel() string {
+	switch v {
+	case OK:
+		return "forbidden"
+	case SafetyViolation:
+		return "ALLOWED"
+	case ATViolation:
+		// Not an observability answer: the test has an await loop the
+		// model lets spin forever, so it sits outside AMC's terminating
+		// fragment under this model.
+		return "await-hang"
+	case Canceled:
+		return "canceled"
+	default:
+		return "ERROR"
+	}
+}
+
 // Stats counts the work performed by an exploration.
 //
 // Determinism across worker counts: for runs that explore to

@@ -5,87 +5,191 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/store"
 )
 
 // cacheKey identifies one verification problem: memory model, the
-// 128-bit structural hash of the candidate spec, and the program name
-// (which encodes algorithm, thread count and iterations). A comparable
-// struct of two words plus two strings — no fmt, no concatenation —
-// so speculative ladders probing thousands of candidates stay off the
-// allocator.
+// 128-bit structural hash of the candidate spec, and the 128-bit
+// structural hash of the program (vprog.Program.Fingerprint128). The
+// program *name* is deliberately not part of the key: names are labels,
+// and keying on them let two clients sharing a name with different
+// shapes (thread count, iterations, even algorithm) silently reuse each
+// other's verdicts. The key itself is a comparable struct of four words
+// plus one string — no fmt, no concatenation; computing a program
+// fingerprint does interpret the program once, which is why the
+// optimizer memoizes fingerprints per spec (engine.fingerprints).
 type cacheKey struct {
 	model string
 	spec  graph.Hash128
-	prog  string
+	prog  graph.Hash128
 }
+
+// storeKey converts a cacheKey to the persistent store's key shape.
+func (k cacheKey) storeKey() store.Key {
+	return store.Key{Model: k.model, Spec: k.spec, Prog: k.prog}
+}
+
+// probeOutcome classifies one cache probe. Distinguishing a genuine
+// miss from "this problem was judged, but its verdict was indecisive
+// and is not storable" keeps suite statistics honest: an Error-verdict
+// problem re-probed forever would otherwise read as an endless stream
+// of cache misses and under-report the cache's efficacy.
+type probeOutcome uint8
+
+const (
+	probeMiss probeOutcome = iota
+	probeHit
+	probeUndecided
+)
 
 // Cache memoizes AMC verdicts across the optimization search. The key
-// is (memory model, candidate-spec fingerprint, program name): the spec
-// fully determines the barrier modes of the generated program and the
-// program name encodes its shape (algorithm, thread count, iterations),
-// so two lookups with equal keys describe the same verification
-// problem. The greedy descent revisits assignments whenever it runs
-// more than one pass — pass n+1 re-tries every point against a spec
-// that pass n already judged for the points that settled early — and
-// the speculative ladder can race the same candidate from different
-// passes; the cache collapses all of those to a map lookup.
+// is (memory model, candidate-spec fingerprint, program fingerprint):
+// the spec fully determines the barrier modes of the generated program
+// and the program fingerprint pins its structure (algorithm, thread
+// count, iterations), so two lookups with equal keys describe the same
+// verification problem. The greedy descent revisits assignments
+// whenever it runs more than one pass — pass n+1 re-tries every point
+// against a spec that pass n already judged for the points that settled
+// early — and the speculative ladder can race the same candidate from
+// different passes; the cache collapses all of those to a map lookup.
+//
+// A Cache may additionally be backed by a persistent store.Store
+// (NewCacheWithStore): memory misses fall through to the store, hits
+// are promoted into memory, and decisive verdicts are written through —
+// so a descent re-run in a fresh process pays hashing instead of model
+// checking.
 //
 // Only decisive verdicts (OK, SafetyViolation, ATViolation) are stored;
-// Error and Canceled runs carry no reusable information. A Cache is
-// safe for concurrent use and may be shared across Optimizer runs —
-// e.g. optimizing the same lock against growing client suites.
+// Error and Canceled runs carry no reusable information. Error-judged
+// keys are remembered (in memory only) so their re-probes count as
+// "undecided" rather than misses. A Cache is safe for concurrent use
+// and may be shared across Optimizer runs — e.g. optimizing the same
+// lock against growing client suites.
 type Cache struct {
-	mu      sync.Mutex
-	m       map[cacheKey]core.Verdict
-	hits    int
-	lookups int
+	mu        sync.Mutex
+	m         map[cacheKey]core.Verdict
+	undecided map[cacheKey]struct{}
+	persist   *store.Store
+
+	hits, misses, undecidedProbes int
+	persistHits                   int
 }
 
-// NewCache returns an empty verdict cache.
+// NewCache returns an empty in-memory verdict cache.
 func NewCache() *Cache {
 	return &Cache{m: make(map[cacheKey]core.Verdict)}
 }
 
-// lookup returns the cached verdict for key, counting the probe.
-func (c *Cache) lookup(key cacheKey) (core.Verdict, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.lookups++
-	v, ok := c.m[key]
-	if ok {
-		c.hits++
-	}
-	return v, ok
+// NewCacheWithStore returns a verdict cache backed by the persistent
+// store st (nil is allowed and equivalent to NewCache). The caller
+// retains ownership of st and is responsible for closing it.
+func NewCacheWithStore(st *store.Store) *Cache {
+	c := NewCache()
+	c.persist = st
+	return c
 }
 
-// store records a decisive verdict; indecisive ones are dropped.
-func (c *Cache) store(key cacheKey, v core.Verdict) {
-	if v == core.Error || v == core.Canceled {
+// lookup returns the cached verdict for key, counting the probe and
+// classifying it (hit / miss / known-undecidable).
+func (c *Cache) lookup(key cacheKey) (core.Verdict, probeOutcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.m[key]; ok {
+		c.hits++
+		return v, probeHit
+	}
+	if c.persist != nil {
+		if v, ok := c.persist.Lookup(key.storeKey()); ok {
+			if c.m == nil {
+				c.m = make(map[cacheKey]core.Verdict)
+			}
+			c.m[key] = v // promote: later probes stay off the store's lock
+			c.hits++
+			c.persistHits++
+			return v, probeHit
+		}
+	}
+	if _, ok := c.undecided[key]; ok {
+		c.undecidedProbes++
+		return 0, probeUndecided
+	}
+	c.misses++
+	return 0, probeMiss
+}
+
+// store records a verdict. Decisive ones land in memory and — when a
+// persistent tier is attached — on disk; Error marks the key undecided
+// (so re-probes are classified, not miscounted); Canceled is dropped
+// entirely, it says nothing about the problem.
+func (c *Cache) store(key cacheKey, name string, v core.Verdict) {
+	switch v {
+	case core.Canceled:
+		return
+	case core.Error:
+		c.mu.Lock()
+		if c.undecided == nil {
+			c.undecided = make(map[cacheKey]struct{})
+		}
+		c.undecided[key] = struct{}{}
+		c.mu.Unlock()
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.m == nil {
 		c.m = make(map[cacheKey]core.Verdict)
 	}
 	c.m[key] = v
+	delete(c.undecided, key) // a decisive re-run supersedes an old Error
+	persist := c.persist
+	c.mu.Unlock()
+	if persist != nil {
+		// Best-effort write-through outside the cache lock; a conflict
+		// (see store.Put) leaves the disk record authoritative-first and
+		// this run's verdict memory-only.
+		_ = persist.Put(key.storeKey(), v, name)
+	}
 }
 
-// Hits returns the number of successful probes so far.
+// Hits returns the number of probes answered (memory or store).
 func (c *Cache) Hits() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits
 }
 
-// Lookups returns the total number of probes so far.
+// Misses returns the number of probes for problems never yet judged.
+func (c *Cache) Misses() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses
+}
+
+// Undecided returns the number of probes for problems that were judged
+// but produced no storable verdict (engine errors) — not hits, but not
+// honest misses either.
+func (c *Cache) Undecided() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.undecidedProbes
+}
+
+// PersistHits returns how many hits were served from the persistent
+// tier (before promotion) rather than process memory.
+func (c *Cache) PersistHits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.persistHits
+}
+
+// Lookups returns the total number of probes so far
+// (hits + misses + undecided).
 func (c *Cache) Lookups() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.lookups
+	return c.hits + c.misses + c.undecidedProbes
 }
 
-// Len returns the number of memoized verdicts.
+// Len returns the number of memoized verdicts in process memory.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/mm"
 	"repro/internal/vprog"
 )
@@ -62,8 +63,11 @@ type Result struct {
 	// beyond the greedy minimum.
 	Verifications int
 	// CacheHits and CacheLookups count memo-cache probes made during
-	// this run (zero when the optimizer has no Cache).
-	CacheHits, CacheLookups int
+	// this run (zero when the optimizer has no Cache). CacheUndecided
+	// counts probes of problems judged before but without a storable
+	// verdict (engine errors) — neither hits nor honest misses;
+	// CacheLookups includes them.
+	CacheHits, CacheLookups, CacheUndecided int
 	// Workers is the AMC concurrency the run used (1 = sequential).
 	Workers int
 	// Pool is the worker-pool accounting: per-worker busy time and job
@@ -118,8 +122,9 @@ type Optimizer struct {
 	// clock improves, total CPU may not.
 	Speculate bool
 	// Cache, when non-nil, memoizes verdicts by (model, spec
-	// fingerprint, program name) so repeated assignments — multi-pass
-	// sweeps, shared caches across runs — are never re-verified.
+	// fingerprint, program fingerprint) so repeated assignments —
+	// multi-pass sweeps, shared caches across runs, store-backed caches
+	// across processes — are never re-verified.
 	Cache *Cache
 }
 
@@ -167,13 +172,49 @@ type engine struct {
 	res   *Result
 
 	mu sync.Mutex // guards the res cache counters (probed concurrently)
+
+	// fpMemo caches the per-program structural fingerprints of a
+	// candidate's suite, keyed by the spec fingerprint: Programs(spec) is
+	// deterministic, so multi-pass sweeps and ladder re-probes of an
+	// already-judged spec skip re-interpreting the programs and pay only
+	// a map lookup — keeping cache hits nearly as cheap as the old
+	// (unsound) name keys.
+	fpMu   sync.Mutex
+	fpMemo map[graph.Hash128][]graph.Hash128
 }
 
-func (e *engine) countProbe(hit bool) {
+// fingerprints returns the structural fingerprints of progs, memoized
+// per spec fingerprint. The computation runs outside the lock so
+// concurrent ladder candidates don't serialize; a duplicated racing
+// computation is deterministic and harmless.
+func (e *engine) fingerprints(specFP graph.Hash128, progs []*vprog.Program) []graph.Hash128 {
+	e.fpMu.Lock()
+	fps, ok := e.fpMemo[specFP]
+	e.fpMu.Unlock()
+	if ok && len(fps) == len(progs) {
+		return fps
+	}
+	fps = make([]graph.Hash128, len(progs))
+	for i, p := range progs {
+		fps[i] = p.Fingerprint128()
+	}
+	e.fpMu.Lock()
+	if e.fpMemo == nil {
+		e.fpMemo = make(map[graph.Hash128][]graph.Hash128)
+	}
+	e.fpMemo[specFP] = fps
+	e.fpMu.Unlock()
+	return fps
+}
+
+func (e *engine) countProbe(outcome probeOutcome) {
 	e.mu.Lock()
 	e.res.CacheLookups++
-	if hit {
+	switch outcome {
+	case probeHit:
 		e.res.CacheHits++
+	case probeUndecided:
+		e.res.CacheUndecided++
 	}
 	e.mu.Unlock()
 }
@@ -197,22 +238,27 @@ func (e *engine) checker() *core.Checker {
 func (e *engine) verify(ctx context.Context, spec *vprog.BarrierSpec) (core.Verdict, error) {
 	progs := e.o.Programs(spec)
 	var key cacheKey
+	var progFPs []graph.Hash128
 	if e.cache != nil {
-		key = cacheKey{model: e.o.Model.Name(), spec: spec.Fingerprint128()}
+		specFP := spec.Fingerprint128()
+		key = cacheKey{model: e.o.Model.Name(), spec: specFP}
+		progFPs = e.fingerprints(specFP, progs)
 	}
 	var jobs []core.Job
 	var names []string
-	for _, p := range progs {
+	var keys []cacheKey
+	for pi, p := range progs {
 		if e.cache != nil {
-			key.prog = p.Name
-			v, ok := e.cache.lookup(key)
-			e.countProbe(ok)
-			if ok {
+			key.prog = progFPs[pi]
+			v, outcome := e.cache.lookup(key)
+			e.countProbe(outcome)
+			if outcome == probeHit {
 				if v != core.OK {
 					return v, nil
 				}
 				continue // already known to verify
 			}
+			keys = append(keys, key)
 		}
 		jobs = append(jobs, core.Job{Checker: e.checker(), Program: p})
 		names = append(names, p.Name)
@@ -228,11 +274,13 @@ func (e *engine) verify(ctx context.Context, spec *vprog.BarrierSpec) (core.Verd
 				return core.Canceled, nil
 			}
 			if res.Verdict == core.Error {
+				if e.cache != nil {
+					e.cache.store(keys[i], names[i], res.Verdict)
+				}
 				return core.Error, fmt.Errorf("optimizer: checking %s: %w", names[i], res.Err)
 			}
 			if e.cache != nil {
-				key.prog = names[i]
-				e.cache.store(key, res.Verdict)
+				e.cache.store(keys[i], names[i], res.Verdict)
 			}
 			if res.Verdict != core.OK {
 				return res.Verdict, nil
@@ -244,8 +292,7 @@ func (e *engine) verify(ctx context.Context, spec *vprog.BarrierSpec) (core.Verd
 	verdict, failed, results := e.pool.VerifyAll(ctx, jobs)
 	if e.cache != nil {
 		for i, r := range results {
-			key.prog = names[i]
-			e.cache.store(key, r.Verdict) // drops indecisive verdicts
+			e.cache.store(keys[i], names[i], r.Verdict) // drops indecisive verdicts
 		}
 	}
 	if verdict == core.Error {
@@ -440,7 +487,11 @@ func (r *Result) Report() string {
 	out += fmt.Sprintf("modes: rlx=%d acq=%d rel=%d acqrel=%d sc=%d removed=%d | %d verifications in %v\n",
 		c.Rlx, c.Acq, c.Rel, c.AcqRel, c.SC, c.Removed, r.Verifications, r.Duration)
 	if r.CacheLookups > 0 {
-		out += fmt.Sprintf("cache: %d hits / %d lookups\n", r.CacheHits, r.CacheLookups)
+		out += fmt.Sprintf("cache: %d hits / %d lookups", r.CacheHits, r.CacheLookups)
+		if r.CacheUndecided > 0 {
+			out += fmt.Sprintf(" (%d undecided re-probes)", r.CacheUndecided)
+		}
+		out += "\n"
 	}
 	if r.Pool.Workers > 0 {
 		out += fmt.Sprintf("parallel: %d workers, %d runs canceled by short-circuit, %d slots borrowed for intra-run stealing, busy %v total\n",

@@ -1,0 +1,174 @@
+package optimize_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/mm"
+	"repro/internal/optimize"
+	"repro/internal/store"
+	"repro/internal/vprog"
+)
+
+// namedProgram builds a program whose Name is fixed but whose shape
+// (thread count and verdict) is not — the exact pair the name-keyed
+// cache confused.
+func namedProgram(name string, nthreads int, passes bool) *vprog.Program {
+	return &vprog.Program{
+		Name: name,
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			x := env.Var("x", 0)
+			worker := func(m vprog.Mem) { m.FetchAdd(x, 1, vprog.SC) }
+			threads := make([]vprog.ThreadFunc, nthreads)
+			for t := range threads {
+				threads[t] = worker
+			}
+			want := uint64(nthreads)
+			if !passes {
+				want++ // unsatisfiable: every execution fails the check
+			}
+			return threads, func(load func(*vprog.Var) uint64) (bool, string) {
+				if got := load(x); got != want {
+					return false, "count mismatch"
+				}
+				return true, ""
+			}
+		},
+	}
+}
+
+// TestCacheSameNameDifferentShape is the keying-soundness regression:
+// two clients sharing a program name but differing in shape must not
+// reuse each other's verdicts through a shared cache. Under the old
+// name-keyed cache the second optimizer's initial verification was
+// served the first one's OK and the broken program "verified".
+func TestCacheSameNameDifferentShape(t *testing.T) {
+	cache := optimize.NewCache()
+	spec := vprog.NewSpec().Def("pt", vprog.SC)
+
+	good := &optimize.Optimizer{
+		Model: mm.WMM, Parallelism: 1, Cache: cache,
+		Programs: func(*vprog.BarrierSpec) []*vprog.Program {
+			return []*vprog.Program{namedProgram("client/shared", 2, true)}
+		},
+	}
+	if _, err := good.Run(spec.Clone()); err != nil {
+		t.Fatalf("verifying program failed: %v", err)
+	}
+
+	bad := &optimize.Optimizer{
+		Model: mm.WMM, Parallelism: 1, Cache: cache,
+		Programs: func(*vprog.BarrierSpec) []*vprog.Program {
+			// Same name, same model, same spec — different shape, and it
+			// can never verify.
+			return []*vprog.Program{namedProgram("client/shared", 3, false)}
+		},
+	}
+	if _, err := bad.Run(spec.Clone()); err == nil {
+		t.Fatal("unverifiable program passed: the cache served a same-named different-shape verdict")
+	}
+}
+
+// TestCacheUndecidedAccounting: an Error-judged problem must not be
+// re-counted as a miss forever — re-probes land in the undecided
+// bucket, and misses stay put.
+func TestCacheUndecidedAccounting(t *testing.T) {
+	cache := optimize.NewCache()
+	mk := func() *optimize.Optimizer {
+		return &optimize.Optimizer{
+			Model: mm.WMM, Parallelism: 1, Cache: cache,
+			MaxGraphs: 1, // guarantees an Error verdict on any real client
+			Programs: func(spec *vprog.BarrierSpec) []*vprog.Program {
+				alg := locks.ByName("ttas")
+				return []*vprog.Program{harness.MutexClient(alg, spec, 2, 1)}
+			},
+		}
+	}
+	if _, err := mk().Run(locks.ByName("ttas").DefaultSpec().AllSC()); err == nil {
+		t.Fatal("MaxGraphs=1 run unexpectedly succeeded")
+	}
+	if cache.Misses() != 1 || cache.Undecided() != 0 {
+		t.Fatalf("first run: %d misses / %d undecided, want 1 / 0", cache.Misses(), cache.Undecided())
+	}
+	if _, err := mk().Run(locks.ByName("ttas").DefaultSpec().AllSC()); err == nil {
+		t.Fatal("second MaxGraphs=1 run unexpectedly succeeded")
+	}
+	if cache.Misses() != 1 {
+		t.Errorf("re-probe of an undecidable problem counted as a miss: %d misses", cache.Misses())
+	}
+	if cache.Undecided() != 1 {
+		t.Errorf("re-probe not classified undecided: %d", cache.Undecided())
+	}
+	if cache.Lookups() != cache.Hits()+cache.Misses()+cache.Undecided() {
+		t.Errorf("lookup accounting does not add up: %d != %d+%d+%d",
+			cache.Lookups(), cache.Hits(), cache.Misses(), cache.Undecided())
+	}
+}
+
+// TestCachePersistentTier: a cache backed by the verdict store makes a
+// fresh process's re-run pure lookup — the across-restart version of
+// TestCacheAvoidsReverification.
+func TestCachePersistentTier(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+	alg := locks.ByName("ttas")
+	run := func(st *store.Store) *optimize.Result {
+		t.Helper()
+		opt := &optimize.Optimizer{
+			Model: mm.WMM, Parallelism: 1, Cache: optimize.NewCacheWithStore(st),
+			Programs: func(spec *vprog.BarrierSpec) []*vprog.Program {
+				return []*vprog.Program{harness.MutexClient(alg, spec, 2, 1)}
+			},
+		}
+		res, err := opt.Run(alg.DefaultSpec().AllSC())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	st1, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := run(st1)
+	if st1.Stats().Appended == 0 {
+		t.Fatal("first run appended nothing to the store")
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "New process": a fresh store handle and a fresh (empty) memory
+	// cache; everything must be served by the persistent tier.
+	st2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	cache := optimize.NewCacheWithStore(st2)
+	opt := &optimize.Optimizer{
+		Model: mm.WMM, Parallelism: 1, Cache: cache,
+		Programs: func(spec *vprog.BarrierSpec) []*vprog.Program {
+			return []*vprog.Program{harness.MutexClient(alg, spec, 2, 1)}
+		},
+	}
+	second, err := opt.Run(alg.DefaultSpec().AllSC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits != second.CacheLookups {
+		t.Errorf("restarted run should be all hits: %d hits / %d lookups",
+			second.CacheHits, second.CacheLookups)
+	}
+	if cache.PersistHits() == 0 {
+		t.Error("no hits attributed to the persistent tier")
+	}
+	if st2.Stats().Appended != 0 {
+		t.Errorf("restarted run appended %d records; corpus unchanged, want 0", st2.Stats().Appended)
+	}
+	if second.Final.Fingerprint() != first.Final.Fingerprint() {
+		t.Error("store-backed re-run diverged from the original optimization result")
+	}
+}

@@ -1,0 +1,291 @@
+// Package store is VSync's persistent verdict store: a disk-backed,
+// content-addressed memo of AMC verdicts keyed by what a verification
+// problem *is* — memory model, barrier-spec fingerprint and structural
+// program fingerprint — rather than by what it is called. Verdicts are
+// pure functions of those inputs (AMC is deterministic and exhaustive),
+// so a verdict computed once is valid forever: the push-button descent,
+// multi-pass ladders, CI runs and the suite orchestrator
+// (vsync.VerifyMatrix) all consult the store before spending minutes of
+// model checking on a problem some earlier process already decided.
+//
+// On-disk format: a single append-only log of self-delimiting binary
+// records, each individually CRC-checksummed:
+//
+//	[4B magic "VSYV"][4B payload len][payload][4B IEEE CRC32(payload)]
+//	payload = [1B version][16B key hash][1B verdict][2B name len][name]
+//
+// Append-only makes concurrent writers trivial (one mutex, one
+// file-append per new verdict) and makes every historical verdict
+// recoverable; the in-memory index is rebuilt by a forward scan on
+// Open. The scan is corruption-tolerant: the first record whose magic,
+// length bound or checksum fails ends the trusted prefix, everything
+// after it is discarded, and the file is truncated back to the trusted
+// length so subsequent appends extend a well-formed log. A torn tail
+// write (crash mid-append, disk-full) therefore costs at most the
+// records after the tear — never a wrong verdict. A non-empty file
+// that does not start with the record magic was never a store and is
+// refused outright, so a mistyped path cannot truncate a user's file.
+//
+// Invalidation is by construction rather than by command: change the
+// program, the spec or the model and the key changes, so stale entries
+// are simply never looked up again. Only decisive verdicts (OK,
+// SafetyViolation, ATViolation) are stored; Error and Canceled carry no
+// reusable information.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Key identifies one verification problem. Model is the memory-model
+// name; Spec is the BarrierSpec fingerprint (zero for programs without
+// a spec, e.g. litmus tests); Prog is the structural program
+// fingerprint (vprog.Program.Fingerprint128) — never the program name.
+type Key struct {
+	Model string
+	Spec  graph.Hash128
+	Prog  graph.Hash128
+}
+
+// Hash returns the 128-bit content address of the key — the value
+// records carry on disk and the index maps from.
+func (k Key) Hash() graph.Hash128 {
+	h := graph.NewHasher128()
+	h.String(k.Model)
+	h.Word(k.Spec[0])
+	h.Word(k.Spec[1])
+	h.Word(k.Prog[0])
+	h.Word(k.Prog[1])
+	return h.Sum()
+}
+
+const (
+	recordMagic   = 0x56535956 // "VSYV" little-endian
+	recordVersion = 1
+	headerSize    = 8                   // magic + payload length
+	payloadFixed  = 1 + 16 + 1 + 2      // version + key + verdict + name length
+	maxPayload    = payloadFixed + 4096 // name length is bounded; anything bigger is corruption
+)
+
+// Stats is the cumulative accounting of one open store.
+type Stats struct {
+	Loaded    int // records trusted by the opening scan
+	Corrupted int // bytes discarded by the opening scan (torn/corrupt tail)
+	Hits      int // Lookup probes answered
+	Misses    int // Lookup probes not answered
+	Puts      int // Put calls with a decisive verdict
+	Appended  int // records actually written (Puts minus duplicates)
+	Conflicts int // decisive verdicts contradicting a stored one (kept out)
+}
+
+// Store is a disk-backed verdict memo. It is safe for concurrent use by
+// any number of goroutines of one process; the on-disk log is owned by
+// that process for the lifetime of the handle (there is no cross-
+// process locking — share verdicts by sharing the file between runs,
+// not between simultaneous writers).
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	index map[graph.Hash128]core.Verdict
+	stats Stats
+}
+
+// Open opens (creating if necessary, including parent directories) the
+// verdict log at path, scans its trusted prefix into the in-memory
+// index, and truncates away any corrupt or torn tail.
+func Open(path string) (*Store, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{f: f, path: path, index: make(map[graph.Hash128]core.Verdict)}
+	if err := s.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// load scans the log from the start, trusting records until the first
+// malformed one, and truncates the file to the trusted length.
+func (s *Store) load() error {
+	data, err := io.ReadAll(s.f)
+	if err != nil {
+		return fmt.Errorf("store: reading %s: %w", s.path, err)
+	}
+	// A non-empty file that does not even begin with the record magic
+	// was never a verdict store: refuse loudly instead of truncating a
+	// file the caller mistyped the path of. (A store whose very first
+	// append tore mid-record still carries the magic prefix and heals
+	// through the normal corrupt-tail path below.)
+	if len(data) >= 4 && binary.LittleEndian.Uint32(data) != recordMagic ||
+		len(data) > 0 && len(data) < 4 {
+		return fmt.Errorf("store: %s is not a verdict store (bad leading magic); refusing to truncate it — delete or move the file if it really is the store", s.path)
+	}
+	valid := 0
+	for valid+headerSize <= len(data) {
+		if binary.LittleEndian.Uint32(data[valid:]) != recordMagic {
+			break
+		}
+		plen := int(binary.LittleEndian.Uint32(data[valid+4:]))
+		if plen < payloadFixed || plen > maxPayload {
+			break
+		}
+		end := valid + headerSize + plen + 4
+		if end > len(data) {
+			break // torn tail: header promises more bytes than exist
+		}
+		payload := data[valid+headerSize : valid+headerSize+plen]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[end-4:]) {
+			break
+		}
+		if key, v, ok := decodePayload(payload); ok {
+			s.index[key] = v
+			s.stats.Loaded++
+		}
+		// An undecodable-but-checksummed payload (future version) is
+		// skipped, not trusted and not fatal: the log stays appendable.
+		valid = end
+	}
+	s.stats.Corrupted = len(data) - valid
+	if s.stats.Corrupted > 0 {
+		if err := s.f.Truncate(int64(valid)); err != nil {
+			return fmt.Errorf("store: truncating corrupt tail of %s: %w", s.path, err)
+		}
+	}
+	if _, err := s.f.Seek(int64(valid), io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// decodePayload parses one checksummed payload. ok is false for
+// versions this build does not understand.
+func decodePayload(p []byte) (key graph.Hash128, v core.Verdict, ok bool) {
+	if p[0] != recordVersion {
+		return key, v, false
+	}
+	key[0] = binary.LittleEndian.Uint64(p[1:])
+	key[1] = binary.LittleEndian.Uint64(p[9:])
+	v = core.Verdict(p[17])
+	nameLen := int(binary.LittleEndian.Uint16(p[18:]))
+	if payloadFixed+nameLen != len(p) {
+		return key, v, false
+	}
+	return key, v, true
+}
+
+// encodeRecord builds the full on-disk record for one verdict.
+func encodeRecord(key graph.Hash128, v core.Verdict, name string) []byte {
+	if len(name) > maxPayload-payloadFixed {
+		name = name[:maxPayload-payloadFixed]
+	}
+	plen := payloadFixed + len(name)
+	rec := make([]byte, headerSize+plen+4)
+	binary.LittleEndian.PutUint32(rec, recordMagic)
+	binary.LittleEndian.PutUint32(rec[4:], uint32(plen))
+	p := rec[headerSize : headerSize+plen]
+	p[0] = recordVersion
+	binary.LittleEndian.PutUint64(p[1:], key[0])
+	binary.LittleEndian.PutUint64(p[9:], key[1])
+	p[17] = byte(v)
+	binary.LittleEndian.PutUint16(p[18:], uint16(len(name)))
+	copy(p[payloadFixed:], name)
+	binary.LittleEndian.PutUint32(rec[headerSize+plen:], crc32.ChecksumIEEE(p))
+	return rec
+}
+
+// Lookup returns the stored verdict for k, counting the probe.
+func (s *Store) Lookup(k Key) (core.Verdict, bool) {
+	return s.lookupHash(k.Hash())
+}
+
+func (s *Store) lookupHash(h graph.Hash128) (core.Verdict, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.index[h]
+	if ok {
+		s.stats.Hits++
+	} else {
+		s.stats.Misses++
+	}
+	return v, ok
+}
+
+// Put records a decisive verdict for k, appending one log record; the
+// name travels along for human-readable log inspection only. Indecisive
+// verdicts (Error, Canceled) are dropped silently — they carry no
+// reusable information. Re-putting an already-stored verdict is a
+// no-op; putting a *different* decisive verdict for a stored key is
+// refused with an error, because it means the keying broke (a
+// fingerprint collision or a nondeterministic checker) and trusting
+// either verdict would be unsound.
+func (s *Store) Put(k Key, v core.Verdict, name string) error {
+	if v != core.OK && v != core.SafetyViolation && v != core.ATViolation {
+		return nil
+	}
+	h := k.Hash()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Puts++
+	if prev, ok := s.index[h]; ok {
+		if prev == v {
+			return nil
+		}
+		s.stats.Conflicts++
+		return fmt.Errorf("store: verdict conflict for %s (%s): stored %v, new %v", name, k.Model, prev, v)
+	}
+	if _, err := s.f.Write(encodeRecord(h, v, name)); err != nil {
+		return fmt.Errorf("store: appending to %s: %w", s.path, err)
+	}
+	s.index[h] = v
+	s.stats.Appended++
+	return nil
+}
+
+// Len returns the number of indexed verdicts.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Stats returns a snapshot of the store's accounting.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Path returns the log's file path.
+func (s *Store) Path() string { return s.path }
+
+// Close syncs and closes the log. The Store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

@@ -1,0 +1,317 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func testKey(i int) Key {
+	return Key{
+		Model: "wmm",
+		Spec:  graph.Hash128{uint64(i), uint64(i) * 3},
+		Prog:  graph.Hash128{uint64(i) * 7, uint64(i) * 11},
+	}
+}
+
+func verdictFor(i int) core.Verdict {
+	switch i % 3 {
+	case 0:
+		return core.OK
+	case 1:
+		return core.SafetyViolation
+	default:
+		return core.ATViolation
+	}
+}
+
+// TestRoundTrip writes verdicts, closes, reopens, and expects every one
+// back — the across-process-restarts contract.
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "verdicts.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := s.Put(testKey(i), verdictFor(i), fmt.Sprintf("prog-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats().Loaded; got != n {
+		t.Fatalf("reopened store loaded %d records, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := s2.Lookup(testKey(i))
+		if !ok {
+			t.Fatalf("key %d missing after reopen", i)
+		}
+		if v != verdictFor(i) {
+			t.Fatalf("key %d: verdict %v, want %v", i, v, verdictFor(i))
+		}
+	}
+	st := s2.Stats()
+	if st.Hits != n || st.Misses != 0 {
+		t.Fatalf("stats = %d hits / %d misses, want %d / 0", st.Hits, st.Misses, n)
+	}
+}
+
+// TestIndecisiveDropped verifies Error and Canceled are never persisted.
+func TestIndecisiveDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(1), core.Error, "err-prog"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(2), core.Canceled, "canceled-prog"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("indecisive verdicts stored: Len = %d", s.Len())
+	}
+	if _, ok := s.Lookup(testKey(1)); ok {
+		t.Fatal("Error verdict served from store")
+	}
+	s.Close()
+	if info, err := os.Stat(path); err != nil || info.Size() != 0 {
+		t.Fatalf("log not empty after indecisive puts: size %d err %v", info.Size(), err)
+	}
+}
+
+// TestDuplicateAndConflict checks the dedupe and unsound-rekey guards.
+func TestDuplicateAndConflict(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "verdicts.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	k := testKey(1)
+	if err := s.Put(k, core.OK, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k, core.OK, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Appended; got != 1 {
+		t.Fatalf("duplicate put appended a record: Appended = %d", got)
+	}
+	if err := s.Put(k, core.SafetyViolation, "p"); err == nil {
+		t.Fatal("conflicting decisive verdict accepted silently")
+	}
+	if v, _ := s.Lookup(k); v != core.OK {
+		t.Fatalf("conflict overwrote stored verdict: %v", v)
+	}
+}
+
+// TestConcurrentWriters hammers one store from many goroutines and
+// expects every record to survive a reopen.
+func TestConcurrentWriters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := w*perWriter + i
+				if err := s.Put(testKey(id), verdictFor(id), fmt.Sprintf("w%d-%d", w, i)); err != nil {
+					t.Error(err)
+				}
+				// Interleave lookups of everyone's keys.
+				s.Lookup(testKey(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for id := 0; id < writers*perWriter; id++ {
+		if v, ok := s2.Lookup(testKey(id)); !ok || v != verdictFor(id) {
+			t.Fatalf("key %d lost or wrong after concurrent writes: ok=%v v=%v", id, ok, v)
+		}
+	}
+}
+
+// corruptAndReopen writes n records, mutates the file with f, reopens,
+// and returns the reopened store.
+func corruptAndReopen(t *testing.T, n int, f func([]byte) []byte) *Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Put(testKey(i), verdictFor(i), fmt.Sprintf("prog-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, f(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s2.Close() })
+	return s2
+}
+
+// TestTruncatedTail cuts a record in half; the prefix must load, the
+// torn record must not, and the file must be healed for appends.
+func TestTruncatedTail(t *testing.T) {
+	const n = 10
+	s := corruptAndReopen(t, n, func(data []byte) []byte {
+		return data[:len(data)-7] // tear the last record mid-payload
+	})
+	st := s.Stats()
+	if st.Loaded != n-1 {
+		t.Fatalf("loaded %d records from torn log, want %d", st.Loaded, n-1)
+	}
+	if st.Corrupted == 0 {
+		t.Fatal("torn tail not reported in Stats().Corrupted")
+	}
+	if _, ok := s.Lookup(testKey(n - 1)); ok {
+		t.Fatal("torn record trusted")
+	}
+	// The healed log must accept and round-trip new appends.
+	if err := s.Put(testKey(n-1), verdictFor(n-1), "rewritten"); err != nil {
+		t.Fatal(err)
+	}
+	path := s.Path()
+	s.Close()
+	s3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Stats().Loaded != n || s3.Stats().Corrupted != 0 {
+		t.Fatalf("healed log reloads %d records with %d corrupt bytes, want %d / 0",
+			s3.Stats().Loaded, s3.Stats().Corrupted, n)
+	}
+}
+
+// TestCorruptedTailChecksum flips payload bytes of the last record; the
+// checksum must reject it.
+func TestCorruptedTailChecksum(t *testing.T) {
+	const n = 10
+	s := corruptAndReopen(t, n, func(data []byte) []byte {
+		data[len(data)-10] ^= 0xff // payload byte of the final record
+		return data
+	})
+	if st := s.Stats(); st.Loaded != n-1 || st.Corrupted == 0 {
+		t.Fatalf("checksum-corrupt tail: loaded %d, corrupted %d", st.Loaded, st.Corrupted)
+	}
+	if _, ok := s.Lookup(testKey(n - 1)); ok {
+		t.Fatal("checksum-corrupt record trusted")
+	}
+}
+
+// TestCorruptedMiddle stops trust at the first bad record even when
+// well-formed bytes follow it (a mid-log tear must not resynchronize on
+// attacker- or garbage-controlled framing).
+func TestCorruptedMiddle(t *testing.T) {
+	const n = 10
+	var recLen int
+	s := corruptAndReopen(t, n, func(data []byte) []byte {
+		recLen = len(data) / n
+		data[3*recLen] ^= 0xff // break the magic of record 3
+		return data
+	})
+	if st := s.Stats(); st.Loaded != 3 || st.Corrupted != 7*recLen {
+		t.Fatalf("mid-log corruption: loaded %d records, %d corrupt bytes (record len %d)",
+			st.Loaded, st.Corrupted, recLen)
+	}
+}
+
+// TestGarbageFile refuses to open (and, crucially, to truncate) a
+// non-empty file that was never a store — a mistyped -store path must
+// not destroy the user's file.
+func TestGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+	content := bytes.Repeat([]byte("not a store"), 100)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("opened a file that was never a verdict store")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, content) {
+		t.Fatal("refused open still modified the file")
+	}
+}
+
+// TestTornFirstRecord: a store whose very first append tore mid-record
+// still opens (the magic prefix identifies it as ours) and heals.
+func TestTornFirstRecord(t *testing.T) {
+	s := corruptAndReopen(t, 1, func(data []byte) []byte {
+		return data[:headerSize+3] // magic + length + a few payload bytes
+	})
+	if st := s.Stats(); st.Loaded != 0 || st.Corrupted == 0 {
+		t.Fatalf("torn-first-record store: loaded %d, corrupted %d", st.Loaded, st.Corrupted)
+	}
+	if err := s.Put(testKey(1), core.OK, "fresh"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKeyHashSensitivity ensures every key component changes the
+// content address.
+func TestKeyHashSensitivity(t *testing.T) {
+	base := Key{Model: "wmm", Spec: graph.Hash128{1, 2}, Prog: graph.Hash128{3, 4}}
+	variants := []Key{
+		{Model: "sc", Spec: base.Spec, Prog: base.Prog},
+		{Model: base.Model, Spec: graph.Hash128{1, 5}, Prog: base.Prog},
+		{Model: base.Model, Spec: base.Spec, Prog: graph.Hash128{5, 4}},
+	}
+	for i, k := range variants {
+		if k.Hash() == base.Hash() {
+			t.Fatalf("variant %d collides with base key", i)
+		}
+	}
+	if base.Hash() != base.Hash() {
+		t.Fatal("key hash not deterministic")
+	}
+}

@@ -1,0 +1,179 @@
+package vprog
+
+import "repro/internal/graph"
+
+// awaitFingerprintCap bounds the cond evaluations one AwaitWhile may
+// contribute to a fingerprint trace. Under the sequential schedule used
+// below a well-formed awaiting program either terminates (a thread runs
+// to completion before the next starts, so the awaited condition has
+// been established by an earlier thread) or spins forever on a
+// condition only a *later* thread establishes. The cap turns the second
+// case into a recorded "await saturated" marker instead of a hang; by
+// the Bounded-Effect principle the abandoned iterations had no
+// value-changing writes, so cutting the loop cannot desynchronize the
+// trace.
+const awaitFingerprintCap = 1 << 12
+
+// Operation tags folded into the fingerprint trace. Distinct from any
+// Mode or Kind value by construction (each op word carries its tag in
+// the high byte).
+const (
+	fpLoad = iota + 1
+	fpStore
+	fpXchg
+	fpCmpXchg
+	fpFetchAdd
+	fpFence
+	fpAwaitEnter
+	fpAwaitExit
+	fpAwaitSaturated
+	fpPause
+	fpAssert
+	fpThread
+	fpVars
+	fpFinalCheck
+)
+
+// fpMem is a recording sequential interpreter: every Mem operation is
+// executed against a plain in-order memory and folded into the hash —
+// opcode, location, barrier mode and the values read and written. It is
+// deterministic because thread bodies are deterministic given the
+// values their Mem operations return (the ThreadFunc contract) and the
+// sequential memory returns deterministic values.
+type fpMem struct {
+	h   *graph.Hasher128
+	mem []uint64
+	tid int
+}
+
+func (m *fpMem) op(tag int, v *Var, mode Mode, words ...uint64) {
+	m.h.Word(uint64(tag)<<56 | uint64(mode)<<48 | uint64(uint32(v.ID)))
+	for _, w := range words {
+		m.h.Word(w)
+	}
+}
+
+func (m *fpMem) Load(v *Var, mode Mode) uint64 {
+	x := m.mem[v.ID]
+	m.op(fpLoad, v, mode, x)
+	return x
+}
+
+func (m *fpMem) Store(v *Var, x uint64, mode Mode) {
+	m.mem[v.ID] = x
+	m.op(fpStore, v, mode, x)
+}
+
+func (m *fpMem) Xchg(v *Var, x uint64, mode Mode) uint64 {
+	old := m.mem[v.ID]
+	m.mem[v.ID] = x
+	m.op(fpXchg, v, mode, old, x)
+	return old
+}
+
+func (m *fpMem) CmpXchg(v *Var, old, new uint64, mode Mode) (uint64, bool) {
+	cur := m.mem[v.ID]
+	ok := cur == old
+	if ok {
+		m.mem[v.ID] = new
+	}
+	okw := uint64(0)
+	if ok {
+		okw = 1
+	}
+	m.op(fpCmpXchg, v, mode, cur, old, new, okw)
+	return cur, ok
+}
+
+func (m *fpMem) FetchAdd(v *Var, delta uint64, mode Mode) uint64 {
+	old := m.mem[v.ID]
+	m.mem[v.ID] = old + delta
+	m.op(fpFetchAdd, v, mode, old, delta)
+	return old
+}
+
+func (m *fpMem) Fence(mode Mode) {
+	m.h.Word(uint64(fpFence)<<56 | uint64(mode)<<48)
+}
+
+func (m *fpMem) AwaitWhile(cond func() bool) {
+	m.h.Word(uint64(fpAwaitEnter) << 56)
+	for i := 0; ; i++ {
+		if i >= awaitFingerprintCap {
+			m.h.Word(uint64(fpAwaitSaturated) << 56)
+			return
+		}
+		if !cond() {
+			m.h.Word(uint64(fpAwaitExit)<<56 | uint64(i))
+			return
+		}
+	}
+}
+
+func (m *fpMem) Pause() {
+	m.h.Word(uint64(fpPause) << 56)
+}
+
+func (m *fpMem) TID() int { return m.tid }
+
+func (m *fpMem) Assert(ok bool, msg string) {
+	okw := uint64(0)
+	if ok {
+		okw = 1
+	}
+	m.h.Word(uint64(fpAssert)<<56 | okw)
+	m.h.String(msg)
+}
+
+// Fingerprint128 returns a 128-bit structural hash of the program: its
+// shared variables (names and initial values), thread count, the full
+// operation trace of one deterministic sequential execution (threads
+// run to completion in index order against an in-order memory; every
+// operation contributes opcode, location, barrier mode and data
+// values), and the final-state check's outcome on that execution.
+//
+// The fingerprint captures exactly the inputs a program generator feeds
+// into its shape — algorithm, barrier spec, thread count, iteration
+// count — because each shows up in the trace: more threads add thread
+// sections, more iterations add operations, a different spec changes
+// the recorded modes, a different algorithm changes the opcode
+// sequence. Two programs with equal fingerprints are treated as the
+// same verification problem by the verdict caches (internal/optimize,
+// internal/store); the program Name is deliberately NOT part of the
+// hash — names are labels for reporting, and keying verdicts on them
+// let two same-named programs of different shapes silently reuse each
+// other's results.
+//
+// Caveat (documented, not fixable without code introspection): the
+// trace witnesses one execution path. Programs that differ only in
+// code unreachable under the sequential schedule — e.g. a different
+// CAS-failure arm that the uncontended run never takes — hash equal.
+// Generated clients (harness.MutexClient and friends) never differ
+// that way: their generators vary only trace-visible inputs.
+func (p *Program) Fingerprint128() graph.Hash128 {
+	h := graph.NewHasher128()
+	vs := &VarSet{}
+	threads, final := p.Build(vs)
+	h.Word(uint64(fpVars)<<56 | uint64(len(vs.Vars)))
+	for _, v := range vs.Vars {
+		h.String(v.Name)
+		h.Word(v.Init)
+	}
+	h.Word(uint64(len(threads)))
+	m := &fpMem{h: &h, mem: vs.Inits()}
+	for t, fn := range threads {
+		h.Word(uint64(fpThread)<<56 | uint64(t))
+		m.tid = t
+		fn(m)
+	}
+	if final != nil {
+		ok, msg := final(func(v *Var) uint64 { return m.mem[v.ID] })
+		okw := uint64(0)
+		if ok {
+			okw = 1
+		}
+		h.Word(uint64(fpFinalCheck)<<56 | okw)
+		h.String(msg)
+	}
+	return h.Sum()
+}

@@ -1,0 +1,123 @@
+package vprog
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// counter builds a same-named program whose shape (threads, iterations)
+// is parameterized — the exact situation the name-keyed verdict cache
+// got wrong.
+func counter(name string, nthreads, iters int) *Program {
+	return &Program{
+		Name: name,
+		Build: func(env Env) ([]ThreadFunc, FinalCheck) {
+			x := env.Var("x", 0)
+			worker := func(m Mem) {
+				for i := 0; i < iters; i++ {
+					m.FetchAdd(x, 1, SC)
+				}
+			}
+			threads := make([]ThreadFunc, nthreads)
+			for t := range threads {
+				threads[t] = worker
+			}
+			return threads, nil
+		},
+	}
+}
+
+// TestFingerprintSameNameDifferentShape is the cache-unsoundness
+// regression: two programs sharing one name but differing in thread
+// count or iteration count must not share a fingerprint.
+func TestFingerprintSameNameDifferentShape(t *testing.T) {
+	base := counter("client/shared-name", 2, 1).Fingerprint128()
+	if fp := counter("client/shared-name", 3, 1).Fingerprint128(); fp == base {
+		t.Fatal("3-thread program fingerprints equal to 2-thread program")
+	}
+	if fp := counter("client/shared-name", 2, 2).Fingerprint128(); fp == base {
+		t.Fatal("2-iteration program fingerprints equal to 1-iteration program")
+	}
+}
+
+// TestFingerprintDeterministicAndNameBlind: rebuilding the same shape
+// reproduces the fingerprint, and the name is not part of it (names are
+// reporting labels; structure is the key).
+func TestFingerprintDeterministicAndNameBlind(t *testing.T) {
+	a := counter("a", 2, 1)
+	if a.Fingerprint128() != a.Fingerprint128() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	if counter("a", 2, 1).Fingerprint128() != counter("b", 2, 1).Fingerprint128() {
+		t.Fatal("identically-shaped programs with different names fingerprint differently")
+	}
+}
+
+// TestFingerprintModeSensitive: a barrier-mode change alone (what a
+// candidate spec does) must change the fingerprint.
+func TestFingerprintModeSensitive(t *testing.T) {
+	prog := func(mode Mode) *Program {
+		return &Program{
+			Name: "litmus/modes",
+			Build: func(env Env) ([]ThreadFunc, FinalCheck) {
+				x := env.Var("x", 0)
+				return []ThreadFunc{func(m Mem) { m.Store(x, 1, mode) }}, nil
+			},
+		}
+	}
+	if prog(Rlx).Fingerprint128() == prog(SC).Fingerprint128() {
+		t.Fatal("barrier mode not reflected in the fingerprint")
+	}
+}
+
+// TestFingerprintVarSensitive: initial values and variable sets matter.
+func TestFingerprintVarSensitive(t *testing.T) {
+	prog := func(init uint64) *Program {
+		return &Program{
+			Name: "p",
+			Build: func(env Env) ([]ThreadFunc, FinalCheck) {
+				x := env.Var("x", init)
+				return []ThreadFunc{func(m Mem) { m.Load(x, Rlx) }}, nil
+			},
+		}
+	}
+	if prog(0).Fingerprint128() == prog(1).Fingerprint128() {
+		t.Fatal("initial value not reflected in the fingerprint")
+	}
+}
+
+// TestFingerprintAwaitTerminates: an await loop that can never exit
+// under the sequential schedule must saturate at the cap, not hang —
+// and the saturated trace must still be deterministic.
+func TestFingerprintAwaitTerminates(t *testing.T) {
+	hang := &Program{
+		Name: "await/hang",
+		Build: func(env Env) ([]ThreadFunc, FinalCheck) {
+			x := env.Var("x", 0)
+			t0 := func(m Mem) {
+				// x is only ever set by thread 1, which the sequential
+				// fingerprint schedule runs second: this spins forever.
+				m.AwaitWhile(func() bool { return m.Load(x, Acq) == 0 })
+			}
+			t1 := func(m Mem) { m.Store(x, 1, Rel) }
+			return []ThreadFunc{t0, t1}, nil
+		},
+	}
+	done := make(chan graph.Hash128, 2)
+	for i := 0; i < 2; i++ {
+		go func() { done <- hang.Fingerprint128() }()
+	}
+	var fps [2]graph.Hash128
+	for i := range fps {
+		select {
+		case fps[i] = <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("fingerprinting a sequentially-unterminating await hangs; the cap is not applied")
+		}
+	}
+	if fps[0] != fps[1] {
+		t.Fatal("saturated await trace not deterministic")
+	}
+}

@@ -1,0 +1,388 @@
+package vsync
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/mm"
+	"repro/internal/optimize"
+	"repro/internal/report"
+	"repro/internal/store"
+	"repro/internal/vprog"
+)
+
+// VerdictStore is the persistent, content-addressed AMC verdict store
+// (internal/store): an append-only checksummed log keyed by
+// (model, spec fingerprint, program fingerprint). Shared by
+// optimize.Cache's persistent tier and the VerifyMatrix suite runner.
+type VerdictStore = store.Store
+
+// StoreKey identifies one verification problem in a VerdictStore.
+type StoreKey = store.Key
+
+// StoreStats is a VerdictStore's cumulative accounting.
+type StoreStats = store.Stats
+
+// OpenStore opens (creating if necessary) the verdict log at path,
+// loading its trusted prefix and truncating away any corrupt tail.
+func OpenStore(path string) (*VerdictStore, error) { return store.Open(path) }
+
+// NewOptCacheWithStore returns a verdict cache whose misses fall
+// through to — and whose decisive verdicts are written through to —
+// the persistent store st.
+func NewOptCacheWithStore(st *VerdictStore) *OptCache {
+	return optimize.NewCacheWithStore(st)
+}
+
+// MatrixConfig parameterizes an incremental suite run: which corpus to
+// cover and which persistent store (if any) to consult before spending
+// AMC work.
+type MatrixConfig struct {
+	// Models to verify under; nil selects all (SC, TSO, WMM).
+	Models []Model
+	// Locks to cover with the generic mutex client; nil selects every
+	// registered non-buggy algorithm.
+	Locks []*Algorithm
+	// Threads is the client thread-count ladder; nil selects
+	// 2..MaxThreads (and MaxThreads <= 2 means just {2}).
+	Threads []int
+	// MaxThreads tops the default ladder when Threads is nil.
+	MaxThreads int
+	// Iters is the critical sections per client thread (default 1).
+	Iters int
+	// NoLitmus drops the litmus corpus (weak + strong variants of every
+	// built-in test) from the matrix.
+	NoLitmus bool
+	// Litmus selects specific litmus tests by name; nil selects all
+	// (ignored when NoLitmus is set).
+	Litmus []string
+	// Store, when non-nil, is consulted before every cell — a stored
+	// verdict skips the AMC run entirely — and receives every decisive
+	// verdict the run computes.
+	Store *VerdictStore
+	// Parallelism bounds concurrent AMC runs (0 = GOMAXPROCS).
+	Parallelism int
+	// WorkersPerRun enables intra-run work stealing per cell
+	// (0 = GOMAXPROCS, 1 = sequential).
+	WorkersPerRun int
+	// MaxGraphs bounds each AMC run (0 = checker default).
+	MaxGraphs int
+}
+
+// MatrixCell is the outcome of one (model × program) cell of the suite.
+type MatrixCell struct {
+	// Model and Program name the cell; Threads is the client ladder rung
+	// (0 for litmus cells).
+	Model   string
+	Program string
+	Threads int
+	// Litmus marks conformance cells, whose SafetyViolation verdict
+	// means "weak outcome observable" rather than a suite failure.
+	Litmus bool
+	// Verdict is the cell's (possibly store-served) AMC verdict.
+	Verdict Verdict
+	// FromStore reports that the verdict was served by the store and the
+	// AMC run skipped.
+	FromStore bool
+	// Deduped reports that the verdict was computed by another cell of
+	// this same run with an identical key (e.g. a litmus test whose weak
+	// and strong variants generate the same program) — one AMC run
+	// served both.
+	Deduped bool
+	// Duration is the AMC wall time (zero for store hits and deduped
+	// cells).
+	Duration time.Duration
+	// Err is set for engine errors.
+	Err error
+}
+
+// Failed reports whether the cell is a genuine suite failure: a lock
+// cell that did not verify, or an engine error anywhere. Litmus cells
+// report observability, so their decisive verdicts never fail.
+func (c *MatrixCell) Failed() bool {
+	if c.Verdict == core.Error || c.Verdict == Canceled {
+		return true
+	}
+	return !c.Litmus && c.Verdict != OK
+}
+
+// MatrixResult aggregates one suite run.
+type MatrixResult struct {
+	Cells []MatrixCell
+	// Hits counts cells served by the store (AMC runs skipped); Misses
+	// counts AMC runs actually performed; Deduped counts cells served by
+	// an identical-key cell's run in this same pass (so
+	// Hits + Misses + Deduped == len(Cells)); Stored counts the records
+	// the store actually appended.
+	Hits, Misses, Deduped, Stored int
+	// Failures counts lock cells with decisive non-OK verdicts; Errors
+	// counts engine errors (including canceled runs).
+	Failures, Errors int
+	// Duration is the suite wall time, including store I/O.
+	Duration time.Duration
+}
+
+// HitRate returns the fraction of cells served by the store.
+func (r *MatrixResult) HitRate() float64 {
+	if len(r.Cells) == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(len(r.Cells))
+}
+
+// Ok reports whether every lock cell verified and no cell errored.
+func (r *MatrixResult) Ok() bool { return r.Failures == 0 && r.Errors == 0 }
+
+// Summary renders the one-paragraph accounting: corpus size, store
+// efficacy, and failures.
+func (r *MatrixResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "suite: %d cells in %v — %d store hits, %d AMC runs", len(r.Cells), r.Duration.Round(time.Millisecond), r.Hits, r.Misses)
+	if r.Deduped > 0 {
+		fmt.Fprintf(&b, " (+%d identical cells sharing them)", r.Deduped)
+	}
+	fmt.Fprintf(&b, ", %d verdicts stored (%.1f%% hit rate, %d AMC runs skipped)\n", r.Stored, 100*r.HitRate(), r.Hits)
+	if r.Failures > 0 || r.Errors > 0 {
+		fmt.Fprintf(&b, "suite: %d FAILED cells, %d engine errors\n", r.Failures, r.Errors)
+	}
+	return b.String()
+}
+
+// Report renders the full per-cell table followed by the summary. Lock
+// cells read ok/FAILED; litmus cells read ALLOWED/forbidden — the
+// vsynclitmus matrix folded into the suite view.
+func (r *MatrixResult) Report() string {
+	t := report.NewTable("verification matrix (incremental)", "cell", "model", "verdict", "source", "time")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		verdict := c.Verdict.String()
+		switch {
+		case c.Litmus:
+			// Same vocabulary as vsynclitmus — litmus cells answer
+			// observability, and engine failures stay distinguishable.
+			verdict = c.Verdict.LitmusLabel()
+		case c.Verdict == core.Error:
+			verdict = "ERROR"
+		case c.Verdict == Canceled:
+			verdict = "canceled"
+		case c.Verdict == OK:
+			verdict = "ok"
+		default:
+			verdict = "FAILED: " + verdict
+		}
+		source := "amc"
+		dur := c.Duration.Round(time.Microsecond).String()
+		switch {
+		case c.FromStore:
+			source, dur = "store", "-"
+		case c.Deduped:
+			source, dur = "dup", "-"
+		}
+		t.Add(c.Program, c.Model, verdict, source, dur)
+	}
+	return t.String() + "\n" + r.Summary()
+}
+
+// matrixCell pairs a pending cell with its store key.
+type matrixCell struct {
+	cell MatrixCell
+	prog *vprog.Program
+	key  store.Key
+}
+
+// buildMatrix expands the config into the cell corpus, in deterministic
+// order: locks × thread ladder × models, then litmus × strength ×
+// models.
+func buildMatrix(cfg *MatrixConfig) []matrixCell {
+	models := cfg.Models
+	if models == nil {
+		models = mm.All()
+	}
+	algs := cfg.Locks
+	if algs == nil {
+		algs = locks.Verifiable()
+	}
+	threads := cfg.Threads
+	if threads == nil {
+		max := cfg.MaxThreads
+		if max < 2 {
+			max = 2
+		}
+		for t := 2; t <= max; t++ {
+			threads = append(threads, t)
+		}
+	}
+	iters := cfg.Iters
+	if iters < 1 {
+		iters = 1
+	}
+	var cells []matrixCell
+	for _, alg := range algs {
+		spec := alg.DefaultSpec()
+		specFP := spec.Fingerprint128()
+		for _, t := range threads {
+			p := harness.MutexClient(alg, spec, t, iters)
+			progFP := p.Fingerprint128()
+			for _, m := range models {
+				cells = append(cells, matrixCell{
+					cell: MatrixCell{Model: m.Name(), Program: p.Name, Threads: t},
+					prog: p,
+					key:  store.Key{Model: m.Name(), Spec: specFP, Prog: progFP},
+				})
+			}
+		}
+	}
+	if !cfg.NoLitmus {
+		names := cfg.Litmus
+		if names == nil {
+			names = harness.LitmusNames()
+		}
+		for _, n := range names {
+			for _, strong := range []bool{false, true} {
+				p := harness.Litmus(n, strong)
+				if p == nil {
+					continue
+				}
+				// Label by registry name, not p.Name: several registry
+				// entries share a program Name (SB and SB+fences are both
+				// "litmus/SB") and the table must keep them apart.
+				label := "litmus/" + n + "/weak"
+				if strong {
+					label = "litmus/" + n + "/strong"
+				}
+				progFP := p.Fingerprint128()
+				for _, m := range models {
+					cells = append(cells, matrixCell{
+						cell: MatrixCell{Model: m.Name(), Program: label, Litmus: true},
+						prog: p,
+						// Litmus programs carry no BarrierSpec; the zero
+						// spec fingerprint plus the program fingerprint
+						// (which hashes every access mode) keys them.
+						key: store.Key{Model: m.Name(), Spec: graph.Hash128{}, Prog: progFP},
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// VerifyMatrix runs the suite corpus incrementally: every cell the
+// store has already decided is served by a hash lookup and its AMC run
+// skipped; the remaining cells fan out across a worker pool (without
+// fail-fast — the suite wants the whole matrix, not the first failure)
+// and their decisive verdicts are appended to the store for the next
+// run. With a warm store over an unchanged corpus the whole suite costs
+// fingerprint hashing plus one log scan — no model checking at all.
+func VerifyMatrix(cfg MatrixConfig) *MatrixResult {
+	return VerifyMatrixCtx(context.Background(), cfg)
+}
+
+// VerifyMatrixCtx is VerifyMatrix with cooperative cancellation.
+func VerifyMatrixCtx(ctx context.Context, cfg MatrixConfig) *MatrixResult {
+	start := time.Now()
+	cells := buildMatrix(&cfg)
+	res := &MatrixResult{}
+	var appended0 int
+	if cfg.Store != nil {
+		appended0 = cfg.Store.Stats().Appended
+	}
+
+	// Group the cells that need an AMC run by content address: cells
+	// with identical keys are the same verification problem (a litmus
+	// test whose weak and strong variants generate the same program,
+	// two registry entries sharing a client shape), so one run serves
+	// the whole group — the intra-run analogue of a store hit.
+	groups := make(map[graph.Hash128][]int)
+	var order []graph.Hash128
+	for i := range cells {
+		mc := &cells[i]
+		if cfg.Store != nil {
+			if v, ok := cfg.Store.Lookup(mc.key); ok {
+				mc.cell.Verdict = v
+				mc.cell.FromStore = true
+				res.Hits++
+				continue
+			}
+		}
+		h := mc.key.Hash()
+		if _, seen := groups[h]; !seen {
+			order = append(order, h)
+		}
+		groups[h] = append(groups[h], i)
+	}
+
+	if len(order) > 0 {
+		pool := core.NewPool(cfg.Parallelism)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for _, h := range order {
+			group := groups[h]
+			wg.Add(1)
+			go func(group []int) {
+				defer wg.Done()
+				rep := &cells[group[0]]
+				c := core.New(mm.ByName(rep.cell.Model))
+				if cfg.MaxGraphs > 0 {
+					c.MaxGraphs = cfg.MaxGraphs
+				}
+				c.WorkersPerRun = cfg.WorkersPerRun
+				// One single-job RunAll per group (the pool still bounds
+				// total concurrency) so each verdict is appended the
+				// moment its run finishes: a long cold suite that is
+				// interrupted keeps everything it decided so far.
+				r := pool.RunAll(ctx, []core.Job{{Checker: c, Program: rep.prog}}, false)[0]
+				var putErr error
+				if cfg.Store != nil {
+					putErr = cfg.Store.Put(rep.key, r.Verdict, rep.cell.Model+"/"+rep.cell.Program)
+				}
+				for n, i := range group {
+					mc := &cells[i]
+					mc.cell.Verdict = r.Verdict
+					mc.cell.Err = r.Err
+					if n == 0 {
+						mc.cell.Duration = r.Duration
+					} else {
+						mc.cell.Deduped = true
+					}
+					if putErr != nil {
+						// A conflict means the keying broke; surface it as
+						// a cell error rather than silently trusting
+						// either side.
+						mc.cell.Err = putErr
+						mc.cell.Verdict = core.Error
+					}
+				}
+				mu.Lock()
+				res.Misses++
+				res.Deduped += len(group) - 1
+				mu.Unlock()
+			}(group)
+		}
+		wg.Wait()
+	}
+	if cfg.Store != nil {
+		// Count what the log actually gained, not what we offered it:
+		// duplicate offers and indecisive verdicts append nothing.
+		res.Stored = cfg.Store.Stats().Appended - appended0
+	}
+
+	for i := range cells {
+		c := cells[i].cell
+		if c.Verdict == core.Error || c.Verdict == Canceled {
+			res.Errors++
+		} else if !c.Litmus && c.Verdict != OK {
+			res.Failures++
+		}
+		res.Cells = append(res.Cells, c)
+	}
+	res.Duration = time.Since(start)
+	return res
+}

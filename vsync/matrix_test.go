@@ -1,0 +1,162 @@
+package vsync_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/locks"
+	"repro/vsync"
+)
+
+// matrixConfig is the reduced corpus the tests sweep: two structurally
+// different locks, the 2..3 thread ladder, every litmus test, every
+// model — small enough for -short, wide enough to cover lock cells,
+// litmus cells and both decisive verdict polarities.
+func matrixConfig(st *vsync.VerdictStore) vsync.MatrixConfig {
+	return vsync.MatrixConfig{
+		Locks:      []*vsync.Algorithm{locks.ByName("ttas"), locks.ByName("mcs")},
+		MaxThreads: 2,
+		Store:      st,
+	}
+}
+
+// verdictMap flattens a matrix result for differential comparison.
+func verdictMap(t *testing.T, r *vsync.MatrixResult) map[string]vsync.Verdict {
+	t.Helper()
+	m := make(map[string]vsync.Verdict, len(r.Cells))
+	for _, c := range r.Cells {
+		key := fmt.Sprintf("%s|%s|%d", c.Model, c.Program, c.Threads)
+		if prev, dup := m[key]; dup && prev != c.Verdict {
+			t.Fatalf("duplicate cell %s with diverging verdicts %v / %v", key, prev, c.Verdict)
+		}
+		m[key] = c.Verdict
+	}
+	return m
+}
+
+// TestMatrixIncremental is the acceptance bar of the verdict store: a
+// warm re-run over an unchanged corpus must be served (≥ 90% hits; in
+// fact 100%) with the corresponding AMC runs skipped, and store-backed
+// verdicts must be differentially identical to a cold run's.
+func TestMatrixIncremental(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+
+	cold := vsync.VerifyMatrix(matrixConfig(nil))
+	if cold.Errors > 0 || cold.Failures > 0 {
+		t.Fatalf("cold run failed: %s", cold.Summary())
+	}
+	if cold.Hits != 0 {
+		t.Fatalf("storeless run counted hits: %s", cold.Summary())
+	}
+	if cold.Misses+cold.Deduped != len(cold.Cells) {
+		t.Fatalf("cell accounting does not add up: %d misses + %d deduped != %d cells",
+			cold.Misses, cold.Deduped, len(cold.Cells))
+	}
+	if cold.Deduped == 0 {
+		// The corpus contains litmus tests whose weak and strong variants
+		// generate identical programs; those must share one AMC run.
+		t.Errorf("no identical-key cells deduped within the cold run: %s", cold.Summary())
+	}
+
+	st, err := vsync.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate := vsync.VerifyMatrix(matrixConfig(st))
+	if populate.Hits != 0 || populate.Stored == 0 {
+		t.Fatalf("populating run: %s", populate.Summary())
+	}
+	if populate.Stored != populate.Misses {
+		// Every AMC run of this corpus is decisive, and duplicate keys
+		// ran once — the log must gain exactly one record per run.
+		t.Errorf("stored %d records for %d AMC runs", populate.Stored, populate.Misses)
+	}
+	if st.Len() != populate.Stored {
+		t.Errorf("store indexes %d verdicts, run appended %d", st.Len(), populate.Stored)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Next process": reopen the store and re-run the unchanged corpus.
+	st2, err := vsync.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	warm := vsync.VerifyMatrix(matrixConfig(st2))
+
+	if warm.Hits != len(warm.Cells) || warm.Misses != 0 || warm.Deduped != 0 {
+		t.Errorf("warm run re-verified cells: %s", warm.Summary())
+	}
+	if warm.HitRate() < 0.9 {
+		t.Errorf("warm hit rate %.2f below the 90%% acceptance bar", warm.HitRate())
+	}
+	for _, c := range warm.Cells {
+		if !c.FromStore {
+			t.Errorf("warm cell %s/%s not served from store", c.Model, c.Program)
+		}
+		if c.Duration != 0 {
+			t.Errorf("warm cell %s/%s reports AMC time %v; the run should have been skipped",
+				c.Model, c.Program, c.Duration)
+		}
+	}
+
+	// Differential soundness: the store must change where verdicts come
+	// from, never what they are.
+	want := verdictMap(t, cold)
+	for name, got := range map[string]*vsync.MatrixResult{"populating": populate, "warm": warm} {
+		m := verdictMap(t, got)
+		if len(m) != len(want) {
+			t.Fatalf("%s run covers %d distinct cells, cold run %d", name, len(m), len(want))
+		}
+		for key, v := range want {
+			if m[key] != v {
+				t.Errorf("%s run: cell %s verdict %v, cold run %v", name, key, m[key], v)
+			}
+		}
+	}
+}
+
+// TestMatrixDetectsFailures: a known-buggy study-case lock must surface
+// as a suite failure, not vanish into the store.
+func TestMatrixDetectsFailures(t *testing.T) {
+	var buggy *vsync.Algorithm
+	for _, alg := range locks.All() {
+		if alg.Buggy {
+			buggy = alg
+			break
+		}
+	}
+	if buggy == nil {
+		t.Skip("no buggy study-case lock registered")
+	}
+	st, err := vsync.OpenStore(filepath.Join(t.TempDir(), "verdicts.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	cfg := vsync.MatrixConfig{
+		Locks:    []*vsync.Algorithm{buggy},
+		Models:   []vsync.Model{vsync.ModelWMM},
+		NoLitmus: true,
+		Store:    st,
+	}
+	first := vsync.VerifyMatrix(cfg)
+	if first.Failures == 0 {
+		t.Fatalf("buggy lock %s produced no failing cell: %s", buggy.Name, first.Summary())
+	}
+	if first.Ok() {
+		t.Fatalf("buggy suite claims Ok: %s", first.Summary())
+	}
+	// The failing verdict is decisive and must be served (still as a
+	// failure) on the warm pass.
+	second := vsync.VerifyMatrix(cfg)
+	if second.Misses != 0 {
+		t.Errorf("warm pass re-verified the failing cell: %s", second.Summary())
+	}
+	if second.Failures != first.Failures {
+		t.Errorf("failure count changed warm: %d vs %d", second.Failures, first.Failures)
+	}
+}

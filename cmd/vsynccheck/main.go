@@ -140,22 +140,23 @@ func main() {
 		}
 		fmt.Printf("checking %d algorithms under %s (%d threads × %d iterations, %d workers, %d per run)...\n",
 			len(ps), m.Name(), *threads, *iters, par0(*par), par0(*workers))
-		res, failed := vsync.VerifySuitePar(m, *par, *workers, ps)
+		res, failed, results := vsync.VerifySuiteResults(m, *par, *workers, ps)
+		if st != nil {
+			// Record every decisive verdict — including the runs that
+			// completed before a failure canceled the rest; re-doing that
+			// work next run is exactly what the store exists to avoid.
+			// Canceled and Error runs append nothing (store.Put drops
+			// indecisive verdicts).
+			for i, r := range results {
+				storePut(st, keys[i], r.Verdict, m.Name()+"/"+ps[i].Name)
+			}
+		}
 		if failed >= 0 {
 			fmt.Printf("%s: %s\n", ps[failed].Name, res)
-			if st != nil && res.Verdict != core.Error {
-				storePut(st, keys[failed], res.Verdict, m.Name()+"/"+ps[failed].Name)
-			}
 			if res.Verdict == core.Error {
 				os.Exit(2)
 			}
 			os.Exit(1)
-		}
-		if st != nil {
-			// Every fanned-out run verified; record them all.
-			for i, p := range ps {
-				storePut(st, keys[i], core.OK, m.Name()+"/"+p.Name)
-			}
 		}
 		fmt.Println(res)
 		return
@@ -180,12 +181,18 @@ func main() {
 	}
 
 	p := harness.MutexClient(alg, spec, *threads, *iters)
+	var k store.Key
+	if st != nil {
+		// Hashing interprets the whole program once; compute the key a
+		// single time for both the lookup and the put.
+		k = storeKey(m, spec, p)
+	}
 	if st != nil && *dotOut != "" {
 		// A counterexample graph only exists on a real run; don't let a
 		// store hit silently skip the artifact the user asked for.
 		fmt.Println("note: -dot requested, bypassing the verdict store for this check")
 	} else if st != nil {
-		if v, ok := st.Lookup(storeKey(m, spec, p)); ok {
+		if v, ok := st.Lookup(k); ok {
 			fmt.Printf("%s under %s: %s (verdict served from store, no AMC run)\n", p.Name, m.Name(), v)
 			if v != core.OK {
 				os.Exit(1)
@@ -197,7 +204,7 @@ func main() {
 		p.Name, m.Name(), *threads, *iters, par0(*workers))
 	res := vsync.VerifyPar(m, p, *workers)
 	if st != nil {
-		storePut(st, storeKey(m, spec, p), res.Verdict, m.Name()+"/"+p.Name)
+		storePut(st, k, res.Verdict, m.Name()+"/"+p.Name)
 	}
 	if res.Verdict == core.Error {
 		fmt.Println(res)

@@ -26,6 +26,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,12 @@ import (
 	"repro/internal/optimize"
 	"repro/internal/store"
 	"repro/internal/vprog"
+
+	// Linked for its store.RegisterCodeSource init: every tool sharing
+	// a verdict store must fold the same key-handling packages into the
+	// code epoch, or a store warmed by vsyncsuite would silently serve
+	// this tool zero hits (and vice versa).
+	_ "repro/vsync"
 )
 
 func main() {
@@ -100,6 +107,14 @@ func main() {
 	}
 	fmt.Println(res.Report())
 	if st != nil {
+		if err := opt.Cache.StoreErr(); err != nil && !errors.Is(err, store.ErrConflict) {
+			// A failed write-through is silent at verdict time (the search
+			// itself is unaffected), but the operator believes this run is
+			// warming the store — say loudly that it may not be. Conflicts
+			// are not a persistence problem and get their own exit-2
+			// treatment below.
+			fmt.Fprintf(os.Stderr, "vsyncopt: warning: store write-through failed, some verdicts were not persisted: %v\n", err)
+		}
 		s := st.Stats()
 		fmt.Printf("store: %d verdicts served (%d probes), %d appended, %d total\n",
 			s.Hits, s.Hits+s.Misses, s.Appended, st.Len())

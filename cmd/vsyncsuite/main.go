@@ -84,7 +84,11 @@ func main() {
 		defer st.Close()
 		cfg.Store = st
 		s := st.Stats()
-		fmt.Printf("store: %s — %d verdicts loaded", st.Path(), s.Loaded)
+		epoch := vsync.StoreCodeEpoch()
+		fmt.Printf("store: %s — %d verdicts loaded, code epoch %016x%016x", st.Path(), s.Loaded, epoch[0], epoch[1])
+		if s.Stale > 0 {
+			fmt.Printf(", %d records from other code epochs (not served, retained for flip-backs)", s.Stale)
+		}
 		if s.Corrupted > 0 {
 			fmt.Printf(", %d corrupt tail bytes discarded", s.Corrupted)
 		}
@@ -96,6 +100,12 @@ func main() {
 		fmt.Print(res.Report())
 	} else {
 		fmt.Print(res.Summary())
+	}
+	if res.StoreErr != nil {
+		// The verdicts themselves are sound (append failures never taint
+		// a cell), but this run did not warm the store the way the
+		// operator believes — the next run will redo the skipped work.
+		fmt.Fprintf(os.Stderr, "vsyncsuite: warning: store append failed, some verdicts were not persisted: %v\n", res.StoreErr)
 	}
 	for i := range res.Cells {
 		c := &res.Cells[i]

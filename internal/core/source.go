@@ -1,0 +1,14 @@
+package core
+
+import "embed"
+
+// sourceFS carries this package's own .go sources, compiled into the
+// binary so the verdict store can fold a code-identity epoch into its
+// keys (internal/srcid). The checker itself determines verdicts: a
+// fixed engine bug must re-judge everything the buggy engine decided.
+//
+//go:embed *.go
+var sourceFS embed.FS
+
+// SourceFiles exposes the embedded sources for code-identity hashing.
+func SourceFiles() embed.FS { return sourceFS }

@@ -1,0 +1,14 @@
+package graph
+
+import "embed"
+
+// sourceFS carries this package's own .go sources, compiled into the
+// binary so the verdict store can fold a code-identity epoch into its
+// keys (internal/srcid). Execution-graph semantics (relations,
+// extension, consistency) are part of what a verdict means.
+//
+//go:embed *.go
+var sourceFS embed.FS
+
+// SourceFiles exposes the embedded sources for code-identity hashing.
+func SourceFiles() embed.FS { return sourceFS }

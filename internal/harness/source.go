@@ -1,0 +1,14 @@
+package harness
+
+import "embed"
+
+// sourceFS carries this package's own .go sources, compiled into the
+// binary so the verdict store can fold a code-identity epoch into its
+// keys (internal/srcid). Client and litmus generators shape the
+// programs being verified; editing them must orphan stored verdicts.
+//
+//go:embed *.go
+var sourceFS embed.FS
+
+// SourceFiles exposes the embedded sources for code-identity hashing.
+func SourceFiles() embed.FS { return sourceFS }

@@ -1,0 +1,15 @@
+package locks
+
+import "embed"
+
+// sourceFS carries this package's own .go sources, compiled into the
+// binary so the verdict store can fold a code-identity epoch into its
+// keys (internal/srcid). An edit to an algorithm's contended path may
+// be invisible to the structural program fingerprint (which witnesses
+// one uncontended execution); hashing the source closes that gap.
+//
+//go:embed *.go
+var sourceFS embed.FS
+
+// SourceFiles exposes the embedded sources for code-identity hashing.
+func SourceFiles() embed.FS { return sourceFS }

@@ -73,6 +73,7 @@ type Cache struct {
 
 	hits, misses, undecidedProbes int
 	persistHits                   int
+	putErr                        error
 }
 
 // NewCache returns an empty in-memory verdict cache.
@@ -143,11 +144,28 @@ func (c *Cache) store(key cacheKey, name string, v core.Verdict) {
 	persist := c.persist
 	c.mu.Unlock()
 	if persist != nil {
-		// Best-effort write-through outside the cache lock; a conflict
-		// (see store.Put) leaves the disk record authoritative-first and
-		// this run's verdict memory-only.
-		_ = persist.Put(key.storeKey(), v, name)
+		// Write-through outside the cache lock; a conflict (see
+		// store.Put) leaves the disk record authoritative-first and this
+		// run's verdict memory-only. Failures don't block the search,
+		// but the first one is kept (StoreErr) so callers can warn that
+		// a run believed to be warming the store persisted nothing.
+		if err := persist.Put(key.storeKey(), v, name); err != nil {
+			c.mu.Lock()
+			if c.putErr == nil {
+				c.putErr = err
+			}
+			c.mu.Unlock()
+		}
 	}
+}
+
+// StoreErr returns the first persistent write-through failure (a disk
+// append error or a verdict conflict), or nil if every decisive verdict
+// reached the store.
+func (c *Cache) StoreErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.putErr
 }
 
 // Hits returns the number of probes answered (memory or store).

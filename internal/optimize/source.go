@@ -1,0 +1,18 @@
+package optimize
+
+import (
+	"embed"
+
+	"repro/internal/store"
+)
+
+// sourceFS carries this package's own .go sources for the verdict
+// store's code epoch: cacheKey and its storeKey translation associate
+// verdicts with problems, and a bug there (the name-keying bug this
+// package once had is the canonical example) mis-keys records — fixing
+// it must orphan everything the buggy build persisted.
+//
+//go:embed *.go
+var sourceFS embed.FS
+
+func init() { store.RegisterCodeSource("internal/optimize", sourceFS) }

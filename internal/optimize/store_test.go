@@ -172,3 +172,32 @@ func TestCachePersistentTier(t *testing.T) {
 		t.Error("store-backed re-run diverged from the original optimization result")
 	}
 }
+
+// TestCacheStoreErr: a failed write-through must not stay silent — a
+// run believed to be warming the store may persist nothing, and the
+// next run silently redoes all the AMC work. The first failure is
+// recorded and exposed so callers (vsyncopt) can warn.
+func TestCacheStoreErr(t *testing.T) {
+	st, err := store.Open(filepath.Join(t.TempDir(), "verdicts.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close the store out from under the cache: every Put now fails the
+	// way a full disk or revoked file would.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cache := optimize.NewCacheWithStore(st)
+	opt := &optimize.Optimizer{
+		Model: mm.WMM, Parallelism: 1, Cache: cache,
+		Programs: func(*vprog.BarrierSpec) []*vprog.Program {
+			return []*vprog.Program{namedProgram("client/storeerr", 2, true)}
+		},
+	}
+	if _, err := opt.Run(vprog.NewSpec().Def("pt", vprog.SC)); err != nil {
+		t.Fatalf("the search itself must survive a dead store: %v", err)
+	}
+	if cache.StoreErr() == nil {
+		t.Fatal("write-through to a closed store failed silently: StoreErr is nil")
+	}
+}

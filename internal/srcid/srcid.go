@@ -1,0 +1,107 @@
+// Package srcid computes the code-identity epoch: a 128-bit hash of
+// the compiled-in sources of every package that determines an AMC
+// verdict — the checker (core, graph, mm) and the program constructors
+// (vprog, locks, harness). The verdict store stamps this epoch on
+// every record and serves only same-epoch records, so a verdict is
+// scoped by what the problem is AND by the code that judged and shaped
+// it.
+//
+// Why this exists: vprog.Program.Fingerprint128 witnesses one
+// deterministic sequential execution, so code reachable only under
+// contention (lock slow paths, CAS-failure arms) does not affect the
+// fingerprint. Without a code epoch, editing a lock's contended-path
+// logic leaves every store key unchanged, and a CI run restoring a
+// verdict store cached from an earlier commit would serve stale
+// verdicts for the edited algorithm — a correctness regression could
+// merge without ever being re-model-checked. With the epoch on the
+// record, any edit to verification-relevant source orphans all stored
+// verdicts by construction (the store retains orphans for epoch
+// flip-backs and compacts them beyond a budget); doc-, bench- and
+// cmd-only changes keep the store warm.
+//
+// The hash covers non-test .go files only (tests cannot change a
+// verdict), in sorted order with names and a per-package file count,
+// so the epoch is deterministic for a given source tree. The embeds
+// use the `*.go` glob deliberately even though it bakes ~100 KiB of
+// _test.go sources (filtered out of the hash here) into the binaries:
+// an explicit file list would silently omit newly added source files
+// from the epoch — an unsoundness — while the glob can only ever
+// over-include.
+package srcid
+
+import (
+	"io/fs"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/locks"
+	"repro/internal/mm"
+	"repro/internal/vprog"
+)
+
+// sources lists the verdict-determining packages in fixed order.
+var sources = []struct {
+	name  string
+	files fs.FS
+}{
+	{"internal/graph", graph.SourceFiles()},
+	{"internal/mm", mm.SourceFiles()},
+	{"internal/core", core.SourceFiles()},
+	{"internal/vprog", vprog.SourceFiles()},
+	{"internal/locks", locks.SourceFiles()},
+	{"internal/harness", harness.SourceFiles()},
+}
+
+var epochOnce = sync.OnceValue(computeEpoch)
+
+// Epoch returns the code-identity hash of this binary's
+// verification-relevant sources. It is computed once per process and
+// is identical across processes built from the same source tree.
+//
+// Epoch covers the checker and program constructors only; packages
+// that construct or translate store *keys* (internal/store itself,
+// internal/optimize, vsync) cannot appear here without an import cycle
+// and instead register their embedded sources with the store
+// (store.RegisterCodeSource), which folds them into the record epoch
+// on top of this hash.
+func Epoch() graph.Hash128 { return epochOnce() }
+
+func computeEpoch() graph.Hash128 {
+	h := graph.NewHasher128()
+	for _, p := range sources {
+		HashPackage(&h, p.name, p.files)
+	}
+	return h.Sum()
+}
+
+// HashPackage folds one package's non-test sources into h under the
+// given name: sorted file names, contents, and a trailing count so
+// file splits and merges stay distinguishable. Shared with the store's
+// epoch extension mechanism so every package hashes canonically.
+func HashPackage(h *graph.Hasher128, name string, fsys fs.FS) {
+	h.String(name)
+	names, err := fs.Glob(fsys, "*.go")
+	if err != nil {
+		// The pattern is constant and valid; Glob cannot fail on it.
+		panic("srcid: " + err.Error())
+	}
+	sort.Strings(names)
+	n := 0
+	for _, fname := range names {
+		if strings.HasSuffix(fname, "_test.go") {
+			continue
+		}
+		data, err := fs.ReadFile(fsys, fname)
+		if err != nil {
+			panic("srcid: reading embedded " + fname + ": " + err.Error())
+		}
+		h.String(fname)
+		h.String(string(data))
+		n++
+	}
+	h.Word(uint64(n))
+}

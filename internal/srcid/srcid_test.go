@@ -1,0 +1,64 @@
+package srcid
+
+import (
+	"testing"
+	"testing/fstest"
+
+	"repro/internal/graph"
+)
+
+// TestEpochDeterministic: the epoch is stable within a process and is
+// never the zero hash (every source package embeds at least one file).
+func TestEpochDeterministic(t *testing.T) {
+	e := Epoch()
+	if e == (graph.Hash128{}) {
+		t.Fatal("code epoch is zero — no sources were hashed")
+	}
+	if e != Epoch() {
+		t.Fatal("code epoch not deterministic across calls")
+	}
+}
+
+func digest(fsys fstest.MapFS) graph.Hash128 {
+	h := graph.NewHasher128()
+	HashPackage(&h, "p", fsys)
+	return h.Sum()
+}
+
+// TestHashPackage pins the properties the epoch relies on: test files
+// are excluded, content and file names are significant, and iteration
+// order is canonical (MapFS globs sorted, so equal trees hash equal).
+func TestHashPackage(t *testing.T) {
+	base := fstest.MapFS{
+		"a.go": {Data: []byte("package p\nfunc A() {}\n")},
+		"b.go": {Data: []byte("package p\nfunc B() {}\n")},
+	}
+	if digest(base) == (graph.Hash128{}) {
+		t.Fatal("package digest is zero")
+	}
+
+	withTest := fstest.MapFS{
+		"a.go":      base["a.go"],
+		"b.go":      base["b.go"],
+		"a_test.go": {Data: []byte("package p\nfunc TestA() {}\n")},
+	}
+	if digest(withTest) != digest(base) {
+		t.Error("adding a _test.go file changed the digest; tests cannot change verdicts")
+	}
+
+	edited := fstest.MapFS{
+		"a.go": {Data: []byte("package p\nfunc A() { spin() }\n")},
+		"b.go": base["b.go"],
+	}
+	if digest(edited) == digest(base) {
+		t.Error("editing a source file did not change the digest")
+	}
+
+	renamed := fstest.MapFS{
+		"c.go": base["a.go"],
+		"b.go": base["b.go"],
+	}
+	if digest(renamed) == digest(base) {
+		t.Error("renaming a source file did not change the digest")
+	}
+}

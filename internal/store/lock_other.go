@@ -1,0 +1,15 @@
+//go:build !darwin && !dragonfly && !freebsd && !linux && !netbsd && !openbsd
+
+package store
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable (windows, solaris,
+// aix, ...); the documented single-owner contract is then unenforced
+// and concurrent processes on one store file can corrupt it.
+func lockFile(*os.File) error { return nil }
+
+// haveFlock = false makes the compaction rename close the old handle
+// first: Windows refuses to rename over an open file, and with no
+// advisory locks there is no lock-gap to protect anyway.
+const haveFlock = false

@@ -1,0 +1,44 @@
+//go:build darwin || dragonfly || freebsd || linux || netbsd || openbsd
+
+package store
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestOpenExclusive: two simultaneous owners of one store file would
+// interleave truncates and stale-offset appends, so the second Open
+// must fail with a clear "in use" error while the first handle lives —
+// and succeed again once it is closed. flock is per open file
+// description, so two Opens in one process exercise the same code path
+// two processes would.
+func TestOpenExclusive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+	s1, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(testKey(1), core.OK, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("second Open of a live store succeeded; concurrent owners corrupt the log")
+	} else if !strings.Contains(err.Error(), "in use") {
+		t.Fatalf("second Open failed with the wrong error: %v", err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open after the owner closed: %v", err)
+	}
+	defer s2.Close()
+	if s2.Stats().Loaded != 1 {
+		t.Fatalf("reopened store loaded %d records, want 1", s2.Stats().Loaded)
+	}
+}

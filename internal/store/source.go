@@ -1,0 +1,13 @@
+package store
+
+import "embed"
+
+// sourceFS carries this package's own .go sources, folded into the
+// record code epoch (see epoch.go): a bug in key construction, record
+// encoding or the load scan mis-associates verdicts with problems, and
+// fixing it must orphan every record the buggy build wrote — the same
+// invariant the epoch enforces for the checker and the program
+// constructors.
+//
+//go:embed *.go
+var sourceFS embed.FS

@@ -12,7 +12,8 @@
 // records, each individually CRC-checksummed:
 //
 //	[4B magic "VSYV"][4B payload len][payload][4B IEEE CRC32(payload)]
-//	payload = [1B version][16B key hash][1B verdict][2B name len][name]
+//	payload = [1B version][16B code epoch][16B key hash][1B verdict]
+//	          [2B name len][name]
 //
 // Append-only makes concurrent writers trivial (one mutex, one
 // file-append per new verdict) and makes every historical verdict
@@ -22,19 +23,35 @@
 // after it is discarded, and the file is truncated back to the trusted
 // length so subsequent appends extend a well-formed log. A torn tail
 // write (crash mid-append, disk-full) therefore costs at most the
-// records after the tear — never a wrong verdict. A non-empty file
-// that does not start with the record magic was never a store and is
+// records after the tear — never a wrong verdict; that includes a tear
+// inside the very first record's magic. A non-empty file that does not
+// start with (a prefix of) the record magic was never a store and is
 // refused outright, so a mistyped path cannot truncate a user's file.
 //
 // Invalidation is by construction rather than by command: change the
 // program, the spec or the model and the key changes, so stale entries
-// are simply never looked up again. Only decisive verdicts (OK,
-// SafetyViolation, ATViolation) are stored; Error and Canceled carry no
-// reusable information.
+// are simply never looked up again. Change any verification-relevant
+// *source code* and the code epoch changes: every record carries the
+// epoch (see epoch.go — a hash of the compiled-in sources of the
+// checker, the program constructors, and every key-handling package
+// including this one) of the binary that wrote it, and load indexes
+// only records matching this build's epoch. Program
+// fingerprints witness one sequential execution and cannot see
+// contended-path code, so without the epoch a cross-commit edit to a
+// lock's slow path would leave keys unchanged and a store cached from
+// an earlier commit (CI does exactly this) would serve stale verdicts.
+// Foreign-epoch records are retained (a bisect that rebuilds an old
+// epoch flips straight back to a warm store) up to a byte budget;
+// beyond it the oldest are compacted away on open, so the log stays
+// bounded however many code commits the CI cache survives. Only
+// decisive verdicts (OK, SafetyViolation, ATViolation) are stored;
+// Error and Canceled carry no reusable information.
 package store
 
 import (
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -70,15 +87,24 @@ func (k Key) Hash() graph.Hash128 {
 
 const (
 	recordMagic   = 0x56535956 // "VSYV" little-endian
-	recordVersion = 1
+	recordVersion = 2
 	headerSize    = 8                   // magic + payload length
-	payloadFixed  = 1 + 16 + 1 + 2      // version + key + verdict + name length
+	payloadFixed  = 1 + 16 + 16 + 1 + 2 // version + code epoch + key + verdict + name length
+	minPayload    = 1                   // a version byte; older formats were shorter than payloadFixed
 	maxPayload    = payloadFixed + 4096 // name length is bounded; anything bigger is corruption
 )
+
+// staleRetainBytes bounds how much foreign-epoch (or foreign-version)
+// history one log retains: enough for a dozen-plus full corpora so
+// bisects and branch switches flip back to warm stores, small enough
+// that the CI cache artifact and the open-time scan stay trivial. A
+// variable so tests can shrink it.
+var staleRetainBytes = 1 << 20
 
 // Stats is the cumulative accounting of one open store.
 type Stats struct {
 	Loaded    int // records trusted by the opening scan
+	Stale     int // well-formed records from another code epoch or record version: not served, retained up to a budget
 	Corrupted int // bytes discarded by the opening scan (torn/corrupt tail)
 	Hits      int // Lookup probes answered
 	Misses    int // Lookup probes not answered
@@ -89,9 +115,12 @@ type Stats struct {
 
 // Store is a disk-backed verdict memo. It is safe for concurrent use by
 // any number of goroutines of one process; the on-disk log is owned by
-// that process for the lifetime of the handle (there is no cross-
-// process locking — share verdicts by sharing the file between runs,
-// not between simultaneous writers).
+// that process for the lifetime of the handle. Where the platform
+// supports it, Open enforces the single-owner contract with an
+// exclusive advisory flock, so a second process opening the same path
+// fails with a "store in use" error instead of interleaving its
+// truncate-and-append cycle with the owner's — share verdicts by
+// sharing the file between runs, not between simultaneous writers.
 type Store struct {
 	mu    sync.Mutex
 	f     *os.File
@@ -113,6 +142,10 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is in use by another process (the log supports one owner at a time; rerun when the other process exits): %w", path, err)
+	}
 	s := &Store{f: f, path: path, index: make(map[graph.Hash128]core.Verdict)}
 	if err := s.load(); err != nil {
 		f.Close()
@@ -128,22 +161,37 @@ func (s *Store) load() error {
 	if err != nil {
 		return fmt.Errorf("store: reading %s: %w", s.path, err)
 	}
-	// A non-empty file that does not even begin with the record magic
-	// was never a verdict store: refuse loudly instead of truncating a
-	// file the caller mistyped the path of. (A store whose very first
-	// append tore mid-record still carries the magic prefix and heals
-	// through the normal corrupt-tail path below.)
-	if len(data) >= 4 && binary.LittleEndian.Uint32(data) != recordMagic ||
-		len(data) > 0 && len(data) < 4 {
-		return fmt.Errorf("store: %s is not a verdict store (bad leading magic); refusing to truncate it — delete or move the file if it really is the store", s.path)
+	// A non-empty file that does not begin with (a prefix of) the
+	// record magic was never a verdict store: refuse loudly instead of
+	// truncating a file the caller mistyped the path of. A store whose
+	// very first append tore mid-record still carries the magic prefix
+	// — even if fewer than 4 bytes of it landed — and heals through the
+	// normal corrupt-tail path below.
+	if len(data) > 0 {
+		var magic [4]byte
+		binary.LittleEndian.PutUint32(magic[:], recordMagic)
+		n := min(len(data), len(magic))
+		if !bytes.Equal(data[:n], magic[:n]) {
+			return fmt.Errorf("store: %s is not a verdict store (bad leading magic); refusing to truncate it — delete or move the file if it really is the store", s.path)
+		}
 	}
 	valid := 0
+	type recSpan struct {
+		start, end int
+		live       bool
+	}
+	var spans []recSpan
+	staleBytes := 0
 	for valid+headerSize <= len(data) {
 		if binary.LittleEndian.Uint32(data[valid:]) != recordMagic {
 			break
 		}
+		// The length bound is version-agnostic: a checksummed record of
+		// an older (shorter) format must scan as a stale record to
+		// retain, not break the loop as a corrupt tail — that would
+		// truncate a v1 user's entire history on upgrade.
 		plen := int(binary.LittleEndian.Uint32(data[valid+4:]))
-		if plen < payloadFixed || plen > maxPayload {
+		if plen < minPayload || plen > maxPayload {
 			break
 		}
 		end := valid + headerSize + plen + 4
@@ -154,15 +202,60 @@ func (s *Store) load() error {
 		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[end-4:]) {
 			break
 		}
-		if key, v, ok := decodePayload(payload); ok {
+		if epoch, key, v, ok := decodePayload(payload); ok && epoch == currentEpoch() {
 			s.index[key] = v
 			s.stats.Loaded++
+			spans = append(spans, recSpan{valid, end, true})
+		} else {
+			// A well-formed record from another record version or code
+			// epoch cannot be served by this build, but it is not
+			// garbage: a bisect or branch switch may build the epoch
+			// that wrote it again tomorrow, and deleting it would
+			// silently destroy minutes of AMC work. Retain it — up to
+			// staleRetainBytes; beyond the budget the oldest foreign
+			// records are compacted away so a CI-restored store stays
+			// bounded instead of growing by a corpus per code commit.
+			s.stats.Stale++
+			staleBytes += end - valid
+			spans = append(spans, recSpan{valid, end, false})
 		}
-		// An undecodable-but-checksummed payload (future version) is
-		// skipped, not trusted and not fatal: the log stays appendable.
 		valid = end
 	}
 	s.stats.Corrupted = len(data) - valid
+	if staleBytes > staleRetainBytes {
+		// Over budget: drop the oldest foreign records (log order is
+		// write order). The rewrite is atomic — temp file, then rename
+		// — so a crash at any instant leaves either the old log or the
+		// complete new one; records that were intact before Open can
+		// never be lost to a half-finished rewrite. Compaction is an
+		// optimization, not a correctness requirement, so a failure
+		// (disk full, exotic filesystem) falls through to the normal
+		// open path with the full history retained.
+		keep := spans[:0]
+		kept := 0
+		for _, sp := range spans {
+			if !sp.live && staleBytes > staleRetainBytes {
+				staleBytes -= sp.end - sp.start
+				continue
+			}
+			keep = append(keep, sp)
+			if !sp.live {
+				kept++
+			}
+		}
+		var buf []byte
+		for _, sp := range keep {
+			buf = append(buf, data[sp.start:sp.end]...)
+		}
+		if err := s.swapInCompacted(buf); err == nil {
+			s.stats.Stale = kept // only what actually survived
+			return nil
+		} else if s.f == nil {
+			// The no-flock path closed the old handle and could not get
+			// it back; there is no store to fall through to.
+			return fmt.Errorf("store: compacting %s: %w", s.path, err)
+		}
+	}
 	if s.stats.Corrupted > 0 {
 		if err := s.f.Truncate(int64(valid)); err != nil {
 			return fmt.Errorf("store: truncating corrupt tail of %s: %w", s.path, err)
@@ -174,24 +267,78 @@ func (s *Store) load() error {
 	return nil
 }
 
+// swapInCompacted atomically replaces the log with content: the new
+// file is written and synced beside the log, flocked *before* the
+// rename publishes it (so there is no instant at which another process
+// could grab the path unlocked), renamed over the log, and adopted as
+// the store's handle. On any error the original log is untouched.
+func (s *Store) swapInCompacted(content []byte) error {
+	tmpPath := s.path + ".compact"
+	tf, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		tf.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := lockFile(tf); err != nil {
+		return fail(err)
+	}
+	if _, err := tf.Write(content); err != nil {
+		return fail(err)
+	}
+	if err := tf.Sync(); err != nil {
+		return fail(err)
+	}
+	if !haveFlock {
+		// No advisory locks on this platform, so keeping the old handle
+		// open buys no exclusion — and Windows refuses to rename over an
+		// open file, which would otherwise make the retention budget
+		// silently unenforceable. Close first; restore on failure so the
+		// caller still has a working (if uncompacted) store.
+		s.f.Close()
+		s.f = nil
+		if err := os.Rename(tmpPath, s.path); err != nil {
+			f, rerr := os.OpenFile(s.path, os.O_RDWR, 0o644)
+			if rerr == nil {
+				s.f = f // original log intact; compaction skipped
+			}
+			return fail(err)
+		}
+		s.f = tf
+		return nil
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		return fail(err)
+	}
+	s.f.Close() // old inode and its lock; tf already holds the new one
+	s.f = tf    // offset is at end, ready to append
+	return nil
+}
+
 // decodePayload parses one checksummed payload. ok is false for
-// versions this build does not understand.
-func decodePayload(p []byte) (key graph.Hash128, v core.Verdict, ok bool) {
-	if p[0] != recordVersion {
-		return key, v, false
+// versions (and their payload shapes) this build does not understand;
+// the caller treats those as stale, like a foreign code epoch.
+func decodePayload(p []byte) (epoch, key graph.Hash128, v core.Verdict, ok bool) {
+	if len(p) < payloadFixed || p[0] != recordVersion {
+		return epoch, key, v, false
 	}
-	key[0] = binary.LittleEndian.Uint64(p[1:])
-	key[1] = binary.LittleEndian.Uint64(p[9:])
-	v = core.Verdict(p[17])
-	nameLen := int(binary.LittleEndian.Uint16(p[18:]))
+	epoch[0] = binary.LittleEndian.Uint64(p[1:])
+	epoch[1] = binary.LittleEndian.Uint64(p[9:])
+	key[0] = binary.LittleEndian.Uint64(p[17:])
+	key[1] = binary.LittleEndian.Uint64(p[25:])
+	v = core.Verdict(p[33])
+	nameLen := int(binary.LittleEndian.Uint16(p[34:]))
 	if payloadFixed+nameLen != len(p) {
-		return key, v, false
+		return epoch, key, v, false
 	}
-	return key, v, true
+	return epoch, key, v, true
 }
 
 // encodeRecord builds the full on-disk record for one verdict.
-func encodeRecord(key graph.Hash128, v core.Verdict, name string) []byte {
+func encodeRecord(epoch, key graph.Hash128, v core.Verdict, name string) []byte {
 	if len(name) > maxPayload-payloadFixed {
 		name = name[:maxPayload-payloadFixed]
 	}
@@ -201,10 +348,12 @@ func encodeRecord(key graph.Hash128, v core.Verdict, name string) []byte {
 	binary.LittleEndian.PutUint32(rec[4:], uint32(plen))
 	p := rec[headerSize : headerSize+plen]
 	p[0] = recordVersion
-	binary.LittleEndian.PutUint64(p[1:], key[0])
-	binary.LittleEndian.PutUint64(p[9:], key[1])
-	p[17] = byte(v)
-	binary.LittleEndian.PutUint16(p[18:], uint16(len(name)))
+	binary.LittleEndian.PutUint64(p[1:], epoch[0])
+	binary.LittleEndian.PutUint64(p[9:], epoch[1])
+	binary.LittleEndian.PutUint64(p[17:], key[0])
+	binary.LittleEndian.PutUint64(p[25:], key[1])
+	p[33] = byte(v)
+	binary.LittleEndian.PutUint16(p[34:], uint16(len(name)))
 	copy(p[payloadFixed:], name)
 	binary.LittleEndian.PutUint32(rec[headerSize+plen:], crc32.ChecksumIEEE(p))
 	return rec
@@ -227,14 +376,21 @@ func (s *Store) lookupHash(h graph.Hash128) (core.Verdict, bool) {
 	return v, ok
 }
 
+// ErrConflict marks a Put whose decisive verdict contradicts the one
+// already stored for its key. Callers distinguish it (errors.Is) from
+// plain append failures: a conflict means the keying broke and neither
+// verdict can be trusted; an I/O failure taints nothing — the verdict
+// is sound, it just was not persisted.
+var ErrConflict = errors.New("verdict conflict")
+
 // Put records a decisive verdict for k, appending one log record; the
 // name travels along for human-readable log inspection only. Indecisive
 // verdicts (Error, Canceled) are dropped silently — they carry no
 // reusable information. Re-putting an already-stored verdict is a
 // no-op; putting a *different* decisive verdict for a stored key is
-// refused with an error, because it means the keying broke (a
-// fingerprint collision or a nondeterministic checker) and trusting
-// either verdict would be unsound.
+// refused with an error wrapping ErrConflict, because it means the
+// keying broke (a fingerprint collision or a nondeterministic checker)
+// and trusting either verdict would be unsound.
 func (s *Store) Put(k Key, v core.Verdict, name string) error {
 	if v != core.OK && v != core.SafetyViolation && v != core.ATViolation {
 		return nil
@@ -242,15 +398,18 @@ func (s *Store) Put(k Key, v core.Verdict, name string) error {
 	h := k.Hash()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("store: %s: Put after Close", s.path)
+	}
 	s.stats.Puts++
 	if prev, ok := s.index[h]; ok {
 		if prev == v {
 			return nil
 		}
 		s.stats.Conflicts++
-		return fmt.Errorf("store: verdict conflict for %s (%s): stored %v, new %v", name, k.Model, prev, v)
+		return fmt.Errorf("store: %w for %s (%s): stored %v, new %v", ErrConflict, name, k.Model, prev, v)
 	}
-	if _, err := s.f.Write(encodeRecord(h, v, name)); err != nil {
+	if _, err := s.f.Write(encodeRecord(currentEpoch(), h, v, name)); err != nil {
 		return fmt.Errorf("store: appending to %s: %w", s.path, err)
 	}
 	s.index[h] = v
@@ -275,7 +434,8 @@ func (s *Store) Stats() Stats {
 // Path returns the log's file path.
 func (s *Store) Path() string { return s.path }
 
-// Close syncs and closes the log. The Store must not be used after.
+// Close syncs and closes the log, releasing the advisory lock taken by
+// Open. The Store must not be used after (a late Put fails cleanly).
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -144,12 +144,17 @@ func (m *fpMem) Assert(ok bool, msg string) {
 // let two same-named programs of different shapes silently reuse each
 // other's results.
 //
-// Caveat (documented, not fixable without code introspection): the
-// trace witnesses one execution path. Programs that differ only in
-// code unreachable under the sequential schedule — e.g. a different
-// CAS-failure arm that the uncontended run never takes — hash equal.
-// Generated clients (harness.MutexClient and friends) never differ
-// that way: their generators vary only trace-visible inputs.
+// Caveat: the trace witnesses one execution path, so programs that
+// differ only in code unreachable under the sequential schedule — e.g.
+// a different CAS-failure arm that the uncontended run never takes —
+// hash equal. Within one build that is sound for generated clients
+// (harness.MutexClient and friends): their generators vary only
+// trace-visible inputs. Across builds it is not — editing a lock's
+// contended-path source leaves the fingerprint unchanged — which is
+// why the persistent verdict store additionally stamps a code-identity
+// epoch (internal/srcid, a hash of the checker and program-constructor
+// sources) on every record and serves only same-epoch records; the
+// fingerprint alone is never trusted across builds.
 func (p *Program) Fingerprint128() graph.Hash128 {
 	h := graph.NewHasher128()
 	vs := &VarSet{}

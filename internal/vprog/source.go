@@ -1,0 +1,15 @@
+package vprog
+
+import "embed"
+
+// sourceFS carries this package's own .go sources, compiled into the
+// binary so the verdict store can fold a code-identity epoch into its
+// keys (internal/srcid). Program fingerprints witness one sequential
+// execution and cannot see code that execution never reaches, so code
+// identity must come from the source itself.
+//
+//go:embed *.go
+var sourceFS embed.FS
+
+// SourceFiles exposes the embedded sources for code-identity hashing.
+func SourceFiles() embed.FS { return sourceFS }

@@ -2,7 +2,9 @@ package vsync
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -31,8 +33,19 @@ type StoreKey = store.Key
 type StoreStats = store.Stats
 
 // OpenStore opens (creating if necessary) the verdict log at path,
-// loading its trusted prefix and truncating away any corrupt tail.
+// loading its trusted prefix and truncating away any corrupt tail. The
+// handle owns the file until Close: a second process opening the same
+// path fails with a "store in use" error (enforced by an advisory
+// flock where the platform has one).
 func OpenStore(path string) (*VerdictStore, error) { return store.Open(path) }
+
+// StoreCodeEpoch returns the code-identity epoch this binary stamps on
+// every store record (a hash of the checker and program-constructor
+// sources, internal/srcid): verdicts persisted by a build with
+// different verification-relevant code are never served — retained for
+// epoch flip-backs, compacted beyond a budget — so restoring a store
+// across commits is always sound and stays bounded.
+func StoreCodeEpoch() graph.Hash128 { return store.CodeEpoch() }
 
 // NewOptCacheWithStore returns a verdict cache whose misses fall
 // through to — and whose decisive verdicts are written through to —
@@ -122,6 +135,14 @@ type MatrixResult struct {
 	// Hits + Misses + Deduped == len(Cells)); Stored counts the records
 	// the store actually appended.
 	Hits, Misses, Deduped, Stored int
+	// StoreErr is the first failed store append (disk full, I/O error),
+	// or nil. An append failure does not taint the cell — its AMC
+	// verdict is sound — but the run is not warming the store the way
+	// the caller believes, so the next run will silently redo the work
+	// unless someone warns. (A verdict *conflict* is different: it
+	// means the keying broke, and the affected cells are reported as
+	// engine errors instead.)
+	StoreErr error
 	// Failures counts lock cells with decisive non-OK verdicts; Errors
 	// counts engine errors (including canceled runs).
 	Failures, Errors int
@@ -288,6 +309,12 @@ func VerifyMatrix(cfg MatrixConfig) *MatrixResult {
 // VerifyMatrixCtx is VerifyMatrix with cooperative cancellation.
 func VerifyMatrixCtx(ctx context.Context, cfg MatrixConfig) *MatrixResult {
 	start := time.Now()
+	if cfg.WorkersPerRun <= 0 {
+		// Same normalization as VerifyPar/VerifySuitePar; the checker
+		// itself clamps <1 to sequential, which is not what the
+		// documented "0 = GOMAXPROCS" promises.
+		cfg.WorkersPerRun = runtime.GOMAXPROCS(0)
+	}
 	cells := buildMatrix(&cfg)
 	res := &MatrixResult{}
 	var appended0 int
@@ -343,6 +370,7 @@ func VerifyMatrixCtx(ctx context.Context, cfg MatrixConfig) *MatrixResult {
 				if cfg.Store != nil {
 					putErr = cfg.Store.Put(rep.key, r.Verdict, rep.cell.Model+"/"+rep.cell.Program)
 				}
+				conflict := errors.Is(putErr, store.ErrConflict)
 				for n, i := range group {
 					mc := &cells[i]
 					mc.cell.Verdict = r.Verdict
@@ -352,15 +380,20 @@ func VerifyMatrixCtx(ctx context.Context, cfg MatrixConfig) *MatrixResult {
 					} else {
 						mc.cell.Deduped = true
 					}
-					if putErr != nil {
+					if conflict {
 						// A conflict means the keying broke; surface it as
 						// a cell error rather than silently trusting
-						// either side.
+						// either side. A plain append failure is NOT a
+						// cell error — the verdict is sound, it just was
+						// not persisted (recorded in StoreErr below).
 						mc.cell.Err = putErr
 						mc.cell.Verdict = core.Error
 					}
 				}
 				mu.Lock()
+				if putErr != nil && !conflict && res.StoreErr == nil {
+					res.StoreErr = putErr
+				}
 				res.Misses++
 				res.Deduped += len(group) - 1
 				mu.Unlock()

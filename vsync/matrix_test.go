@@ -10,9 +10,9 @@ import (
 )
 
 // matrixConfig is the reduced corpus the tests sweep: two structurally
-// different locks, the 2..3 thread ladder, every litmus test, every
-// model — small enough for -short, wide enough to cover lock cells,
-// litmus cells and both decisive verdict polarities.
+// different locks at the single ladder rung t=2, every litmus test,
+// every model — small enough for -short, wide enough to cover lock
+// cells, litmus cells and both decisive verdict polarities.
 func matrixConfig(st *vsync.VerdictStore) vsync.MatrixConfig {
 	return vsync.MatrixConfig{
 		Locks:      []*vsync.Algorithm{locks.ByName("ttas"), locks.ByName("mcs")},
@@ -158,5 +158,36 @@ func TestMatrixDetectsFailures(t *testing.T) {
 	}
 	if second.Failures != first.Failures {
 		t.Errorf("failure count changed warm: %d vs %d", second.Failures, first.Failures)
+	}
+}
+
+// TestMatrixStoreAppendFailure: a failed store append (disk full, I/O
+// error — simulated by closing the store under the run) must not taint
+// the soundly computed verdicts or the exit status; it is recorded in
+// StoreErr so callers can warn that the run is not actually warming
+// the store. Only verdict *conflicts* (broken keying) turn cells into
+// engine errors.
+func TestMatrixStoreAppendFailure(t *testing.T) {
+	st, err := vsync.OpenStore(filepath.Join(t.TempDir(), "verdicts.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res := vsync.VerifyMatrix(matrixConfig(st))
+	if res.StoreErr == nil {
+		t.Fatal("append failures vanished: StoreErr is nil on a dead store")
+	}
+	if res.Errors > 0 || res.Failures > 0 || !res.Ok() {
+		t.Fatalf("append failure tainted sound verdicts: %s", res.Summary())
+	}
+	// The verdicts must match a storeless run exactly.
+	clean := vsync.VerifyMatrix(matrixConfig(nil))
+	got, want := verdictMap(t, res), verdictMap(t, clean)
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("cell %s: verdict %v with failing store, %v without", k, got[k], v)
+		}
 	}
 }

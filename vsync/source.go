@@ -1,0 +1,18 @@
+package vsync
+
+import (
+	"embed"
+
+	"repro/internal/store"
+)
+
+// sourceFS carries this package's own .go sources for the verdict
+// store's code epoch: VerifyMatrix builds store keys from model names
+// and fingerprints, and a bug in that construction mis-keys records
+// just as surely as a checker bug mis-judges them — fixing it must
+// orphan everything the buggy build persisted.
+//
+//go:embed *.go
+var sourceFS embed.FS
+
+func init() { store.RegisterCodeSource("vsync", sourceFS) }

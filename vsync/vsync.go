@@ -159,6 +159,17 @@ func VerifySuite(model Model, parallelism int, ps []*Program) (*Result, int) {
 // runs keep priority over borrows, so workersPerRun > 1 never slows the
 // fan-out down.
 func VerifySuitePar(model Model, parallelism, workersPerRun int, ps []*Program) (*Result, int) {
+	res, failed, _ := VerifySuiteResults(model, parallelism, workersPerRun, ps)
+	return res, failed
+}
+
+// VerifySuiteResults is VerifySuitePar additionally exposing every
+// job's individual result: programs that completed before a fail-fast
+// cancellation keep their decisive verdicts (the canceled remainder
+// report Canceled). Callers persisting verdicts use this so the work
+// finished before a failure is not thrown away — the verdict store
+// exists to avoid re-doing exactly that work.
+func VerifySuiteResults(model Model, parallelism, workersPerRun int, ps []*Program) (*Result, int, []*Result) {
 	if workersPerRun <= 0 {
 		workersPerRun = runtime.GOMAXPROCS(0)
 	}
@@ -171,7 +182,7 @@ func VerifySuitePar(model Model, parallelism, workersPerRun int, ps []*Program) 
 	}
 	verdict, failed, results := pool.VerifyAll(context.Background(), jobs)
 	if verdict != core.OK {
-		return results[failed], failed
+		return results[failed], failed, results
 	}
 	agg := &Result{Verdict: core.OK}
 	for _, r := range results {
@@ -181,7 +192,7 @@ func VerifySuitePar(model Model, parallelism, workersPerRun int, ps []*Program) 
 			agg.Duration = r.Duration // wall clock ≈ the slowest run
 		}
 	}
-	return agg, -1
+	return agg, -1, results
 }
 
 // VerifyLock model-checks a lock algorithm under WMM with the paper's

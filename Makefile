@@ -7,7 +7,7 @@ GO ?= go
 # caches this directory so warm runs skip already-decided AMC work.
 STORE ?= .vsync-store/verdicts.log
 
-.PHONY: build vet test test-short race bench-smoke fmt-check suite suite-warm
+.PHONY: build vet test test-short race bench-smoke bench-check bench-suite fmt-check suite suite-warm
 
 build:
 	$(GO) build ./...
@@ -44,12 +44,52 @@ bench-smoke:
 	$(GO) test -short -bench=. -benchtime=1x -run=^$$ .
 	$(GO) run ./cmd/vsyncbench -amc -amcruns 1 -amcjson BENCH_amc.json
 
+# Regression gate: a fresh -amc run (best of 3 passes — load and
+# throttling only ever subtract from throughput) compared against a
+# baseline artifact; fails when any row's graphs_per_sec drops more
+# than the tolerance below it (default 25%). The default baseline is
+# the committed BENCH_amc.json, which only compares meaningfully on
+# hardware similar to the machine that recorded it — CI instead passes
+# BENCH_BASELINE pointing at an artifact cached from the previous run
+# on the same runner class. BENCH_CHECK_TOL overrides the tolerance,
+# BENCH_CHECK_SKIP=1 skips the gate.
+# BENCH_FRESH, when set, saves the gate's own denoised best-of-3
+# artifact there — CI promotes it to the next run's cached baseline,
+# so the baseline is always the careful measurement, never the 1-run
+# smoke artifact.
+BENCH_BASELINE ?= BENCH_amc.json
+BENCH_FRESH ?=
+
+bench-check:
+	@if [ "$$BENCH_CHECK_SKIP" = 1 ]; then \
+		echo "bench-check: skipped (BENCH_CHECK_SKIP=1)"; \
+	elif [ ! -f "$(BENCH_BASELINE)" ]; then \
+		echo "bench-check: skipped (no baseline at $(BENCH_BASELINE) yet)"; \
+		if [ -n "$(BENCH_FRESH)" ]; then \
+			$(GO) run ./cmd/vsyncbench -amc -amcruns 5 -amcbest 3 -amcjson "$(BENCH_FRESH)"; \
+		fi; \
+	else \
+		$(GO) run ./cmd/vsyncbench -amc -amcruns 5 -amcbest 3 -amcjson "$(BENCH_FRESH)" \
+			-amcbaseline "$(BENCH_BASELINE)" -amcchecktol $${BENCH_CHECK_TOL:-0.25}; \
+	fi
+
+# Store-aware suite benchmark: cold vs warm vsyncsuite wall time and
+# hit rates against a throwaway store -> BENCH_suite.json, so the
+# verdict store's latency win is tracked like the hot-path numbers.
+bench-suite:
+	$(GO) run ./cmd/vsyncbench -suite -suitejson BENCH_suite.json
+
 # Incremental verification suite: every non-buggy lock's client and the
 # litmus corpus under every model, consulting the persistent verdict
 # store first. Cells the store already decided cost a hash lookup; new
-# decisive verdicts are appended for the next run.
+# decisive verdicts are appended for the next run. The second
+# invocation is the t=3 smoke cell the closure-free acyclicity engine
+# unblocked: the 3-thread MCS client under every model (its t=2 cells
+# are store hits from the first pass, so it only adds the t=3 work —
+# and on a warm store it costs nothing at all).
 suite:
 	$(GO) run ./cmd/vsyncsuite -store $(STORE)
+	$(GO) run ./cmd/vsyncsuite -store $(STORE) -locks mcs -threads 3 -no-litmus
 
 # Warm assertion: over an unchanged corpus the store must serve at
 # least 99% of the cells (CI runs `make suite` first, so in practice

@@ -2,7 +2,9 @@
 // and x86 platforms and prints the paper's tables and figures, plus the
 // AMC hot-path benchmark suite that tracks the checker's own speed —
 // including the intra-run work-stealing scaling curve (graphs/sec at
-// 1/2/4/8 workers on the 3-thread MCS client).
+// 1/2/4/8 workers on the 3-thread MCS client) and the acyclicity-engine
+// micro rows — and the verdict-store suite benchmark (cold vs warm
+// vsyncsuite wall time).
 //
 // Usage:
 //
@@ -11,6 +13,15 @@
 //	vsyncbench -fig27       # the MCS implementation comparison
 //	vsyncbench -sweep       # the §4.2.2 cs_size / es_size findings
 //	vsyncbench -amc         # checker hot-path suite -> BENCH_amc.json
+//	vsyncbench -suite       # cold/warm store suite -> BENCH_suite.json
+//
+// Regression gate (make bench-check):
+//
+//	vsyncbench -amc -amcjson "" -amcbaseline BENCH_amc.json
+//
+// compares the fresh run against the committed baseline and exits
+// non-zero when any row's graphs_per_sec regresses beyond the
+// tolerance (-amcchecktol, default 25%).
 //
 // Hot-path investigation:
 //
@@ -32,6 +43,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/wmsim"
+	"repro/vsync"
 )
 
 // parseWorkers parses a comma-separated worker ladder like "1,2,4,8".
@@ -52,15 +64,21 @@ func parseWorkers(s string) ([]int, error) {
 
 func main() {
 	var (
-		full       = flag.Bool("full", false, "run the paper's full parameter grid")
-		fig27      = flag.Bool("fig27", false, "run the Fig. 27 MCS implementation comparison")
-		sweep      = flag.Bool("sweep", false, "run the §4.2.2 critical/outside section size sweeps")
-		amc        = flag.Bool("amc", false, "run the AMC hot-path benchmark suite (graphs/sec, allocs, scaling)")
-		amcRuns    = flag.Int("amcruns", 5, "measured runs per target in the AMC suite")
-		amcJSON    = flag.String("amcjson", "BENCH_amc.json", "path of the AMC suite JSON artifact (empty: don't write)")
-		amcWorkers = flag.String("amcworkers", "1,2,4,8", "worker ladder for the AMC scaling targets (empty: skip them)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		full         = flag.Bool("full", false, "run the paper's full parameter grid")
+		fig27        = flag.Bool("fig27", false, "run the Fig. 27 MCS implementation comparison")
+		sweep        = flag.Bool("sweep", false, "run the §4.2.2 critical/outside section size sweeps")
+		amc          = flag.Bool("amc", false, "run the AMC hot-path benchmark suite (graphs/sec, allocs, scaling)")
+		amcRuns      = flag.Int("amcruns", 5, "measured runs per target in the AMC suite")
+		amcJSON      = flag.String("amcjson", "BENCH_amc.json", "path of the AMC suite JSON artifact (empty: don't write)")
+		amcWorkers   = flag.String("amcworkers", "1,2,4,8", "worker ladder for the AMC scaling targets (empty: skip them)")
+		amcBaseline  = flag.String("amcbaseline", "", "compare the fresh -amc run against this baseline artifact and fail on regressions")
+		amcBest      = flag.Int("amcbest", 1, "repeat the AMC suite this many times and keep each row's best run (noise armor for -amcbaseline)")
+		amcCheckTol  = flag.Float64("amcchecktol", 0.25, "graphs/sec regression tolerance for -amcbaseline (fraction)")
+		suite        = flag.Bool("suite", false, "run the cold/warm verdict-store suite benchmark")
+		suiteJSON    = flag.String("suitejson", "BENCH_suite.json", "path of the suite benchmark JSON artifact (empty: don't write)")
+		suiteThreads = flag.Int("suitethreads", 2, "client thread-count ladder top for -suite")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -77,7 +95,12 @@ func main() {
 		cpuStarted = true
 	}
 
-	runErr := run(*amc, *full, *fig27, *sweep, *amcRuns, *amcJSON, *amcWorkers)
+	runErr := run(modes{
+		amc: *amc, full: *full, fig27: *fig27, sweep: *sweep, suite: *suite,
+		amcRuns: *amcRuns, amcJSON: *amcJSON, amcWorkers: *amcWorkers, amcBest: *amcBest,
+		amcBaseline: *amcBaseline, amcCheckTol: *amcCheckTol,
+		suiteJSON: *suiteJSON, suiteThreads: *suiteThreads,
+	})
 
 	// Flush both profiles before any fatal exit: log.Fatal skips defers,
 	// and a CPU profile without its StopCPUProfile trailer is unreadable.
@@ -101,26 +124,67 @@ func main() {
 	}
 }
 
+// modes bundles the parsed mode flags for run.
+type modes struct {
+	amc, full, fig27, sweep, suite bool
+	amcRuns, amcBest               int
+	amcJSON, amcWorkers            string
+	amcBaseline                    string
+	amcCheckTol                    float64
+	suiteJSON                      string
+	suiteThreads                   int
+}
+
 // run executes the selected mode, returning (not exiting on) failures
 // so the caller can flush profiles first.
-func run(amc, full, fig27, sweep bool, amcRuns int, amcJSON, amcWorkers string) error {
+func run(m modes) error {
 	start := time.Now()
+	amc, full, fig27, sweep := m.amc, m.full, m.fig27, m.sweep
 	switch {
 	case amc:
-		ladder, err := parseWorkers(amcWorkers)
+		ladder, err := parseWorkers(m.amcWorkers)
 		if err != nil {
 			return fmt.Errorf("-amcworkers: %v", err)
 		}
-		suite := bench.RunAMCSuiteWorkers(amcRuns, ladder)
+		suite := bench.RunAMCSuiteWorkers(m.amcRuns, ladder)
+		for i := 1; i < m.amcBest; i++ {
+			suite = bench.BestOfAMC(suite, bench.RunAMCSuiteWorkers(m.amcRuns, ladder))
+		}
 		fmt.Print(suite)
-		if amcJSON != "" {
-			if err := suite.WriteJSON(amcJSON); err != nil {
-				return fmt.Errorf("writing %s: %v", amcJSON, err)
+		if m.amcJSON != "" {
+			if err := suite.WriteJSON(m.amcJSON); err != nil {
+				return fmt.Errorf("writing %s: %v", m.amcJSON, err)
 			}
-			fmt.Printf("wrote %s\n", amcJSON)
+			fmt.Printf("wrote %s\n", m.amcJSON)
 		}
 		if bad := suite.Errors(); len(bad) > 0 {
 			return fmt.Errorf("checker errors on: %v", bad)
+		}
+		if m.amcBaseline != "" {
+			baseline, err := bench.ReadAMCSuite(m.amcBaseline)
+			if err != nil {
+				return fmt.Errorf("-amcbaseline: %v", err)
+			}
+			if bad := bench.CompareAMC(baseline, suite, m.amcCheckTol); len(bad) > 0 {
+				for _, line := range bad {
+					fmt.Fprintln(os.Stderr, "bench-check:", line)
+				}
+				return fmt.Errorf("bench-check: %d row(s) regressed against %s", len(bad), m.amcBaseline)
+			}
+			fmt.Printf("bench-check: no graphs/sec regressions against %s (tolerance %.0f%%)\n",
+				m.amcBaseline, 100*m.amcCheckTol)
+		}
+	case m.suite:
+		sb, err := vsync.RunSuiteBench(m.suiteThreads)
+		if err != nil {
+			return err
+		}
+		fmt.Print(sb)
+		if m.suiteJSON != "" {
+			if err := sb.WriteJSON(m.suiteJSON); err != nil {
+				return fmt.Errorf("writing %s: %v", m.suiteJSON, err)
+			}
+			fmt.Printf("wrote %s\n", m.suiteJSON)
 		}
 	case fig27:
 		for _, mc := range wmsim.Machines() {

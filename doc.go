@@ -12,12 +12,17 @@
 //	go test -bench=. -benchmem .
 //
 // The model checker's own hot path — work-graph exploration with
-// intra-run work stealing, incremental relation extension, 128-bit
-// hashed dedup behind a sharded concurrent visited set, copy-on-write
-// graph branching, pooled scratch matrices — is documented under "The
-// work-graph explorer" and "Performance architecture" in README.md and
-// tracked as a machine-readable artifact (including the worker scaling
-// curve):
+// intra-run work stealing, incremental relation extension, a
+// closure-free acyclicity engine (bitset Kahn passes seeded by a
+// topological order of sb ∪ rf ∪ mo carried incrementally across
+// extension), 128-bit hashed dedup behind a sharded concurrent visited
+// set, copy-on-write graph branching, slab-allocated relation matrices
+// with pooled scratch, and shared replay snapshots — is documented
+// under "The work-graph explorer" and "Performance architecture" in
+// README.md and tracked as machine-readable artifacts (including the
+// worker scaling curve, the acyclicity micro rows and the verdict
+// store's cold/warm suite latency):
 //
-//	go run ./cmd/vsyncbench -amc   # writes BENCH_amc.json
+//	go run ./cmd/vsyncbench -amc     # writes BENCH_amc.json
+//	go run ./cmd/vsyncbench -suite   # writes BENCH_suite.json
 package repro

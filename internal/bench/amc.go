@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/harness"
 	"repro/internal/locks"
 	"repro/internal/mm"
@@ -45,7 +46,11 @@ type AMCResult struct {
 
 // AMCSuite is the artifact written to BENCH_amc.json.
 type AMCSuite struct {
-	Schema  string      `json:"schema"` // "amc-bench/v2": v1 + workers/scheduler fields
+	// Schema "amc-bench/v3": v2 (workers/scheduler fields) plus the
+	// micro/* rows measuring the acyclicity engine itself — for those,
+	// one "graph" is one cycle check, so graphs_per_sec reads as
+	// checks/sec.
+	Schema  string      `json:"schema"`
 	Go      string      `json:"go"`
 	GOOS    string      `json:"goos"`
 	GOARCH  string      `json:"goarch"`
@@ -123,7 +128,7 @@ func RunAMCSuiteWorkers(runs int, scaleWorkers []int) AMCSuite {
 		runs = 1
 	}
 	s := AMCSuite{
-		Schema: "amc-bench/v2",
+		Schema: "amc-bench/v3",
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
@@ -172,7 +177,94 @@ func RunAMCSuiteWorkers(runs int, scaleWorkers []int) AMCSuite {
 		r.BytesPerRun = (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(runs)
 		s.Results = append(s.Results, r)
 	}
+	s.Results = append(s.Results, acyclicMicroRows()...)
 	return s
+}
+
+// acyclicMicroRows measures the acyclicity engine in isolation on a
+// union-shaped DAG of n=96 events (three transitive po chains plus
+// deterministic cross edges — the sb ∪ rf ∪ mo ∪ fr shape the
+// consistency predicates hand it): the legacy transitive closure
+// (HasCycle), the closure-free Kahn pass (Acyclic), and the
+// order-seeded fast path (AcyclicWithOrder on a valid cached order).
+// One "graph" is one check; graphs_per_sec is checks/sec.
+func acyclicMicroRows() []AMCResult {
+	const n = 96
+	m := graph.NewBitMat(n)
+	// Three po chains of 32 (transitive), like three threads.
+	for c := 0; c < 3; c++ {
+		lo := c * 32
+		for i := lo; i < lo+32; i++ {
+			for j := i + 1; j < lo+32; j++ {
+				m.Set(i, j)
+			}
+		}
+	}
+	// Deterministic forward cross edges (rf/mo/fr-like, acyclic by
+	// construction: always low index to high).
+	seed := uint64(0x9e3779b97f4a7c15)
+	for e := 0; e < 4*n; e++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		i := int(seed>>33) % n
+		j := int(seed>>13) % n
+		if i > j {
+			i, j = j, i
+		}
+		if i != j {
+			m.Set(i, j)
+		}
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i) // identity is a valid topological order here
+	}
+
+	measure := func(name string, fn func() bool) AMCResult {
+		fn() // warm pools
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		// Run batches until the timed window is long enough that a
+		// single scheduler preemption cannot swing the row (these rows
+		// feed the bench-check gate, so µs-scale windows would be
+		// flaky on loaded hosts).
+		const minWindow = 100 * time.Millisecond
+		iters := int64(0)
+		start := time.Now()
+		var elapsed time.Duration
+		for {
+			for i := 0; i < 2000; i++ {
+				if !fn() {
+					panic("bench: micro DAG judged cyclic")
+				}
+			}
+			iters += 2000
+			if elapsed = time.Since(start); elapsed >= minWindow {
+				break
+			}
+		}
+		runtime.ReadMemStats(&ms1)
+		r := AMCResult{
+			Name:         name,
+			Model:        "bitmat",
+			Workers:      1,
+			Verdict:      "ok",
+			Graphs:       1,
+			Runs:         int(iters),
+			NsPerRun:     elapsed.Nanoseconds() / iters,
+			AllocsPerRun: (ms1.Mallocs - ms0.Mallocs) / uint64(iters),
+			BytesPerRun:  (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(iters),
+		}
+		if elapsed > 0 {
+			r.GraphsPerSec = float64(iters) / elapsed.Seconds()
+		}
+		return r
+	}
+	return []AMCResult{
+		measure("micro/closure-n96", func() bool { return !m.HasCycle() }),
+		measure("micro/kahn-n96", func() bool { return m.Acyclic() }),
+		measure("micro/seeded-n96", func() bool { return m.AcyclicWithOrder(order) }),
+	}
 }
 
 // WriteJSON writes the suite artifact to path.

@@ -29,7 +29,7 @@ func (w *explorer) unresolvableBottom(g *graph.Graph, rres []replayResult) (grap
 			return graph.NoEvent, false
 		}
 		e := evs[len(evs)-1]
-		if !e.IsReadLike() || !g.Rf[e.ID].Bottom {
+		if !e.IsReadLike() || !g.RfOf(e.ID).Bottom {
 			return graph.NoEvent, false // blocked threads always end in a ⊥ read
 		}
 		if w.resolvable(g, e, res.spans) {
@@ -76,13 +76,13 @@ func (w *explorer) resolvable(g *graph.Graph, e *graph.Event, spans []iterRec) b
 			if pos >= 0 && pos < len(prev.Reads) {
 				prefixSame := true
 				for k := 0; k < pos; k++ {
-					if g.Rf[cur.Reads[k]] != g.Rf[prev.Reads[k]] {
+					if g.RfOf(cur.Reads[k]) != g.RfOf(prev.Reads[k]) {
 						prefixSame = false
 						break
 					}
 				}
 				if prefixSame {
-					rf := g.Rf[prev.Reads[pos]]
+					rf := g.RfOf(prev.Reads[pos])
 					forbidden = &rf
 				}
 			}
@@ -121,5 +121,11 @@ func resolveWith(g *graph.Graph, e *graph.Event, w graph.EventID) *graph.Graph {
 	// ReplaceEvent, not an indexed store: clones share thread slices.
 	g2.ReplaceEvent(e.ID, &e2)
 	g2.SetRF(e.ID, graph.FromW(w))
+	// The resolution is an incremental delta: same events, same mo, one
+	// rf edge added to the trailing read of its thread. The hint lets
+	// the consistency check below patch the parent's relations instead
+	// of re-deriving them (with their two transitive closures) per
+	// candidate write.
+	g2.NoteResolved(g, &e2)
 	return g2
 }

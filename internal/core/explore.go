@@ -69,6 +69,45 @@ type ExploreState struct {
 	hasForced bool
 	forcedR   graph.EventID
 	forcedW   graph.EventID
+
+	// snap, when non-nil, shares the producing step's replay results
+	// with this state: the graph extends the producer's by exactly one
+	// event of thread changed, and a thread's replay depends only on
+	// its own events and rf entries, so every other thread's result
+	// carries over verbatim and the pop re-replays one thread instead
+	// of all of them. Revisit states (whose restricted graphs differ in
+	// many threads) never carry a snapshot.
+	snap    *replaySnap
+	changed int32
+}
+
+// replaySnap is an immutable copy of one step's replay results, shared
+// by all children that step pushes. The spans are deep-copied out of
+// the worker's pooled replay scratch (which the next pop overwrites);
+// the inner Reads slices and pending pointers are freshly allocated
+// per replay and safe to share.
+type replaySnap struct {
+	res []replayResult
+}
+
+// snapshot captures rres for sharing with pushed children. Threads
+// whose results came verbatim out of the producing state's own
+// snapshot (from, every thread but changed) already hold immutable
+// deep-copied spans and are aliased; only freshly replayed threads'
+// spans — which point into the worker's pooled scratch — are copied
+// out.
+func snapshot(rres []replayResult, from *replaySnap, changed int32) *replaySnap {
+	s := &replaySnap{res: make([]replayResult, len(rres))}
+	copy(s.res, rres)
+	for i := range s.res {
+		if from != nil && i != int(changed) {
+			continue // aliased from the parent snapshot, already immutable
+		}
+		if sp := s.res[i].spans; len(sp) > 0 {
+			s.res[i].spans = append([]iterRec(nil), sp...)
+		}
+	}
+	return s
 }
 
 // keyLegacy is the historical string dedup key: the canonical graph
@@ -116,6 +155,7 @@ const cancelCheckEvery = 256
 // result (no verdict about the program is implied).
 func (c *Checker) RunCtx(ctx context.Context, p *vprog.Program) *Result {
 	start := time.Now()
+	acy0 := graph.AcyclicCountersNow()
 	workers := c.WorkersPerRun
 	if workers < 1 {
 		workers = 1
@@ -139,6 +179,7 @@ func (c *Checker) RunCtx(ctx context.Context, p *vprog.Program) *Result {
 			x.visited.release()
 			x.visited = nil
 		}
+		res.Acyclic = graph.AcyclicCountersNow().Sub(acy0)
 		res.Duration = time.Since(start)
 		return res
 	}
@@ -207,23 +248,34 @@ func (w *explorer) step(it ExploreState) *Result {
 		}
 	}
 
-	// Replay every thread against the graph (reconstructing the program
-	// state, Fig. 6), collecting pending ops and await iteration records.
-	if w.rres == nil {
-		w.rres = make([]replayResult, len(w.threads))
-	}
-	rres := w.rres
-	for t, fn := range w.threads {
-		rres[t] = replayThread(it.g, t, fn, w.vars.Vars)
-		if rres[t].err != nil {
-			return &Result{Verdict: Error, Err: rres[t].err}
-		}
-	}
-
-	// consM(G): discard graphs inconsistent with the memory model.
+	// consM(G): discard graphs inconsistent with the memory model
+	// before spending replays on them — with the closure-free
+	// acyclicity engine the consistency verdict is usually cheaper than
+	// reconstructing three program states, and an inconsistent graph
+	// needs neither.
 	if !w.c.Model.Consistent(it.g) {
 		w.stats.Inconsist++
 		return nil
+	}
+
+	// Replay every thread against the graph (reconstructing the program
+	// state, Fig. 6), collecting pending ops and await iteration
+	// records. A state carrying its producer's replay snapshot only
+	// re-replays the one thread its extension changed.
+	if w.rres == nil {
+		w.rres = make([]replayResult, len(w.threads))
+		w.rmems = make([]replayMem, len(w.threads))
+	}
+	rres := w.rres
+	for t, fn := range w.threads {
+		if it.snap != nil && t != int(it.changed) {
+			rres[t] = it.snap.res[t]
+		} else {
+			rres[t] = replayThread(it.g, t, fn, w.vars.Vars, &w.rmems[t])
+		}
+		if rres[t].err != nil {
+			return &Result{Verdict: Error, Err: rres[t].err}
+		}
 	}
 	// ¬W(G): discard wasteful graphs (Def. 2).
 	if wasteful(it.g, rres) {
@@ -241,7 +293,7 @@ func (w *explorer) step(it ExploreState) *Result {
 			return &Result{Verdict: Error,
 				Err: fmt.Errorf("revisit target %v is not the next read of its thread", it.forcedR)}
 		}
-		w.extendReadLike(it.g, t, p, []graph.RF{graph.FromW(it.forcedW)}, false)
+		w.extendReadLike(it.g, t, p, []graph.RF{graph.FromW(it.forcedW)}, false, snapshot(rres, it.snap, it.changed))
 		return nil
 	}
 
@@ -314,16 +366,16 @@ func (w *explorer) step(it ExploreState) *Result {
 		e := w.mkEvent(g2, runnable, p)
 		g2.Append(e)
 		g2.NoteExtended(it.g, e)
-		w.push(ExploreState{g: g2})
+		w.push(ExploreState{g: g2, snap: snapshot(rres, it.snap, it.changed), changed: int32(runnable)})
 	case opWrite:
-		w.extendWrite(it.g, runnable, p)
+		w.extendWrite(it.g, runnable, p, snapshot(rres, it.snap, it.changed))
 	case opRead, opUpdate:
 		choices := w.rfbuf[:0]
 		for _, wr := range it.g.Mo[p.loc] {
 			choices = append(choices, graph.FromW(wr))
 		}
 		w.rfbuf = choices
-		w.extendReadLike(it.g, runnable, p, choices, p.inAwait)
+		w.extendReadLike(it.g, runnable, p, choices, p.inAwait, snapshot(rres, it.snap, it.changed))
 	}
 	return nil
 }
@@ -363,7 +415,11 @@ func (w *explorer) mkEvent(g *graph.Graph, t int, p *pending) *graph.Event {
 // push buffers a child state, guarding graph size. Children publish to
 // the worker's deque only after the whole step finishes
 // (flushChildren), so thieves never observe a graph its producer is
-// still reading.
+// still touching — which matters for writes as well as reads: the
+// producer clones a just-pushed graph again for revisit generation,
+// and Graph.Clone mutates its receiver (it clears the rf-row ownership
+// bits on both sides). The deferred publication is the happens-before
+// edge that keeps those mutations private.
 func (w *explorer) push(it ExploreState) {
 	if it.g.NumEvents() > w.c.MaxEvents {
 		// Guard against runaway growth; the MaxGraphs guard will fire if
@@ -376,8 +432,10 @@ func (w *explorer) push(it ExploreState) {
 }
 
 // extendWrite adds a plain write: one child per modification-order
-// placement, each followed by its revisit children.
-func (w *explorer) extendWrite(g *graph.Graph, t int, p *pending) {
+// placement, each followed by its revisit children. snap is the
+// step's shared replay snapshot for the children (revisit children,
+// whose graphs are restrictions, never carry it).
+func (w *explorer) extendWrite(g *graph.Graph, t int, p *pending, snap *replaySnap) {
 	npos := len(g.Mo[p.loc])
 	for pos := 1; pos <= npos; pos++ {
 		g2 := g.Clone()
@@ -385,7 +443,7 @@ func (w *explorer) extendWrite(g *graph.Graph, t int, p *pending) {
 		g2.Append(e)
 		g2.InsertMo(p.loc, e.ID, pos)
 		g2.NoteExtended(g, e)
-		w.push(ExploreState{g: g2})
+		w.push(ExploreState{g: g2, snap: snap, changed: int32(t)})
 		w.pushRevisits(g2, e)
 	}
 }
@@ -393,8 +451,8 @@ func (w *explorer) extendWrite(g *graph.Graph, t int, p *pending) {
 // extendReadLike adds a read or update with each rf choice in choices
 // (plus a ⊥ branch when the read sits in an await), handling update
 // degradation, atomic mo placement, and revisits by the update's write
-// part.
-func (w *explorer) extendReadLike(g *graph.Graph, t int, p *pending, choices []graph.RF, withBottom bool) {
+// part. snap as in extendWrite.
+func (w *explorer) extendReadLike(g *graph.Graph, t int, p *pending, choices []graph.RF, withBottom bool, snap *replaySnap) {
 	for _, rf := range choices {
 		g2 := g.Clone()
 		e := w.mkEvent(g2, t, p)
@@ -415,12 +473,12 @@ func (w *explorer) extendReadLike(g *graph.Graph, t int, p *pending, choices []g
 			}
 			g2.InsertMo(p.loc, e.ID, src+1)
 			g2.NoteExtended(g, e)
-			w.push(ExploreState{g: g2})
+			w.push(ExploreState{g: g2, snap: snap, changed: int32(t)})
 			w.pushRevisits(g2, e)
 			continue
 		}
 		g2.NoteExtended(g, e)
-		w.push(ExploreState{g: g2})
+		w.push(ExploreState{g: g2, snap: snap, changed: int32(t)})
 	}
 	if withBottom {
 		// ⊥ branch: the potential AT violation marker. Pushed last so the
@@ -430,7 +488,7 @@ func (w *explorer) extendReadLike(g *graph.Graph, t int, p *pending, choices []g
 		g2.Append(e)
 		g2.SetRF(e.ID, graph.BottomRF)
 		g2.NoteExtended(g, e)
-		w.push(ExploreState{g: g2})
+		w.push(ExploreState{g: g2, snap: snap, changed: int32(t)})
 	}
 }
 
@@ -451,6 +509,7 @@ func (w *explorer) pushRevisits(g2 *graph.Graph, wv *graph.Event) {
 			w.pushRevisit(g2, wv, porf, rdEv)
 		}
 	}
+	porf.Release()
 }
 
 // pushRevisit generates the revisit child (if any) for one candidate
@@ -460,11 +519,12 @@ func (w *explorer) pushRevisit(g2 *graph.Graph, wv *graph.Event, porf *graph.Eve
 	if rd == wv.ID || porf.Has(rdEv) {
 		return
 	}
-	if g2.Rf[rd] == graph.FromW(wv.ID) {
+	if g2.RfOf(rd) == graph.FromW(wv.ID) {
 		return
 	}
 	rstamp := rdEv.Stamp
-	keep := graph.NewEventSet(g2.NextStamp)
+	keep := graph.NewEventSetPooled(g2.NextStamp)
+	defer keep.Release()
 	for _, evs := range g2.Threads {
 		for _, e := range evs {
 			if e.Stamp < rstamp || porf.Has(e) || e.ID == wv.ID {
@@ -490,7 +550,7 @@ func (w *explorer) pushRevisit(g2 *graph.Graph, wv *graph.Event, porf *graph.Eve
 					continue
 				}
 				if e.IsReadLike() {
-					rf := g2.Rf[e.ID]
+					rf := g2.RfOf(e.ID)
 					if !rf.Bottom && !rf.W.IsInit() && !keep.Has(g2.Event(rf.W)) {
 						keep.Remove(e)
 						alive = false
@@ -538,7 +598,7 @@ func wasteful(g *graph.Graph, rres []replayResult) bool {
 			}
 			same := true
 			for k := range a.Reads {
-				if g.Rf[a.Reads[k]] != g.Rf[b.Reads[k]] {
+				if g.RfOf(a.Reads[k]) != g.RfOf(b.Reads[k]) {
 					same = false
 					break
 				}

@@ -180,7 +180,7 @@ func (m *replayMem) next(kind graph.Kind, loc graph.Loc, mode graph.Mode, p pend
 // readVal extracts the value a read-like event observes, blocking the
 // replay if its rf edge is ⊥.
 func (m *replayMem) readVal(e *graph.Event) graph.Val {
-	if m.g.Rf[e.ID].Bottom {
+	if m.g.RfOf(e.ID).Bottom {
 		m.idx-- // the blocked event stays "current"
 		m.res.blocked = true
 		panic(abortReplay{})
@@ -298,8 +298,14 @@ func (m *replayMem) Assert(ok bool, msg string) {
 
 // replayThread runs fn against g, reporting the thread's next pending
 // operation (or completion/blockage) and its await iteration records.
-func replayThread(g *graph.Graph, tid int, fn vprog.ThreadFunc, vars []*vprog.Var) (res replayResult) {
-	m := &replayMem{g: g, tid: tid, vars: vars, curSeq: -1}
+// m is caller-provided scratch (one per worker per thread, reused
+// across pops so replays stop allocating); its previous spans backing
+// array is recycled, which is safe because a step consumes its replay
+// results before popping the next state.
+func replayThread(g *graph.Graph, tid int, fn vprog.ThreadFunc, vars []*vprog.Var, m *replayMem) (res replayResult) {
+	spans := m.res.spans[:0]
+	*m = replayMem{g: g, tid: tid, vars: vars, curSeq: -1}
+	m.res.spans = spans
 	done := func() bool {
 		defer func() {
 			if r := recover(); r != nil {

@@ -145,11 +145,20 @@ func (s *SchedStats) Accumulate(o SchedStats) {
 
 // Result is the outcome of Checker.Run.
 type Result struct {
-	Verdict  Verdict
-	Message  string
-	Witness  *graph.Graph // counterexample graph (violations only)
-	Stats    Stats
-	Sched    SchedStats // work-graph scheduler counters
+	Verdict Verdict
+	Message string
+	Witness *graph.Graph // counterexample graph (violations only)
+	Stats   Stats
+	Sched   SchedStats // work-graph scheduler counters
+	// Acyclic holds the acyclicity-engine counters of this run: how the
+	// consistency predicates were decided (cached-order fast path, full
+	// Kahn passes, shortcut verdicts from the order state alone) and how
+	// the per-state topological order evolved across Extend. The
+	// underlying counters are process-wide, so the delta is exact for a
+	// lone run and approximate when other runs verify concurrently (a
+	// pool); like SchedStats it is diagnostic, not part of the
+	// determinism contract.
+	Acyclic  graph.AcyclicCounters
 	Duration time.Duration
 	Err      error // set when Verdict == Error
 }
@@ -192,6 +201,11 @@ func (r *Result) Report() string {
 				fmt.Fprintf(&b, "  worker %d: %d items\n", i, n)
 			}
 		}
+	}
+	if a := r.Acyclic; a.Checks+a.TopoShortcuts > 0 {
+		fmt.Fprintf(&b, "acyclicity: %d checks (%d order-seeded, %d kahn passes, %d cyclic), %d order-state shortcuts; order: %d extended, %d derived, %d cyclic states\n",
+			a.Checks, a.SeedHits, a.KahnPasses, a.CyclesFound, a.TopoShortcuts,
+			a.OrderExtends, a.OrderDerives, a.OrderCyclic)
 	}
 	return b.String()
 }

@@ -59,6 +59,7 @@ type explorer struct {
 
 	// Replay scratch, reused across every item this worker executes.
 	rres  []replayResult
+	rmems []replayMem
 	rfbuf []graph.RF
 
 	stats    Stats

@@ -87,18 +87,32 @@ func (m *BitMat) ClonePooled() *BitMat {
 	return c
 }
 
-// grown returns an (n+1)×(n+1) copy of m with the new row and column
-// empty — the matrix-shape half of Rels.Extend.
-func (m *BitMat) grown() *BitMat {
-	g := NewBitMat(m.n + 1)
-	if g.words == m.words {
-		copy(g.bits, m.bits)
-		return g
+// allocMats sizes the seven carried matrices of r for dimension n,
+// carving their bit rows out of one backing allocation and pointing
+// the named matrix fields into the embedded array. One slab instead of
+// fourteen allocations per graph state, and the matrices stay adjacent
+// in memory for the row scans the predicates do.
+func (r *Rels) allocMats(n int) {
+	w := (n + 63) / 64
+	bits := make([]uint64, len(r.mats)*n*w)
+	for i := range r.mats {
+		r.mats[i] = BitMat{n: n, words: w, bits: bits[i*n*w : (i+1)*n*w]}
+	}
+	r.Sb, r.SbLoc, r.RfM, r.MoM = &r.mats[0], &r.mats[1], &r.mats[2], &r.mats[3]
+	r.FrM, r.Hb, r.Eco = &r.mats[4], &r.mats[5], &r.mats[6]
+}
+
+// grownInto writes an (n+1)×(n+1) copy of m with the new row and
+// column empty into dst (pre-sized to n+1 and zeroed) — the
+// matrix-shape half of Rels.Extend.
+func (m *BitMat) grownInto(dst *BitMat) {
+	if dst.words == m.words {
+		copy(dst.bits, m.bits)
+		return
 	}
 	for i := 0; i < m.n; i++ {
-		copy(g.bits[i*g.words:i*g.words+m.words], m.bits[i*m.words:(i+1)*m.words])
+		copy(dst.bits[i*dst.words:i*dst.words+m.words], m.bits[i*m.words:(i+1)*m.words])
 	}
-	return g
 }
 
 // Equal reports whether the two relations hold exactly the same pairs.
@@ -202,6 +216,19 @@ func (m *BitMat) IntersectsTranspose(o *BitMat) bool {
 		}
 	}
 	return false
+}
+
+// Clear removes the pair (i, j) from the relation.
+func (m *BitMat) Clear(i, j int) { m.bits[i*m.words+j/64] &^= 1 << (uint(j) % 64) }
+
+// copyRow makes row dst an exact copy of row src (word-wide).
+func (m *BitMat) copyRow(dst, src int) {
+	copy(m.bits[dst*m.words:(dst+1)*m.words], m.bits[src*m.words:(src+1)*m.words])
+}
+
+// copyRowFrom copies row src of o into row dst of m (same dimension).
+func (m *BitMat) copyRowFrom(dst int, o *BitMat, src int) {
+	copy(m.bits[dst*m.words:(dst+1)*m.words], o.bits[src*o.words:(src+1)*o.words])
 }
 
 // rowIntersects reports whether row i of m shares a set bit with the

@@ -1,5 +1,7 @@
 package graph
 
+import "sync"
+
 // EventSet is a bitset over the explicit events of one graph, indexed
 // by addition stamp. It replaces the map[EventID]bool sets that the
 // explorer's revisit machinery used to allocate per pushed state:
@@ -14,6 +16,32 @@ type EventSet struct {
 // nextStamp (pass Graph.NextStamp).
 func NewEventSet(nextStamp int) *EventSet {
 	return &EventSet{bits: make([]uint64, (nextStamp+63)/64)}
+}
+
+// eventSetPool recycles the sets the revisit machinery churns through
+// (a porf prefix per fresh write, a keep-set per revisit candidate).
+var eventSetPool = sync.Pool{New: func() any { return new(EventSet) }}
+
+// NewEventSetPooled is NewEventSet backed by a recycled word buffer.
+// The caller must Release the set when done and not retain it past
+// that.
+func NewEventSetPooled(nextStamp int) *EventSet {
+	s := eventSetPool.Get().(*EventSet)
+	w := (nextStamp + 63) / 64
+	if cap(s.bits) < w {
+		s.bits = make([]uint64, w)
+	} else {
+		s.bits = s.bits[:w]
+		clear(s.bits)
+	}
+	return s
+}
+
+// Release returns a pooled set to the scratch pool.
+func (s *EventSet) Release() {
+	if s != nil {
+		eventSetPool.Put(s)
+	}
 }
 
 // Add inserts the event (no-op for init events, which carry stamp 0).

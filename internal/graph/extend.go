@@ -1,5 +1,25 @@
 package graph
 
+// deltaScratch carves the five working bit-vectors of an incremental
+// relation delta (Extend, Resolve) out of one pooled strip of
+// 5*words zeroed words; the caller returns the scratch to acyclicPool
+// when done.
+func deltaScratch(words int) (s *acyclicScratch, hbIn, ecoIn, ecoOut, ecoCol, ecoRow []uint64) {
+	s = acyclicPool.Get().(*acyclicScratch)
+	if cap(s.seen) < 5*words {
+		s.seen = make([]uint64, 5*words)
+	} else {
+		s.seen = s.seen[:5*words]
+		clear(s.seen)
+	}
+	return s, s.seen[0*words : 1*words], s.seen[1*words : 2*words],
+		s.seen[2*words : 3*words], s.seen[3*words : 4*words], s.seen[4*words : 5*words]
+}
+
+// mark and marked are the word-vector bit helpers of the delta paths.
+func mark(vec []uint64, u int)        { vec[u/64] |= 1 << (uint(u) % 64) }
+func marked(vec []uint64, u int) bool { return vec[u/64]&(1<<(uint(u)%64)) != 0 }
+
 // Extend computes the relations of g incrementally, where g was derived
 // from the graph r describes by appending exactly the event e (with its
 // rf choice recorded and, for write-likes, its mo position inserted).
@@ -35,25 +55,59 @@ func (r *Rels) Extend(g *Graph, e *Event) *Rels {
 	trow := r.tIdx[e.ID.Thread]
 	nr.tIdx[e.ID.Thread] = append(trow[:len(trow):len(trow)], int32(ni))
 
-	nr.Sb = r.Sb.grown()
-	nr.SbLoc = r.SbLoc.grown()
-	nr.RfM = r.RfM.grown()
-	nr.MoM = r.MoM.grown()
-	nr.FrM = r.FrM.grown()
-	nr.SwM = r.SwM.grown()
+	// All grown matrices come from one slab (one allocation, embedded
+	// structs); the five working bit-vectors share one pooled scratch
+	// strip (hbIn: direct sb ∪ sw edges u -> e; ecoIn/ecoOut: direct
+	// rf ∪ mo ∪ fr edges into/out of e; ecoCol/ecoRow: the closure
+	// update working sets).
+	nr.allocMats(n + 1)
+	r.Sb.grownInto(nr.Sb)
+	r.SbLoc.grownInto(nr.SbLoc)
+	r.RfM.grownInto(nr.RfM)
+	r.MoM.grownInto(nr.MoM)
+	r.FrM.grownInto(nr.FrM)
 
 	words := nr.Sb.words
-	hbIn := make([]uint64, words)  // direct sb ∪ sw edges u -> e
-	ecoIn := make([]uint64, words) // direct rf ∪ mo ∪ fr edges u -> e
-	ecoOut := make([]uint64, words)
-	mark := func(vec []uint64, u int) { vec[u/64] |= 1 << (uint(u) % 64) }
-	marked := func(vec []uint64, u int) bool { return vec[u/64]&(1<<(uint(u)%64)) != 0 }
+	scratch, hbIn, ecoIn, ecoOut, ecoCol, ecoRow := deltaScratch(words)
+
+	// Cached topological order maintenance (see Rels.topo): while the
+	// relation edges are added below, track the extreme positions the
+	// new event's direct sb ∪ rf ∪ mo neighbors occupy in the parent's
+	// order. When every in-neighbor sits before every out-neighbor, e
+	// slots in between and the parent's order extends by a single
+	// insertion; otherwise the order is re-derived (or the union was
+	// already cyclic, which extension can never undo). fr edges are
+	// deliberately not tracked — they are not part of the cached union.
+	var posOf []int32
+	maxIn, minOut := -1, n
+	if r.topoState == topoValid {
+		scratch.pos = int32Scratch(scratch.pos, n)
+		posOf = scratch.pos
+		for k, v := range r.topo {
+			posOf[v] = int32(k)
+		}
+	}
+	trackIn := func(u int) {
+		if posOf != nil {
+			if p := int(posOf[u]); p > maxIn {
+				maxIn = p
+			}
+		}
+	}
+	trackOut := func(u int) {
+		if posOf != nil {
+			if p := int(posOf[u]); p < minOut {
+				minOut = p
+			}
+		}
+	}
 
 	// sb / sb-loc: inits and po predecessors precede e.
 	isAccess := e.Kind != KFence && e.Kind != KError
 	for i := 0; i < r.nInit; i++ {
 		nr.Sb.Set(i, ni)
 		mark(hbIn, i)
+		trackIn(i)
 		if isAccess && r.Ev[i].Loc == e.Loc {
 			nr.SbLoc.Set(i, ni)
 		}
@@ -62,17 +116,19 @@ func (r *Rels) Extend(g *Graph, e *Event) *Rels {
 		pi := int(trow[p.ID.Index])
 		nr.Sb.Set(pi, ni)
 		mark(hbIn, pi)
+		trackIn(pi)
 		if isAccess && p.Kind != KFence && p.Kind != KError && p.Loc == e.Loc {
 			nr.SbLoc.Set(pi, ni)
 		}
 	}
 
 	// rf and fr contributed by e's read part.
-	rf := g.Rf[e.ID]
+	rf := g.rf[e.ID.Thread][e.ID.Index]
 	if e.IsReadLike() && !rf.Bottom {
 		wi := r.IndexOf(rf.W)
 		nr.RfM.Set(wi, ni)
 		mark(ecoIn, wi)
+		trackIn(wi)
 		order := g.Mo[e.Loc]
 		src := -1
 		for i, w := range order {
@@ -110,32 +166,37 @@ func (r *Rels) Extend(g *Graph, e *Event) *Rels {
 			pi := r.IndexOf(order[i])
 			nr.MoM.Set(pi, ni)
 			mark(ecoIn, pi)
+			trackIn(pi)
 		}
 		for i := pos + 1; i < len(order); i++ {
 			si := r.IndexOf(order[i])
 			nr.MoM.Set(ni, si)
 			mark(ecoOut, si)
+			trackOut(si)
 		}
 		// Every existing read whose source is mo-before e now also
 		// from-reads e.
-		for rd, rrf := range g.Rf {
-			if rrf.Bottom || rd == e.ID {
-				continue
-			}
-			if g.Event(rd).Loc != e.Loc {
-				continue
-			}
-			src := -1
-			for i, w := range order {
-				if w == rrf.W {
-					src = i
-					break
+		for t, evs := range g.Threads {
+			for i, re := range evs {
+				if !re.IsReadLike() || re.Loc != e.Loc || re.ID == e.ID {
+					continue
 				}
-			}
-			if src >= 0 && src < pos {
-				ri := r.IndexOf(rd)
-				nr.FrM.Set(ri, ni)
-				mark(ecoIn, ri)
+				rrf := g.rf[t][i]
+				if rrf.Bottom {
+					continue
+				}
+				src := -1
+				for k, w := range order {
+					if w == rrf.W {
+						src = k
+						break
+					}
+				}
+				if src >= 0 && src < pos {
+					ri := r.IndexOf(re.ID)
+					nr.FrM.Set(ri, ni)
+					mark(ecoIn, ri)
+				}
 			}
 		}
 	}
@@ -147,7 +208,6 @@ func (r *Rels) Extend(g *Graph, e *Event) *Rels {
 	// of its thread. (Release sides of e affect only future events.)
 	emit := func(s int) {
 		if s != ni {
-			nr.SwM.Set(s, ni)
 			mark(hbIn, s)
 		}
 	}
@@ -159,7 +219,7 @@ func (r *Rels) Extend(g *Graph, e *Event) *Rels {
 			if !rd.IsReadLike() {
 				continue
 			}
-			rrf := g.Rf[rd.ID]
+			rrf := g.rf[rd.ID.Thread][rd.ID.Index]
 			if rrf.Bottom {
 				continue
 			}
@@ -170,7 +230,7 @@ func (r *Rels) Extend(g *Graph, e *Event) *Rels {
 	// hb: every new edge points into e, so the old closure stays closed;
 	// e's column is the direct predecessors plus everything hb-before
 	// one of them.
-	nr.Hb = r.Hb.grown()
+	r.Hb.grownInto(nr.Hb)
 	for v := 0; v < n; v++ {
 		if marked(hbIn, v) || r.Hb.rowIntersects(v, hbIn) {
 			nr.Hb.Set(v, ni)
@@ -181,9 +241,7 @@ func (r *Rels) Extend(g *Graph, e *Event) *Rels {
 	// row everything reachable from a direct out-edge, and the only new
 	// edges between existing events are self-loops on events that both
 	// reach and are reached by e.
-	nr.Eco = r.Eco.grown()
-	ecoCol := make([]uint64, words)
-	ecoRow := make([]uint64, words)
+	r.Eco.grownInto(nr.Eco)
 	copy(ecoRow, ecoOut)
 	for v := 0; v < n; v++ {
 		if marked(ecoOut, v) {
@@ -208,5 +266,166 @@ func (r *Rels) Extend(g *Graph, e *Event) *Rels {
 		nr.Eco.Set(ni, ni)
 	}
 
+	// Cached topological order: e's only edges touch e itself, so the
+	// parent's order stays valid for all existing vertices and only e
+	// needs a position.
+	switch {
+	case r.topoState == topoCyclic:
+		// Extension never removes edges, so a cyclic union stays cyclic.
+		nr.topoState = topoCyclic
+		acCyclicSt.Add(1)
+	case r.topoState == topoValid && maxIn < minOut:
+		// Every in-neighbor precedes every out-neighbor: slot e directly
+		// before its earliest out-neighbor (or at the end). Inserting
+		// into the position→vertex slice shifts the later positions by
+		// one without touching any value, preserving validity.
+		nr.topo = make([]int32, n+1)
+		copy(nr.topo, r.topo[:minOut])
+		nr.topo[minOut] = int32(ni)
+		copy(nr.topo[minOut+1:], r.topo[minOut:])
+		nr.topoState = topoValid
+		acExtends.Add(1)
+	default:
+		// A back edge (some out-neighbor placed before an in-neighbor)
+		// or an underived parent: leave the child at topoNone, so the
+		// re-derivation happens lazily — only if this state survives to
+		// a check that wants the order (ensureTopo).
+	}
+	acyclicPool.Put(scratch)
+
+	return nr
+}
+
+// Resolve computes the relations of g incrementally, where g was
+// derived from the graph r describes by resolving the formerly-⊥ read
+// e: same events, same sb/mo, but e — the last event of its thread —
+// now reads from a real write (updates resolved read-only, so mo is
+// untouched). This is the hot path of the await-termination
+// resolvability scan (core.resolvable), which builds one such graph
+// per candidate write and asks only for a consistency verdict.
+//
+// Soundness mirrors Extend: every new edge touches e. e gains rf/sw
+// in-edges and fr out-edges; as the last event of its thread it has no
+// sb successors, so its hb row stays empty and the old hb closure
+// remains closed once e's column absorbs the direct predecessors and
+// their hb-ancestors. Eco gains e's column (everything reaching the rf
+// source), e's row (everything reachable from the fr targets), and —
+// exactly as in Extend — the only new edges between existing events
+// are self-loops on events that both reach and are reached by e.
+func (r *Rels) Resolve(g *Graph, e *Event) *Rels {
+	n := r.N
+	ei := r.IndexOf(e.ID)
+	nr := &Rels{G: g, N: n, nInit: r.nInit, tIdx: r.tIdx}
+	// e was re-created with its new RVal/Degraded state: swap the node.
+	nr.Ev = make([]*Event, n)
+	copy(nr.Ev, r.Ev)
+	nr.Ev[ei] = e
+
+	nr.allocMats(n)
+	copy(nr.Sb.bits, r.Sb.bits)
+	copy(nr.SbLoc.bits, r.SbLoc.bits)
+	copy(nr.RfM.bits, r.RfM.bits)
+	copy(nr.MoM.bits, r.MoM.bits)
+	copy(nr.FrM.bits, r.FrM.bits)
+	copy(nr.Hb.bits, r.Hb.bits)
+	copy(nr.Eco.bits, r.Eco.bits)
+
+	scratch, hbIn, ecoIn, ecoOut, ecoCol, rowVec := deltaScratch(nr.Sb.words)
+
+	rf := g.rf[e.ID.Thread][e.ID.Index]
+	wi := r.IndexOf(rf.W)
+	nr.RfM.Set(wi, ei)
+	mark(ecoIn, wi)
+
+	// fr: e now from-reads every write mo-after its source. e itself is
+	// not in mo (it resolved read-only), so there are no incoming fr.
+	order := g.Mo[e.Loc]
+	src := -1
+	for i, w := range order {
+		if w == rf.W {
+			src = i
+			break
+		}
+	}
+	for i := src + 1; src >= 0 && i < len(order); i++ {
+		oi := r.IndexOf(order[i])
+		nr.FrM.Set(ei, oi)
+		mark(ecoOut, oi)
+	}
+
+	// sw: e can only RECEIVE synchronization (it writes nothing and has
+	// no po successors, so there are no acquire fences after it).
+	if e.Mode.HasAcq() {
+		r.swFromBases(g, rf.W, func(s int) {
+			if s != ei {
+				mark(hbIn, s)
+			}
+		})
+	}
+
+	// hb: e's row is empty (no sb successors), so the closure stays
+	// closed once e's column absorbs the direct predecessors and their
+	// hb-ancestors.
+	for v := 0; v < n; v++ {
+		if v != ei && (marked(hbIn, v) || r.Hb.rowIntersects(v, hbIn)) {
+			nr.Hb.Set(v, ei)
+		}
+	}
+
+	// eco: same column/row/self-loop update as Extend. e had no eco
+	// edges before (its rf was ⊥ and it holds no mo position), so the
+	// update is purely additive and e can never appear in its own
+	// column or row vectors.
+	copy(rowVec, ecoOut)
+	for v := 0; v < n; v++ {
+		if marked(ecoOut, v) {
+			r.Eco.orRowInto(v, rowVec)
+		}
+		if marked(ecoIn, v) || r.Eco.rowIntersects(v, ecoIn) {
+			mark(ecoCol, v)
+			nr.Eco.Set(v, ei)
+		}
+	}
+	cyclic := false
+	for v := 0; v < n; v++ {
+		if marked(rowVec, v) {
+			nr.Eco.Set(ei, v)
+			if marked(ecoCol, v) {
+				nr.Eco.Set(v, v)
+				cyclic = true
+			}
+		}
+	}
+	if cyclic {
+		nr.Eco.Set(ei, ei)
+	}
+
+	// Cached topological order: the only new union edge is rf (w → e),
+	// and both endpoints already have positions. When the parent's
+	// order happens to place w before e, it is still valid for the
+	// resolved graph; otherwise leave the order for lazy re-derivation.
+	switch {
+	case r.topoState == topoCyclic:
+		nr.topoState = topoCyclic
+		acCyclicSt.Add(1)
+	case r.topoState == topoValid:
+		wPos, ePos := -1, -1
+		for k, v := range r.topo {
+			switch int(v) {
+			case wi:
+				wPos = k
+			case ei:
+				ePos = k
+			}
+		}
+		if wPos < ePos {
+			nr.topo = make([]int32, n)
+			copy(nr.topo, r.topo)
+			nr.topoState = topoValid
+			acExtends.Add(1)
+		}
+	}
+
+	acyclicPool.Put(scratch)
 	return nr
 }

@@ -84,9 +84,10 @@ func randExtendHistory(t *testing.T, rng *rand.Rand, nThreads, nLocs, nSteps int
 }
 
 // TestAllocsExtend bounds the allocations of one incremental relation
-// extension: the grown matrices (8), the Rels struct, the index row and
-// the closure-update vectors — and nothing per-event. Gated out of
-// -short like the other allocation bars.
+// extension: the Rels struct with its embedded matrices, one bit slab,
+// the event/index rows and the cached-order slice — the working
+// vectors are pooled and nothing is per-event. Gated out of -short
+// like the other allocation bars.
 func TestAllocsExtend(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation regression bars are not run in -short")
@@ -104,12 +105,14 @@ func TestAllocsExtend(t *testing.T) {
 	e := &Event{ID: EventID{Thread: 0, Index: 6}, Kind: KWrite, Mode: Rel, Loc: 0, Val: val, AwaitSeq: -1}
 	g.Append(e)
 	g.InsertMo(0, e.ID, 1)
+	prev.ensureTopo()
 	allocs := testing.AllocsPerRun(100, func() {
 		prev.Extend(g, e)
 	})
-	// Measured ~17; bar at 30.
-	if allocs > 30 {
-		t.Errorf("Rels.Extend allocates %.0f objects, regression bar is 30", allocs)
+	// Measured ~8 after the slab/pool work (was ~17 with per-matrix
+	// allocation); bar at 12.
+	if allocs > 12 {
+		t.Errorf("Rels.Extend allocates %.0f objects, regression bar is 12", allocs)
 	}
 }
 
@@ -141,7 +144,6 @@ func TestExtendMatchesBuild(t *testing.T) {
 				{"rf", ext.RfM, full.RfM},
 				{"mo", ext.MoM, full.MoM},
 				{"fr", ext.FrM, full.FrM},
-				{"sw", ext.SwM, full.SwM},
 				{"hb", ext.Hb, full.Hb},
 				{"eco", ext.Eco, full.Eco},
 			}
@@ -151,6 +153,191 @@ func TestExtendMatchesBuild(t *testing.T) {
 						trial, p.name, e, g.Render())
 				}
 			}
+			assertTopoInvariant(t, ext, g)
 		})
 	}
+}
+
+// assertTopoInvariant checks the cached-order contract of r against
+// ground truth: topoValid and topoCyclic must match the actual
+// acyclicity of sb ∪ rf ∪ mo (decided by the closure oracle), a valid
+// order must genuinely order the union, and topoNone is always
+// allowed (the lazy states). ensureTopo from any state must land on
+// the truth.
+func assertTopoInvariant(t *testing.T, r *Rels, g *Graph) {
+	t.Helper()
+	union := r.Sb.Clone()
+	union.OrWith(r.RfM)
+	union.OrWith(r.MoM)
+	acyclic := !union.HasCycle()
+	switch r.topoState {
+	case topoValid:
+		if !acyclic {
+			t.Fatalf("topoValid on a cyclic union\ngraph:\n%s", g.Render())
+		}
+		if !union.respectsOrder(r.topo) {
+			t.Fatalf("cached order is not a topological order of the union\ngraph:\n%s", g.Render())
+		}
+	case topoCyclic:
+		if acyclic {
+			t.Fatalf("topoCyclic on an acyclic union\ngraph:\n%s", g.Render())
+		}
+	}
+	r.ensureTopo()
+	if acyclic != (r.topoState == topoValid) {
+		t.Fatalf("ensureTopo landed on state %d, union acyclic=%v", r.topoState, acyclic)
+	}
+	if r.topoState == topoValid && !union.respectsOrder(r.topo) {
+		t.Fatalf("derived order is not a topological order of the union")
+	}
+}
+
+// TestResolveMatchesBuild is the correctness bar of the incremental
+// ⊥-read resolution (Rels.Resolve, the AT resolvability hot path): on
+// randomized histories ending in a blocked read, resolving it against
+// each candidate write must produce exactly the matrices BuildRels
+// derives from scratch, with the cached-order contract intact.
+func TestResolveMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 60; trial++ {
+		nThreads := 2 + rng.Intn(2)
+		nLocs := 1 + rng.Intn(2)
+		var g *Graph
+		randExtendHistory(t, rng, nThreads, nLocs, 10+rng.Intn(6), func(_ *Rels, gg *Graph, _ *Event) { g = gg })
+		// Append a ⊥ read (sometimes a blocked update) to a random thread.
+		tid := rng.Intn(nThreads)
+		loc := Loc(rng.Intn(nLocs))
+		e := &Event{
+			ID:       EventID{Thread: tid, Index: len(g.Threads[tid])},
+			Kind:     KRead,
+			Mode:     []Mode{Rlx, Acq, SC}[rng.Intn(3)],
+			Loc:      loc,
+			AwaitSeq: 0,
+		}
+		if rng.Intn(3) == 0 {
+			e.Kind = KUpdate
+		}
+		g.Append(e)
+		g.SetRF(e.ID, BottomRF)
+		prev := BuildRels(g)
+		if rng.Intn(2) == 0 {
+			prev.ensureTopo() // exercise both lazy and derived parents
+		}
+		for _, w := range g.Mo[loc] {
+			// Mirror core.resolveWith: clone, swap the event, set rf.
+			g2 := g.Clone()
+			e2 := *e
+			e2.RVal = g2.WriteVal(w)
+			if e2.Kind == KUpdate {
+				e2.Degraded = true
+				e2.Val = 0
+			}
+			g2.ReplaceEvent(e.ID, &e2)
+			g2.SetRF(e.ID, FromW(w))
+			res := prev.Resolve(g2, &e2)
+			full := BuildRels(g2)
+			pairs := []struct {
+				name      string
+				got, want *BitMat
+			}{
+				{"sb", res.Sb, full.Sb},
+				{"sbloc", res.SbLoc, full.SbLoc},
+				{"rf", res.RfM, full.RfM},
+				{"mo", res.MoM, full.MoM},
+				{"fr", res.FrM, full.FrM},
+				{"hb", res.Hb, full.Hb},
+				{"eco", res.Eco, full.Eco},
+			}
+			for _, p := range pairs {
+				if !p.got.Equal(p.want) {
+					t.Fatalf("trial %d: %s differs after resolving %v from %v\ngraph:\n%s",
+						trial, p.name, e.ID, w, g2.Render())
+				}
+			}
+			assertTopoInvariant(t, res, g2)
+		}
+	}
+}
+
+// TestExtendTopoEdgeCases pins the order-maintenance corners down with
+// hand-built graphs: a duplicate edge (one neighbor that is both sb
+// and mo predecessor), a forced back-edge whose rebuild stays acyclic,
+// and a forced back-edge that makes the union genuinely cyclic.
+func TestExtendTopoEdgeCases(t *testing.T) {
+	t.Run("duplicate-edge", func(t *testing.T) {
+		// T0: Wx(1); Wx(2) mo-adjacent — the second write's po
+		// predecessor is also its mo predecessor.
+		g := New(1, []Val{0}, []string{"x"})
+		w1 := &Event{ID: EventID{0, 0}, Kind: KWrite, Mode: Rlx, Loc: 0, Val: 1, AwaitSeq: -1}
+		g.Append(w1)
+		g.InsertMo(0, w1.ID, 1)
+		prev := BuildRels(g)
+		prev.ensureTopo()
+		w2 := &Event{ID: EventID{0, 1}, Kind: KWrite, Mode: Rlx, Loc: 0, Val: 2, AwaitSeq: -1}
+		g.Append(w2)
+		g.InsertMo(0, w2.ID, 2)
+		before := AcyclicCountersNow()
+		ext := prev.Extend(g, w2)
+		if d := AcyclicCountersNow().Sub(before); d.OrderExtends != 1 {
+			t.Fatalf("duplicate-edge append should extend the order in place: %+v", d)
+		}
+		assertTopoInvariant(t, ext, g)
+	})
+	t.Run("back-edge-reorder", func(t *testing.T) {
+		// T0: Wx a. T1: Wy b. Then T0 appends Wy c mo-BEFORE b: c's po
+		// predecessor a must precede c while c must precede b — a
+		// constraint the parent's order may or may not satisfy, and the
+		// re-derived order must.
+		g := New(2, []Val{0, 0}, []string{"x", "y"})
+		a := &Event{ID: EventID{0, 0}, Kind: KWrite, Mode: Rlx, Loc: 0, Val: 1, AwaitSeq: -1}
+		g.Append(a)
+		g.InsertMo(0, a.ID, 1)
+		b := &Event{ID: EventID{1, 0}, Kind: KWrite, Mode: Rlx, Loc: 1, Val: 2, AwaitSeq: -1}
+		g.Append(b)
+		g.InsertMo(1, b.ID, 1)
+		prev := BuildRels(g)
+		prev.ensureTopo()
+		c := &Event{ID: EventID{0, 1}, Kind: KWrite, Mode: Rlx, Loc: 1, Val: 3, AwaitSeq: -1}
+		g.Append(c)
+		g.InsertMo(1, c.ID, 1) // before b
+		ext := prev.Extend(g, c)
+		assertTopoInvariant(t, ext, g)
+		if !ext.TopoOK() {
+			t.Fatal("acyclic extension must end topoValid")
+		}
+	})
+	t.Run("cyclic-union", func(t *testing.T) {
+		// T0: Wx a1, Wx a2 (mo a1<a2). T1: Rx r reads a2, then Wx c
+		// mo-BEFORE a1: c→a1→a2→r→c cycles through mo, rf and sb.
+		g := New(2, []Val{0}, []string{"x"})
+		a1 := &Event{ID: EventID{0, 0}, Kind: KWrite, Mode: Rlx, Loc: 0, Val: 1, AwaitSeq: -1}
+		g.Append(a1)
+		g.InsertMo(0, a1.ID, 1)
+		a2 := &Event{ID: EventID{0, 1}, Kind: KWrite, Mode: Rlx, Loc: 0, Val: 2, AwaitSeq: -1}
+		g.Append(a2)
+		g.InsertMo(0, a2.ID, 2)
+		r := &Event{ID: EventID{1, 0}, Kind: KRead, Mode: Rlx, Loc: 0, RVal: 2, AwaitSeq: -1}
+		g.Append(r)
+		g.SetRF(r.ID, FromW(a2.ID))
+		prev := BuildRels(g)
+		prev.ensureTopo()
+		if !prev.TopoOK() {
+			t.Fatal("setup union should be acyclic")
+		}
+		c := &Event{ID: EventID{1, 1}, Kind: KWrite, Mode: Rlx, Loc: 0, Val: 3, AwaitSeq: -1}
+		g.Append(c)
+		g.InsertMo(0, c.ID, 1) // before a1
+		ext := prev.Extend(g, c)
+		assertTopoInvariant(t, ext, g)
+		if !ext.TopoCyclic() {
+			t.Fatal("mo-backdated write must make the union cyclic")
+		}
+		// And cyclicity is permanent: any further extension stays cyclic.
+		f := &Event{ID: EventID{1, 2}, Kind: KFence, Mode: AcqRel, AwaitSeq: -1}
+		g.Append(f)
+		ext2 := ext.Extend(g, f)
+		if !ext2.TopoCyclic() {
+			t.Fatal("cyclic union must stay cyclic across extension")
+		}
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // RF records the reads-from choice of a read-like event. Bottom
@@ -20,6 +21,11 @@ var BottomRF = RF{Bottom: true}
 // FromW wraps a write id as an RF choice.
 func FromW(w EventID) RF { return RF{W: w} }
 
+// noRF is the sentinel filling the rf slots of non-read-like events
+// (and of read-like events between Append and SetRF). It never equals
+// a real choice: NoEvent identifies no event and Bottom is false.
+var noRF = RF{W: NoEvent}
+
 // Graph is an execution graph under construction or completed. Graphs
 // are value-ish: Clone produces an independent graph sharing immutable
 // Event nodes. The zero Graph is not usable; call New.
@@ -32,9 +38,20 @@ type Graph struct {
 	// LocNames holds rendering names for locations.
 	LocNames []string
 
-	// Rf maps each read-like event to its reads-from choice. Every
-	// read-like event in the graph has an entry (possibly Bottom).
-	Rf map[EventID]RF
+	// rf holds, per thread, the reads-from choice of each event,
+	// indexed in parallel with Threads. Entries of read-like events are
+	// set via SetRF (possibly Bottom); all other entries hold the noRF
+	// sentinel. Stored as slices rather than the historical
+	// map[EventID]RF because exploration clones once per branch and
+	// looks an rf up once per read per replay: rows follow the same
+	// capacity-clamped copy-on-write discipline as Threads, making a
+	// clone O(threads) slice headers and a lookup two array indexes.
+	rf [][]RF
+	// rfOwned tracks (bit per thread, threads ≥ 64 always unowned)
+	// which rf rows are backed by arrays private to this graph: Append
+	// always privatizes a row (clamped capacities force reallocation),
+	// and SetRF copies-on-write before mutating a shared one.
+	rfOwned uint64
 
 	// Mo holds, per location, the modification order of write-like
 	// events. Index 0 is always the implicit init write.
@@ -49,14 +66,23 @@ type Graph struct {
 
 	// rels memoizes the derived relations of the current graph state
 	// (see RelsOf); every mutation invalidates it. extParent/extEvent
-	// record that this graph was derived from extParent by appending
-	// exactly extEvent (plus its rf/mo bookkeeping), which lets RelsOf
-	// extend the parent's relations incrementally instead of rebuilding
-	// them from scratch.
+	// record that this graph was derived from extParent by either
+	// appending exactly extEvent (extKind == extAppend, plus its rf/mo
+	// bookkeeping) or resolving the formerly-⊥ trailing read extEvent
+	// (extKind == extResolve), which lets RelsOf derive the relations
+	// incrementally from the parent instead of rebuilding from scratch.
 	rels      *Rels
 	extParent *Graph
 	extEvent  *Event
+	extKind   uint8
 }
+
+// Extension-hint kinds (see RelsOf).
+const (
+	extNone uint8 = iota
+	extAppend
+	extResolve
+)
 
 // invalidate drops the memoized relations and the extension hint; every
 // mutating method calls it, so a stale hint can never describe a graph
@@ -64,6 +90,7 @@ type Graph struct {
 func (g *Graph) invalidate() {
 	g.rels = nil
 	g.extParent, g.extEvent = nil, nil
+	g.extKind = extNone
 }
 
 // NoteExtended records that g was derived from parent by appending
@@ -72,7 +99,17 @@ func (g *Graph) invalidate() {
 // row/column instead of re-deriving everything. Call it after the last
 // mutation; any further mutation clears the hint.
 func (g *Graph) NoteExtended(parent *Graph, e *Event) {
-	g.extParent, g.extEvent = parent, e
+	g.extParent, g.extEvent, g.extKind = parent, e, extAppend
+}
+
+// NoteResolved records that g was derived from parent by resolving the
+// formerly-⊥ read e (the last event of its thread, replaced and given
+// a real rf source; updates resolved read-only). RelsOf uses the hint
+// to patch the parent's relations with e's new edges instead of
+// rebuilding — the hot path of the await-termination resolvability
+// scan, which tries one such resolution per candidate write.
+func (g *Graph) NoteResolved(parent *Graph, e *Event) {
+	g.extParent, g.extEvent, g.extKind = parent, e, extResolve
 }
 
 // New returns an empty graph for nthreads threads and the given
@@ -82,7 +119,7 @@ func New(nthreads int, initVals []Val, locNames []string) *Graph {
 		Threads:   make([][]*Event, nthreads),
 		InitVals:  append([]Val(nil), initVals...),
 		LocNames:  append([]string(nil), locNames...),
-		Rf:        make(map[EventID]RF),
+		rf:        make([][]RF, nthreads),
 		Mo:        make([][]EventID, len(initVals)),
 		NextStamp: 1,
 	}
@@ -115,7 +152,7 @@ func (g *Graph) Clone() *Graph {
 		Threads:   make([][]*Event, len(g.Threads)),
 		InitVals:  g.InitVals,
 		LocNames:  g.LocNames,
-		Rf:        make(map[EventID]RF, len(g.Rf)),
+		rf:        make([][]RF, len(g.rf)),
 		Mo:        make([][]EventID, len(g.Mo)),
 		NextStamp: g.NextStamp,
 		initEvs:   g.initEvs,
@@ -123,9 +160,13 @@ func (g *Graph) Clone() *Graph {
 	for t, evs := range g.Threads {
 		ng.Threads[t] = evs[:len(evs):len(evs)]
 	}
-	for k, v := range g.Rf {
-		ng.Rf[k] = v
+	for t, row := range g.rf {
+		ng.rf[t] = row[:len(row):len(row)]
 	}
+	// Both sides now alias every rf row: the clone starts unowned (zero
+	// value), and the parent's claims are void too — an in-place SetRF
+	// on either would leak into the other.
+	g.rfOwned = 0
 	for l, order := range g.Mo {
 		ng.Mo[l] = order[:len(order):len(order)]
 	}
@@ -188,12 +229,40 @@ func (g *Graph) Append(e *Event) {
 	e.Stamp = g.NextStamp
 	g.NextStamp++
 	g.Threads[t] = append(g.Threads[t], e)
+	// A full row reallocates on append (clones clamp capacities), which
+	// privatizes it: the graph may then SetRF in place. An append into
+	// existing slack leaves the shared prefix aliased, so the ownership
+	// state must not change.
+	if realloc := cap(g.rf[t]) == len(g.rf[t]); realloc && t < 64 {
+		g.rf[t] = append(g.rf[t], noRF)
+		g.rfOwned |= 1 << uint(t)
+	} else {
+		g.rf[t] = append(g.rf[t], noRF)
+	}
 	g.invalidate()
 }
 
-// SetRF records the reads-from choice for a read-like event.
+// RfOf returns the reads-from choice of the read-like event r. It is
+// only meaningful for read-like events present in the graph (every one
+// has a choice set the moment it is added; asking for anything else
+// returns the internal "no entry" sentinel).
+func (g *Graph) RfOf(r EventID) RF { return g.rf[r.Thread][r.Index] }
+
+// SetRF records the reads-from choice for a read-like event. The row
+// is copied first unless this graph already owns its backing array
+// (clones share rows, and a revisit resolution rewrites the rf of an
+// existing event — that write must not leak into siblings).
 func (g *Graph) SetRF(r EventID, rf RF) {
-	g.Rf[r] = rf
+	t := r.Thread
+	if t >= 64 || g.rfOwned&(1<<uint(t)) == 0 {
+		row := make([]RF, len(g.rf[t]))
+		copy(row, g.rf[t])
+		g.rf[t] = row
+		if t < 64 {
+			g.rfOwned |= 1 << uint(t)
+		}
+	}
+	g.rf[t][r.Index] = rf
 	g.invalidate()
 }
 
@@ -263,9 +332,9 @@ func (g *Graph) ReadsOf(loc Loc) []EventID {
 // BottomReads returns the read-like events whose rf choice is Bottom.
 func (g *Graph) BottomReads() []EventID {
 	var out []EventID
-	for _, evs := range g.Threads {
-		for _, e := range evs {
-			if e.IsReadLike() && g.Rf[e.ID].Bottom {
+	for t, evs := range g.Threads {
+		for i, e := range evs {
+			if e.IsReadLike() && g.rf[t][i].Bottom {
 				out = append(out, e.ID)
 			}
 		}
@@ -279,14 +348,20 @@ func (g *Graph) BottomReads() []EventID {
 	return out
 }
 
+// porfStackPool recycles the DFS stacks of PorfPrefix.
+var porfStackPool = sync.Pool{New: func() any { return new([]*Event) }}
+
 // PorfPrefix returns the set of events that are (po ∪ rf)-ancestors
 // of the events in seeds, including the seeds themselves. Init events
 // are not included. The result is a stamp-indexed bitset (one word per
-// 64 events) rather than a map: revisit generation builds one of these
-// per fresh write, on the exploration hot path.
+// 64 events) rather than a map, and it is pool-backed: revisit
+// generation builds one of these per fresh write on the exploration
+// hot path, and may Release it when done (callers that don't simply
+// leave it to the garbage collector).
 func (g *Graph) PorfPrefix(seeds ...EventID) *EventSet {
-	seen := NewEventSet(g.NextStamp)
-	var stack []*Event
+	seen := NewEventSetPooled(g.NextStamp)
+	sp := porfStackPool.Get().(*[]*Event)
+	stack := (*sp)[:0]
 	push := func(id EventID) {
 		if id.IsInit() {
 			return
@@ -310,11 +385,13 @@ func (g *Graph) PorfPrefix(seeds ...EventID) *EventSet {
 		}
 		// rf source, if a read-like event.
 		if e.IsReadLike() {
-			if rf := g.Rf[e.ID]; !rf.Bottom {
+			if rf := g.rf[e.ID.Thread][e.ID.Index]; !rf.Bottom {
 				push(rf.W)
 			}
 		}
 	}
+	*sp = stack[:0]
+	porfStackPool.Put(sp)
 	return seen
 }
 
@@ -348,9 +425,11 @@ func (g *Graph) RestrictTo(keep *EventSet) {
 			if keep.Has(evs[i]) {
 				panic("graph: RestrictTo keep-set not po-prefix-closed")
 			}
-			delete(g.Rf, evs[i].ID)
 		}
 		g.Threads[t] = evs[:cut:cut]
+		// The dropped events' rf entries go with them; the kept prefix
+		// stays aliased, so ownership claims do not change.
+		g.rf[t] = g.rf[t][:cut:cut]
 	}
 	g.invalidate()
 }
@@ -363,10 +442,10 @@ func (g *Graph) Fingerprint() string {
 	var b strings.Builder
 	for t, evs := range g.Threads {
 		fmt.Fprintf(&b, "|T%d:", t)
-		for _, e := range evs {
+		for i, e := range evs {
 			fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%t;", e.Kind, e.Mode, e.Loc, e.Val, e.RVal, e.Degraded)
 			if e.IsReadLike() {
-				rf := g.Rf[e.ID]
+				rf := g.rf[t][i]
 				if rf.Bottom {
 					b.WriteString("rf=⊥;")
 				} else {
@@ -393,18 +472,23 @@ func (g *Graph) Fingerprint() string {
 // This is an internal audit used by tests (including property-based
 // tests); exploration relies on these invariants holding at every step.
 func (g *Graph) CheckInvariants() error {
-	seenRf := 0
-	for _, evs := range g.Threads {
+	for t, evs := range g.Threads {
+		if len(g.rf[t]) != len(evs) {
+			return fmt.Errorf("thread %d: rf row has %d entries, %d events", t, len(g.rf[t]), len(evs))
+		}
 		for i, e := range evs {
 			if e.ID.Index != i {
 				return fmt.Errorf("event %v stored at index %d", e.ID, i)
 			}
-			if e.IsReadLike() {
-				rf, ok := g.Rf[e.ID]
-				if !ok {
+			if !e.IsReadLike() {
+				if g.rf[t][i] != noRF {
+					return fmt.Errorf("non-read %v carries an rf entry", e.ID)
+				}
+			} else {
+				rf := g.rf[t][i]
+				if rf == noRF {
 					return fmt.Errorf("read %v has no rf entry", e.ID)
 				}
-				seenRf++
 				if !rf.Bottom {
 					w := g.Event(rf.W)
 					if w == nil {
@@ -427,9 +511,6 @@ func (g *Graph) CheckInvariants() error {
 				}
 			}
 		}
-	}
-	if seenRf != len(g.Rf) {
-		return fmt.Errorf("rf has %d entries, graph has %d read-like events", len(g.Rf), seenRf)
 	}
 	for l, order := range g.Mo {
 		if len(order) == 0 || !order[0].IsInit() || order[0].Index != l {

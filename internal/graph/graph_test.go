@@ -104,7 +104,7 @@ func TestRestrictTo(t *testing.T) {
 	if len(g.Mo[0]) != 2 { // init + the write
 		t.Fatalf("mo not restricted: %v", g.Mo[0])
 	}
-	if _, ok := g.Rf[EventID{1, 0}]; ok {
+	if len(g.rf[1]) != 0 {
 		t.Fatal("dropped read kept its rf entry")
 	}
 	if err := g.CheckInvariants(); err != nil {

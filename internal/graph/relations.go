@@ -23,10 +23,118 @@ type Rels struct {
 	RfM   *BitMat // reads-from as a matrix (w -> r)
 	MoM   *BitMat // modification order (transitive per location)
 	FrM   *BitMat // from-read: r -> w' for w' mo-after rf(r)
-	SwM   *BitMat // synchronizes-with
 	Hb    *BitMat // happens-before = (sb ∪ sw)+
 	Eco   *BitMat // extended coherence order = (rf ∪ mo ∪ fr)+
 	SbLoc *BitMat // sb restricted to same-location accesses
+
+	// mats embeds the seven carried matrices (the pointers above point
+	// into it) with their bit rows carved out of one shared slab: a
+	// whole relation set costs two allocations. sw is deliberately NOT
+	// carried: no consumer reads it after Hb is closed over it, so
+	// BuildRels derives it into pooled scratch and drops it.
+	mats [7]BitMat
+
+	// topo caches a topological order of sb ∪ rf ∪ mo over the dense
+	// indices (topo[k] = vertex at position k) when topoState is
+	// topoValid; the consistency predicates seed their closure-free
+	// acyclicity checks from it (see BitMat.AcyclicSeeded). BuildRels
+	// derives it with one Kahn pass; Extend maintains it
+	// Pearce–Kelly-style from the one-event delta, so along exploration
+	// chains child states inherit a valid order for near-free.
+	// topoCyclic records that the union itself is cyclic — a permanent
+	// fact, since extension only ever adds edges.
+	topo      []int32
+	topoState uint8
+}
+
+// topo cache states. The zero value (topoNone) means "not derived
+// yet": the order is computed lazily on first use, so states that die
+// before any relation-level check (atomicity, coherence) never pay for
+// it. A conflicted Extend (back edge) also parks the child at topoNone
+// instead of re-deriving eagerly.
+const (
+	topoNone uint8 = iota
+	topoValid
+	topoCyclic
+)
+
+// ensureTopo derives the cached order on first demand with one Kahn
+// pass over the union adjacency (counted as a lazy derivation —
+// fresh BuildRels states and Extend's back-edge parks both land here).
+func (r *Rels) ensureTopo() {
+	if r.topoState != topoNone {
+		return
+	}
+	acDerives.Add(1)
+	u := r.Sb.ClonePooled()
+	u.OrWith(r.RfM)
+	u.OrWith(r.MoM)
+	if len(r.topo) != r.N {
+		r.topo = make([]int32, r.N)
+	}
+	if u.kahn(r.topo) {
+		r.topoState = topoValid
+	} else {
+		r.topoState = topoCyclic
+		r.topo = nil
+		acCyclicSt.Add(1)
+	}
+	u.Release()
+}
+
+// TopoOK reports whether a valid topological order of sb ∪ rf ∪ mo is
+// available — which in particular proves that union (and every subset
+// of it, e.g. porf) acyclic. Derives the order on first use.
+func (r *Rels) TopoOK() bool { r.ensureTopo(); return r.topoState == topoValid }
+
+// TopoCyclic reports whether sb ∪ rf ∪ mo is known to be cyclic —
+// which makes every superset cyclic too. Derives on first use.
+func (r *Rels) TopoCyclic() bool { r.ensureTopo(); return r.topoState == topoCyclic }
+
+// TopoOrder returns the cached topological order (position → vertex),
+// deriving it on first use, or nil when the union is cyclic. The slice
+// is shared state: it may be passed to BitMat.AcyclicSeeded freely,
+// but to the refreshing BitMat.AcyclicWithOrder only for relations
+// that are supersets of sb ∪ rf ∪ mo (a refreshed order must stay
+// valid for the union).
+func (r *Rels) TopoOrder() []int32 {
+	r.ensureTopo()
+	if r.topoState != topoValid {
+		return nil
+	}
+	return r.topo
+}
+
+// AcyclicSuperset decides acyclicity of m, which the caller guarantees
+// is a superset of sb ∪ rf ∪ mo (the SC order candidate
+// sb ∪ rf ∪ mo ∪ fr). It exploits the cached order in every state:
+// a known-cyclic union rejects immediately; a valid order seeds the
+// fast path and is refreshed from m on misses; and when no order has
+// been derived yet, the single Kahn pass that decides m doubles as the
+// derivation — acyclic supersets hand the state a valid order for
+// free, so one pass pays for both the verdict and the cache.
+func (r *Rels) AcyclicSuperset(m *BitMat) bool {
+	switch r.topoState {
+	case topoCyclic:
+		acShortcuts.Add(1)
+		return false
+	case topoValid:
+		return m.AcyclicWithOrder(r.topo)
+	}
+	acChecks.Add(1)
+	acKahn.Add(1)
+	if len(r.topo) != r.N {
+		r.topo = make([]int32, r.N)
+	}
+	ok := m.kahn(r.topo)
+	if ok {
+		r.topoState = topoValid
+	} else {
+		// m cyclic says nothing about the subset union: stay underived.
+		acCycles.Add(1)
+	}
+	m.crossCheck(ok)
+	return ok
 }
 
 // IndexOf returns the dense index of the event id.
@@ -49,14 +157,18 @@ func RelsOf(g *Graph) *Rels {
 	if g.rels != nil {
 		return g.rels
 	}
-	if g.extParent != nil && g.extParent.rels != nil {
+	switch {
+	case g.extKind == extAppend && g.extParent != nil && g.extParent.rels != nil:
 		g.rels = g.extParent.rels.Extend(g, g.extEvent)
-	} else {
+	case g.extKind == extResolve && g.extParent != nil && g.extParent.rels != nil:
+		g.rels = g.extParent.rels.Resolve(g, g.extEvent)
+	default:
 		g.rels = BuildRels(g)
 	}
 	// Drop the hint: it has served its purpose, and holding it would
 	// pin the whole ancestor chain (graphs and relations) in memory.
 	g.extParent, g.extEvent = nil, nil
+	g.extKind = extNone
 	return g.rels
 }
 
@@ -85,86 +197,105 @@ func BuildRels(g *Graph) *Rels {
 		r.tIdx[id.Thread][id.Index] = int32(i)
 	}
 
-	// sb: init before all thread events; po within each thread.
-	r.Sb = NewBitMat(n)
-	r.SbLoc = NewBitMat(n)
+	r.allocMats(n)
+
+	// sb: init before all thread events; po within each thread. The
+	// transitive rows are assembled word-wide — each init row is the
+	// "every explicit event" mask, and within a thread row(a) is
+	// row(a+1) plus the bit for a+1 (a descending suffix OR) — instead
+	// of O(n²) individual bit sets.
 	nInit := r.nInit
+	if nInit > 0 && n > nInit {
+		for j := nInit; j < n; j++ {
+			r.Sb.Set(0, j)
+		}
+		for i := 1; i < nInit; i++ {
+			r.Sb.copyRow(i, 0)
+		}
+	}
 	for i := 0; i < nInit; i++ {
 		for j := nInit; j < n; j++ {
-			r.Sb.Set(i, j)
 			if r.Ev[j].Kind != KFence && r.Ev[j].Kind != KError && r.Ev[i].Loc == r.Ev[j].Loc {
 				r.SbLoc.Set(i, j)
 			}
 		}
 	}
 	for _, evs := range g.Threads {
+		for a := len(evs) - 2; a >= 0; a-- {
+			ia, ib := r.IndexOf(evs[a].ID), r.IndexOf(evs[a+1].ID)
+			r.Sb.copyRow(ia, ib)
+			r.Sb.Set(ia, ib)
+		}
 		for a := 0; a < len(evs); a++ {
-			ia := r.IndexOf(evs[a].ID)
+			ea := evs[a]
+			if ea.Kind == KFence || ea.Kind == KError {
+				continue
+			}
+			ia := r.IndexOf(ea.ID)
 			for b := a + 1; b < len(evs); b++ {
-				ib := r.IndexOf(evs[b].ID)
-				r.Sb.Set(ia, ib)
-				ea, eb := evs[a], evs[b]
-				if ea.Kind != KFence && ea.Kind != KError &&
-					eb.Kind != KFence && eb.Kind != KError && ea.Loc == eb.Loc {
-					r.SbLoc.Set(ia, ib)
+				eb := evs[b]
+				if eb.Kind != KFence && eb.Kind != KError && ea.Loc == eb.Loc {
+					r.SbLoc.Set(ia, r.IndexOf(eb.ID))
 				}
 			}
 		}
 	}
 
 	// rf.
-	r.RfM = NewBitMat(n)
-	for rd, rf := range g.Rf {
-		if rf.Bottom {
-			continue
+	for t, evs := range g.Threads {
+		for i, e := range evs {
+			if !e.IsReadLike() {
+				continue
+			}
+			rf := g.rf[t][i]
+			if rf.Bottom {
+				continue
+			}
+			r.RfM.Set(r.IndexOf(rf.W), r.IndexOf(e.ID))
 		}
-		r.RfM.Set(r.IndexOf(rf.W), r.IndexOf(rd))
 	}
 
-	// mo (transitive within each location's total order).
-	r.MoM = NewBitMat(n)
+	// mo (transitive within each location's total order): the same
+	// descending suffix-OR trick as sb — each write's row is its
+	// mo-successor's row plus that successor's bit.
 	for _, order := range g.Mo {
-		for a := 0; a < len(order); a++ {
-			for b := a + 1; b < len(order); b++ {
-				r.MoM.Set(r.IndexOf(order[a]), r.IndexOf(order[b]))
-			}
+		for a := len(order) - 2; a >= 0; a-- {
+			ia, ib := r.IndexOf(order[a]), r.IndexOf(order[a+1])
+			r.MoM.copyRow(ia, ib)
+			r.MoM.Set(ia, ib)
 		}
 	}
 
-	// fr = rf^-1 ; mo (strict): read -> every write mo-after its source.
-	r.FrM = NewBitMat(n)
-	for rd, rf := range g.Rf {
-		if rf.Bottom {
-			continue
-		}
-		e := g.Event(rd)
-		order := g.Mo[e.Loc]
-		src := -1
-		for i, w := range order {
-			if w == rf.W {
-				src = i
-				break
+	// fr = rf^-1 ; mo (strict): read -> every write mo-after its
+	// source. That target set is exactly the source's mo row, so each
+	// read's fr row is one word-wide copy (minus the read itself — an
+	// update never fr-precedes itself). A source missing from mo
+	// cannot happen for well-formed graphs: its empty mo row then
+	// yields no fr, as before.
+	for t, evs := range g.Threads {
+		for i, e := range evs {
+			if !e.IsReadLike() {
+				continue
 			}
-		}
-		if src < 0 {
-			continue // source not in mo (cannot happen for well-formed graphs)
-		}
-		ri := r.IndexOf(rd)
-		for i := src + 1; i < len(order); i++ {
-			wi := r.IndexOf(order[i])
-			if wi != ri { // an update never fr-precedes itself
-				r.FrM.Set(ri, wi)
+			rf := g.rf[t][i]
+			if rf.Bottom {
+				continue
 			}
+			ri := r.IndexOf(e.ID)
+			r.FrM.copyRowFrom(ri, r.MoM, r.IndexOf(rf.W))
+			r.FrM.Clear(ri, ri)
 		}
 	}
 
-	r.SwM = r.buildSw()
+	sw := NewBitMatPooled(n)
+	r.buildSw(sw)
 
-	r.Hb = r.Sb.Clone()
-	r.Hb.OrWith(r.SwM)
+	copy(r.Hb.bits, r.Sb.bits)
+	r.Hb.OrWith(sw)
+	sw.Release()
 	r.Hb.TransClose()
 
-	r.Eco = r.RfM.Clone()
+	copy(r.Eco.bits, r.RfM.bits)
 	r.Eco.OrWith(r.MoM)
 	r.Eco.OrWith(r.FrM)
 	r.Eco.TransClose()
@@ -181,38 +312,39 @@ func BuildRels(g *Graph) *Rels {
 // thread; rs (the release sequence) is w followed by any chain of
 // updates reading from it; and the acquire side of a read r is r itself
 // when it has acquire semantics, or any acquire fence sb-after r.
-func (r *Rels) buildSw() *BitMat {
+func (r *Rels) buildSw(sw *BitMat) {
 	g := r.G
-	sw := NewBitMat(r.N)
-	for rd, rf := range g.Rf {
-		if rf.Bottom {
-			continue
-		}
-		re := g.Event(rd)
-		// Acquire-side targets.
-		var acqSides []int
-		if re.Mode.HasAcq() {
-			acqSides = append(acqSides, r.IndexOf(rd))
-		}
-		if rd.Thread >= 0 {
-			for _, f := range g.Threads[rd.Thread][rd.Index+1:] {
+	for t, evs := range g.Threads {
+		for i, re := range evs {
+			if !re.IsReadLike() {
+				continue
+			}
+			rf := g.rf[t][i]
+			if rf.Bottom {
+				continue
+			}
+			// Acquire-side targets.
+			var acqSides []int
+			if re.Mode.HasAcq() {
+				acqSides = append(acqSides, r.IndexOf(re.ID))
+			}
+			for _, f := range evs[i+1:] {
 				if f.Kind == KFence && f.Mode.HasAcq() {
 					acqSides = append(acqSides, r.IndexOf(f.ID))
 				}
 			}
-		}
-		if len(acqSides) == 0 {
-			continue
-		}
-		r.swFromBases(g, rf.W, func(s int) {
-			for _, t := range acqSides {
-				if s != t {
-					sw.Set(s, t)
-				}
+			if len(acqSides) == 0 {
+				continue
 			}
-		})
+			r.swFromBases(g, rf.W, func(s int) {
+				for _, a := range acqSides {
+					if s != a {
+						sw.Set(s, a)
+					}
+				}
+			})
+		}
 	}
-	return sw
 }
 
 // swFromBases walks the release sequence backwards from the rf source
@@ -236,7 +368,7 @@ func (r *Rels) swFromBases(g *Graph, base EventID, emit func(relSide int)) {
 		if be.Kind != KUpdate {
 			return
 		}
-		prev := g.Rf[base]
+		prev := g.rf[base.Thread][base.Index]
 		if prev.Bottom {
 			return
 		}

@@ -47,7 +47,7 @@ func (g *Graph) Render() string {
 		for _, e := range evs {
 			fmt.Fprintf(&b, "  [%2d] %-28s", e.ID.Index, g.eventText(e))
 			if e.IsReadLike() {
-				rf := g.Rf[e.ID]
+				rf := g.rf[t][e.ID.Index]
 				if rf.Bottom {
 					b.WriteString("  rf: ⊥ (missing)")
 				} else {
@@ -100,13 +100,20 @@ func (g *Graph) DOT(title string) string {
 			fmt.Fprintf(&b, "  %s -> %s [label=\"po\", color=gray];\n", name(evs[i-1].ID), name(evs[i].ID))
 		}
 	}
-	for rd, rf := range g.Rf {
-		if rf.Bottom {
-			fmt.Fprintf(&b, "  bottom_%s [label=\"⊥\", shape=plaintext];\n  bottom_%s -> %s [label=\"rf\", color=red, style=dashed];\n",
-				name(rd), name(rd), name(rd))
-			continue
+	for t, evs := range g.Threads {
+		for i, e := range evs {
+			if !e.IsReadLike() {
+				continue
+			}
+			rd := e.ID
+			rf := g.rf[t][i]
+			if rf.Bottom {
+				fmt.Fprintf(&b, "  bottom_%s [label=\"⊥\", shape=plaintext];\n  bottom_%s -> %s [label=\"rf\", color=red, style=dashed];\n",
+					name(rd), name(rd), name(rd))
+				continue
+			}
+			fmt.Fprintf(&b, "  %s -> %s [label=\"rf\", color=forestgreen];\n", name(rf.W), name(rd))
 		}
-		fmt.Fprintf(&b, "  %s -> %s [label=\"rf\", color=forestgreen];\n", name(rf.W), name(rd))
 	}
 	for _, order := range g.Mo {
 		for i := 1; i < len(order); i++ {

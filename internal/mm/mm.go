@@ -15,9 +15,22 @@
 //
 // All models share the RMW atomicity axiom: a non-degraded update must
 // read from its immediate mo-predecessor.
+//
+// Every acyclicity axiom is decided closure-free: the predicates build
+// union adjacency matrices and ask the acyclicity engine
+// (graph.BitMat.Acyclic and friends) instead of computing transitive
+// closures, seeding the checks with the topological order of
+// sb ∪ rf ∪ mo that Rels carries across Extend. Two verdicts come
+// straight from that cached order state: a cyclic union rejects SC
+// without building anything, and a valid order proves porf (a subset)
+// acyclic for free.
 package mm
 
-import "repro/internal/graph"
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
 
 // Model is a weak memory model: a consistency predicate over execution
 // graphs. Consistent must be monotone under event removal (a subgraph
@@ -70,14 +83,14 @@ func (raModel) Consistent(g *graph.Graph) bool {
 	if !r.Hb.Irreflexive() {
 		return false
 	}
-	if r.Hb.IntersectsTranspose(r.Eco) {
+	// Walk eco's set bits probing hb, not the other way around: the
+	// predicate (some pair in one relation reversed in the other) is
+	// symmetric, and eco — per-location chains — is much sparser than
+	// the closed hb.
+	if r.Eco.IntersectsTranspose(r.Hb) {
 		return false
 	}
-	porf := r.Sb.ClonePooled()
-	porf.OrWith(r.RfM)
-	cyc := porf.HasCycle()
-	porf.Release()
-	return !cyc
+	return porfAcyclic(r)
 }
 
 // ByName returns the model with the given name, or nil. The ablation
@@ -100,7 +113,7 @@ func atomicity(g *graph.Graph) bool {
 			if e.Kind != graph.KUpdate || e.Degraded {
 				continue
 			}
-			rf := g.Rf[e.ID]
+			rf := g.RfOf(e.ID)
 			if rf.Bottom {
 				continue // blocked update: constrains nothing yet
 			}
@@ -112,6 +125,30 @@ func atomicity(g *graph.Graph) bool {
 		}
 	}
 	return true
+}
+
+// porfAcyclic decides NO-THIN-AIR: acyclic(sb ∪ rf). When the cached
+// topological order of sb ∪ rf ∪ mo is valid, porf is a subset of an
+// ordered acyclic relation and the answer is immediate; otherwise the
+// union adjacency is built and checked closure-free.
+func porfAcyclic(r *graph.Rels) bool {
+	if r.TopoOK() {
+		graph.CountTopoShortcut()
+		if graph.CrossCheckAcyclic {
+			porf := r.Sb.ClonePooled()
+			porf.OrWith(r.RfM)
+			if porf.HasCycle() {
+				panic("mm: porf subset shortcut disagrees with the transitive closure")
+			}
+			porf.Release()
+		}
+		return true
+	}
+	porf := r.Sb.ClonePooled()
+	porf.OrWith(r.RfM)
+	ok := porf.Acyclic()
+	porf.Release()
+	return ok
 }
 
 // scModel: acyclic(sb ∪ rf ∪ mo ∪ fr) over all events.
@@ -128,9 +165,13 @@ func (scModel) Consistent(g *graph.Graph) bool {
 	u.OrWith(r.RfM)
 	u.OrWith(r.MoM)
 	u.OrWith(r.FrM)
-	cyc := u.HasCycle()
+	// u is a superset of the cached order's union: a cyclic cached
+	// state rejects without a pass, a valid order seeds (and a miss
+	// refreshes) it, and on underived states the deciding Kahn pass
+	// doubles as the derivation.
+	ok := r.AcyclicSuperset(u)
 	u.Release()
-	return !cyc
+	return ok
 }
 
 // tsoModel: per-location coherence plus a global order on ppo, external
@@ -140,20 +181,26 @@ type tsoModel struct{}
 
 func (tsoModel) Name() string { return "tso" }
 
+// drainPool recycles the per-thread drain-point prefix arrays of the
+// TSO predicate (one int32 per event of the longest thread).
+var drainPool = sync.Pool{New: func() any { return new([]int32) }}
+
 func (tsoModel) Consistent(g *graph.Graph) bool {
 	if !atomicity(g) {
 		return false
 	}
 	r := graph.RelsOf(g)
 
-	// Per-location coherence (sc-per-loc).
+	// Per-location coherence (sc-per-loc). Seed-only: sbloc drops sb
+	// edges, so a refreshed order of this union would not be valid for
+	// the cached sb ∪ rf ∪ mo order.
 	coh := r.SbLoc.ClonePooled()
 	coh.OrWith(r.RfM)
 	coh.OrWith(r.MoM)
 	coh.OrWith(r.FrM)
-	cyc := coh.HasCycle()
+	ok := coh.AcyclicSeeded(r.TopoOrder())
 	coh.Release()
-	if cyc {
+	if !ok {
 		return false
 	}
 
@@ -176,7 +223,20 @@ func (tsoModel) Consistent(g *graph.Graph) bool {
 			}
 		}
 	}
+	drainp := drainPool.Get().(*[]int32)
 	for _, evs := range g.Threads {
+		// Drain-point prefix array: drains[b] is the largest index k < b
+		// holding an SC fence or a locked RMW, or -1. A store→load pair
+		// (a, b) is drained iff drains[b] > a — an O(1) probe replacing
+		// the old O(len) rescan of (a, b) for every relaxed pair.
+		drains := int32ScratchMM(drainp, len(evs))
+		last := int32(-1)
+		for k, ek := range evs {
+			drains[k] = last
+			if (ek.Kind == graph.KFence && ek.Mode.IsSC()) || ek.Kind == graph.KUpdate {
+				last = int32(k)
+			}
+		}
 		for a := 0; a < len(evs); a++ {
 			ea := evs[a]
 			if !visible(ea) {
@@ -188,36 +248,43 @@ func (tsoModel) Consistent(g *graph.Graph) bool {
 					continue
 				}
 				// Store→load is relaxed unless drained in between.
-				if ea.Kind == graph.KWrite && eb.Kind == graph.KRead {
-					drained := false
-					for k := a + 1; k < b; k++ {
-						ek := evs[k]
-						if (ek.Kind == graph.KFence && ek.Mode.IsSC()) || ek.Kind == graph.KUpdate {
-							drained = true
-							break
-						}
-					}
-					if !drained {
-						continue
-					}
+				if ea.Kind == graph.KWrite && eb.Kind == graph.KRead && drains[b] <= int32(a) {
+					continue
 				}
 				ghb.Set(r.IndexOf(ea.ID), r.IndexOf(eb.ID))
 			}
 		}
 	}
+	drainPool.Put(drainp)
 	// External rf only (store forwarding lets a thread read its own
 	// buffered store early).
-	for rd, rf := range g.Rf {
-		if rf.Bottom || rf.W.Thread == rd.Thread {
-			continue
+	for t, evs := range g.Threads {
+		for _, e := range evs {
+			if !e.IsReadLike() {
+				continue
+			}
+			rf := g.RfOf(e.ID)
+			if rf.Bottom || rf.W.Thread == t {
+				continue
+			}
+			ghb.Set(r.IndexOf(rf.W), r.IndexOf(e.ID))
 		}
-		ghb.Set(r.IndexOf(rf.W), r.IndexOf(rd))
 	}
 	ghb.OrWith(r.MoM)
 	ghb.OrWith(r.FrM)
-	cyc = ghb.HasCycle()
+	ok = ghb.AcyclicSeeded(r.TopoOrder())
 	ghb.Release()
-	return !cyc
+	return ok
+}
+
+// int32ScratchMM resizes the pooled buffer at *p to n elements
+// (contents arbitrary), keeping the largest allocation for reuse.
+func int32ScratchMM(p *[]int32, n int) []int32 {
+	if cap(*p) < n {
+		*p = make([]int32, n)
+	}
+	*p = (*p)[:n]
+	return *p
 }
 
 // wmmModel: the RC11-flavoured stand-in for IMM.
@@ -235,36 +302,44 @@ func (wmmModel) Consistent(g *graph.Graph) bool {
 	if !r.Hb.Irreflexive() {
 		return false
 	}
-	if r.Hb.IntersectsTranspose(r.Eco) {
+	// Walk eco's set bits probing hb, not the other way around: the
+	// predicate (some pair in one relation reversed in the other) is
+	// symmetric, and eco — per-location chains — is much sparser than
+	// the closed hb.
+	if r.Eco.IntersectsTranspose(r.Hb) {
 		return false
 	}
 
 	// NO-THIN-AIR: acyclic(sb ∪ rf).
-	porf := r.Sb.ClonePooled()
-	porf.OrWith(r.RfM)
-	cyc := porf.HasCycle()
-	porf.Release()
-	if cyc {
+	if !porfAcyclic(r) {
 		return false
 	}
 
 	// SC: acyclic(psc_base ∪ psc_f), RC11-style.
-	return !pscCycle(r)
+	return pscAcyclic(r)
 }
 
-// pscCycle computes the RC11 partial-SC relation and reports whether it
-// is cyclic. Events with SC mode and SC fences participate.
-func pscCycle(r *graph.Rels) bool {
+// pscAcyclic computes the RC11 partial-SC relation and reports whether
+// it is ACYCLIC (note: true means the axiom holds). Events with SC
+// mode and SC fences participate. All pooled scratch is released on
+// every return path (deferred), and the expensive construction is
+// gated twice: no scratch is allocated until at least two SC
+// participants exist, and the final cycle pass is skipped when the psc
+// union came out empty.
+func pscAcyclic(r *graph.Rels) bool {
 	n := r.N
-	// Quick exit: fewer than two SC participants can never form a cycle.
-	scCount := 0
+	// Quick exit before any scratch is taken: fewer than two SC
+	// participants can never form a psc cycle.
+	scAcc, scF := 0, 0
 	for i := 0; i < n; i++ {
-		if r.IsSCEvent(i) {
-			scCount++
+		if r.IsSCFence(i) {
+			scF++
+		} else if r.IsSCEvent(i) {
+			scAcc++
 		}
 	}
-	if scCount < 2 {
-		return false
+	if scAcc+scF < 2 {
+		return true
 	}
 
 	hbq := r.Hb // hb? as hb with identity handled inline (read-only here)
@@ -318,10 +393,12 @@ func pscCycle(r *graph.Rels) bool {
 	// fence f with f hb? i.
 	psc := graph.NewBitMatPooled(n)
 	defer psc.Release()
+	empty := true
 	addEdges := func(from, to []int) {
 		for _, a := range from {
 			for _, b := range to {
 				psc.Set(a, b)
+				empty = false
 			}
 		}
 	}
@@ -331,6 +408,9 @@ func pscCycle(r *graph.Rels) bool {
 		if isSCAccess(i) {
 			lefts[i] = append(lefts[i], i)
 			rights[i] = append(rights[i], i)
+		}
+		if scF == 0 {
+			continue // no SC fences: anchors are the SC accesses alone
 		}
 		for f := 0; f < n; f++ {
 			if !isSCF(f) {
@@ -354,23 +434,31 @@ func pscCycle(r *graph.Rels) bool {
 			}
 		}
 	}
-	// psc_f = [Fsc] ; (hb ∪ hb;eco;hb) ; [Fsc].
-	hbEcoHb := graph.NewBitMatPooled(n)
-	defer hbEcoHb.Release()
-	r.Hb.ComposeInto(r.Eco, tmp)
-	tmp.ComposeInto(r.Hb, hbEcoHb)
-	for i := 0; i < n; i++ {
-		if !isSCF(i) {
-			continue
-		}
-		for j := 0; j < n; j++ {
-			if !isSCF(j) || i == j {
+	// psc_f = [Fsc] ; (hb ∪ hb;eco;hb) ; [Fsc] — needs two SC fences,
+	// so the hb;eco;hb composition scratch is not even allocated below
+	// that.
+	if scF >= 2 {
+		hbEcoHb := graph.NewBitMatPooled(n)
+		defer hbEcoHb.Release()
+		r.Hb.ComposeInto(r.Eco, tmp)
+		tmp.ComposeInto(r.Hb, hbEcoHb)
+		for i := 0; i < n; i++ {
+			if !isSCF(i) {
 				continue
 			}
-			if r.Hb.Get(i, j) || hbEcoHb.Get(i, j) {
-				psc.Set(i, j)
+			for j := 0; j < n; j++ {
+				if !isSCF(j) || i == j {
+					continue
+				}
+				if r.Hb.Get(i, j) || hbEcoHb.Get(i, j) {
+					psc.Set(i, j)
+					empty = false
+				}
 			}
 		}
 	}
-	return psc.HasCycle()
+	if empty {
+		return true // no psc edge at all: trivially acyclic
+	}
+	return psc.AcyclicSeeded(r.TopoOrder())
 }

@@ -1,0 +1,121 @@
+package vsync
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// The suite benchmark tracks the verdict store's latency win the same
+// way BENCH_amc.json tracks raw checker throughput: one cold
+// vsyncsuite pass over a fresh store (every cell model-checked, every
+// verdict persisted) followed by a warm pass over the same store (every
+// cell served by a hash lookup), recorded as a machine-readable
+// artifact (BENCH_suite.json, schema "suite-bench/v1").
+
+// SuitePhase is one recorded vsyncsuite pass.
+type SuitePhase struct {
+	Phase   string  `json:"phase"` // "cold" or "warm"
+	Cells   int     `json:"cells"`
+	Hits    int     `json:"hits"`    // cells served by the store
+	Misses  int     `json:"misses"`  // AMC runs performed
+	Deduped int     `json:"deduped"` // cells served by an identical-key run
+	Stored  int     `json:"stored"`  // records appended to the store
+	HitRate float64 `json:"hit_rate"`
+	WallMs  float64 `json:"wall_ms"`
+}
+
+// SuiteBench is the artifact written to BENCH_suite.json.
+type SuiteBench struct {
+	Schema  string       `json:"schema"` // "suite-bench/v1"
+	Go      string       `json:"go"`
+	GOOS    string       `json:"goos"`
+	GOARCH  string       `json:"goarch"`
+	CPUs    int          `json:"cpus"`
+	Date    string       `json:"date"`
+	Threads int          `json:"threads"` // client thread-count ladder top
+	Phases  []SuitePhase `json:"phases"`
+}
+
+// RunSuiteBench runs the full suite corpus (locks × thread ladder up
+// to threads × models, plus litmus) twice against a store created in a
+// fresh temporary directory — cold, then warm — and records both
+// passes. The store is discarded afterwards; this benchmark measures
+// the store, it does not populate the user's.
+func RunSuiteBench(threads int) (SuiteBench, error) {
+	if threads < 2 {
+		threads = 2
+	}
+	b := SuiteBench{
+		Schema:  "suite-bench/v1",
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Threads: threads,
+	}
+	dir, err := os.MkdirTemp("", "vsync-suite-bench")
+	if err != nil {
+		return b, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := OpenStore(filepath.Join(dir, "verdicts.log"))
+	if err != nil {
+		return b, err
+	}
+	defer st.Close()
+
+	for _, phase := range []string{"cold", "warm"} {
+		start := time.Now()
+		res := VerifyMatrix(MatrixConfig{MaxThreads: threads, Store: st})
+		wall := time.Since(start)
+		if res.Errors > 0 {
+			return b, fmt.Errorf("suite bench %s pass: %d engine errors", phase, res.Errors)
+		}
+		if res.StoreErr != nil {
+			return b, fmt.Errorf("suite bench %s pass: store append failed: %v", phase, res.StoreErr)
+		}
+		b.Phases = append(b.Phases, SuitePhase{
+			Phase:   phase,
+			Cells:   len(res.Cells),
+			Hits:    res.Hits,
+			Misses:  res.Misses,
+			Deduped: res.Deduped,
+			Stored:  res.Stored,
+			HitRate: res.HitRate(),
+			WallMs:  float64(wall.Microseconds()) / 1000,
+		})
+	}
+	return b, nil
+}
+
+// WriteJSON writes the artifact to path.
+func (b SuiteBench) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// String renders the two passes side by side.
+func (b SuiteBench) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "suite store benchmark (%s %s/%s, %d cpus, thread ladder 2..%d)\n",
+		b.Go, b.GOOS, b.GOARCH, b.CPUs, b.Threads)
+	fmt.Fprintf(&sb, "%-6s %7s %7s %8s %8s %8s %10s %12s\n",
+		"phase", "cells", "hits", "misses", "deduped", "stored", "hit-rate", "wall")
+	for _, p := range b.Phases {
+		fmt.Fprintf(&sb, "%-6s %7d %7d %8d %8d %8d %9.1f%% %11.1fms\n",
+			p.Phase, p.Cells, p.Hits, p.Misses, p.Deduped, p.Stored, 100*p.HitRate, p.WallMs)
+	}
+	if len(b.Phases) == 2 && b.Phases[1].WallMs > 0 {
+		fmt.Fprintf(&sb, "cold/warm wall ratio: %.1fx\n", b.Phases[0].WallMs/b.Phases[1].WallMs)
+	}
+	return sb.String()
+}

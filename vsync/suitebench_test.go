@@ -1,0 +1,48 @@
+package vsync_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/vsync"
+)
+
+// TestRunSuiteBench: the cold pass must model-check everything and the
+// warm pass must be served entirely by the store — the suite-level
+// mirror of the per-cell incremental guarantees VerifyMatrix tests
+// assert.
+func TestRunSuiteBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full t=2 suite twice; not run in -short")
+	}
+	b, err := vsync.RunSuiteBench(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Phases) != 2 {
+		t.Fatalf("recorded %d phases, want cold+warm", len(b.Phases))
+	}
+	cold, warm := b.Phases[0], b.Phases[1]
+	if cold.Phase != "cold" || warm.Phase != "warm" {
+		t.Fatalf("phase order wrong: %q, %q", cold.Phase, warm.Phase)
+	}
+	if cold.Cells == 0 || cold.Cells != warm.Cells {
+		t.Fatalf("cell counts diverged: cold %d, warm %d", cold.Cells, warm.Cells)
+	}
+	if cold.Hits != 0 {
+		t.Errorf("cold pass against a fresh store had %d hits", cold.Hits)
+	}
+	if warm.HitRate != 1 {
+		t.Errorf("warm pass hit rate %.2f, want 1.0 (misses=%d)", warm.HitRate, warm.Misses)
+	}
+	if warm.Stored != 0 {
+		t.Errorf("warm pass appended %d records, want 0", warm.Stored)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_suite.json")
+	if err := b.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() == "" {
+		t.Error("empty rendering")
+	}
+}

@@ -7,7 +7,7 @@ GO ?= go
 # caches this directory so warm runs skip already-decided AMC work.
 STORE ?= .vsync-store/verdicts.log
 
-.PHONY: build vet test test-short race bench-smoke bench-check bench-suite fmt-check suite suite-warm
+.PHONY: build vet test test-short race bench-smoke bench-check bench-suite fmt-check suite suite-warm suite-shared stored
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,7 @@ test-short:
 race:
 	$(GO) test -race -short ./internal/core ./internal/optimize ./internal/store ./vsync
 	$(GO) test -race -run 'TestParallel|TestVisitedSet|TestPoolSlot' ./internal/core
+	$(GO) test -race -run 'TestOpenShared|TestRefresh|TestMerge|TestCompact|TestRemote|TestMultiProcess' ./internal/store
 
 # One cheap pass over the benchmark harness to catch bit-rot in the
 # table/figure emitters without running the full campaign, then the AMC
@@ -96,3 +97,23 @@ suite:
 # 100% — the whole matrix without a single AMC run).
 suite-warm:
 	$(GO) run ./cmd/vsyncsuite -store $(STORE) -min-hit-rate 0.99
+
+# Multi-writer proof at the CLI level: two vsyncsuite processes run the
+# full corpus concurrently against ONE live store (each observes the
+# other's verdicts as they land, splitting the cold work), then a third
+# pass asserts the combined accounting — every cell decided, none lost,
+# the whole matrix served without an AMC run.
+suite-shared:
+	@set -e; \
+	bin=$$(mktemp -t vsyncsuite.XXXXXX); \
+	trap 'rm -f $$bin' EXIT; \
+	$(GO) build -o $$bin ./cmd/vsyncsuite; \
+	$$bin -store $(STORE) & pid1=$$!; \
+	$$bin -store $(STORE) & pid2=$$!; \
+	wait $$pid1; wait $$pid2; \
+	$$bin -store $(STORE) -min-hit-rate 1
+
+# The shared verdict service: vsynccheck/vsyncopt/vsyncsuite/vsynclitmus
+# point -remote at it to tier lookups through a fleet-wide corpus.
+stored:
+	$(GO) run ./cmd/vsyncstored -store $(STORE)

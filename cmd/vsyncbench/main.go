@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/wmsim"
 	"repro/vsync"
 )
@@ -77,6 +78,7 @@ func main() {
 		suite        = flag.Bool("suite", false, "run the cold/warm verdict-store suite benchmark")
 		suiteJSON    = flag.String("suitejson", "BENCH_suite.json", "path of the suite benchmark JSON artifact (empty: don't write)")
 		suiteThreads = flag.Int("suitethreads", 2, "client thread-count ladder top for -suite")
+		workers      = cli.Workers()
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -99,7 +101,7 @@ func main() {
 		amc: *amc, full: *full, fig27: *fig27, sweep: *sweep, suite: *suite,
 		amcRuns: *amcRuns, amcJSON: *amcJSON, amcWorkers: *amcWorkers, amcBest: *amcBest,
 		amcBaseline: *amcBaseline, amcCheckTol: *amcCheckTol,
-		suiteJSON: *suiteJSON, suiteThreads: *suiteThreads,
+		suiteJSON: *suiteJSON, suiteThreads: *suiteThreads, workers: *workers,
 	})
 
 	// Flush both profiles before any fatal exit: log.Fatal skips defers,
@@ -133,6 +135,7 @@ type modes struct {
 	amcCheckTol                    float64
 	suiteJSON                      string
 	suiteThreads                   int
+	workers                        int
 }
 
 // run executes the selected mode, returning (not exiting on) failures
@@ -175,7 +178,7 @@ func run(m modes) error {
 				m.amcBaseline, 100*m.amcCheckTol)
 		}
 	case m.suite:
-		sb, err := vsync.RunSuiteBench(m.suiteThreads)
+		sb, err := vsync.RunSuiteBench(m.suiteThreads, m.workers)
 		if err != nil {
 			return err
 		}

@@ -10,7 +10,10 @@
 // -store PATH consults the persistent verdict store first — a problem
 // some earlier run already decided (same model, same barrier spec, same
 // program shape) is answered by a hash lookup with no model checking —
-// and appends every decisive verdict this invocation computes.
+// and appends every decisive verdict this invocation computes. The
+// store is a shared session: simultaneous tools on one path pool their
+// verdicts, and -remote URL additionally tiers lookups through a
+// vsyncstored verdict service.
 //
 // -all verifies every registered correct (non-study-case) algorithm,
 // fanning the AMC runs across -par workers (0 = GOMAXPROCS); the first
@@ -30,66 +33,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/locks"
-	"repro/internal/mm"
-	"repro/internal/store"
-	"repro/internal/vprog"
 	"repro/vsync"
 )
-
-// storeKey builds the content address of one verification problem.
-func storeKey(m mm.Model, spec *vprog.BarrierSpec, p *vsync.Program) store.Key {
-	return store.Key{Model: m.Name(), Spec: spec.Fingerprint128(), Prog: p.Fingerprint128()}
-}
-
-// storePut appends a verdict, reporting rather than swallowing
-// failures: an append error means the verdict will be re-computed next
-// run, and a conflict means the keying itself broke — both things the
-// operator must see.
-func storePut(st *store.Store, k store.Key, v core.Verdict, name string) {
-	if err := st.Put(k, v, name); err != nil {
-		fmt.Fprintln(os.Stderr, "vsynccheck: warning:", err)
-	}
-}
-
-// par0 renders the effective worker count of a -par value.
-func par0(par int) int {
-	if par <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return par
-}
 
 func main() {
 	var (
 		lockName  = flag.String("lock", "", "lock algorithm to verify (see -list)")
-		model     = flag.String("model", "wmm", "memory model: sc, tso or wmm")
+		model     = cli.Model()
 		threads   = flag.Int("threads", 2, "contending threads in the generic client")
 		iters     = flag.Int("iters", 1, "critical sections per thread")
 		scOnly    = flag.Bool("sc", false, "verify the sc-only (all-SC barrier) variant")
 		dotOut    = flag.String("dot", "", "write the counterexample graph as Graphviz DOT to this file")
 		list      = flag.Bool("list", false, "list registered algorithms and exit")
 		all       = flag.Bool("all", false, "verify every registered correct algorithm in parallel")
-		par       = flag.Int("par", 0, "concurrent AMC runs for -all (0 = GOMAXPROCS)")
-		workers   = flag.Int("workers", 1, "intra-run work-stealing workers per AMC run (0 = GOMAXPROCS, 1 = sequential)")
-		storePath = flag.String("store", "", "persistent verdict store: serve already-decided problems, append new verdicts")
+		par       = cli.Par()
+		workers   = cli.Workers()
+		storePath = cli.Store()
+		remote    = cli.Remote()
 	)
 	flag.Parse()
-
-	var st *store.Store
-	if *storePath != "" {
-		var err error
-		st, err = store.Open(*storePath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vsynccheck:", err)
-			os.Exit(2)
-		}
-		defer st.Close()
-	}
 
 	if *list {
 		for _, alg := range locks.All() {
@@ -101,64 +68,46 @@ func main() {
 		}
 		return
 	}
+	m := cli.ParseModel("vsynccheck", *model)
+	st := cli.OpenStore("vsynccheck", *storePath, *remote)
+	if st != nil {
+		defer st.Close()
+	}
+
 	if *all {
-		m := mm.ByName(*model)
-		if m == nil {
-			fmt.Fprintf(os.Stderr, "vsynccheck: unknown model %q (sc, tso, wmm)\n", *model)
-			os.Exit(2)
-		}
 		var ps []*vsync.Program
-		var keys []store.Key
-		served := 0
+		var keys []vsync.StoreKey
 		for _, alg := range locks.All() {
 			if alg.Buggy {
 				continue
 			}
 			spec := alg.DefaultSpec()
 			p := harness.MutexClient(alg, spec, *threads, *iters)
-			if st != nil {
-				k := storeKey(m, spec, p)
-				if v, ok := st.Lookup(k); ok {
-					if v != core.OK {
-						fmt.Printf("%s: %s (verdict served from store)\n", p.Name, v)
-						os.Exit(1)
-					}
-					served++
-					continue // already known to verify
-				}
-				keys = append(keys, k)
-			}
 			ps = append(ps, p)
-		}
-		if served > 0 {
-			fmt.Printf("store: %d of %d algorithms already verified, %d to check\n",
-				served, served+len(ps), len(ps))
-		}
-		if len(ps) == 0 {
-			fmt.Println("ok: every algorithm served from the verdict store")
-			return
+			keys = append(keys, vsync.StoreKey{Model: m.Name(), Spec: spec.Fingerprint128(), Prog: p.Fingerprint128()})
 		}
 		fmt.Printf("checking %d algorithms under %s (%d threads × %d iterations, %d workers, %d per run)...\n",
-			len(ps), m.Name(), *threads, *iters, par0(*par), par0(*workers))
-		res, failed, results := vsync.VerifySuiteResults(m, *par, *workers, ps)
-		if st != nil {
-			// Record every decisive verdict — including the runs that
-			// completed before a failure canceled the rest; re-doing that
-			// work next run is exactly what the store exists to avoid.
-			// Canceled and Error runs append nothing (store.Put drops
-			// indecisive verdicts).
-			for i, r := range results {
-				storePut(st, keys[i], r.Verdict, m.Name()+"/"+ps[i].Name)
-			}
+			len(ps), m.Name(), *threads, *iters, cli.Effective(*par), cli.Effective(*workers))
+		rr := vsync.Run(m, ps, vsync.RunOptions{
+			Parallelism:   *par,
+			WorkersPerRun: *workers,
+			Store:         st,
+			StoreKeys:     keys,
+		})
+		if rr.StoreHits > 0 {
+			fmt.Printf("store: %d of %d algorithms served without an AMC run\n", rr.StoreHits, len(ps))
 		}
-		if failed >= 0 {
-			fmt.Printf("%s: %s\n", ps[failed].Name, res)
-			if res.Verdict == core.Error {
+		if rr.StoreErr != nil {
+			fmt.Fprintln(os.Stderr, "vsynccheck: warning:", rr.StoreErr)
+		}
+		if rr.Failed >= 0 {
+			fmt.Printf("%s: %s\n", ps[rr.Failed].Name, rr.Result)
+			if rr.Result.Verdict == core.Error {
 				os.Exit(2)
 			}
 			os.Exit(1)
 		}
-		fmt.Println(res)
+		fmt.Println(rr.Result)
 		return
 	}
 	if *lockName == "" {
@@ -170,41 +119,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vsynccheck: unknown lock %q (try -list)\n", *lockName)
 		os.Exit(2)
 	}
-	m := mm.ByName(*model)
-	if m == nil {
-		fmt.Fprintf(os.Stderr, "vsynccheck: unknown model %q (sc, tso, wmm)\n", *model)
-		os.Exit(2)
-	}
 	spec := alg.DefaultSpec()
 	if *scOnly {
 		spec = spec.AllSC()
 	}
 
 	p := harness.MutexClient(alg, spec, *threads, *iters)
-	var k store.Key
-	if st != nil {
-		// Hashing interprets the whole program once; compute the key a
-		// single time for both the lookup and the put.
-		k = storeKey(m, spec, p)
-	}
+	runStore := st
 	if st != nil && *dotOut != "" {
 		// A counterexample graph only exists on a real run; don't let a
 		// store hit silently skip the artifact the user asked for.
 		fmt.Println("note: -dot requested, bypassing the verdict store for this check")
-	} else if st != nil {
-		if v, ok := st.Lookup(k); ok {
-			fmt.Printf("%s under %s: %s (verdict served from store, no AMC run)\n", p.Name, m.Name(), v)
-			if v != core.OK {
-				os.Exit(1)
-			}
-			return
-		}
+		runStore = nil
 	}
 	fmt.Printf("checking %s under %s (%d threads × %d iterations, %d workers)...\n",
-		p.Name, m.Name(), *threads, *iters, par0(*workers))
-	res := vsync.VerifyPar(m, p, *workers)
-	if st != nil {
-		storePut(st, k, res.Verdict, m.Name()+"/"+p.Name)
+		p.Name, m.Name(), *threads, *iters, cli.Effective(*workers))
+	rr := vsync.Run(m, []*vsync.Program{p}, vsync.RunOptions{
+		Parallelism:    1,
+		WorkersPerRun:  *workers,
+		CollectResults: true,
+		Store:          runStore,
+		StoreKeys:      []vsync.StoreKey{{Model: m.Name(), Spec: spec.Fingerprint128(), Prog: p.Fingerprint128()}},
+	})
+	res := rr.Results[0]
+	if rr.StoreHits > 0 {
+		fmt.Printf("%s under %s: %s (verdict served from store, no AMC run)\n", p.Name, m.Name(), res.Verdict)
+		if res.Verdict != core.OK {
+			os.Exit(1)
+		}
+		return
+	}
+	if rr.StoreErr != nil {
+		fmt.Fprintln(os.Stderr, "vsynccheck: warning:", rr.StoreErr)
 	}
 	if res.Verdict == core.Error {
 		fmt.Println(res)

@@ -9,6 +9,12 @@
 // stderr. Exit status is 2 when any cell was an engine error (or
 // canceled), 0 otherwise.
 //
+// -store PATH serves already-decided cells from the shared verdict
+// store (the same zero-spec addressing vsyncsuite uses for its litmus
+// cells, so the two tools warm each other) and appends fresh decisive
+// outcomes; -remote URL tiers lookups through a vsyncstored service.
+// -workers N shares each run's exploration frontier across N workers.
+//
 // Usage:
 //
 //	vsynclitmus            # weak (relaxed) variants
@@ -21,19 +27,28 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/mm"
 	"repro/internal/report"
+	"repro/vsync"
 )
 
 func main() {
 	var (
-		strong = flag.Bool("strong", false, "use release/acquire (and SC where relevant) accesses")
-		name   = flag.String("name", "", "run a single litmus test")
+		strong    = flag.Bool("strong", false, "use release/acquire (and SC where relevant) accesses")
+		name      = flag.String("name", "", "run a single litmus test")
+		workers   = cli.Workers()
+		storePath = cli.Store()
+		remote    = cli.Remote()
 	)
 	flag.Parse()
 
+	st := cli.OpenStore("vsynclitmus", *storePath, *remote)
+	if st != nil {
+		defer st.Close()
+	}
 	models := append(mm.All(), mm.RA)
 	names := harness.LitmusNames()
 	if *name != "" {
@@ -49,6 +64,7 @@ func main() {
 	}
 	t := report.NewTable(fmt.Sprintf("litmus conformance (%s variants): is the weak outcome observable?", strength), headers...)
 	hadError := false
+	hits := 0
 	for _, n := range names {
 		p := harness.Litmus(n, *strong)
 		if p == nil {
@@ -57,7 +73,21 @@ func main() {
 		}
 		row := []any{n}
 		for _, m := range models {
-			res := core.New(m).Run(p)
+			// Litmus cells are addressed with a zero spec fingerprint —
+			// the program is self-contained, there is no barrier spec —
+			// matching the suite matrix's litmus keys.
+			rr := vsync.Run(m, []*vsync.Program{p}, vsync.RunOptions{
+				Parallelism:    1,
+				WorkersPerRun:  *workers,
+				CollectResults: true,
+				Store:          st,
+				StoreKeys:      []vsync.StoreKey{{Model: m.Name(), Prog: p.Fingerprint128()}},
+			})
+			res := rr.Results[0]
+			hits += rr.StoreHits
+			if rr.StoreErr != nil {
+				fmt.Fprintln(os.Stderr, "vsynclitmus: warning:", rr.StoreErr)
+			}
 			// Verdict.LitmusLabel maps every verdict explicitly: an
 			// unexplained raw string in the observability matrix would
 			// leave the reader guessing whether the *outcome* or the
@@ -77,6 +107,9 @@ func main() {
 		t.Add(row...)
 	}
 	fmt.Println(t.String())
+	if st != nil {
+		fmt.Printf("store: %d of %d cells served without an AMC run\n", hits, (len(names))*len(models))
+	}
 	if hadError {
 		os.Exit(2)
 	}

@@ -15,14 +15,16 @@
 //
 // Usage:
 //
-//	vsyncopt -lock qspinlock [-threads 2] [-from-default] [-store PATH]
-//	         [-par N] [-workers N] [-passes N] [-no-speculate] [-no-cache]
+//	vsyncopt -lock qspinlock [-model wmm] [-threads 2] [-from-default]
+//	         [-store PATH] [-remote URL] [-par N] [-workers N]
+//	         [-passes N] [-no-speculate] [-no-cache]
 //
-// -store PATH backs the verdict cache with the persistent store at
-// PATH: candidates some earlier process (a previous vsyncopt run, the
-// vsyncsuite orchestrator, CI) already judged cost a hash lookup
-// instead of a model-checking run, and every decisive verdict this run
-// computes is appended for the next one.
+// -store PATH backs the verdict cache with the shared persistent store
+// at PATH: candidates some earlier process (a previous vsyncopt run,
+// the vsyncsuite orchestrator, a concurrent invocation, CI) already
+// judged cost a hash lookup instead of a model-checking run, and every
+// decisive verdict this run computes is appended for the next one.
+// -remote URL tiers lookups through a vsyncstored verdict service.
 package main
 
 import (
@@ -31,9 +33,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/harness"
 	"repro/internal/locks"
-	"repro/internal/mm"
 	"repro/internal/optimize"
 	"repro/internal/store"
 	"repro/internal/vprog"
@@ -48,14 +50,16 @@ import (
 func main() {
 	var (
 		lockName    = flag.String("lock", "", "lock algorithm to optimize")
+		model       = cli.Model()
 		threads     = flag.Int("threads", 2, "contending threads in the verification client")
 		fromDefault = flag.Bool("from-default", false, "start from the default spec instead of all-SC")
-		par         = flag.Int("par", 0, "concurrent AMC runs (0 = GOMAXPROCS, 1 = sequential)")
-		workers     = flag.Int("workers", 1, "intra-run work-stealing workers per AMC run (1 = off)")
+		par         = cli.Par()
+		workers     = cli.Workers()
 		passes      = flag.Int("passes", 1, "full point sweeps (descent repeats until fixpoint or cap)")
 		noSpeculate = flag.Bool("no-speculate", false, "disable the speculative candidate ladder")
 		noCache     = flag.Bool("no-cache", false, "disable verdict memoization")
-		storePath   = flag.String("store", "", "persistent verdict store backing the cache (implies caching)")
+		storePath   = cli.Store()
+		remote      = cli.Remote()
 	)
 	flag.Parse()
 
@@ -64,8 +68,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vsyncopt: unknown lock %q\n", *lockName)
 		os.Exit(2)
 	}
+	m := cli.ParseModel("vsyncopt", *model)
 	opt := &optimize.Optimizer{
-		Model: mm.WMM,
+		Model: m,
 		Programs: func(spec *vprog.BarrierSpec) []*vprog.Program {
 			ps := []*vprog.Program{harness.MutexClient(alg, spec, *threads, 1)}
 			if alg.Name == "qspin" {
@@ -81,17 +86,10 @@ func main() {
 		WorkersPerRun: *workers,
 		Speculate:     !*noSpeculate,
 	}
-	var st *store.Store
-	if *storePath != "" {
-		var err error
-		st, err = store.Open(*storePath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vsyncopt:", err)
-			os.Exit(2)
-		}
+	st := cli.OpenStore("vsyncopt", *storePath, *remote)
+	if st != nil {
 		defer st.Close()
 		opt.Cache = optimize.NewCacheWithStore(st)
-		fmt.Printf("store: %s — %d verdicts loaded\n", st.Path(), st.Stats().Loaded)
 	} else if !*noCache {
 		opt.Cache = optimize.NewCache()
 	}
@@ -118,6 +116,10 @@ func main() {
 		s := st.Stats()
 		fmt.Printf("store: %d verdicts served (%d probes), %d appended, %d total\n",
 			s.Hits, s.Hits+s.Misses, s.Appended, st.Len())
+		if s.RemoteHits > 0 || s.RemotePuts > 0 || s.RemoteFailures > 0 {
+			fmt.Printf("remote: %d served, %d pushed, %d failures\n",
+				s.RemoteHits, s.RemotePuts, s.RemoteFailures)
+		}
 		if s.Conflicts > 0 {
 			// The cache's write-through is best-effort, but a conflict is
 			// never routine: it means two runs judged one key differently,

@@ -7,10 +7,15 @@
 // decisive verdicts are appended for the next run. A warm re-run over
 // an unchanged corpus does no model checking at all.
 //
+// The store is a shared session: two simultaneous vsyncsuite
+// invocations (or a suite racing vsynccheck/vsyncopt) may point at one
+// path, each observing the other's verdicts as they land; -remote URL
+// additionally tiers lookups through a vsyncstored verdict service.
+//
 // Usage:
 //
-//	vsyncsuite [-store PATH] [-models sc,tso,wmm] [-locks a,b,...]
-//	           [-threads N] [-iters N] [-no-litmus]
+//	vsyncsuite [-store PATH] [-remote URL] [-models sc,tso,wmm]
+//	           [-locks a,b,...] [-threads N] [-iters N] [-no-litmus]
 //	           [-par N] [-workers N] [-min-hit-rate F] [-v]
 //
 // -threads N covers the ladder 2..N (default 2). -min-hit-rate F exits
@@ -28,22 +33,23 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/locks"
-	"repro/internal/mm"
 	"repro/vsync"
 )
 
 func main() {
 	var (
-		storePath  = flag.String("store", "", "persistent verdict store (append-only log); empty = no store, every cell runs AMC")
+		storePath  = cli.Store()
+		remote     = cli.Remote()
 		modelsFlag = flag.String("models", "", "comma-separated memory models (default: sc,tso,wmm)")
 		locksFlag  = flag.String("locks", "", "comma-separated lock algorithms (default: every non-buggy one)")
 		threads    = flag.Int("threads", 2, "client thread-count ladder 2..N")
 		iters      = flag.Int("iters", 1, "critical sections per client thread")
 		noLitmus   = flag.Bool("no-litmus", false, "drop the litmus conformance corpus")
-		par        = flag.Int("par", 0, "concurrent AMC runs (0 = GOMAXPROCS)")
-		workers    = flag.Int("workers", 1, "intra-run work-stealing workers per AMC run (0 = GOMAXPROCS)")
-		minHitRate = flag.Float64("min-hit-rate", 0, "fail unless the store served at least this fraction of cells")
+		par        = cli.Par()
+		workers    = cli.Workers()
+		minHitRate = cli.MinHitRate()
 		verbose    = flag.Bool("v", false, "print the full per-cell table, not just the summary")
 	)
 	flag.Parse()
@@ -57,12 +63,7 @@ func main() {
 	}
 	if *modelsFlag != "" {
 		for _, name := range strings.Split(*modelsFlag, ",") {
-			m := mm.ByName(strings.TrimSpace(name))
-			if m == nil {
-				fmt.Fprintf(os.Stderr, "vsyncsuite: unknown model %q (sc, tso, wmm)\n", name)
-				os.Exit(2)
-			}
-			cfg.Models = append(cfg.Models, m)
+			cfg.Models = append(cfg.Models, cli.ParseModel("vsyncsuite", strings.TrimSpace(name)))
 		}
 	}
 	if *locksFlag != "" {
@@ -75,24 +76,10 @@ func main() {
 			cfg.Locks = append(cfg.Locks, alg)
 		}
 	}
-	if *storePath != "" {
-		st, err := vsync.OpenStore(*storePath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vsyncsuite:", err)
-			os.Exit(2)
-		}
+	st := cli.OpenStore("vsyncsuite", *storePath, *remote)
+	if st != nil {
 		defer st.Close()
 		cfg.Store = st
-		s := st.Stats()
-		epoch := vsync.StoreCodeEpoch()
-		fmt.Printf("store: %s — %d verdicts loaded, code epoch %016x%016x", st.Path(), s.Loaded, epoch[0], epoch[1])
-		if s.Stale > 0 {
-			fmt.Printf(", %d records from other code epochs (not served, retained for flip-backs)", s.Stale)
-		}
-		if s.Corrupted > 0 {
-			fmt.Printf(", %d corrupt tail bytes discarded", s.Corrupted)
-		}
-		fmt.Println()
 	}
 
 	res := vsync.VerifyMatrix(cfg)

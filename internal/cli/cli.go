@@ -1,0 +1,120 @@
+// Package cli centralizes the flag surface the vsync command-line
+// tools share. Every binary used to hand-roll its own -store, -model,
+// -workers and friends, and the names, defaults and help strings had
+// started to drift; these constructors are the single source of truth,
+// so `vsynccheck -store X -workers 4` and `vsyncsuite -store X
+// -workers 4` mean exactly the same thing.
+//
+// The constructors register on the default flag.CommandLine set (which
+// is what every tool parses) and return the value pointer, so a main
+// reads:
+//
+//	storePath := cli.Store()
+//	workers := cli.Workers()
+//	flag.Parse()
+//	st := cli.OpenStore("vsynccheck", *storePath, *remote)
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/mm"
+	"repro/vsync"
+)
+
+// Store registers the -store flag: the shared persistent verdict log.
+func Store() *string {
+	return flag.String("store", "", "persistent verdict store (shared append-only log): serve already-decided problems, append new verdicts")
+}
+
+// Remote registers the -remote flag: the optional verdict-service tier
+// behind -store.
+func Remote() *string {
+	return flag.String("remote", "", "base URL of a vsyncstored verdict service backing -store (best-effort: unreachable degrades to local-only)")
+}
+
+// Workers registers the -workers flag: intra-run work stealing.
+func Workers() *int {
+	return flag.Int("workers", 1, "intra-run work-stealing workers per AMC run (0 = GOMAXPROCS, 1 = sequential)")
+}
+
+// Par registers the -par flag: whole-run fan-out.
+func Par() *int {
+	return flag.Int("par", 0, "concurrent AMC runs (0 = GOMAXPROCS, 1 = one at a time)")
+}
+
+// Model registers the -model flag; resolve it with ParseModel.
+func Model() *string {
+	return flag.String("model", "wmm", "memory model: sc, tso or wmm")
+}
+
+// MinHitRate registers the -min-hit-rate flag: the store-efficacy
+// floor CI uses to assert a warm pass did near-zero AMC work.
+func MinHitRate() *float64 {
+	return flag.Float64("min-hit-rate", 0, "fail unless the store served at least this fraction of cells")
+}
+
+// ParseModel resolves a -model value, exiting 2 with the uniform
+// message on an unknown name.
+func ParseModel(tool, name string) vsync.Model {
+	m := mm.ByName(name)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "%s: unknown model %q (sc, tso, wmm)\n", tool, name)
+		os.Exit(2)
+	}
+	return m
+}
+
+// Effective reports the parallel width a "0 = GOMAXPROCS" flag value
+// resolves to, for banner printing.
+func Effective(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// OpenStore opens the shared verdict session the -store/-remote pair
+// names, printing the uniform banner; it returns nil when path is
+// empty (no store requested) and exits 2 on open errors. Remote-tier
+// degradation messages go to stderr prefixed with the tool name.
+func OpenStore(tool, path, remote string) *vsync.VerdictStore {
+	if path == "" {
+		if remote != "" {
+			fmt.Fprintf(os.Stderr, "%s: -remote requires -store (the remote tier backs a local log)\n", tool)
+			os.Exit(2)
+		}
+		return nil
+	}
+	var opts *vsync.StoreOptions
+	if remote != "" {
+		opts = &vsync.StoreOptions{
+			Remote: remote,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, tool+": "+format+"\n", args...)
+			},
+		}
+	}
+	st, err := vsync.OpenStoreWith(path, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(2)
+	}
+	s := st.Stats()
+	epoch := vsync.StoreCodeEpoch()
+	fmt.Printf("store: %s — %d verdicts loaded, code epoch %016x%016x", st.Path(), s.Loaded, epoch[0], epoch[1])
+	if s.Stale > 0 {
+		fmt.Printf(", %d records from other code epochs (not served, retained for flip-backs)", s.Stale)
+	}
+	if s.Corrupted > 0 {
+		fmt.Printf(", %d corrupt tail bytes discarded", s.Corrupted)
+	}
+	if remote != "" {
+		fmt.Printf(", remote tier %s", remote)
+	}
+	fmt.Println()
+	return st
+}

@@ -5,11 +5,11 @@ package store
 import "os"
 
 // lockFile is a no-op where flock is unavailable (windows, solaris,
-// aix, ...); the documented single-owner contract is then unenforced
-// and concurrent processes on one store file can corrupt it.
+// aix, ...); the documented multi-writer protocol is then unenforced
+// and simultaneous processes appending one store risk interleaved
+// (torn) records — which the checksummed scan detects and discards,
+// but cannot prevent.
 func lockFile(*os.File) error { return nil }
 
-// haveFlock = false makes the compaction rename close the old handle
-// first: Windows refuses to rename over an open file, and with no
-// advisory locks there is no lock-gap to protect anyway.
-const haveFlock = false
+// unlockFile matches lockFile's no-op.
+func unlockFile(*os.File) {}

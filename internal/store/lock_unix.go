@@ -7,46 +7,45 @@ import (
 	"syscall"
 )
 
-// lockFile takes an exclusive, non-blocking advisory flock on the open
-// log, enforcing the store's single-owner contract across processes:
-// two handles truncating and appending the same file at independent
-// offsets would punch unreadable holes mid-log, and everything after
-// the first bad record is discarded on the next load. Non-blocking so
-// a held lock fails Open immediately (with a clear "store in use"
-// error) instead of stalling a suite run behind another process. The
-// lock belongs to the open file description and is released when the
-// handle is closed.
+// lockFile takes an exclusive, blocking advisory flock on the sidecar
+// lock file — the store's per-append mutex across processes. Blocking
+// is the right behavior for the multi-writer protocol: the lock is
+// held only for a tail re-scan plus one record write (or, rarely, a
+// compaction rewrite), so a contender waits milliseconds, and failing
+// instead would turn every append race into a lost verdict. The lock
+// belongs to the open file description and unlockFile (or closing the
+// handle) releases it.
+//
+// The lock target is the sidecar (<path>.lock), not the data log:
+// compaction replaces the log via rename, and a lock on the replaced
+// inode would silently stop excluding anyone who reopens the path. The
+// sidecar is stable across such renames.
 //
 // The build tag lists the platforms whose syscall package defines
 // Flock (the set cmd/go's lockedfile uses) — `unix` alone would break
 // compilation on solaris/illumos/aix, which lack it.
 func lockFile(f *os.File) error {
 	for {
-		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
 		switch err {
 		case nil:
 			return nil
 		case syscall.EINTR:
 			continue
-		case syscall.EWOULDBLOCK:
-			// The only errno that actually means "another process holds
-			// the lock" — the caller's "store in use" message is accurate
-			// for this case alone.
-			return err
 		default:
 			// ENOLCK, ENOTSUP, ...: this filesystem cannot take advisory
 			// locks (an NFS mount without a lock manager, say). Fall back
-			// to the unenforced single-owner contract — the standing
-			// behavior of the no-flock platforms — rather than refusing
-			// to open a store that worked before locking existed and
-			// misdiagnosing the failure as a concurrent owner.
+			// to the unenforced protocol — the standing behavior of the
+			// no-flock platforms — rather than refusing to open a store
+			// that worked before locking existed.
 			return nil
 		}
 	}
 }
 
-// haveFlock tells the compaction rename which ordering to use: with
-// real locks the old handle stays open (and locked) across the rename
-// so the path is never an unlocked target; POSIX permits renaming over
-// an open file.
-const haveFlock = true
+// unlockFile releases the advisory lock taken by lockFile. Errors are
+// ignored: the handle either was not locked (the lockFile fallback) or
+// the lock dies with the file description anyway.
+func unlockFile(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

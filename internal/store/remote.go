@@ -1,0 +1,248 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// WireRecord is one verdict on the HTTP wire (client batches and
+// server responses alike). Epoch and Key are the two 128-bit hashes as
+// 32 lowercase hex digits; Verdict is the core.Verdict byte. It is the
+// JSON projection of the on-disk record, minus framing.
+type WireRecord struct {
+	Epoch   string `json:"epoch"`
+	Key     string `json:"key"`
+	Verdict uint8  `json:"verdict"`
+	Name    string `json:"name,omitempty"`
+}
+
+// hashHex renders a 128-bit hash as the wire's 32-hex-digit form.
+func hashHex(h graph.Hash128) string {
+	return fmt.Sprintf("%016x%016x", h[0], h[1])
+}
+
+// parseHashHex inverts hashHex.
+func parseHashHex(s string) (graph.Hash128, error) {
+	var h graph.Hash128
+	if len(s) != 32 {
+		return h, fmt.Errorf("hash %q: want 32 hex digits", s)
+	}
+	if _, err := fmt.Sscanf(s[:16], "%016x", &h[0]); err != nil {
+		return h, fmt.Errorf("hash %q: %w", s, err)
+	}
+	if _, err := fmt.Sscanf(s[16:], "%016x", &h[1]); err != nil {
+		return h, fmt.Errorf("hash %q: %w", s, err)
+	}
+	return h, nil
+}
+
+// remoteTier is the client side of the verdict service. It is
+// best-effort by design: every failure trips an exponential cooldown
+// (1s, 2s, 4s, ... capped at 30s) during which calls short-circuit to
+// a miss, so an unreachable service costs one timeout per cooldown
+// window instead of one per cell, and a run always completes
+// local-only. Each degradation and each retry is logged.
+type remoteTier struct {
+	base string
+	hc   *http.Client
+	logf func(string, ...any)
+
+	mu        sync.Mutex
+	failures  int
+	downUntil time.Time
+}
+
+func newRemoteTier(base string, timeout time.Duration, logf func(string, ...any)) *remoteTier {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &remoteTier{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: timeout},
+		logf: logf,
+	}
+}
+
+// available reports whether the tier is outside a failure cooldown; a
+// false return is the fast-path miss while the service is down.
+func (r *remoteTier) available() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Now().After(r.downUntil)
+}
+
+// fail records one failed call and arms (or extends) the backoff.
+func (r *remoteTier) fail(op string, err error) {
+	r.mu.Lock()
+	r.failures++
+	backoff := time.Second << min(r.failures-1, 5) // 1s .. 32s, capped below
+	if backoff > 30*time.Second {
+		backoff = 30 * time.Second
+	}
+	r.downUntil = time.Now().Add(backoff)
+	n := r.failures
+	r.mu.Unlock()
+	r.logf("store: remote %s %s failed (attempt %d): %v; backing off %v, continuing local-only", op, r.base, n, err, backoff)
+}
+
+// ok resets the backoff after a successful call; the first call after
+// a cooldown that succeeds logs the recovery.
+func (r *remoteTier) ok() {
+	r.mu.Lock()
+	recovered := r.failures > 0
+	r.failures = 0
+	r.downUntil = time.Time{}
+	r.mu.Unlock()
+	if recovered {
+		r.logf("store: remote %s reachable again", r.base)
+	}
+}
+
+// get asks the service for one verdict. The three-valued return keeps
+// "definite miss" (nil error) distinct from "service unavailable"
+// (error, counted as a RemoteFailure by the session).
+func (r *remoteTier) get(epoch, key graph.Hash128) (core.Verdict, string, bool, error) {
+	if !r.available() {
+		return 0, "", false, nil
+	}
+	u := fmt.Sprintf("%s/v1/verdict?epoch=%s&key=%s", r.base,
+		url.QueryEscape(hashHex(epoch)), url.QueryEscape(hashHex(key)))
+	resp, err := r.hc.Get(u)
+	if err != nil {
+		r.fail("GET", err)
+		return 0, "", false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		r.ok()
+		return 0, "", false, nil
+	case http.StatusOK:
+		var w WireRecord
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&w); err != nil {
+			r.fail("GET", err)
+			return 0, "", false, err
+		}
+		r.ok()
+		return core.Verdict(w.Verdict), w.Name, true, nil
+	default:
+		err := fmt.Errorf("status %s", resp.Status)
+		r.fail("GET", err)
+		return 0, "", false, err
+	}
+}
+
+// put sends one batch of verdicts. PUT is idempotent — records are
+// content-addressed, so the server dedups re-sent batches — which
+// makes retry-after-failure safe without sequencing.
+func (r *remoteTier) put(batch []WireRecord) error {
+	if !r.available() {
+		return fmt.Errorf("remote in backoff")
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, r.base+"/v1/verdicts", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		r.fail("PUT", err)
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("status %s", resp.Status)
+		r.fail("PUT", err)
+		return err
+	}
+	r.ok()
+	return nil
+}
+
+// remoteGet probes the remote tier for the session, translating
+// transport failures into RemoteFailures accounting.
+func (s *Session) remoteGet(id recordID) (core.Verdict, string, bool) {
+	v, name, ok, err := s.remote.get(id.epoch, id.key)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.RemoteFailures++
+		s.mu.Unlock()
+		return 0, "", false
+	}
+	return v, name, ok
+}
+
+// enqueueRemoteLocked queues one freshly appended verdict for the
+// batched remote push, firing an async batch once remoteBatchSize
+// accumulate. Caller holds mu. Pushes are fire-and-forget (idempotent
+// server-side); Flush/Close drain the remainder and wait.
+func (s *Session) enqueueRemoteLocked(id recordID, v core.Verdict, name string) {
+	if s.remote == nil {
+		return
+	}
+	s.pending = append(s.pending, WireRecord{
+		Epoch:   hashHex(id.epoch),
+		Key:     hashHex(id.key),
+		Verdict: uint8(v),
+		Name:    name,
+	})
+	if len(s.pending) >= remoteBatchSize {
+		batch := s.pending
+		s.pending = nil
+		s.inflight.Add(1)
+		go func() {
+			defer s.inflight.Done()
+			s.sendBatch(batch)
+		}()
+	}
+}
+
+// sendBatch pushes one batch and books the outcome.
+func (s *Session) sendBatch(batch []WireRecord) {
+	err := s.remote.put(batch)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.stats.RemoteFailures++
+		return
+	}
+	s.stats.RemotePuts += len(batch)
+}
+
+// Flush drains the pending remote batch (if any) and waits for
+// in-flight pushes. A no-op without a remote tier; never fails the
+// caller — remote trouble is backoff-logged and counted, not returned.
+func (s *Session) Flush() {
+	s.mu.Lock()
+	batch := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	if len(batch) > 0 {
+		s.sendBatch(batch)
+	}
+	s.inflight.Wait()
+}

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// NewHandler serves a session as the verdict service API consumed by
+// remoteTier (cmd/vsyncstored wraps it in a binary). The service is a
+// plain epoch-aware key/value view of one shared log:
+//
+//	GET  /v1/verdict?epoch=HEX&key=HEX  -> 200 WireRecord | 404
+//	PUT  /v1/verdicts  ([]WireRecord)   -> 200 {"appended","duplicates","conflicts"}
+//	GET  /v1/stats                      -> 200 Stats
+//	GET  /v1/healthz                    -> 200 ok
+//
+// Records are stored verbatim under the *client's* code epoch — the
+// server's own build is irrelevant to what it stores, which is what
+// lets one service back a fleet of heterogeneous builds. PUT is
+// idempotent (content-addressed dedup) and tolerant: conflicting
+// records are counted and kept out, never an error, so one bad client
+// cannot wedge the fleet's ingest.
+func NewHandler(s *Session) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /v1/verdict", func(w http.ResponseWriter, r *http.Request) {
+		epoch, err1 := parseHashHex(r.URL.Query().Get("epoch"))
+		key, err2 := parseHashHex(r.URL.Query().Get("key"))
+		if err1 != nil || err2 != nil {
+			http.Error(w, "bad epoch/key", http.StatusBadRequest)
+			return
+		}
+		v, name, ok := s.LookupEpoch(epoch, key)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, WireRecord{
+			Epoch:   hashHex(epoch),
+			Key:     hashHex(key),
+			Verdict: uint8(v),
+			Name:    name,
+		})
+	})
+
+	mux.HandleFunc("PUT /v1/verdicts", func(w http.ResponseWriter, r *http.Request) {
+		var batch []WireRecord
+		if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&batch); err != nil {
+			http.Error(w, fmt.Sprintf("bad batch: %v", err), http.StatusBadRequest)
+			return
+		}
+		var appended, duplicates, conflicts, rejected int
+		for _, rec := range batch {
+			epoch, err1 := parseHashHex(rec.Epoch)
+			key, err2 := parseHashHex(rec.Key)
+			if err1 != nil || err2 != nil || !decisive(core.Verdict(rec.Verdict)) {
+				rejected++
+				continue
+			}
+			if prev, _, ok := s.LookupEpoch(epoch, key); ok && prev == core.Verdict(rec.Verdict) {
+				duplicates++
+				continue
+			}
+			switch err := s.PutRaw(epoch, key, core.Verdict(rec.Verdict), rec.Name); {
+			case err == nil:
+				appended++
+			case errors.Is(err, ErrConflict):
+				conflicts++
+			default:
+				// Disk trouble: the one genuinely server-side failure,
+				// and the client should know its batch did not persist.
+				http.Error(w, fmt.Sprintf("append failed: %v", err), http.StatusInternalServerError)
+				return
+			}
+		}
+		writeJSON(w, map[string]int{
+			"appended":   appended,
+			"duplicates": duplicates,
+			"conflicts":  conflicts,
+			"rejected":   rejected,
+		})
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// The multi-process acceptance test for the shared-store protocol:
+// real concurrent *processes* (not goroutines — flock is per open file
+// description, and only separate processes exercise the cross-process
+// append lock for real) hammer one log, and the live parent session
+// must observe every verdict via Refresh with nothing lost and nothing
+// torn. The children are this test binary re-executed against the
+// helper below, the standard subprocess-test idiom.
+
+const (
+	appenderEnv  = "VSYNC_TEST_STORE_APPENDER" // set: run the helper, not the suite
+	appenderPath = "VSYNC_TEST_STORE_PATH"
+	appenderBase = "VSYNC_TEST_STORE_BASE"
+	appenderN    = "VSYNC_TEST_STORE_COUNT"
+)
+
+// TestStoreAppenderHelper is not a test: it is the body of the child
+// processes TestMultiProcessAppenders spawns. It opens a shared
+// session on the inherited store path and appends its assigned key
+// range.
+func TestStoreAppenderHelper(t *testing.T) {
+	if os.Getenv(appenderEnv) == "" {
+		t.Skip("helper for TestMultiProcessAppenders; runs only as a subprocess")
+	}
+	base, err := strconv.Atoi(os.Getenv(appenderBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := strconv.Atoi(os.Getenv(appenderN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenShared(os.Getenv(appenderPath), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := base; i < base+count; i++ {
+		if err := s.Put(testKey(i), verdictFor(i), fmt.Sprintf("w%d-%d", base, i)); err != nil {
+			t.Fatalf("child put %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiProcessAppenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	const (
+		procs   = 4
+		perProc = 25
+	)
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+
+	// The parent holds a live session the whole time — the
+	// long-running-reader role Refresh exists for.
+	parent, err := OpenShared(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parent.Close()
+
+	cmds := make([]*exec.Cmd, procs)
+	for w := 0; w < procs; w++ {
+		cmd := exec.Command(os.Args[0], "-test.run=TestStoreAppenderHelper$")
+		cmd.Env = append(os.Environ(),
+			appenderEnv+"=1",
+			appenderPath+"="+path,
+			appenderBase+"="+strconv.Itoa(w*perProc),
+			appenderN+"="+strconv.Itoa(perProc),
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cmds[w] = cmd
+	}
+	// The parent appends its own range concurrently with the children.
+	for i := procs * perProc; i < procs*perProc+perProc; i++ {
+		if err := parent.Put(testKey(i), verdictFor(i), fmt.Sprintf("parent-%d", i)); err != nil {
+			t.Fatalf("parent put %d: %v", i, err)
+		}
+	}
+	for w, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("appender %d: %v", w, err)
+		}
+	}
+
+	// Refresh must surface every child verdict in the live session.
+	if _, err := parent.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	total := (procs + 1) * perProc
+	for i := 0; i < total; i++ {
+		if v, ok := parent.Lookup(testKey(i)); !ok || v != verdictFor(i) {
+			t.Fatalf("live session lost verdict %d: (%v, %v), want (%v, true)", i, v, ok, verdictFor(i))
+		}
+	}
+	if parent.Len() != total {
+		t.Fatalf("live session indexes %d verdicts, want %d", parent.Len(), total)
+	}
+	st := parent.Stats()
+	if st.Refreshed != procs*perProc {
+		t.Fatalf("observed %d concurrent verdicts, want the children's %d (lost or double-counted records)",
+			st.Refreshed, procs*perProc)
+	}
+
+	// And the log itself must be clean: a fresh session loads every
+	// record with zero corrupt (torn) bytes.
+	fresh, err := OpenShared(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if s := fresh.Stats(); s.Loaded != total || s.Corrupted != 0 || s.Stale != 0 {
+		t.Fatalf("reloaded log: %+v, want %d clean records", s, total)
+	}
+}

@@ -8,44 +8,85 @@
 // (vsync.VerifyMatrix) all consult the store before spending minutes of
 // model checking on a problem some earlier process already decided.
 //
-// On-disk format: a single append-only log of self-delimiting binary
-// records, each individually CRC-checksummed:
+// # Sessions and the multi-writer protocol
+//
+// The store is a fleet asset: any number of processes — simultaneous
+// vsyncsuite and vsyncopt invocations, parallel CI runners — share one
+// live log through Session handles (OpenShared). The local protocol is
+//
+//   - appends are record-atomic: each verdict is one O_APPEND write of
+//     a self-delimiting record, performed under a short-held advisory
+//     lock on a sidecar file (<path>.lock), so concurrent appends can
+//     interleave between records but never inside one;
+//   - before appending, a session re-scans the log tail it has not yet
+//     trusted, so cross-process duplicates become no-ops instead of
+//     redundant records, and a torn tail left by a crashed writer is
+//     healed (truncated) under the same lock no live writer can hold;
+//   - Refresh performs that incremental tail re-scan on demand, so a
+//     long-running reader observes verdicts written by concurrent
+//     processes without reopening;
+//   - rewrites (Compact, the open-time stale-budget compaction) go
+//     through an atomic temp-file rename under the sidecar lock; other
+//     live sessions notice the inode change at their next locked
+//     operation and rescan from scratch.
+//
+// The sidecar lock survives renames of the data file, which is what
+// makes compaction safe against concurrent appenders. On platforms
+// without flock the protocol is unenforced (documented on lockFile) and
+// simultaneous writers risk interleaving — the pre-session contract.
+//
+// # On-disk format
+//
+// A single append-only log of self-delimiting binary records, each
+// individually CRC-checksummed:
 //
 //	[4B magic "VSYV"][4B payload len][payload][4B IEEE CRC32(payload)]
 //	payload = [1B version][16B code epoch][16B key hash][1B verdict]
 //	          [2B name len][name]
 //
-// Append-only makes concurrent writers trivial (one mutex, one
-// file-append per new verdict) and makes every historical verdict
-// recoverable; the in-memory index is rebuilt by a forward scan on
-// Open. The scan is corruption-tolerant: the first record whose magic,
+// Records are content-addressed and order-independent, which makes
+// Merge a dedup-union: a record is identified by (code epoch, key
+// hash), two stores merge by appending the records the destination has
+// not seen, and provenance (the writing build's epoch, the
+// human-readable name) rides along unchanged.
+//
+// The load scan is corruption-tolerant: the first record whose magic,
 // length bound or checksum fails ends the trusted prefix, everything
 // after it is discarded, and the file is truncated back to the trusted
 // length so subsequent appends extend a well-formed log. A torn tail
 // write (crash mid-append, disk-full) therefore costs at most the
 // records after the tear — never a wrong verdict; that includes a tear
-// inside the very first record's magic. A non-empty file that does not
-// start with (a prefix of) the record magic was never a store and is
-// refused outright, so a mistyped path cannot truncate a user's file.
+// inside the very first record's magic. Because every append first
+// heals the tail under the lock, a good record is never written after
+// a tear, so the no-resynchronization scan loses nothing under the
+// protocol. A non-empty file that does not start with (a prefix of)
+// the record magic was never a store and is refused outright, so a
+// mistyped path cannot truncate a user's file.
+//
+// # Invalidation
 //
 // Invalidation is by construction rather than by command: change the
 // program, the spec or the model and the key changes, so stale entries
 // are simply never looked up again. Change any verification-relevant
 // *source code* and the code epoch changes: every record carries the
-// epoch (see epoch.go — a hash of the compiled-in sources of the
-// checker, the program constructors, and every key-handling package
-// including this one) of the binary that wrote it, and load indexes
-// only records matching this build's epoch. Program
-// fingerprints witness one sequential execution and cannot see
-// contended-path code, so without the epoch a cross-commit edit to a
-// lock's slow path would leave keys unchanged and a store cached from
-// an earlier commit (CI does exactly this) would serve stale verdicts.
-// Foreign-epoch records are retained (a bisect that rebuilds an old
-// epoch flips straight back to a warm store) up to a byte budget;
-// beyond it the oldest are compacted away on open, so the log stays
-// bounded however many code commits the CI cache survives. Only
-// decisive verdicts (OK, SafetyViolation, ATViolation) are stored;
-// Error and Canceled carry no reusable information.
+// epoch (see epoch.go) of the binary that wrote it, and lookups serve
+// only records matching this build's epoch. Foreign-epoch records are
+// retained (a bisect that rebuilds an old epoch flips straight back to
+// a warm store) up to a byte budget; beyond it the oldest are
+// compacted away, so the log stays bounded however many code commits
+// the CI cache survives. Only decisive verdicts (OK, SafetyViolation,
+// ATViolation) are stored; Error and Canceled carry no reusable
+// information.
+//
+// # The remote tier
+//
+// A Session may additionally be backed by a remote verdict service
+// (cmd/vsyncstored) via Options.Remote: lookups then go memory → local
+// log → remote GET (remote hits are promoted into the local log), and
+// decisive local appends are pushed to the service in idempotent
+// batches. The remote tier is strictly best-effort — an unreachable
+// service degrades the session to local-only with logged
+// backoff-and-retry, and never fails a verification run.
 package store
 
 import (
@@ -58,6 +99,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -92,6 +134,10 @@ const (
 	payloadFixed  = 1 + 16 + 16 + 1 + 2 // version + code epoch + key + verdict + name length
 	minPayload    = 1                   // a version byte; older formats were shorter than payloadFixed
 	maxPayload    = payloadFixed + 4096 // name length is bounded; anything bigger is corruption
+
+	// remoteBatchSize is how many pending verdicts accumulate before a
+	// batched remote PUT is fired; Close/Flush drain the remainder.
+	remoteBatchSize = 16
 )
 
 // staleRetainBytes bounds how much foreign-epoch (or foreign-version)
@@ -101,87 +147,155 @@ const (
 // variable so tests can shrink it.
 var staleRetainBytes = 1 << 20
 
-// Stats is the cumulative accounting of one open store.
+// recordID is a record's content address: the code epoch of the build
+// that wrote it plus the key hash. Merge dedups on this identity, and
+// the index maps it so foreign-epoch history is queryable (the remote
+// service stores records for every client epoch).
+type recordID struct {
+	epoch, key graph.Hash128
+}
+
+// entry is one indexed verdict with its human-readable provenance.
+type entry struct {
+	v    core.Verdict
+	name string
+}
+
+// Stats is the cumulative accounting of one open session.
 type Stats struct {
 	Loaded    int // records trusted by the opening scan
 	Stale     int // well-formed records from another code epoch or record version: not served, retained up to a budget
-	Corrupted int // bytes discarded by the opening scan (torn/corrupt tail)
-	Hits      int // Lookup probes answered
+	Corrupted int // bytes discarded by scans (torn/corrupt tails, healed)
+	Refreshed int // current-epoch records observed by tail re-scans after open (written by concurrent processes)
+	Hits      int // Lookup probes answered (local or remote)
 	Misses    int // Lookup probes not answered
 	Puts      int // Put calls with a decisive verdict
-	Appended  int // records actually written (Puts minus duplicates)
+	Appended  int // records actually written (puts minus duplicates, plus merges and remote promotions)
 	Conflicts int // decisive verdicts contradicting a stored one (kept out)
+
+	RemoteHits     int // lookups served by the remote tier (and promoted locally)
+	RemotePuts     int // records acknowledged by batched remote PUTs
+	RemoteFailures int // remote calls that failed (degraded to local-only)
 }
 
-// Store is a disk-backed verdict memo. It is safe for concurrent use by
-// any number of goroutines of one process; the on-disk log is owned by
-// that process for the lifetime of the handle. Where the platform
-// supports it, Open enforces the single-owner contract with an
-// exclusive advisory flock, so a second process opening the same path
-// fails with a "store in use" error instead of interleaving its
-// truncate-and-append cycle with the owner's — share verdicts by
-// sharing the file between runs, not between simultaneous writers.
-type Store struct {
-	mu    sync.Mutex
-	f     *os.File
-	path  string
-	index map[graph.Hash128]core.Verdict
-	stats Stats
+// Options configures OpenShared beyond the log path.
+type Options struct {
+	// Remote is the base URL of a vsyncstored verdict service (e.g.
+	// "http://stored.internal:8372"); empty means local-only. The
+	// remote tier is best-effort: an unreachable service is retried
+	// with exponential backoff and never fails a run.
+	Remote string
+	// RemoteTimeout bounds each remote call (default 2s).
+	RemoteTimeout time.Duration
+	// Logf receives degradation and retry messages ("remote
+	// unreachable, continuing local-only"); nil uses log.Printf.
+	Logf func(format string, args ...any)
 }
 
-// Open opens (creating if necessary, including parent directories) the
-// verdict log at path, scans its trusted prefix into the in-memory
-// index, and truncates away any corrupt or torn tail.
-func Open(path string) (*Store, error) {
+// Session is a shared handle on a verdict log. Any number of sessions —
+// across goroutines and across processes — may read and append one log
+// concurrently; see the package comment for the protocol. Lookup serves
+// from the in-memory index (the trusted prefix as of the last scan);
+// call Refresh to observe records appended by other processes since.
+type Session struct {
+	mu      sync.Mutex
+	f       *os.File // data log, O_APPEND: every write lands at EOF
+	lockf   *os.File // sidecar <path>.lock; flocked briefly per append/scan
+	fi      os.FileInfo
+	path    string
+	scanned int64 // end of the trusted prefix; everything before it is indexed
+	index   map[recordID]entry
+	stats   Stats
+
+	staleBytes int64 // foreign-epoch/version bytes as of the last full scan
+
+	remote   *remoteTier
+	pending  []WireRecord
+	inflight sync.WaitGroup
+}
+
+// Store is the session type's pre-sharing name.
+//
+// Deprecated: use Session. The exclusive single-owner Store was
+// replaced by shared multi-writer sessions; the alias keeps old callers
+// compiling.
+type Store = Session
+
+// OpenShared opens (creating if necessary, including parent
+// directories) a shared session on the verdict log at path. Concurrent
+// sessions of any number of processes may share the log; opts may be
+// nil for a local-only session with defaults.
+func OpenShared(path string, opts *Options) (*Session, error) {
 	if dir := filepath.Dir(path); dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	lockf, err := os.OpenFile(path+".lock", os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	if err := lockFile(f); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: %s is in use by another process (the log supports one owner at a time; rerun when the other process exits): %w", path, err)
+	s := &Session{path: path, lockf: lockf}
+	if opts != nil && opts.Remote != "" {
+		s.remote = newRemoteTier(opts.Remote, opts.RemoteTimeout, opts.Logf)
 	}
-	s := &Store{f: f, path: path, index: make(map[graph.Hash128]core.Verdict)}
-	if err := s.load(); err != nil {
-		f.Close()
+	err = s.withFileLock(func() error {
+		if err := s.openLocked(); err != nil {
+			return err
+		}
+		if s.staleBytes > int64(staleRetainBytes) {
+			// Over the retention budget: compact the oldest foreign
+			// records away. Compaction is an optimization, not a
+			// correctness requirement, so a failure (disk full, exotic
+			// filesystem) falls through with the full history retained.
+			s.compactLocked()
+		}
+		return nil
+	})
+	if err != nil {
+		lockf.Close()
+		if s.f != nil {
+			s.f.Close()
+		}
 		return nil, err
 	}
 	return s, nil
 }
 
-// load scans the log from the start, trusting records until the first
-// malformed one, and truncates the file to the trusted length.
-func (s *Store) load() error {
-	data, err := io.ReadAll(s.f)
-	if err != nil {
-		return fmt.Errorf("store: reading %s: %w", s.path, err)
+// Open opens a shared session on the verdict log at path.
+//
+// Deprecated: use OpenShared. Open used to take an exclusive flock and
+// refuse a second process; the log is now multi-writer and Open is an
+// alias for OpenShared(path, nil).
+func Open(path string) (*Session, error) { return OpenShared(path, nil) }
+
+// withFileLock runs fn holding the cross-process append lock. The lock
+// is held briefly (a scan, one record write); blocking is the right
+// behavior for contenders.
+func (s *Session) withFileLock(fn func() error) error {
+	if err := lockFile(s.lockf); err != nil {
+		return fmt.Errorf("store: locking %s: %w", s.path, err)
 	}
-	// A non-empty file that does not begin with (a prefix of) the
-	// record magic was never a verdict store: refuse loudly instead of
-	// truncating a file the caller mistyped the path of. A store whose
-	// very first append tore mid-record still carries the magic prefix
-	// — even if fewer than 4 bytes of it landed — and heals through the
-	// normal corrupt-tail path below.
-	if len(data) > 0 {
-		var magic [4]byte
-		binary.LittleEndian.PutUint32(magic[:], recordMagic)
-		n := min(len(data), len(magic))
-		if !bytes.Equal(data[:n], magic[:n]) {
-			return fmt.Errorf("store: %s is not a verdict store (bad leading magic); refusing to truncate it — delete or move the file if it really is the store", s.path)
-		}
-	}
+	defer unlockFile(s.lockf)
+	return fn()
+}
+
+// parsedRecord is one well-formed record found by scanLog.
+type parsedRecord struct {
+	start, end int // byte span within the scanned slice
+	id         recordID
+	v          core.Verdict
+	name       string
+	decodable  bool // false: CRC-valid but a record version this build cannot parse
+}
+
+// scanLog walks data from its start, returning every well-formed record
+// and the trusted byte count. The first record whose magic, length
+// bound or checksum fails ends the scan — a mid-log tear must not
+// resynchronize on garbage-controlled framing.
+func scanLog(data []byte) ([]parsedRecord, int) {
+	var recs []parsedRecord
 	valid := 0
-	type recSpan struct {
-		start, end int
-		live       bool
-	}
-	var spans []recSpan
-	staleBytes := 0
 	for valid+headerSize <= len(data) {
 		if binary.LittleEndian.Uint32(data[valid:]) != recordMagic {
 			break
@@ -202,128 +316,161 @@ func (s *Store) load() error {
 		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[end-4:]) {
 			break
 		}
-		if epoch, key, v, ok := decodePayload(payload); ok && epoch == currentEpoch() {
-			s.index[key] = v
+		r := parsedRecord{start: valid, end: end}
+		r.id.epoch, r.id.key, r.v, r.name, r.decodable = decodePayload(payload)
+		recs = append(recs, r)
+		valid = end
+	}
+	return recs, valid
+}
+
+// openLocked (re)opens the log from its path and rebuilds the index
+// from a full scan, truncating away any corrupt or torn tail. Caller
+// holds mu (or is constructing) and the file lock. Loaded/Stale/
+// staleBytes describe the current log and are recomputed; cumulative
+// counters (Hits, Puts, ...) are preserved.
+func (s *Session) openLocked() error {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: reading %s: %w", s.path, err)
+	}
+	// A non-empty file that does not begin with (a prefix of) the
+	// record magic was never a verdict store: refuse loudly instead of
+	// truncating a file the caller mistyped the path of. A store whose
+	// very first append tore mid-record still carries the magic prefix
+	// — even if fewer than 4 bytes of it landed — and heals through the
+	// normal corrupt-tail path below.
+	if len(data) > 0 {
+		var magic [4]byte
+		binary.LittleEndian.PutUint32(magic[:], recordMagic)
+		n := min(len(data), len(magic))
+		if !bytes.Equal(data[:n], magic[:n]) {
+			f.Close()
+			return fmt.Errorf("store: %s is not a verdict store (bad leading magic); refusing to truncate it — delete or move the file if it really is the store", s.path)
+		}
+	}
+	recs, valid := scanLog(data)
+	s.index = make(map[recordID]entry, len(recs))
+	s.stats.Loaded, s.stats.Stale, s.staleBytes = 0, 0, 0
+	cur := currentEpoch()
+	for _, r := range recs {
+		if r.decodable && r.id.epoch == cur {
 			s.stats.Loaded++
-			spans = append(spans, recSpan{valid, end, true})
 		} else {
 			// A well-formed record from another record version or code
 			// epoch cannot be served by this build, but it is not
 			// garbage: a bisect or branch switch may build the epoch
 			// that wrote it again tomorrow, and deleting it would
 			// silently destroy minutes of AMC work. Retain it — up to
-			// staleRetainBytes; beyond the budget the oldest foreign
-			// records are compacted away so a CI-restored store stays
-			// bounded instead of growing by a corpus per code commit.
+			// staleRetainBytes, enforced by compactLocked.
 			s.stats.Stale++
-			staleBytes += end - valid
-			spans = append(spans, recSpan{valid, end, false})
+			s.staleBytes += int64(r.end - r.start)
 		}
-		valid = end
-	}
-	s.stats.Corrupted = len(data) - valid
-	if staleBytes > staleRetainBytes {
-		// Over budget: drop the oldest foreign records (log order is
-		// write order). The rewrite is atomic — temp file, then rename
-		// — so a crash at any instant leaves either the old log or the
-		// complete new one; records that were intact before Open can
-		// never be lost to a half-finished rewrite. Compaction is an
-		// optimization, not a correctness requirement, so a failure
-		// (disk full, exotic filesystem) falls through to the normal
-		// open path with the full history retained.
-		keep := spans[:0]
-		kept := 0
-		for _, sp := range spans {
-			if !sp.live && staleBytes > staleRetainBytes {
-				staleBytes -= sp.end - sp.start
-				continue
-			}
-			keep = append(keep, sp)
-			if !sp.live {
-				kept++
+		if r.decodable {
+			if _, dup := s.index[r.id]; !dup {
+				// First record wins: the log is authoritative in write
+				// order, matching Put's conflict stance.
+				s.index[r.id] = entry{r.v, r.name}
 			}
 		}
-		var buf []byte
-		for _, sp := range keep {
-			buf = append(buf, data[sp.start:sp.end]...)
-		}
-		if err := s.swapInCompacted(buf); err == nil {
-			s.stats.Stale = kept // only what actually survived
-			return nil
-		} else if s.f == nil {
-			// The no-flock path closed the old handle and could not get
-			// it back; there is no store to fall through to.
-			return fmt.Errorf("store: compacting %s: %w", s.path, err)
-		}
 	}
-	if s.stats.Corrupted > 0 {
-		if err := s.f.Truncate(int64(valid)); err != nil {
+	s.f = f
+	s.scanned = int64(valid)
+	if corrupt := len(data) - valid; corrupt > 0 {
+		if err := f.Truncate(s.scanned); err != nil {
 			return fmt.Errorf("store: truncating corrupt tail of %s: %w", s.path, err)
 		}
+		s.stats.Corrupted += corrupt
 	}
-	if _, err := s.f.Seek(int64(valid), io.SeekStart); err != nil {
+	s.fi, err = f.Stat()
+	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
 }
 
-// swapInCompacted atomically replaces the log with content: the new
-// file is written and synced beside the log, flocked *before* the
-// rename publishes it (so there is no instant at which another process
-// could grab the path unlocked), renamed over the log, and adopted as
-// the store's handle. On any error the original log is untouched.
-func (s *Store) swapInCompacted(content []byte) error {
-	tmpPath := s.path + ".compact"
-	tf, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
+// refreshLocked brings the index up to date with the on-disk log:
+// an incremental scan of the unexamined tail in the common case, a full
+// reopen when the file was replaced (another process compacted it) or
+// truncated beneath the trusted prefix. A torn tail is healed — the
+// caller holds the append lock, so torn bytes can only be a crashed
+// writer's leftovers, never a live writer mid-record. Caller holds mu
+// and the file lock.
+func (s *Session) refreshLocked() error {
+	pfi, err := os.Stat(s.path)
+	if err != nil || s.fi == nil || !os.SameFile(pfi, s.fi) {
+		return s.openLocked()
 	}
-	fail := func(err error) error {
-		tf.Close()
-		os.Remove(tmpPath)
-		return err
+	size := pfi.Size()
+	if size < s.scanned {
+		return s.openLocked()
 	}
-	if err := lockFile(tf); err != nil {
-		return fail(err)
-	}
-	if _, err := tf.Write(content); err != nil {
-		return fail(err)
-	}
-	if err := tf.Sync(); err != nil {
-		return fail(err)
-	}
-	if !haveFlock {
-		// No advisory locks on this platform, so keeping the old handle
-		// open buys no exclusion — and Windows refuses to rename over an
-		// open file, which would otherwise make the retention budget
-		// silently unenforceable. Close first; restore on failure so the
-		// caller still has a working (if uncompacted) store.
-		s.f.Close()
-		s.f = nil
-		if err := os.Rename(tmpPath, s.path); err != nil {
-			f, rerr := os.OpenFile(s.path, os.O_RDWR, 0o644)
-			if rerr == nil {
-				s.f = f // original log intact; compaction skipped
-			}
-			return fail(err)
-		}
-		s.f = tf
+	if size == s.scanned {
 		return nil
 	}
-	if err := os.Rename(tmpPath, s.path); err != nil {
-		return fail(err)
+	buf := make([]byte, size-s.scanned)
+	if _, err := io.ReadFull(io.NewSectionReader(s.f, s.scanned, int64(len(buf))), buf); err != nil {
+		return fmt.Errorf("store: reading tail of %s: %w", s.path, err)
 	}
-	s.f.Close() // old inode and its lock; tf already holds the new one
-	s.f = tf    // offset is at end, ready to append
+	recs, valid := scanLog(buf)
+	cur := currentEpoch()
+	for _, r := range recs {
+		if !r.decodable {
+			s.stats.Stale++
+			s.staleBytes += int64(r.end - r.start)
+			continue
+		}
+		if _, dup := s.index[r.id]; dup {
+			continue
+		}
+		s.index[r.id] = entry{r.v, r.name}
+		if r.id.epoch == cur {
+			s.stats.Refreshed++
+		} else {
+			s.stats.Stale++
+			s.staleBytes += int64(r.end - r.start)
+		}
+	}
+	s.scanned += int64(valid)
+	if torn := len(buf) - valid; torn > 0 {
+		if err := s.f.Truncate(s.scanned); err == nil {
+			s.stats.Corrupted += torn
+		}
+	}
 	return nil
+}
+
+// Refresh re-scans the log tail, observing records appended by
+// concurrent processes since the last scan (or open). It returns how
+// many new current-epoch verdicts became visible. Long-running readers
+// (the suite orchestrator between cells) call this to share a live
+// store with simultaneous writers.
+func (s *Session) Refresh() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return 0, fmt.Errorf("store: %s: Refresh after Close", s.path)
+	}
+	before := s.stats.Refreshed
+	err := s.withFileLock(s.refreshLocked)
+	return s.stats.Refreshed - before, err
 }
 
 // decodePayload parses one checksummed payload. ok is false for
 // versions (and their payload shapes) this build does not understand;
 // the caller treats those as stale, like a foreign code epoch.
-func decodePayload(p []byte) (epoch, key graph.Hash128, v core.Verdict, ok bool) {
+func decodePayload(p []byte) (epoch, key graph.Hash128, v core.Verdict, name string, ok bool) {
 	if len(p) < payloadFixed || p[0] != recordVersion {
-		return epoch, key, v, false
+		return epoch, key, v, "", false
 	}
 	epoch[0] = binary.LittleEndian.Uint64(p[1:])
 	epoch[1] = binary.LittleEndian.Uint64(p[9:])
@@ -332,9 +479,9 @@ func decodePayload(p []byte) (epoch, key graph.Hash128, v core.Verdict, ok bool)
 	v = core.Verdict(p[33])
 	nameLen := int(binary.LittleEndian.Uint16(p[34:]))
 	if payloadFixed+nameLen != len(p) {
-		return epoch, key, v, false
+		return epoch, key, v, "", false
 	}
-	return epoch, key, v, true
+	return epoch, key, v, string(p[payloadFixed:]), true
 }
 
 // encodeRecord builds the full on-disk record for one verdict.
@@ -359,21 +506,63 @@ func encodeRecord(epoch, key graph.Hash128, v core.Verdict, name string) []byte 
 	return rec
 }
 
-// Lookup returns the stored verdict for k, counting the probe.
-func (s *Store) Lookup(k Key) (core.Verdict, bool) {
+// decisive reports whether v carries reusable information worth
+// persisting; Error and Canceled do not.
+func decisive(v core.Verdict) bool {
+	return v == core.OK || v == core.SafetyViolation || v == core.ATViolation
+}
+
+// Lookup returns the stored verdict for k, counting the probe. The
+// probe goes memory (the indexed local log) first; on a miss with a
+// remote tier configured it additionally asks the verdict service, and
+// a remote hit is promoted into the local log so the next process is
+// warm without the network.
+func (s *Session) Lookup(k Key) (core.Verdict, bool) {
 	return s.lookupHash(k.Hash())
 }
 
-func (s *Store) lookupHash(h graph.Hash128) (core.Verdict, bool) {
+func (s *Session) lookupHash(h graph.Hash128) (core.Verdict, bool) {
+	id := recordID{currentEpoch(), h}
+	s.mu.Lock()
+	if e, ok := s.index[id]; ok {
+		s.stats.Hits++
+		s.mu.Unlock()
+		return e.v, true
+	}
+	r := s.remote
+	s.mu.Unlock()
+	if r != nil {
+		if v, name, ok := s.remoteGet(id); ok {
+			s.mu.Lock()
+			s.stats.Hits++
+			s.stats.RemoteHits++
+			if s.f != nil {
+				// Best-effort promotion; the verdict is served either way.
+				s.putLocked(id, v, name, false)
+			}
+			s.mu.Unlock()
+			return v, true
+		}
+	}
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+	return 0, false
+}
+
+// LookupEpoch returns the stored verdict and name for an explicit
+// (epoch, key hash) identity — the remote service's read path, which
+// must answer clients of any build, not just this binary's epoch.
+func (s *Session) LookupEpoch(epoch, key graph.Hash128) (core.Verdict, string, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	v, ok := s.index[h]
+	e, ok := s.index[recordID{epoch, key}]
 	if ok {
 		s.stats.Hits++
 	} else {
 		s.stats.Misses++
 	}
-	return v, ok
+	return e.v, e.name, ok
 }
 
 // ErrConflict marks a Put whose decisive verdict contradicts the one
@@ -387,56 +576,115 @@ var ErrConflict = errors.New("verdict conflict")
 // name travels along for human-readable log inspection only. Indecisive
 // verdicts (Error, Canceled) are dropped silently — they carry no
 // reusable information. Re-putting an already-stored verdict is a
-// no-op; putting a *different* decisive verdict for a stored key is
-// refused with an error wrapping ErrConflict, because it means the
-// keying broke (a fingerprint collision or a nondeterministic checker)
-// and trusting either verdict would be unsound.
-func (s *Store) Put(k Key, v core.Verdict, name string) error {
-	if v != core.OK && v != core.SafetyViolation && v != core.ATViolation {
+// no-op (including one another process appended concurrently: the
+// pre-append tail re-scan catches it); putting a *different* decisive
+// verdict for a stored key is refused with an error wrapping
+// ErrConflict, because it means the keying broke (a fingerprint
+// collision or a nondeterministic checker) and trusting either verdict
+// would be unsound.
+func (s *Session) Put(k Key, v core.Verdict, name string) error {
+	if !decisive(v) {
 		return nil
 	}
-	h := k.Hash()
+	id := recordID{currentEpoch(), k.Hash()}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f == nil {
 		return fmt.Errorf("store: %s: Put after Close", s.path)
 	}
 	s.stats.Puts++
-	if prev, ok := s.index[h]; ok {
-		if prev == v {
-			return nil
-		}
-		s.stats.Conflicts++
-		return fmt.Errorf("store: %w for %s (%s): stored %v, new %v", ErrConflict, name, k.Model, prev, v)
-	}
-	if _, err := s.f.Write(encodeRecord(currentEpoch(), h, v, name)); err != nil {
-		return fmt.Errorf("store: appending to %s: %w", s.path, err)
-	}
-	s.index[h] = v
-	s.stats.Appended++
-	return nil
+	return s.putLocked(id, v, name, true)
 }
 
-// Len returns the number of indexed verdicts.
-func (s *Store) Len() int {
+// PutRaw records a decisive verdict under an explicit (epoch, key hash)
+// identity — the remote service's ingest path, which must store records
+// stamped with the *client's* epoch verbatim. It never pushes to a
+// remote tier (the service is the remote tier).
+func (s *Session) PutRaw(epoch, key graph.Hash128, v core.Verdict, name string) error {
+	if !decisive(v) {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("store: %s: Put after Close", s.path)
+	}
+	s.stats.Puts++
+	return s.putLocked(recordID{epoch, key}, v, name, false)
+}
+
+// putLocked appends one record under the cross-process lock, after a
+// tail re-scan so concurrent processes' appends dedup instead of
+// duplicating. Caller holds mu.
+func (s *Session) putLocked(id recordID, v core.Verdict, name string, push bool) error {
+	// Fast path: the index only ever grows, so an in-memory duplicate
+	// or conflict needs no file lock.
+	if prev, ok := s.index[id]; ok {
+		return s.dupOrConflict(prev.v, v, name)
+	}
+	err := s.withFileLock(func() error {
+		if err := s.refreshLocked(); err != nil {
+			return err
+		}
+		if prev, ok := s.index[id]; ok {
+			return s.dupOrConflict(prev.v, v, name)
+		}
+		rec := encodeRecord(id.epoch, id.key, v, name)
+		if n, err := s.f.Write(rec); err != nil {
+			if n > 0 {
+				// Partial append: heal our own torn tail while we still
+				// hold the lock.
+				s.f.Truncate(s.scanned)
+			}
+			return fmt.Errorf("store: appending to %s: %w", s.path, err)
+		}
+		s.index[id] = entry{v, name}
+		s.scanned += int64(len(rec))
+		s.stats.Appended++
+		if id.epoch != currentEpoch() {
+			s.stats.Stale++
+			s.staleBytes += int64(len(rec))
+		}
+		return nil
+	})
+	if err == nil && push {
+		s.enqueueRemoteLocked(id, v, name)
+	}
+	return err
+}
+
+// dupOrConflict resolves a put against an already-indexed verdict:
+// agreement is a no-op, disagreement is the unsound-rekey sentinel.
+func (s *Session) dupOrConflict(prev, v core.Verdict, name string) error {
+	if prev == v {
+		return nil
+	}
+	s.stats.Conflicts++
+	return fmt.Errorf("store: %w for %s: stored %v, new %v", ErrConflict, name, prev, v)
+}
+
+// Len returns the number of indexed records (all epochs).
+func (s *Session) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.index)
 }
 
-// Stats returns a snapshot of the store's accounting.
-func (s *Store) Stats() Stats {
+// Stats returns a snapshot of the session's accounting.
+func (s *Session) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
 }
 
 // Path returns the log's file path.
-func (s *Store) Path() string { return s.path }
+func (s *Session) Path() string { return s.path }
 
-// Close syncs and closes the log, releasing the advisory lock taken by
-// Open. The Store must not be used after (a late Put fails cleanly).
-func (s *Store) Close() error {
+// Close flushes the remote tier (best-effort), syncs and closes the
+// log, and releases the sidecar lock handle. The Session must not be
+// used after (a late Put fails cleanly).
+func (s *Session) Close() error {
+	s.Flush()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f == nil {
@@ -447,5 +695,9 @@ func (s *Store) Close() error {
 		err = cerr
 	}
 	s.f = nil
+	if s.lockf != nil {
+		s.lockf.Close()
+		s.lockf = nil
+	}
 	return err
 }

@@ -20,11 +20,25 @@ import (
 	"repro/internal/vprog"
 )
 
-// VerdictStore is the persistent, content-addressed AMC verdict store
-// (internal/store): an append-only checksummed log keyed by
-// (model, spec fingerprint, program fingerprint). Shared by
-// optimize.Cache's persistent tier and the VerifyMatrix suite runner.
-type VerdictStore = store.Store
+// VerdictStore is a shared session on the persistent, content-
+// addressed AMC verdict store (internal/store): an append-only
+// checksummed log keyed by (model, spec fingerprint, program
+// fingerprint). Shared by optimize.Cache's persistent tier, the
+// VerifyMatrix suite runner and Run.
+//
+// Sharing semantics: the log is multi-writer. Any number of sessions —
+// in this process or others — may hold one path open simultaneously;
+// appends are record-atomic under a short-held cross-process lock, so
+// concurrent writers never lose or tear records. A session serves
+// lookups from its in-memory index, which covers the log as of its
+// last scan; VerifyMatrix and Run call VerdictStore.Refresh to pull in
+// verdicts concurrent processes appended, so two simultaneous suite
+// runs share one live store: each serves cells the other already
+// decided and appends only what it computed first. Merge pools two
+// stores into one, Compact rewrites a log in place (dropping
+// duplicates and over-budget foreign-epoch history) — both safe
+// against live sessions elsewhere.
+type VerdictStore = store.Session
 
 // StoreKey identifies one verification problem in a VerdictStore.
 type StoreKey = store.Key
@@ -32,12 +46,23 @@ type StoreKey = store.Key
 // StoreStats is a VerdictStore's cumulative accounting.
 type StoreStats = store.Stats
 
-// OpenStore opens (creating if necessary) the verdict log at path,
-// loading its trusted prefix and truncating away any corrupt tail. The
-// handle owns the file until Close: a second process opening the same
-// path fails with a "store in use" error (enforced by an advisory
-// flock where the platform has one).
-func OpenStore(path string) (*VerdictStore, error) { return store.Open(path) }
+// StoreOptions configures OpenStoreWith beyond the log path — chiefly
+// the remote verdict-service tier (see cmd/vsyncstored): lookups then
+// go memory → local log → remote, decisive appends are pushed in
+// idempotent batches, and an unreachable service degrades the session
+// to local-only with logged backoff, never failing a run.
+type StoreOptions = store.Options
+
+// OpenStore opens (creating if necessary) a shared session on the
+// verdict log at path, loading its trusted prefix and truncating away
+// any corrupt tail. Concurrent sessions on one path — including other
+// processes' — are the supported norm; see VerdictStore.
+func OpenStore(path string) (*VerdictStore, error) { return store.OpenShared(path, nil) }
+
+// OpenStoreWith is OpenStore with options (remote tier, logging).
+func OpenStoreWith(path string, opts *StoreOptions) (*VerdictStore, error) {
+	return store.OpenShared(path, opts)
+}
 
 // StoreCodeEpoch returns the code-identity epoch this binary stamps on
 // every store record (a hash of the checker and program-constructor
@@ -49,7 +74,10 @@ func StoreCodeEpoch() graph.Hash128 { return store.CodeEpoch() }
 
 // NewOptCacheWithStore returns a verdict cache whose misses fall
 // through to — and whose decisive verdicts are written through to —
-// the persistent store st.
+// the persistent session st. The session may simultaneously back other
+// runs (a VerifyMatrix in another process, a remote tier); the cache
+// layers its in-memory promotion on top of whatever the session
+// serves.
 func NewOptCacheWithStore(st *VerdictStore) *OptCache {
 	return optimize.NewCacheWithStore(st)
 }
@@ -319,6 +347,12 @@ func VerifyMatrixCtx(ctx context.Context, cfg MatrixConfig) *MatrixResult {
 	res := &MatrixResult{}
 	var appended0 int
 	if cfg.Store != nil {
+		// The session is shared: pull in verdicts concurrent processes
+		// appended since our last scan, so a suite started seconds
+		// after another serves the overlap instead of recomputing it.
+		// Best-effort — a closed or unreadable store degrades to
+		// memory-only lookups and surfaces through StoreErr on Put.
+		cfg.Store.Refresh()
 		appended0 = cfg.Store.Stats().Appended
 	}
 
@@ -356,6 +390,26 @@ func VerifyMatrixCtx(ctx context.Context, cfg MatrixConfig) *MatrixResult {
 			go func(group []int) {
 				defer wg.Done()
 				rep := &cells[group[0]]
+				if cfg.Store != nil {
+					// Re-check right before spending AMC work: with two
+					// live suites on one store, the other process may have
+					// decided this cell since our opening scan. The
+					// Refresh is an incremental tail re-scan — cheap when
+					// nothing changed — and a late hit serves the whole
+					// group.
+					cfg.Store.Refresh()
+					if v, ok := cfg.Store.Lookup(rep.key); ok {
+						for _, i := range group {
+							mc := &cells[i]
+							mc.cell.Verdict = v
+							mc.cell.FromStore = true
+						}
+						mu.Lock()
+						res.Hits += len(group)
+						mu.Unlock()
+						return
+					}
+				}
 				c := core.New(mm.ByName(rep.cell.Model))
 				if cfg.MaxGraphs > 0 {
 					c.MaxGraphs = cfg.MaxGraphs

@@ -191,3 +191,55 @@ func TestMatrixStoreAppendFailure(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeMakesMatrixWarm: two stores that each verified a disjoint
+// half of the corpus merge into one whose full-corpus re-run is
+// entirely warm — the fleet story: CI shards verify halves, the merged
+// corpus serves everything.
+func TestMergeMakesMatrixWarm(t *testing.T) {
+	var half1, half2 []*vsync.Algorithm
+	for i, alg := range vsync.Locks() {
+		if alg.Buggy {
+			continue
+		}
+		if i%2 == 0 {
+			half1 = append(half1, alg)
+		} else {
+			half2 = append(half2, alg)
+		}
+	}
+	dir := t.TempDir()
+	stA, err := vsync.OpenStore(filepath.Join(dir, "a.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stA.Close()
+	stB, err := vsync.OpenStore(filepath.Join(dir, "b.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard A takes half the locks, shard B the other half plus the
+	// litmus corpus — disjoint cells, together the full default matrix.
+	ra := vsync.VerifyMatrix(vsync.MatrixConfig{Locks: half1, NoLitmus: true, Store: stA})
+	rb := vsync.VerifyMatrix(vsync.MatrixConfig{Locks: half2, Store: stB})
+	if ra.Errors > 0 || rb.Errors > 0 || ra.StoreErr != nil || rb.StoreErr != nil {
+		t.Fatalf("shard passes not clean: %s / %s", ra.Summary(), rb.Summary())
+	}
+	if err := stB.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ms, err := stA.Merge(stB.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Conflicts != 0 || ms.Added == 0 {
+		t.Fatalf("merge of disjoint shards: %+v", ms)
+	}
+
+	full := vsync.VerifyMatrix(vsync.MatrixConfig{Store: stA})
+	if full.Misses != 0 || full.Hits+full.Deduped != len(full.Cells) {
+		t.Fatalf("merged store did not make the full matrix warm: %s", full.Summary())
+	}
+}

@@ -1,0 +1,214 @@
+package vsync
+
+import (
+	"context"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// RunOptions parameterizes Run, the single entry point the historical
+// Verify/VerifyPar/VerifySuite/VerifySuitePar/VerifySuiteResults
+// family collapsed into. The zero value is a sensible sequential
+// verification: one run at a time, one worker per run, no store.
+type RunOptions struct {
+	// Parallelism bounds concurrent AMC runs (0 = GOMAXPROCS,
+	// 1 = one run at a time).
+	Parallelism int
+	// WorkersPerRun shares each run's exploration frontier among up to
+	// this many workers (0 = GOMAXPROCS, 1 = sequential). The verdict
+	// is identical at every worker count; see VerifyPar for the
+	// statistics fine print.
+	WorkersPerRun int
+	// CollectResults retains every program's individual result (and
+	// its per-program store provenance) on the RunResult; off, only
+	// the reduced Result/Failed pair is kept.
+	CollectResults bool
+	// Store, when non-nil, is consulted before any AMC work — a stored
+	// verdict serves its program without a run — and receives every
+	// decisive verdict this run computes. The session is shared: a
+	// Refresh first observes verdicts concurrent processes stored.
+	Store *VerdictStore
+	// StoreKeys, when non-nil, supplies the store key per program
+	// (parallel to the programs slice; callers that know the
+	// BarrierSpec behind a program pass the full key). Nil keys each
+	// program by (model, zero spec, program fingerprint) — sound, but
+	// a different address than spec-aware callers use.
+	StoreKeys []StoreKey
+	// MaxGraphs bounds each AMC run (0 = checker default).
+	MaxGraphs int
+}
+
+// RunResult is the outcome of one Run call.
+type RunResult struct {
+	// Result reduces the run: the lowest-indexed decisive failure, or
+	// an OK result aggregating every program's statistics (and the
+	// slowest run's wall time) when all verify.
+	Result *Result
+	// Failed is the index of the program Result refers to, -1 when
+	// every program verified.
+	Failed int
+	// Results holds each program's individual result, in program
+	// order, when RunOptions.CollectResults is set (nil otherwise).
+	// Programs canceled by the fail-fast report Canceled; programs
+	// served by the store report a synthetic result carrying only the
+	// verdict.
+	Results []*Result
+	// FromStore marks, parallel to Results, the programs whose verdict
+	// was served by the store (only with CollectResults).
+	FromStore []bool
+	// StoreHits counts programs served by the store.
+	StoreHits int
+	// StoreErr is the first failed store append, or nil. Append
+	// failures never taint a verdict — the run is sound, it just is
+	// not warming the store (a conflict error, errors.Is ErrConflict,
+	// additionally means the keying broke; see VerdictStore.Put).
+	StoreErr error
+}
+
+// Run model-checks programs under model, fanning the AMC runs out
+// across a worker pool with fail-fast cancellation and (optionally)
+// serving and warming a shared verdict store. It subsumes the
+// deprecated Verify* family:
+//
+//	Verify(m, p)                      = Run(m, []*Program{p}, RunOptions{Parallelism: 1, WorkersPerRun: 1, CollectResults: true}).Results[0]
+//	VerifyPar(m, p, w)                = ... WorkersPerRun: w ...
+//	VerifySuite(m, par, ps)           = Run(m, ps, RunOptions{Parallelism: par, WorkersPerRun: 1}) reduced to (Result, Failed)
+//	VerifySuitePar / ...SuiteResults  = the same with WorkersPerRun and CollectResults
+//
+// Single-program runs with Parallelism 1 execute the checker
+// standalone, so WorkersPerRun > 1 spawns that run's own worker set
+// exactly as VerifyPar always has; everything else goes through a
+// core.Pool, where extra workers arrive by borrowing idle slots.
+func Run(model Model, programs []*Program, opts RunOptions) *RunResult {
+	return RunCtx(context.Background(), model, programs, opts)
+}
+
+// RunCtx is Run with cooperative cancellation: canceling ctx stops
+// pending and running AMC work, which reports Canceled.
+func RunCtx(ctx context.Context, model Model, programs []*Program, opts RunOptions) *RunResult {
+	if opts.WorkersPerRun <= 0 {
+		opts.WorkersPerRun = runtime.GOMAXPROCS(0)
+	}
+	n := len(programs)
+	rr := &RunResult{Failed: -1}
+	results := make([]*Result, n)
+	fromStore := make([]bool, n)
+
+	keys := opts.StoreKeys
+	if opts.Store != nil && keys == nil {
+		keys = make([]StoreKey, n)
+		for i, p := range programs {
+			keys[i] = StoreKey{Model: model.Name(), Spec: graph.Hash128{}, Prog: p.Fingerprint128()}
+		}
+	}
+	var todo []int
+	if opts.Store != nil {
+		// Observe verdicts concurrent processes appended since this
+		// session's last scan; best-effort (a closed or unreadable
+		// store degrades to memory-only lookups).
+		opts.Store.Refresh()
+		for i := range programs {
+			if v, ok := opts.Store.Lookup(keys[i]); ok {
+				results[i] = &Result{Verdict: v}
+				fromStore[i] = true
+				rr.StoreHits++
+			} else {
+				todo = append(todo, i)
+			}
+		}
+	} else {
+		for i := range programs {
+			todo = append(todo, i)
+		}
+	}
+
+	// A stored failure fails the run before any AMC work, mirroring
+	// fail-fast: the unrun remainder reports Canceled.
+	for i, r := range results {
+		if r != nil && r.Verdict != OK {
+			for _, j := range todo {
+				results[j] = &Result{Verdict: Canceled, Message: "canceled: stored verdict failed fail-fast"}
+			}
+			rr.Result, rr.Failed = r, i
+			return rr.finish(results, fromStore, opts)
+		}
+	}
+
+	if len(todo) == 1 && opts.Parallelism == 1 {
+		// Standalone run: WorkersPerRun > 1 spawns the run's own
+		// workers (a one-slot pool could lend it nothing).
+		c := core.New(model)
+		c.WorkersPerRun = opts.WorkersPerRun
+		if opts.MaxGraphs > 0 {
+			c.MaxGraphs = opts.MaxGraphs
+		}
+		results[todo[0]] = c.RunCtx(ctx, programs[todo[0]])
+	} else if len(todo) > 0 {
+		pool := core.NewPool(opts.Parallelism)
+		jobs := make([]core.Job, len(todo))
+		for j, i := range todo {
+			c := core.New(model)
+			c.WorkersPerRun = opts.WorkersPerRun
+			if opts.MaxGraphs > 0 {
+				c.MaxGraphs = opts.MaxGraphs
+			}
+			jobs[j] = core.Job{Checker: c, Program: programs[i]}
+		}
+		_, _, jobResults := pool.VerifyAll(ctx, jobs)
+		for j, i := range todo {
+			results[i] = jobResults[j]
+		}
+	}
+
+	// Persist what was computed — including decisive verdicts from
+	// programs that finished before a fail-fast cancellation; the
+	// store exists to never redo that work.
+	if opts.Store != nil {
+		for _, i := range todo {
+			r := results[i]
+			if r == nil {
+				continue
+			}
+			if err := opts.Store.Put(keys[i], r.Verdict, model.Name()+"/"+programs[i].Name); err != nil && rr.StoreErr == nil {
+				rr.StoreErr = err
+			}
+		}
+	}
+
+	// Reduce exactly as VerifySuiteResults always has: the
+	// lowest-indexed decisive failure wins; then a cancellation; else
+	// aggregate OK.
+	for i, r := range results {
+		if r.Verdict != OK && r.Verdict != Canceled {
+			rr.Result, rr.Failed = r, i
+			return rr.finish(results, fromStore, opts)
+		}
+	}
+	for i, r := range results {
+		if r.Verdict == Canceled {
+			rr.Result, rr.Failed = r, i
+			return rr.finish(results, fromStore, opts)
+		}
+	}
+	agg := &Result{Verdict: core.OK}
+	for _, r := range results {
+		agg.Stats.Add(r.Stats)
+		agg.Sched.Accumulate(r.Sched)
+		if r.Duration > agg.Duration {
+			agg.Duration = r.Duration // wall clock ≈ the slowest run
+		}
+	}
+	rr.Result = agg
+	return rr.finish(results, fromStore, opts)
+}
+
+// finish attaches the per-program slices when asked for.
+func (rr *RunResult) finish(results []*Result, fromStore []bool, opts RunOptions) *RunResult {
+	if opts.CollectResults {
+		rr.Results = results
+		rr.FromStore = fromStore
+	}
+	return rr
+}

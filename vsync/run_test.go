@@ -1,0 +1,199 @@
+package vsync_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/locks"
+	"repro/vsync"
+)
+
+// goodProgram is a small verifying client; badProgram a violating one.
+func goodProgram(t *testing.T) *vsync.Program {
+	t.Helper()
+	alg := locks.ByName("ttas")
+	if alg == nil {
+		t.Fatal("ttas not registered")
+	}
+	return vsync.MutexClient(alg, alg.DefaultSpec(), 2, 1)
+}
+
+func badProgram(t *testing.T) *vsync.Program {
+	t.Helper()
+	for _, alg := range locks.All() {
+		if alg.Buggy {
+			return vsync.MutexClient(alg, alg.DefaultSpec(), 2, 1)
+		}
+	}
+	t.Skip("no buggy study-case lock registered")
+	return nil
+}
+
+// TestRunWrapperDifferential: the deprecated Verify* family must
+// behave identically to the Run calls they now wrap — same verdicts,
+// same statistics, same fail-fast reduction — so external callers are
+// not broken by the consolidation.
+func TestRunWrapperDifferential(t *testing.T) {
+	good := goodProgram(t)
+	bad := badProgram(t)
+
+	// Verify vs Run, verifying program.
+	vr := vsync.Verify(vsync.ModelWMM, good)
+	rr := vsync.Run(vsync.ModelWMM, []*vsync.Program{good},
+		vsync.RunOptions{Parallelism: 1, WorkersPerRun: 1, CollectResults: true})
+	if vr.Verdict != vsync.OK || rr.Results[0].Verdict != vsync.OK {
+		t.Fatalf("verdicts: Verify=%v Run=%v, want OK", vr.Verdict, rr.Results[0].Verdict)
+	}
+	if vr.Stats.Executions != rr.Results[0].Stats.Executions {
+		t.Errorf("execution counts diverge: Verify=%d Run=%d",
+			vr.Stats.Executions, rr.Results[0].Stats.Executions)
+	}
+	if rr.Failed != -1 {
+		t.Errorf("Run.Failed = %d on a verifying program, want -1", rr.Failed)
+	}
+
+	// Verify vs Run, violating program: same verdict, same witness
+	// presence (sequential early-exit statistics on both sides).
+	vb := vsync.Verify(vsync.ModelWMM, bad)
+	rb := vsync.Run(vsync.ModelWMM, []*vsync.Program{bad},
+		vsync.RunOptions{Parallelism: 1, WorkersPerRun: 1, CollectResults: true})
+	if vb.Verdict == vsync.OK {
+		t.Fatal("buggy program verified")
+	}
+	if vb.Verdict != rb.Results[0].Verdict {
+		t.Errorf("failure verdicts diverge: Verify=%v Run=%v", vb.Verdict, rb.Results[0].Verdict)
+	}
+	if (vb.Witness == nil) != (rb.Results[0].Witness == nil) {
+		t.Errorf("witness presence diverges: Verify=%v Run=%v", vb.Witness != nil, rb.Results[0].Witness != nil)
+	}
+	if vb.Stats.Executions != rb.Results[0].Stats.Executions {
+		t.Errorf("failure execution counts diverge: Verify=%d Run=%d",
+			vb.Stats.Executions, rb.Results[0].Stats.Executions)
+	}
+
+	// VerifyPar at 2 workers: parallel exploration is deterministic,
+	// so wrapper and Run must agree exactly.
+	vp := vsync.VerifyPar(vsync.ModelWMM, bad, 2)
+	rp := vsync.Run(vsync.ModelWMM, []*vsync.Program{bad},
+		vsync.RunOptions{Parallelism: 1, WorkersPerRun: 2, CollectResults: true})
+	if vp.Verdict != rp.Results[0].Verdict || vp.Stats.Executions != rp.Results[0].Stats.Executions {
+		t.Errorf("VerifyPar(2) diverges from Run: %v/%d vs %v/%d",
+			vp.Verdict, vp.Stats.Executions, rp.Results[0].Verdict, rp.Results[0].Stats.Executions)
+	}
+
+	// Suite reduction: a failure mid-suite fail-fasts, the aggregate
+	// on success sums statistics — wrapper and Run must match on both.
+	ps := []*vsync.Program{good, bad, good}
+	sr, sfailed, sresults := vsync.VerifySuiteResults(vsync.ModelWMM, 1, 1, ps)
+	runr := vsync.Run(vsync.ModelWMM, ps, vsync.RunOptions{Parallelism: 1, WorkersPerRun: 1, CollectResults: true})
+	if sfailed != 1 || runr.Failed != 1 {
+		t.Fatalf("failed index: wrapper=%d Run=%d, want 1", sfailed, runr.Failed)
+	}
+	if sr.Verdict != runr.Result.Verdict {
+		t.Errorf("suite failure verdicts diverge: %v vs %v", sr.Verdict, runr.Result.Verdict)
+	}
+	if len(sresults) != len(runr.Results) {
+		t.Fatalf("result counts diverge: %d vs %d", len(sresults), len(runr.Results))
+	}
+	for i := range sresults {
+		if sresults[i].Verdict != runr.Results[i].Verdict {
+			t.Errorf("suite result %d diverges: %v vs %v", i, sresults[i].Verdict, runr.Results[i].Verdict)
+		}
+	}
+
+	okPs := []*vsync.Program{good, good}
+	ar, af := vsync.VerifySuite(vsync.ModelWMM, 2, okPs)
+	arr := vsync.Run(vsync.ModelWMM, okPs, vsync.RunOptions{Parallelism: 2, WorkersPerRun: 1})
+	if af != -1 || arr.Failed != -1 {
+		t.Fatalf("all-OK suite failed: wrapper=%d Run=%d", af, arr.Failed)
+	}
+	if ar.Verdict != vsync.OK || arr.Result.Verdict != vsync.OK {
+		t.Fatalf("aggregate verdicts: wrapper=%v Run=%v", ar.Verdict, arr.Result.Verdict)
+	}
+	if ar.Stats.Executions != arr.Result.Stats.Executions {
+		t.Errorf("aggregate executions diverge: %d vs %d", ar.Stats.Executions, arr.Result.Stats.Executions)
+	}
+	if arr.Results != nil {
+		t.Error("Run without CollectResults retained Results")
+	}
+}
+
+// TestRunWithStore: Run's store integration — cold run populates,
+// warm run is served without AMC work, and a stored failure fail-fasts
+// before any run.
+func TestRunWithStore(t *testing.T) {
+	good := goodProgram(t)
+	bad := badProgram(t)
+	st, err := vsync.OpenStore(filepath.Join(t.TempDir(), "verdicts.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	ps := []*vsync.Program{good, bad}
+	cold := vsync.Run(vsync.ModelWMM, ps, vsync.RunOptions{Parallelism: 1, Store: st, CollectResults: true})
+	if cold.StoreHits != 0 || cold.Failed != 1 {
+		t.Fatalf("cold run: hits=%d failed=%d, want 0 and 1", cold.StoreHits, cold.Failed)
+	}
+	if cold.StoreErr != nil {
+		t.Fatalf("cold run store error: %v", cold.StoreErr)
+	}
+
+	warm := vsync.Run(vsync.ModelWMM, ps, vsync.RunOptions{Parallelism: 1, Store: st, CollectResults: true})
+	if warm.StoreHits == 0 {
+		t.Fatalf("warm run hit nothing")
+	}
+	if warm.Failed != 1 || warm.Result.Verdict != cold.Result.Verdict {
+		t.Fatalf("warm run diverges: failed=%d verdict=%v, cold failed=%d verdict=%v",
+			warm.Failed, warm.Result.Verdict, cold.Failed, cold.Result.Verdict)
+	}
+	if !warm.FromStore[1] {
+		t.Error("failing program's verdict not marked FromStore on the warm run")
+	}
+
+	// A dead store surfaces in StoreErr without tainting verdicts.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dead := vsync.Run(vsync.ModelWMM, []*vsync.Program{good}, vsync.RunOptions{Parallelism: 1, Store: st})
+	if dead.Failed != -1 || dead.Result.Verdict != vsync.OK {
+		t.Fatalf("dead-store run tainted the verdict: %+v", dead.Result)
+	}
+	if dead.StoreErr == nil {
+		t.Error("append to a closed store vanished: StoreErr is nil")
+	}
+}
+
+// TestRunStoreKeys: spec-aware callers address the store with full
+// keys; the two runs must share records through them.
+func TestRunStoreKeys(t *testing.T) {
+	alg := locks.ByName("ttas")
+	spec := alg.DefaultSpec()
+	p := vsync.MutexClient(alg, spec, 2, 1)
+	key := vsync.StoreKey{Model: vsync.ModelWMM.Name(), Spec: spec.Fingerprint128(), Prog: p.Fingerprint128()}
+
+	st, err := vsync.OpenStore(filepath.Join(t.TempDir(), "verdicts.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	rr := vsync.Run(vsync.ModelWMM, []*vsync.Program{p}, vsync.RunOptions{
+		Parallelism: 1, Store: st, StoreKeys: []vsync.StoreKey{key},
+	})
+	if rr.Failed != -1 || rr.StoreErr != nil {
+		t.Fatalf("keyed run: %+v", rr)
+	}
+	if v, ok := st.Lookup(key); !ok || v != vsync.OK {
+		t.Fatalf("verdict not stored under the caller's key: (%v, %v)", v, ok)
+	}
+	// VerifyMatrix uses the same addressing for lock cells, so the
+	// record must also serve a matrix run of the same cell.
+	res := vsync.VerifyMatrix(vsync.MatrixConfig{
+		Locks: []*vsync.Algorithm{alg}, Models: []vsync.Model{vsync.ModelWMM},
+		NoLitmus: true, Store: st,
+	})
+	if res.Hits != len(res.Cells) {
+		t.Errorf("matrix did not hit the Run-stored verdict: %s", res.Summary())
+	}
+}

@@ -44,9 +44,11 @@ type SuiteBench struct {
 // RunSuiteBench runs the full suite corpus (locks × thread ladder up
 // to threads × models, plus litmus) twice against a store created in a
 // fresh temporary directory — cold, then warm — and records both
-// passes. The store is discarded afterwards; this benchmark measures
-// the store, it does not populate the user's.
-func RunSuiteBench(threads int) (SuiteBench, error) {
+// passes. workers sets the intra-run work-stealing width of each AMC
+// run (0 = GOMAXPROCS, 1 = sequential). The store is discarded
+// afterwards; this benchmark measures the store, it does not populate
+// the user's.
+func RunSuiteBench(threads, workers int) (SuiteBench, error) {
 	if threads < 2 {
 		threads = 2
 	}
@@ -72,7 +74,7 @@ func RunSuiteBench(threads int) (SuiteBench, error) {
 
 	for _, phase := range []string{"cold", "warm"} {
 		start := time.Now()
-		res := VerifyMatrix(MatrixConfig{MaxThreads: threads, Store: st})
+		res := VerifyMatrix(MatrixConfig{MaxThreads: threads, WorkersPerRun: workers, Store: st})
 		wall := time.Since(start)
 		if res.Errors > 0 {
 			return b, fmt.Errorf("suite bench %s pass: %d engine errors", phase, res.Errors)

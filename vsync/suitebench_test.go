@@ -15,7 +15,7 @@ func TestRunSuiteBench(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full t=2 suite twice; not run in -short")
 	}
-	b, err := vsync.RunSuiteBench(2)
+	b, err := vsync.RunSuiteBench(2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,7 +7,9 @@
 //   - Verify: run Await Model Checking (AMC) on a concurrent program or
 //     a lock's generic client — safety, mutual exclusion and await
 //     termination on a weak memory model, in finite time, with
-//     counterexample execution graphs on failure.
+//     counterexample execution graphs on failure. Run is the one entry
+//     point (single runs, parallel suites, verdict-store integration
+//     via RunOptions); the Verify* names remain as thin wrappers.
 //
 //   - Optimize: push-button barrier relaxation — start from the all-SC
 //     assignment and relax every barrier point as far as verification
@@ -28,9 +30,6 @@
 package vsync
 
 import (
-	"context"
-	"runtime"
-
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -120,6 +119,9 @@ var (
 
 // Verify model-checks an arbitrary program under the given model with
 // the historical sequential explorer.
+//
+// Deprecated: use Run — Verify(m, p) is Run(m, []*Program{p},
+// RunOptions{Parallelism: 1, WorkersPerRun: 1, CollectResults: true}).Results[0].
 func Verify(model Model, p *Program) *Result {
 	return VerifyPar(model, p, 1)
 }
@@ -133,13 +135,15 @@ func Verify(model Model, p *Program) *Result {
 // deterministically — the sequential explorer instead stops at its
 // first DFS counterexample, so on violating programs its statistics
 // and witness reflect that partial search.
+//
+// Deprecated: use Run with RunOptions.WorkersPerRun.
 func VerifyPar(model Model, p *Program, workersPerRun int) *Result {
-	if workersPerRun <= 0 {
-		workersPerRun = runtime.GOMAXPROCS(0)
-	}
-	c := core.New(model)
-	c.WorkersPerRun = workersPerRun
-	return c.Run(p)
+	rr := Run(model, []*Program{p}, RunOptions{
+		Parallelism:    1,
+		WorkersPerRun:  workersPerRun,
+		CollectResults: true,
+	})
+	return rr.Results[0]
 }
 
 // VerifySuite model-checks several programs concurrently: the runs fan
@@ -147,6 +151,8 @@ func VerifyPar(model Model, p *Program, workersPerRun int) *Result {
 // first failure cancels the rest. It returns the failing result and the
 // index of its program, or an OK result (with aggregated statistics)
 // and -1 when every program verifies.
+//
+// Deprecated: use Run with RunOptions.Parallelism.
 func VerifySuite(model Model, parallelism int, ps []*Program) (*Result, int) {
 	return VerifySuitePar(model, parallelism, 1, ps)
 }
@@ -158,9 +164,11 @@ func VerifySuite(model Model, parallelism int, ps []*Program) (*Result, int) {
 // idle (for example once only the biggest run is still going). Whole
 // runs keep priority over borrows, so workersPerRun > 1 never slows the
 // fan-out down.
+//
+// Deprecated: use Run with RunOptions{Parallelism, WorkersPerRun}.
 func VerifySuitePar(model Model, parallelism, workersPerRun int, ps []*Program) (*Result, int) {
-	res, failed, _ := VerifySuiteResults(model, parallelism, workersPerRun, ps)
-	return res, failed
+	rr := Run(model, ps, RunOptions{Parallelism: parallelism, WorkersPerRun: workersPerRun})
+	return rr.Result, rr.Failed
 }
 
 // VerifySuiteResults is VerifySuitePar additionally exposing every
@@ -169,30 +177,17 @@ func VerifySuitePar(model Model, parallelism, workersPerRun int, ps []*Program) 
 // report Canceled). Callers persisting verdicts use this so the work
 // finished before a failure is not thrown away — the verdict store
 // exists to avoid re-doing exactly that work.
+//
+// Deprecated: use Run with RunOptions.CollectResults (and
+// RunOptions.Store, which persists decisive verdicts without any
+// caller-side plumbing).
 func VerifySuiteResults(model Model, parallelism, workersPerRun int, ps []*Program) (*Result, int, []*Result) {
-	if workersPerRun <= 0 {
-		workersPerRun = runtime.GOMAXPROCS(0)
-	}
-	pool := core.NewPool(parallelism)
-	jobs := make([]core.Job, len(ps))
-	for i, p := range ps {
-		c := core.New(model)
-		c.WorkersPerRun = workersPerRun
-		jobs[i] = core.Job{Checker: c, Program: p}
-	}
-	verdict, failed, results := pool.VerifyAll(context.Background(), jobs)
-	if verdict != core.OK {
-		return results[failed], failed, results
-	}
-	agg := &Result{Verdict: core.OK}
-	for _, r := range results {
-		agg.Stats.Add(r.Stats)
-		agg.Sched.Accumulate(r.Sched)
-		if r.Duration > agg.Duration {
-			agg.Duration = r.Duration // wall clock ≈ the slowest run
-		}
-	}
-	return agg, -1, results
+	rr := Run(model, ps, RunOptions{
+		Parallelism:    parallelism,
+		WorkersPerRun:  workersPerRun,
+		CollectResults: true,
+	})
+	return rr.Result, rr.Failed, rr.Results
 }
 
 // VerifyLock model-checks a lock algorithm under WMM with the paper's

@@ -7,7 +7,7 @@ GO ?= go
 # caches this directory so warm runs skip already-decided AMC work.
 STORE ?= .vsync-store/verdicts.log
 
-.PHONY: build vet test test-short race bench-smoke bench-check bench-suite fmt-check suite suite-warm suite-shared stored
+.PHONY: build vet test test-short race bench-smoke bench-check bench-suite fmt-check suite suite-warm suite-shared stored chaos fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -117,3 +117,21 @@ suite-shared:
 # point -remote at it to tier lookups through a fleet-wide corpus.
 stored:
 	$(GO) run ./cmd/vsyncstored -store $(STORE)
+
+# Crash-safety battery: the kill -9 suite harness (a subprocess suite
+# run is killed at random points and must resume to verdicts identical
+# to an uninterrupted run), the fault-injection store tests (torn
+# appends, failed renames/flocks, remote outages), and the
+# checkpoint/budget differential corpus — everything gated out of
+# -short, run here without it.
+chaos:
+	$(GO) test -run 'TestChaos' -count=1 -v ./vsync
+	$(GO) test -run 'Fault|Torn|Requeue|Backoff|Readyz' -count=1 ./internal/store
+	$(GO) test -run 'TestBudget|TestCheckpoint|TestResume|TestCancelCheckpoint|TestPeriodicCheckpoint' -count=1 ./internal/core ./vsync
+	$(GO) test ./internal/faultinject
+
+# Brief coverage-guided fuzz of the store loader: arbitrary bytes as an
+# on-disk log must load or heal, never panic or serve a non-decisive
+# verdict. The seed corpus also runs as a normal test in test/-short.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz=FuzzStoreLoad -fuzztime=10s ./internal/store

@@ -31,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -83,6 +84,7 @@ func main() {
 		memProfile   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+	ctx := cli.SignalContext("vsyncbench")
 
 	cpuStarted := false
 	if *cpuProfile != "" {
@@ -97,7 +99,7 @@ func main() {
 		cpuStarted = true
 	}
 
-	runErr := run(modes{
+	runErr := run(ctx, modes{
 		amc: *amc, full: *full, fig27: *fig27, sweep: *sweep, suite: *suite,
 		amcRuns: *amcRuns, amcJSON: *amcJSON, amcWorkers: *amcWorkers, amcBest: *amcBest,
 		amcBaseline: *amcBaseline, amcCheckTol: *amcCheckTol,
@@ -122,6 +124,13 @@ func main() {
 		}
 	}
 	if runErr != nil {
+		if ctx.Err() != nil {
+			// Interrupted between phases: profiles and any artifacts
+			// written so far are flushed and valid; exit with the
+			// conventional signal status.
+			fmt.Fprintln(os.Stderr, "vsyncbench:", runErr)
+			os.Exit(130)
+		}
 		log.Fatal(runErr)
 	}
 }
@@ -139,8 +148,10 @@ type modes struct {
 }
 
 // run executes the selected mode, returning (not exiting on) failures
-// so the caller can flush profiles first.
-func run(m modes) error {
+// so the caller can flush profiles first. Between phases (repeated
+// suite passes, per-machine sweeps) it honors ctx: an interrupt stops
+// before the next phase with everything already measured flushed.
+func run(ctx context.Context, m modes) error {
 	start := time.Now()
 	amc, full, fig27, sweep := m.amc, m.full, m.fig27, m.sweep
 	switch {
@@ -151,6 +162,9 @@ func run(m modes) error {
 		}
 		suite := bench.RunAMCSuiteWorkers(m.amcRuns, ladder)
 		for i := 1; i < m.amcBest; i++ {
+			if ctx.Err() != nil {
+				return fmt.Errorf("interrupted after %d of %d suite passes", i, m.amcBest)
+			}
 			suite = bench.BestOfAMC(suite, bench.RunAMCSuiteWorkers(m.amcRuns, ladder))
 		}
 		fmt.Print(suite)
@@ -191,10 +205,16 @@ func run(m modes) error {
 		}
 	case fig27:
 		for _, mc := range wmsim.Machines() {
+			if ctx.Err() != nil {
+				return fmt.Errorf("interrupted before %s", mc.Name)
+			}
 			fmt.Println(bench.Fig27(mc, bench.PaperThreads, 3, 150_000))
 		}
 	case sweep:
 		for _, mc := range wmsim.Machines() {
+			if ctx.Err() != nil {
+				return fmt.Errorf("interrupted before %s", mc.Name)
+			}
 			for _, th := range []int{1, 8} {
 				out, _ := bench.CSSweep(mc, "mcs", th, []int{1, 4, 16, 64}, 150_000)
 				fmt.Println(out)

@@ -6,6 +6,8 @@
 //	vsynccheck -lock mcs [-model wmm] [-threads 2] [-iters 1] [-sc] [-dot out.dot] [-workers N]
 //	vsynccheck -all [-par N] [-workers N]
 //	vsynccheck -list
+//	vsynccheck ... [-budget 30s] [-budget-graphs N] [-budget-mem BYTES]
+//	              [-checkpoint-dir DIR] [-checkpoint-interval 5s]
 //
 // -store PATH consults the persistent verdict store first — a problem
 // some earlier run already decided (same model, same barrier spec, same
@@ -25,8 +27,18 @@
 // whole runs and stolen items, so the last big run soaks up slots its
 // finished siblings released.
 //
+// -budget* bounds a run segment (wall clock, popped graphs, heap); a
+// budget hit — or a SIGINT/SIGTERM — drains the run cleanly and, with
+// -checkpoint-dir, persists the unexplored frontier to a
+// content-addressed checkpoint file there; rerunning the same command
+// resumes exactly where it stopped, converging on the same verdict an
+// uninterrupted run produces. -checkpoint-interval additionally
+// snapshots the live frontier periodically, bounding what even a
+// kill -9 can lose.
+//
 // Exit status 0 on successful verification, 1 on a violation, 2 on
-// usage or checker errors.
+// usage or checker errors, 3 undecided (budget hit or interrupted;
+// checkpointed when -checkpoint-dir is set), 130 on a second signal.
 package main
 
 import (
@@ -55,8 +67,13 @@ func main() {
 		workers   = cli.Workers()
 		storePath = cli.Store()
 		remote    = cli.Remote()
+		budget    = cli.BudgetFlags()
+		ckptDir   = cli.CheckpointDir()
+		ckptInt   = cli.CheckpointInterval()
 	)
 	flag.Parse()
+	ctx := cli.SignalContext("vsynccheck")
+	dir := cli.EnsureCheckpointDir("vsynccheck", *ckptDir)
 
 	if *list {
 		for _, alg := range locks.All() {
@@ -88,11 +105,14 @@ func main() {
 		}
 		fmt.Printf("checking %d algorithms under %s (%d threads × %d iterations, %d workers, %d per run)...\n",
 			len(ps), m.Name(), *threads, *iters, cli.Effective(*par), cli.Effective(*workers))
-		rr := vsync.Run(m, ps, vsync.RunOptions{
-			Parallelism:   *par,
-			WorkersPerRun: *workers,
-			Store:         st,
-			StoreKeys:     keys,
+		rr := vsync.RunCtx(ctx, m, ps, vsync.RunOptions{
+			Parallelism:        *par,
+			WorkersPerRun:      *workers,
+			Store:              st,
+			StoreKeys:          keys,
+			Budget:             budget(),
+			CheckpointDir:      dir,
+			CheckpointInterval: *ckptInt,
 		})
 		if rr.StoreHits > 0 {
 			fmt.Printf("store: %d of %d algorithms served without an AMC run\n", rr.StoreHits, len(ps))
@@ -102,8 +122,12 @@ func main() {
 		}
 		if rr.Failed >= 0 {
 			fmt.Printf("%s: %s\n", ps[rr.Failed].Name, rr.Result)
-			if rr.Result.Verdict == core.Error {
+			switch rr.Result.Verdict {
+			case core.Error:
 				os.Exit(2)
+			case core.Undecided:
+				fmt.Println(resumeHint(dir))
+				os.Exit(cli.ExitUndecided)
 			}
 			os.Exit(1)
 		}
@@ -134,12 +158,15 @@ func main() {
 	}
 	fmt.Printf("checking %s under %s (%d threads × %d iterations, %d workers)...\n",
 		p.Name, m.Name(), *threads, *iters, cli.Effective(*workers))
-	rr := vsync.Run(m, []*vsync.Program{p}, vsync.RunOptions{
-		Parallelism:    1,
-		WorkersPerRun:  *workers,
-		CollectResults: true,
-		Store:          runStore,
-		StoreKeys:      []vsync.StoreKey{{Model: m.Name(), Spec: spec.Fingerprint128(), Prog: p.Fingerprint128()}},
+	rr := vsync.RunCtx(ctx, m, []*vsync.Program{p}, vsync.RunOptions{
+		Parallelism:        1,
+		WorkersPerRun:      *workers,
+		CollectResults:     true,
+		Store:              runStore,
+		StoreKeys:          []vsync.StoreKey{{Model: m.Name(), Spec: spec.Fingerprint128(), Prog: p.Fingerprint128()}},
+		Budget:             budget(),
+		CheckpointDir:      dir,
+		CheckpointInterval: *ckptInt,
 	})
 	res := rr.Results[0]
 	if rr.StoreHits > 0 {
@@ -155,6 +182,11 @@ func main() {
 	if res.Verdict == core.Error {
 		fmt.Println(res)
 		os.Exit(2)
+	}
+	if res.Verdict == core.Undecided {
+		fmt.Println(res)
+		fmt.Println(resumeHint(dir))
+		os.Exit(cli.ExitUndecided)
 	}
 	if !res.Ok() {
 		fmt.Println(res)
@@ -172,4 +204,12 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(res.Report())
+}
+
+// resumeHint tells the operator how to pick an undecided run back up.
+func resumeHint(ckptDir string) string {
+	if ckptDir == "" {
+		return "undecided: the budget (or an interrupt) stopped the search; rerun with -checkpoint-dir to make such runs resumable"
+	}
+	return "undecided: frontier checkpointed to " + ckptDir + " — rerun the same command to resume where it stopped"
 }

@@ -44,6 +44,7 @@ func main() {
 		remote    = cli.Remote()
 	)
 	flag.Parse()
+	ctx := cli.SignalContext("vsynclitmus")
 
 	st := cli.OpenStore("vsynclitmus", *storePath, *remote)
 	if st != nil {
@@ -76,7 +77,7 @@ func main() {
 			// Litmus cells are addressed with a zero spec fingerprint —
 			// the program is self-contained, there is no barrier spec —
 			// matching the suite matrix's litmus keys.
-			rr := vsync.Run(m, []*vsync.Program{p}, vsync.RunOptions{
+			rr := vsync.RunCtx(ctx, m, []*vsync.Program{p}, vsync.RunOptions{
 				Parallelism:    1,
 				WorkersPerRun:  *workers,
 				CollectResults: true,

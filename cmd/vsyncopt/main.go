@@ -62,6 +62,7 @@ func main() {
 		remote      = cli.Remote()
 	)
 	flag.Parse()
+	ctx := cli.SignalContext("vsyncopt")
 
 	alg := locks.ByName(*lockName)
 	if alg == nil {
@@ -98,8 +99,16 @@ func main() {
 		initial = alg.DefaultSpec()
 	}
 	fmt.Printf("optimizing %s (%d barrier points)...\n\n", alg.Name, len(initial.Points()))
-	res, err := opt.Run(initial)
+	res, err := opt.RunCtx(ctx, initial)
 	if err != nil {
+		if ctx.Err() != nil {
+			// The optimizer's resume mechanism IS the verdict store:
+			// every candidate decided before the interrupt was written
+			// through, so a rerun with the same -store fast-forwards to
+			// where the descent stopped.
+			fmt.Fprintln(os.Stderr, "vsyncopt: interrupted — decided candidates are in the store; rerun with the same -store to resume")
+			os.Exit(cli.ExitUndecided)
+		}
 		fmt.Fprintln(os.Stderr, "vsyncopt:", err)
 		os.Exit(2)
 	}

@@ -19,7 +19,14 @@
 //	GET /v1/verdict?epoch=HEX&key=HEX   one verdict, 404 on miss
 //	PUT /v1/verdicts                    idempotent batch ingest
 //	GET /v1/stats                       session counters
-//	GET /v1/healthz                     liveness
+//	GET /v1/healthz                     liveness (200 for the whole process lifetime)
+//	GET /v1/readyz                      routability (503 once a drain starts)
+//
+// SIGINT/SIGTERM triggers a graceful drain: readyz flips to 503 (so
+// load balancers stop routing here), in-flight requests complete,
+// pending work is flushed, and the store is closed cleanly. healthz
+// stays 200 throughout — draining is not dead, and a restart
+// orchestrator must not kill an instance for draining.
 //
 // Exit status: 0 on clean shutdown (SIGINT/SIGTERM), 2 on usage or
 // bind errors.
@@ -57,7 +64,8 @@ func main() {
 	fmt.Printf("vsyncstored: serving %s (%d verdicts, %d foreign-epoch) on http://%s\n",
 		s.Path(), st.Loaded, st.Stale, *addr)
 
-	srv := &http.Server{Addr: *addr, Handler: store.NewHandler(s)}
+	h := store.NewHandler(s)
+	srv := &http.Server{Addr: *addr, Handler: h}
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
 
@@ -69,11 +77,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vsyncstored:", err)
 		os.Exit(2)
 	case <-sig:
+		// Graceful drain, in load-balancer order: flip /v1/readyz to 503
+		// first so rolling restarts stop routing new clients here, then
+		// let in-flight requests complete, then flush anything the
+		// session still holds (its own remote tier, when configured)
+		// before the deferred Close. healthz stays 200 throughout —
+		// draining is not dead.
+		fmt.Fprintln(os.Stderr, "vsyncstored: draining (readyz now 503; in-flight requests completing)")
+		h.SetReady(false)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "vsyncstored: shutdown:", err)
 		}
 		<-done
+		// Flush anything the session still holds in flight (its own
+		// remote tier, when this instance chains to another service)
+		// before the deferred Close.
+		s.Flush()
 	}
 }

@@ -17,14 +17,26 @@
 //	vsyncsuite [-store PATH] [-remote URL] [-models sc,tso,wmm]
 //	           [-locks a,b,...] [-threads N] [-iters N] [-no-litmus]
 //	           [-par N] [-workers N] [-min-hit-rate F] [-v]
+//	           [-budget 30s] [-budget-graphs N] [-budget-mem BYTES]
+//	           [-checkpoint-dir DIR] [-checkpoint-interval 5s]
 //
 // -threads N covers the ladder 2..N (default 2). -min-hit-rate F exits
 // non-zero when the store served less than fraction F of the cells —
 // CI uses it to assert that a warm pass did near-zero AMC work.
 //
+// -budget* bounds each cell's AMC segment; cells that hit the budget
+// (or are interrupted by SIGINT/SIGTERM) finish Undecided — neither
+// failed nor errored — and, with -checkpoint-dir, persist their
+// unexplored frontier to content-addressed checkpoint files there.
+// Rerunning the same command resumes exactly those cells where they
+// stopped; combined with -store, everything already decided is a hash
+// lookup, so a long cold suite survives any number of interruptions
+// without redoing work.
+//
 // Exit status: 0 all lock cells verified (and hit-rate satisfied),
 // 1 a lock cell failed verification or the hit-rate floor was missed,
-// 2 usage or engine errors.
+// 2 usage or engine errors, 3 cells left undecided (rerun to resume),
+// 130 on a second signal.
 package main
 
 import (
@@ -50,16 +62,23 @@ func main() {
 		par        = cli.Par()
 		workers    = cli.Workers()
 		minHitRate = cli.MinHitRate()
+		budget     = cli.BudgetFlags()
+		ckptDir    = cli.CheckpointDir()
+		ckptInt    = cli.CheckpointInterval()
 		verbose    = flag.Bool("v", false, "print the full per-cell table, not just the summary")
 	)
 	flag.Parse()
+	ctx := cli.SignalContext("vsyncsuite")
 
 	cfg := vsync.MatrixConfig{
-		MaxThreads:    *threads,
-		Iters:         *iters,
-		NoLitmus:      *noLitmus,
-		Parallelism:   *par,
-		WorkersPerRun: *workers,
+		MaxThreads:         *threads,
+		Iters:              *iters,
+		NoLitmus:           *noLitmus,
+		Parallelism:        *par,
+		WorkersPerRun:      *workers,
+		Budget:             budget(),
+		CheckpointDir:      cli.EnsureCheckpointDir("vsyncsuite", *ckptDir),
+		CheckpointInterval: *ckptInt,
 	}
 	if *modelsFlag != "" {
 		for _, name := range strings.Split(*modelsFlag, ",") {
@@ -82,7 +101,7 @@ func main() {
 		cfg.Store = st
 	}
 
-	res := vsync.VerifyMatrix(cfg)
+	res := vsync.VerifyMatrixCtx(ctx, cfg)
 	if *verbose {
 		fmt.Print(res.Report())
 	} else {
@@ -107,6 +126,16 @@ func main() {
 		os.Exit(2)
 	case res.Failures > 0:
 		os.Exit(1)
+	case res.Undecided > 0:
+		// Unfinished, not failed: budget-hit cells checkpointed (with
+		// -checkpoint-dir) and a rerun resumes them.
+		if cfg.CheckpointDir != "" {
+			fmt.Fprintf(os.Stderr, "vsyncsuite: %d cells undecided, checkpointed to %s — rerun the same command to resume\n",
+				res.Undecided, cfg.CheckpointDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "vsyncsuite: %d cells undecided — rerun with -checkpoint-dir to make them resumable\n", res.Undecided)
+		}
+		os.Exit(cli.ExitUndecided)
 	case res.HitRate() < *minHitRate:
 		fmt.Fprintf(os.Stderr, "vsyncsuite: hit rate %.1f%% below required %.1f%% — the warm pass did AMC work it should have skipped\n",
 			100*res.HitRate(), 100**minHitRate)

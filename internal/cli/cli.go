@@ -16,14 +16,24 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"repro/internal/mm"
 	"repro/vsync"
 )
+
+// ExitUndecided is the exit status the tools share for "the run hit
+// its budget (or was interrupted) with the answer still open, and a
+// checkpoint was written" — distinct from 0 (verified), 1 (violation)
+// and 2 (usage/engine error), so scripts can rerun-to-resume.
+const ExitUndecided = 3
 
 // Store registers the -store flag: the shared persistent verdict log.
 func Store() *string {
@@ -55,6 +65,63 @@ func Model() *string {
 // floor CI uses to assert a warm pass did near-zero AMC work.
 func MinHitRate() *float64 {
 	return flag.Float64("min-hit-rate", 0, "fail unless the store served at least this fraction of cells")
+}
+
+// BudgetFlags registers the -budget / -budget-graphs / -budget-mem
+// triple and returns a closure assembling the vsync.Budget after
+// flag.Parse. A budget hit never loses work: the run drains cleanly,
+// checkpoints (with -checkpoint-dir) and exits ExitUndecided; a rerun
+// resumes where it stopped.
+func BudgetFlags() func() vsync.Budget {
+	d := flag.Duration("budget", 0, "wall-clock budget per run segment (0 = unbounded); on exhaustion the run checkpoints and exits undecided")
+	g := flag.Int64("budget-graphs", 0, "popped-graph budget per run segment (0 = unbounded)")
+	m := flag.Int64("budget-mem", 0, "absolute heap budget in bytes, sampled during exploration (0 = unbounded)")
+	return func() vsync.Budget {
+		return vsync.Budget{MaxDuration: *d, MaxGraphs: *g, MaxMemBytes: uint64(max(*m, 0))}
+	}
+}
+
+// CheckpointDir registers the -checkpoint-dir flag: the directory
+// crash-safe runs persist their interrupted frontiers to (and resume
+// from). The directory is created if missing.
+func CheckpointDir() *string {
+	return flag.String("checkpoint-dir", "", "directory for run checkpoints: budget-exhausted or interrupted runs persist their frontier here and a rerun resumes it")
+}
+
+// CheckpointInterval registers the -checkpoint-interval flag.
+func CheckpointInterval() *time.Duration {
+	return flag.Duration("checkpoint-interval", 0, "additionally snapshot live frontiers to -checkpoint-dir at this cadence, bounding what a crash can lose (0 = only on budget hit or interrupt)")
+}
+
+// EnsureCheckpointDir validates/creates a -checkpoint-dir value,
+// exiting 2 on failure; "" passes through (checkpointing off).
+func EnsureCheckpointDir(tool, dir string) string {
+	if dir == "" {
+		return ""
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(2)
+	}
+	return dir
+}
+
+// SignalContext returns a context canceled on the first SIGINT or
+// SIGTERM — the tools' cooperative shutdown: in-flight AMC runs drain,
+// checkpoint (with -checkpoint-dir) and report instead of vanishing. A
+// second signal exits immediately with the conventional 130.
+func SignalContext(tool string) context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		fmt.Fprintf(os.Stderr, "%s: interrupted — draining and checkpointing (send again to exit immediately)\n", tool)
+		cancel()
+		<-ch
+		os.Exit(130)
+	}()
+	return ctx
 }
 
 // ParseModel resolves a -model value, exiting 2 with the uniform

@@ -93,6 +93,21 @@ func (d *deque) stealHead(out []ExploreState, max int) int {
 	return n
 }
 
+// snapshot appends the deque's states to dst in head→tail (oldest→
+// newest) order without removing them — the non-destructive read the
+// periodic checkpointer uses while the owner is quiesced. Re-pushing a
+// snapshot in this order with pushTail reproduces the deque exactly,
+// so the next popTail after a resume returns the same state the
+// interrupted run would have popped.
+func (d *deque) snapshot(dst []ExploreState) []ExploreState {
+	d.mu.Lock()
+	for i := 0; i < d.size; i++ {
+		dst = append(dst, d.buf[(d.head+i)&(len(d.buf)-1)])
+	}
+	d.mu.Unlock()
+	return dst
+}
+
 // grow doubles the ring (or allocates the initial one), called with the
 // lock held.
 func (d *deque) grow() {

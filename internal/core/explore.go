@@ -45,6 +45,36 @@ type Checker struct {
 	// counts, same verdicts); the hashed path is strictly faster.
 	LegacyDedup bool
 
+	// Budget bounds this run segment (wall clock, popped graphs, heap
+	// bytes). A budget hit drains the workers cleanly — every running
+	// step completes and publishes its children — and the run returns
+	// an Undecided result carrying a Checkpoint of the remaining
+	// frontier instead of losing the work. Zero means unbounded.
+	Budget Budget
+	// Resume seeds the run from a checkpoint instead of the program's
+	// root graph: the frontier, visited-set keys, cumulative counters,
+	// and best violation so far are restored, and the run continues to
+	// exactly the verdict an uninterrupted run would reach. The
+	// checkpoint's Model and Prog identity are validated here; Epoch is
+	// the caller's to check (see Checkpoint).
+	Resume *Checkpoint
+	// CheckpointInterval, together with CheckpointSink, enables
+	// periodic snapshots: at most every interval, one worker briefly
+	// quiesces the others (they finish their current state and pause
+	// between items), captures the frontier, and hands the Checkpoint
+	// to the sink. Zero disables periodic snapshots; budget-hit and
+	// cancellation checkpoints do not need it.
+	CheckpointInterval time.Duration
+	// CheckpointSink receives periodic snapshots. It runs outside the
+	// quiesce window (encoding and file I/O do not stall the workers)
+	// but on a worker goroutine; errors are the sink's to report.
+	CheckpointSink func(*Checkpoint) error
+	// CheckpointOnCancel turns a context cancellation into the same
+	// drain-and-checkpoint path as a budget hit: the run returns
+	// Undecided with a Checkpoint instead of a bare Canceled. This is
+	// how SIGINT becomes "checkpoint, then exit".
+	CheckpointOnCancel bool
+
 	// pool, when set by Pool.RunAll, lets the run borrow idle pool
 	// slots (up to WorkersPerRun) for intra-run work stealing instead
 	// of spawning private workers.
@@ -160,7 +190,7 @@ func (c *Checker) RunCtx(ctx context.Context, p *vprog.Program) *Result {
 	if workers < 1 {
 		workers = 1
 	}
-	x := &exploration{c: c, prog: p, ctx: ctx, single: workers == 1}
+	x := &exploration{c: c, prog: p, ctx: ctx, single: workers == 1, start: start}
 	x.parkCond = sync.NewCond(&x.parkMu)
 	if !c.DisableDedup {
 		if c.LegacyDedup {
@@ -184,6 +214,22 @@ func (c *Checker) RunCtx(ctx context.Context, p *vprog.Program) *Result {
 		return res
 	}
 
+	// Checkpoint-aware runs pin the program identity up front and pay
+	// one structural fingerprint for it; plain runs skip all of this.
+	ckptable := c.Resume != nil || c.CheckpointSink != nil || c.CheckpointOnCancel || c.Budget.active()
+	if ckptable {
+		if c.LegacyDedup {
+			return finish(&Result{Verdict: Error,
+				Err: fmt.Errorf("checkpointing requires the hashed visited set (LegacyDedup is test-only)")})
+		}
+		x.budgetOn = c.Budget.active()
+		x.progFP = p.Fingerprint128()
+		if c.CheckpointSink != nil && c.CheckpointInterval > 0 {
+			x.snapEvery = int64(c.CheckpointInterval)
+			x.lastSnap.Store(start.UnixNano())
+		}
+	}
+
 	w0 := x.workers[0]
 	w0.build()
 	if len(w0.threads) == 0 {
@@ -196,10 +242,23 @@ func (c *Checker) RunCtx(ctx context.Context, p *vprog.Program) *Result {
 		return finish(&Result{Verdict: Canceled, Err: err, Message: "exploration canceled: " + err.Error()})
 	}
 
-	g0 := graph.New(len(w0.threads), w0.vars.Inits(), w0.vars.Names())
-	x.inflight.Store(1)
-	w0.dq.pushTail(ExploreState{g: g0})
-	x.queued.Store(1)
+	if ck := c.Resume; ck != nil {
+		if res := x.seedResume(ck); res != nil {
+			return finish(res)
+		}
+		if x.inflight.Load() == 0 {
+			// The checkpointed frontier was empty (taken at the instant
+			// of drain): the run is already complete — merge what the
+			// checkpoint carried.
+			x.done.Store(true)
+			return finish(x.merge())
+		}
+	} else {
+		g0 := graph.New(len(w0.threads), w0.vars.Inits(), w0.vars.Names())
+		x.inflight.Store(1)
+		w0.dq.pushTail(ExploreState{g: g0})
+		x.queued.Store(1)
+	}
 
 	if !x.single {
 		if c.pool != nil {
@@ -225,7 +284,58 @@ func (c *Checker) RunCtx(ctx context.Context, p *vprog.Program) *Result {
 	x.runWorker(w0)
 	x.stopAll()
 	x.wg.Wait()
-	return finish(x.merge())
+	res := x.merge()
+	if res.Verdict == Undecided {
+		// All workers have exited: every unprocessed state sits in a
+		// deque or the overflow queue, and collecting them races with
+		// nothing.
+		res.Checkpoint = x.buildCheckpoint()
+	}
+	return finish(res)
+}
+
+// seedResume restores a checkpoint into the exploration: identity
+// validation, visited keys, cumulative counters, the violation
+// front-runner, and the frontier — pushed into worker 0's deque in
+// the order whose LIFO pops reproduce the interrupted run's pop
+// sequence exactly (which is what keeps the sequential explorer's
+// first-violation-in-DFS-order contract intact across segments).
+// It returns a non-nil Error result when the checkpoint does not
+// belong to this (model, program) pair.
+func (x *exploration) seedResume(ck *Checkpoint) *Result {
+	if want := x.c.Model.Name(); ck.Model != want {
+		return &Result{Verdict: Error, Err: fmt.Errorf(
+			"checkpoint was taken under model %q, this run verifies %q", ck.Model, want)}
+	}
+	if ck.Prog != x.progFP {
+		return &Result{Verdict: Error, Err: fmt.Errorf(
+			"checkpoint program fingerprint %x does not match this program (%x)", ck.Prog, x.progFP)}
+	}
+	x.baseStats = ck.Stats
+	x.basePopped = ck.Popped
+	if x.visited != nil {
+		for _, k := range ck.visited {
+			x.visited.InsertNew(k)
+		}
+	}
+	if v := ck.vio; v != nil {
+		x.vio = &Result{Verdict: v.verdict, Message: v.message, Witness: v.witness}
+		x.vioStamp, x.vioKey = v.stamp, v.key
+	}
+	w0 := x.workers[0]
+	n := 0
+	for _, st := range ck.frontier {
+		if st.g == nil {
+			continue
+		}
+		if !w0.dq.pushTail(st) {
+			x.spill(st)
+		}
+		n++
+	}
+	x.inflight.Store(int64(n))
+	x.queued.Store(int64(n))
+	return nil
 }
 
 // step processes one popped exploration state. It returns nil to

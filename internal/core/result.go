@@ -27,6 +27,13 @@ const (
 	// verdict was reached (pool short-circuiting, caller timeout). It
 	// carries no information about the program.
 	Canceled
+	// Undecided: the run stopped at a budget limit (or a checkpointing
+	// cancellation) with work remaining. Like Canceled it carries no
+	// verdict about the program, but unlike Canceled the work is not
+	// lost: the Result carries a Checkpoint from which a later run
+	// resumes and — once the frontier drains — reaches exactly the
+	// verdict an uninterrupted run would have.
+	Undecided
 )
 
 func (v Verdict) String() string {
@@ -41,6 +48,8 @@ func (v Verdict) String() string {
 		return "error"
 	case Canceled:
 		return "canceled"
+	case Undecided:
+		return "undecided"
 	}
 	return "unknown"
 }
@@ -66,6 +75,10 @@ func (v Verdict) LitmusLabel() string {
 		return "await-hang"
 	case Canceled:
 		return "canceled"
+	case Undecided:
+		// A budget stopped the cell before either answer; resuming from
+		// its checkpoint will eventually fill the cell in.
+		return "undecided"
 	default:
 		return "ERROR"
 	}
@@ -161,6 +174,11 @@ type Result struct {
 	Acyclic  graph.AcyclicCounters
 	Duration time.Duration
 	Err      error // set when Verdict == Error
+	// Checkpoint carries the drained frontier of an Undecided run: the
+	// unexplored states, the visited-set summary, and the cumulative
+	// counters a resumed run needs to continue deterministically. Nil
+	// for every other verdict.
+	Checkpoint *Checkpoint
 }
 
 // Ok reports whether the program verified.
@@ -174,6 +192,13 @@ func (r *Result) String() string {
 			r.Stats.Executions, r.Stats.Popped, r.Duration)
 	case Error:
 		return fmt.Sprintf("error: %v", r.Err)
+	case Undecided:
+		n := 0
+		if r.Checkpoint != nil {
+			n = len(r.Checkpoint.frontier)
+		}
+		return fmt.Sprintf("undecided: %s (%d graphs explored, %d frontier states checkpointed)",
+			r.Message, r.Stats.Popped, n)
 	default:
 		return fmt.Sprintf("%s: %s", r.Verdict, r.Message)
 	}

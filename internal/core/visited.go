@@ -110,6 +110,23 @@ func (v *VisitedSet) Len() int {
 // held so far.
 func (v *VisitedSet) Contention() int { return int(v.contention.Load()) }
 
+// Snapshot appends every key to dst and returns the extended slice —
+// the visited-set summary a checkpoint persists. Shards are locked one
+// at a time; the checkpointer quiesces the workers separately, so the
+// copy is a consistent point-in-time view when it matters (and merely
+// a superset-free approximation never relied upon otherwise).
+func (v *VisitedSet) Snapshot(dst []graph.Hash128) []graph.Hash128 {
+	for i := range v.shards {
+		sh := &v.shards[i]
+		sh.mu.Lock()
+		for k := range sh.m {
+			dst = append(dst, k)
+		}
+		sh.mu.Unlock()
+	}
+	return dst
+}
+
 // legacyVisited is the sharded variant of the historical string-keyed
 // visited set, kept only for the Checker.LegacyDedup differential tests
 // (which assert the hashed and string-keyed explorations are

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +67,7 @@ type explorer struct {
 	executed int
 	steals   int
 	stolen   int
+	snapTick int // items since this worker last considered a snapshot
 }
 
 // build instantiates the program for this worker. Build is
@@ -122,76 +124,143 @@ type exploration struct {
 	freeSlots []int
 	recruited atomic.Int32
 
+	// Crash-safety state (see checkpoint.go). start anchors the
+	// MaxDuration budget; budgetOn gates the per-pop budget checks;
+	// progFP pins the program identity into checkpoints; baseStats and
+	// basePopped carry the counters of prior segments when this run
+	// resumed from a checkpoint.
+	start      time.Time
+	budgetOn   bool
+	progFP     graph.Hash128
+	baseStats  Stats
+	basePopped int64
+
+	// Periodic snapshots. Workers hold snapGate for reading around
+	// each (take item, execute) pair; the snapshotting worker takes it
+	// for writing, which quiesces everyone between items — the instant
+	// at which every unprocessed state sits in a deque or the overflow
+	// queue. snapping elects one snapshotter; lastSnap (unix nanos)
+	// paces them at snapEvery.
+	snapGate  sync.RWMutex
+	snapping  atomic.Bool
+	lastSnap  atomic.Int64
+	snapEvery int64
+
 	wg sync.WaitGroup
 }
 
 // runWorker is the scheduling loop every worker executes: take the next
 // item (local LIFO, then overflow, then steal), run it, and detect
 // global completion when the in-flight count drains to zero.
+//
+// When periodic snapshots are enabled the (take, execute, retire) unit
+// runs under the snapshot gate's read side, and parking happens only
+// outside it — the gate's writer therefore observes the run at an
+// instant where no worker holds a state privately, which is what makes
+// the captured frontier complete.
 func (x *exploration) runWorker(w *explorer) {
+	gated := x.snapEvery > 0
 	for {
-		st, ok := x.next(w)
+		if gated {
+			x.snapGate.RLock()
+		}
+		st, ok, wait := x.tryNext(w)
 		if !ok {
-			return
+			if gated {
+				x.snapGate.RUnlock()
+			}
+			if !wait {
+				return
+			}
+			x.park()
+			continue
 		}
 		x.execute(w, st)
-		if x.inflight.Add(-1) == 0 {
+		drained := x.inflight.Add(-1) == 0
+		if gated {
+			x.snapGate.RUnlock()
+		}
+		if drained {
 			x.stopAll()
 			return
 		}
+		if gated {
+			if w.snapTick++; w.snapTick >= snapCheckEvery {
+				w.snapTick = 0
+				x.maybeSnapshot()
+			}
+		}
 	}
 }
 
-// next finds work for w, or reports that the run is over (done flag, or
-// — for pool helpers — nothing left to steal right now).
-func (x *exploration) next(w *explorer) (ExploreState, bool) {
-	for {
-		if x.done.Load() {
-			return ExploreState{}, false
-		}
-		if w.helper && x.c.pool.waiting.Load() > 0 {
-			// A whole run is queued on the pool: yield the borrowed slot
-			// immediately — jobs outrank borrows. Anything left in this
-			// worker's deque stays stealable by the run's other workers.
-			return ExploreState{}, false
-		}
-		if st, ok := w.dq.popTail(); ok {
-			x.queued.Add(-1)
-			return st, true
-		}
-		if st, ok := x.takeOverflow(); ok {
-			x.queued.Add(-1)
-			return st, true
-		}
-		if x.single {
-			// One worker, empty deque, empty overflow: the run is drained
-			// (the inflight count hit zero on the previous decrement).
-			return ExploreState{}, false
-		}
-		if st, ok := x.steal(w); ok {
-			x.queued.Add(-1)
-			return st, true
-		}
-		if w.helper {
-			// A borrowed slot with nothing to steal goes back to the pool;
-			// the run re-recruits if its frontier grows again.
-			return ExploreState{}, false
-		}
-		x.park()
+// snapCheckEvery is how many executed items pass between a worker's
+// glances at the snapshot clock: one time.Now per this many items.
+const snapCheckEvery = 16
+
+// tryNext finds work for w without blocking. ok means st is valid;
+// otherwise wait distinguishes "park and retry" (frontier momentarily
+// empty) from "worker is finished" (done flag, sequential drain, or a
+// pool helper yielding its slot).
+func (x *exploration) tryNext(w *explorer) (st ExploreState, ok, wait bool) {
+	if x.done.Load() {
+		return ExploreState{}, false, false
 	}
+	if w.helper && x.c.pool.waiting.Load() > 0 {
+		// A whole run is queued on the pool: yield the borrowed slot
+		// immediately — jobs outrank borrows. Anything left in this
+		// worker's deque stays stealable by the run's other workers.
+		return ExploreState{}, false, false
+	}
+	if st, ok := w.dq.popTail(); ok {
+		x.queued.Add(-1)
+		return st, true, false
+	}
+	if st, ok := x.takeOverflow(); ok {
+		x.queued.Add(-1)
+		return st, true, false
+	}
+	if x.single {
+		// One worker, empty deque, empty overflow: the run is drained
+		// (the inflight count hit zero on the previous decrement).
+		return ExploreState{}, false, false
+	}
+	if st, ok := x.steal(w); ok {
+		x.queued.Add(-1)
+		return st, true, false
+	}
+	if w.helper {
+		// A borrowed slot with nothing to steal goes back to the pool;
+		// the run re-recruits if its frontier grows again.
+		return ExploreState{}, false, false
+	}
+	return ExploreState{}, false, true
 }
 
-// execute runs one item: global guards (cancellation cadence,
+// execute runs one item: global guards (cancellation cadence, budget,
 // MaxGraphs), then the step, then either publishes the children or
-// merges the violation.
+// merges the violation. Every guard fires BEFORE the state is counted
+// as processed, so a guard-stopped state can be returned to the
+// frontier intact (haltUndecided) and the checkpoint's counters agree
+// exactly with the work actually done.
 func (x *exploration) execute(w *explorer, st ExploreState) {
 	n := x.popped.Add(1)
 	if n%cancelCheckEvery == 0 && x.ctx.Err() != nil {
 		err := x.ctx.Err()
-		x.halt(&Result{Verdict: Canceled, Err: err, Message: "exploration canceled: " + err.Error()})
+		msg := "exploration canceled: " + err.Error()
+		if x.c.CheckpointOnCancel {
+			x.haltUndecided(w, st, msg)
+		} else {
+			x.halt(&Result{Verdict: Canceled, Err: err, Message: msg})
+		}
 		return
 	}
-	if n > int64(x.c.MaxGraphs) {
+	if x.budgetOn {
+		if msg := x.overBudget(n); msg != "" {
+			x.haltUndecided(w, st, msg)
+			return
+		}
+	}
+	if x.basePopped+n > int64(x.c.MaxGraphs) {
 		x.halt(&Result{Verdict: Error, Err: fmt.Errorf(
 			"exceeded MaxGraphs=%d (program may violate the Bounded-Length principle)", x.c.MaxGraphs)})
 		return
@@ -329,6 +398,55 @@ func (x *exploration) stopAll() {
 	x.parkMu.Unlock()
 }
 
+// overBudget checks this segment's budget against the nth pop. The
+// graph cap is exact (a compare per pop); the wall-clock and heap caps
+// are sampled at cadences that keep their cost invisible. It returns
+// the stop reason, or "" to proceed.
+func (x *exploration) overBudget(n int64) string {
+	b := x.c.Budget
+	if b.MaxGraphs > 0 && n > b.MaxGraphs {
+		return fmt.Sprintf("budget: segment reached MaxGraphs=%d", b.MaxGraphs)
+	}
+	if b.MaxDuration > 0 && n%64 == 0 {
+		if el := time.Since(x.start); el > b.MaxDuration {
+			return fmt.Sprintf("budget: segment ran %v (MaxDuration %v)", el.Round(time.Millisecond), b.MaxDuration)
+		}
+	}
+	if b.MaxMemBytes > 0 && n%8192 == 0 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > b.MaxMemBytes {
+			return fmt.Sprintf("budget: heap at %d bytes (MaxMemBytes %d)", ms.HeapAlloc, b.MaxMemBytes)
+		}
+	}
+	return ""
+}
+
+// haltUndecided stops the run at a budget limit (or a checkpointing
+// cancellation): the unprocessed triggering state goes back to the
+// frontier — its pop uncounted, so the checkpoint's counters describe
+// exactly the processed states — and the run's verdict becomes
+// Undecided. Racing workers each return their own state; the first
+// result wins, and halt never lets Undecided displace a decisive
+// Error.
+//
+// The state returns to the TAIL of the worker's own deque, not the
+// overflow queue: it was the next state the uninterrupted run would
+// have executed, and the deque tail is the one position from which the
+// resumed run pops it first again — the sequential DFS's
+// first-violation-in-DFS-order contract depends on that exactness.
+func (x *exploration) haltUndecided(w *explorer, st ExploreState, msg string) {
+	x.popped.Add(-1)
+	// The state re-enters the frontier: re-increment inflight to cancel
+	// the decrement runWorker applies after execute returns.
+	x.inflight.Add(1)
+	if !w.dq.pushTail(st) {
+		x.spill(st)
+	}
+	x.queued.Add(1)
+	x.halt(&Result{Verdict: Undecided, Message: msg})
+}
+
 // halt records a run-terminating result and stops every worker. A
 // decisive verdict is never downgraded to Canceled by a later check.
 func (x *exploration) halt(res *Result) {
@@ -409,15 +527,107 @@ func (x *exploration) helperLoop(w *explorer, slot int) {
 	x.c.pool.finishBorrow(slot, time.Since(t0))
 }
 
+// maybeSnapshot takes a periodic checkpoint when the interval has
+// elapsed. One worker wins the snapping claim, quiesces the others by
+// taking the snapshot gate for writing (every worker is then between
+// items: all unprocessed states sit in deques or the overflow queue),
+// copies the frontier and counters under the gate, and hands the
+// checkpoint to the sink after releasing it — graphs are logically
+// immutable once published, so encoding them outside the quiesce
+// window races with nothing.
+func (x *exploration) maybeSnapshot() {
+	if time.Now().UnixNano()-x.lastSnap.Load() < x.snapEvery {
+		return
+	}
+	if !x.snapping.CompareAndSwap(false, true) {
+		return
+	}
+	defer x.snapping.Store(false)
+	if time.Now().UnixNano()-x.lastSnap.Load() < x.snapEvery || x.done.Load() {
+		return
+	}
+	x.snapGate.Lock()
+	var ck *Checkpoint
+	if !x.done.Load() {
+		ck = x.buildCheckpoint()
+	}
+	x.snapGate.Unlock()
+	x.lastSnap.Store(time.Now().UnixNano())
+	if ck != nil {
+		_ = x.c.CheckpointSink(ck) // best-effort: the sink reports its own errors
+	}
+}
+
+// buildCheckpoint captures the current frontier, visited keys, and
+// counters. The caller must have quiesced the workers — either by
+// holding the snapshot gate for writing, or because the run has
+// drained and every worker exited.
+//
+// Frontier order is chosen so that seedResume's pushTail sequence
+// makes worker 0's future pops reproduce the interrupted run's exact
+// pop order: pops come newest-first from the deque and then FIFO from
+// overflow, so the serialized order is reversed overflow first, then
+// each deque oldest→newest.
+func (x *exploration) buildCheckpoint() *Checkpoint {
+	ck := &Checkpoint{
+		Model:  x.c.Model.Name(),
+		Prog:   x.progFP,
+		Popped: x.basePopped + x.popped.Load(),
+		Stats:  x.baseStats,
+	}
+	for _, w := range x.workers {
+		ck.Stats.Add(w.stats)
+	}
+	x.ofMu.Lock()
+	for i := len(x.overflow) - 1; i >= 0; i-- {
+		ck.frontier = append(ck.frontier, stripSnap(x.overflow[i]))
+	}
+	x.ofMu.Unlock()
+	for _, w := range x.workers {
+		base := len(ck.frontier)
+		ck.frontier = w.dq.snapshot(ck.frontier)
+		for i := base; i < len(ck.frontier); i++ {
+			ck.frontier[i] = stripSnap(ck.frontier[i])
+		}
+	}
+	if x.visited != nil {
+		ck.visited = x.visited.Snapshot(make([]graph.Hash128, 0, x.visited.Len()))
+	}
+	x.resMu.Lock()
+	if x.vio != nil {
+		ck.vio = &vioCheckpoint{
+			verdict: x.vio.Verdict, message: x.vio.Message,
+			stamp: x.vioStamp, key: x.vioKey, witness: x.vio.Witness,
+		}
+	}
+	x.resMu.Unlock()
+	return ck
+}
+
+// stripSnap drops the replay-snapshot perf cache from a state bound
+// for a checkpoint: it aliases the producing worker's pooled scratch
+// lineage and is rebuilt for free on the resuming pop.
+func stripSnap(st ExploreState) ExploreState {
+	st.snap = nil
+	st.changed = 0
+	return st
+}
+
 // merge assembles the final Result: the deterministic violation winner
 // if the run found any, else the hard stop (Error/Canceled), else OK —
 // with statistics summed over every worker that participated. A true
 // counterexample outranks a MaxGraphs error or a cancellation: it is a
 // sound verdict about the program, where the others only describe the
-// run.
+// run. The one exception is a budget stop: Undecided outranks a found
+// violation, because the deterministic-counterexample contract picks
+// the minimum over ALL violations of a complete exploration — the
+// front-runner travels in the checkpoint and wins only once the
+// frontier actually drains.
 func (x *exploration) merge() *Result {
 	var res *Result
 	switch {
+	case x.hard != nil && x.hard.Verdict == Undecided:
+		res = x.hard
 	case x.vio != nil:
 		res = x.vio
 	case x.hard != nil:
@@ -425,6 +635,7 @@ func (x *exploration) merge() *Result {
 	default:
 		res = &Result{Verdict: OK}
 	}
+	res.Stats.Add(x.baseStats)
 	sched := SchedStats{Workers: len(x.workers), Executed: make([]int, len(x.workers))}
 	for i, w := range x.workers {
 		res.Stats.Add(w.stats)

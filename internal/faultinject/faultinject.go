@@ -1,0 +1,202 @@
+// Package faultinject is an env-gated failpoint layer for chaos
+// testing the persistence paths: verdict-store file I/O, log
+// compaction renames, flock acquisition, remote-tier HTTP calls, and
+// checkpoint writes each consult a named failpoint before acting.
+//
+// In production the package is inert: Fire is a single atomic load
+// when no faults are configured, so the hooks cost nothing on the
+// paths they guard. Faults are armed either through the VSYNC_FAULTS
+// environment variable at process start or programmatically via
+// Configure (tests).
+//
+// VSYNC_FAULTS is a comma-separated list of point:action specs:
+//
+//	VSYNC_FAULTS="store.append:err"          // every call fails
+//	VSYNC_FAULTS="store.append:p=0.2"        // each call fails with probability 0.2
+//	VSYNC_FAULTS="remote.put:on=3"           // exactly the 3rd call fails
+//	VSYNC_FAULTS="store.flock:after=10"      // every call after the 10th fails
+//	VSYNC_FAULTS="store.append:kill=5"       // the 5th call exits the process (simulated crash)
+//	VSYNC_FAULTS="store.append.torn:on=2"    // point-specific: 2nd append tears mid-record
+//
+// Probabilistic faults draw from a deterministic PRNG seeded by
+// VSYNC_FAULTS_SEED (default 1), so a failing chaos run reproduces
+// with the same seed. An injected failure is reported as an error
+// wrapping ErrInjected, so tests can assert provenance with errors.Is.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure.
+var ErrInjected = errors.New("injected fault")
+
+// killExitCode is the exit status of a kill= action: 128+9, the status
+// a SIGKILLed process reports, so resume paths exercised by the chaos
+// harness see exactly what a real kill -9 produces.
+const killExitCode = 137
+
+type action struct {
+	always bool
+	prob   float64 // fail with this probability when > 0
+	on     int64   // fail exactly the nth call when > 0
+	after  int64   // fail every call past the nth when > 0
+	kill   int64   // exit the process on the nth call when > 0
+	calls  atomic.Int64
+	hits   atomic.Int64
+}
+
+type registry struct {
+	mu     sync.RWMutex
+	points map[string]*action
+	rngMu  sync.Mutex
+	rng    uint64
+}
+
+var (
+	armed atomic.Bool
+	reg   = &registry{points: map[string]*action{}, rng: 1}
+
+	// osExit is swapped out by tests of the kill action itself; the
+	// chaos harness uses the real thing.
+	osExit = os.Exit
+)
+
+func init() {
+	if spec := os.Getenv("VSYNC_FAULTS"); spec != "" {
+		if err := Configure(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "faultinject: ignoring malformed VSYNC_FAULTS: %v\n", err)
+		}
+	}
+	if s := os.Getenv("VSYNC_FAULTS_SEED"); s != "" {
+		if seed, err := strconv.ParseUint(s, 10, 64); err == nil && seed != 0 {
+			reg.rng = seed
+		}
+	}
+}
+
+// Enabled reports whether any failpoint is armed. It is the zero-cost
+// guard the hooks use before doing any per-point work.
+func Enabled() bool { return armed.Load() }
+
+// Configure arms failpoints from a spec string (same grammar as the
+// VSYNC_FAULTS environment variable), adding to any already armed.
+func Configure(spec string) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		point, act, ok := strings.Cut(part, ":")
+		if !ok || point == "" {
+			return fmt.Errorf("spec %q: want point:action", part)
+		}
+		a := &action{}
+		switch {
+		case act == "err":
+			a.always = true
+		case strings.HasPrefix(act, "p="):
+			p, err := strconv.ParseFloat(act[2:], 64)
+			if err != nil || p < 0 || p > 1 {
+				return fmt.Errorf("spec %q: bad probability", part)
+			}
+			a.prob = p
+		case strings.HasPrefix(act, "on="):
+			n, err := strconv.ParseInt(act[3:], 10, 64)
+			if err != nil || n < 1 {
+				return fmt.Errorf("spec %q: bad call number", part)
+			}
+			a.on = n
+		case strings.HasPrefix(act, "after="):
+			n, err := strconv.ParseInt(act[6:], 10, 64)
+			if err != nil || n < 0 {
+				return fmt.Errorf("spec %q: bad call number", part)
+			}
+			a.after = n
+		case strings.HasPrefix(act, "kill="):
+			n, err := strconv.ParseInt(act[5:], 10, 64)
+			if err != nil || n < 1 {
+				return fmt.Errorf("spec %q: bad call number", part)
+			}
+			a.kill = n
+		default:
+			return fmt.Errorf("spec %q: unknown action %q", part, act)
+		}
+		reg.mu.Lock()
+		reg.points[point] = a
+		reg.mu.Unlock()
+	}
+	armed.Store(true)
+	return nil
+}
+
+// Reset disarms every failpoint (test teardown).
+func Reset() {
+	reg.mu.Lock()
+	reg.points = map[string]*action{}
+	reg.mu.Unlock()
+	armed.Store(false)
+}
+
+// Hits returns how many times the named point actually injected a
+// failure so far.
+func Hits(point string) int64 {
+	reg.mu.RLock()
+	a := reg.points[point]
+	reg.mu.RUnlock()
+	if a == nil {
+		return 0
+	}
+	return a.hits.Load()
+}
+
+// Fire consults the named failpoint. It returns nil when the caller
+// should proceed normally, or an error wrapping ErrInjected when the
+// configured fault fires. A kill= action does not return: it exits
+// the process with the SIGKILL status, simulating a crash at exactly
+// this point.
+func Fire(point string) error {
+	if !armed.Load() {
+		return nil
+	}
+	reg.mu.RLock()
+	a := reg.points[point]
+	reg.mu.RUnlock()
+	if a == nil {
+		return nil
+	}
+	n := a.calls.Add(1)
+	fire := a.always ||
+		(a.on > 0 && n == a.on) ||
+		(a.after > 0 && n > a.after) ||
+		(a.prob > 0 && randFloat() < a.prob)
+	if a.kill > 0 && n == a.kill {
+		fmt.Fprintf(os.Stderr, "faultinject: kill at %s call %d\n", point, n)
+		osExit(killExitCode)
+	}
+	if !fire {
+		return nil
+	}
+	a.hits.Add(1)
+	return fmt.Errorf("%s: %w", point, ErrInjected)
+}
+
+// randFloat draws from a deterministic xorshift64* stream under a
+// mutex — contention-free in practice (probabilistic faults are a test
+// construct) and reproducible from VSYNC_FAULTS_SEED.
+func randFloat() float64 {
+	reg.rngMu.Lock()
+	x := reg.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	reg.rng = x
+	reg.rngMu.Unlock()
+	return float64((x*0x2545F4914F6CDD1D)>>11) / float64(1<<53)
+}

@@ -1,0 +1,116 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisarmedIsInert(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("enabled with no faults configured")
+	}
+	if err := Fire("store.append"); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+}
+
+func TestAlwaysErr(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Configure("store.append:err"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := Fire("store.append"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := Fire("store.rename"); err != nil {
+		t.Fatalf("unconfigured point fired: %v", err)
+	}
+	if Hits("store.append") != 3 {
+		t.Fatalf("hits = %d", Hits("store.append"))
+	}
+}
+
+func TestNthCall(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Configure("remote.put:on=3"); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 5; i++ {
+		if Fire("remote.put") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("fired on calls %v, want [3]", fired)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Configure("store.flock:after=2"); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 5; i++ {
+		if Fire("store.flock") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 3 || fired[0] != 3 {
+		t.Fatalf("fired on calls %v, want [3 4 5]", fired)
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Configure("remote.get:p=0.5"); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for i := 0; i < 1000; i++ {
+		if Fire("remote.get") != nil {
+			n++
+		}
+	}
+	if n < 350 || n > 650 {
+		t.Fatalf("p=0.5 fired %d/1000 times", n)
+	}
+}
+
+func TestKillUsesExitHook(t *testing.T) {
+	Reset()
+	defer Reset()
+	exited := -1
+	real := osExit
+	osExit = func(code int) { exited = code }
+	defer func() { osExit = real }()
+	if err := Configure("store.append:kill=2"); err != nil {
+		t.Fatal(err)
+	}
+	Fire("store.append")
+	if exited != -1 {
+		t.Fatal("killed on call 1")
+	}
+	Fire("store.append")
+	if exited != killExitCode {
+		t.Fatalf("exit code = %d, want %d", exited, killExitCode)
+	}
+}
+
+func TestMalformedSpecs(t *testing.T) {
+	Reset()
+	defer Reset()
+	for _, spec := range []string{"noaction", "p:q=1", "x:p=2", "x:on=0", "x:frob"} {
+		if err := Configure(spec); err == nil {
+			t.Fatalf("Configure(%q) accepted", spec)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary graph encoding. Checkpointing an exploration frontier spills
+// ExploreState items to disk, and each one is a partial execution
+// graph; this encoding captures everything exploration semantics
+// depend on — events with their exact addition stamps (the revisit
+// restriction is stamp-ordered), rf choices, per-location modification
+// orders, and the stamp counter — in a compact varint layout. Derived
+// state (memoized relations, extension hints, rf-row ownership) is
+// rebuilt, not stored.
+
+// graphEncVersion guards the wire layout of AppendGraph/DecodeGraph.
+// Callers embed it in their own framing (a checkpoint record's CRC
+// covers the whole payload), so a version bump cleanly invalidates old
+// sidecar files instead of mis-decoding them.
+const graphEncVersion = 1
+
+// AppendGraph appends the binary encoding of g to buf and returns the
+// extended slice. The encoding is self-delimiting: DecodeGraph reports
+// how many bytes it consumed.
+func AppendGraph(buf []byte, g *Graph) []byte {
+	buf = append(buf, graphEncVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(g.Threads)))
+	buf = binary.AppendUvarint(buf, uint64(len(g.InitVals)))
+	for l, v := range g.InitVals {
+		buf = binary.AppendUvarint(buf, v)
+		buf = appendString(buf, g.LocNames[l])
+	}
+	buf = binary.AppendUvarint(buf, uint64(g.NextStamp))
+	for t, evs := range g.Threads {
+		buf = binary.AppendUvarint(buf, uint64(len(evs)))
+		for i, e := range evs {
+			buf = appendEvent(buf, e)
+			if e.IsReadLike() {
+				rf := g.rf[t][i]
+				if rf.Bottom {
+					buf = append(buf, 1)
+				} else {
+					buf = append(buf, 0)
+					buf = binary.AppendVarint(buf, int64(rf.W.Thread))
+					buf = binary.AppendVarint(buf, int64(rf.W.Index))
+				}
+			}
+		}
+	}
+	for _, order := range g.Mo {
+		buf = binary.AppendUvarint(buf, uint64(len(order)))
+		for _, id := range order {
+			buf = binary.AppendVarint(buf, int64(id.Thread))
+			buf = binary.AppendVarint(buf, int64(id.Index))
+		}
+	}
+	return buf
+}
+
+// Event flag bits (first byte of an encoded event).
+const (
+	evfDegraded = 1 << iota
+	evfInAwait
+	evfPoint
+	evfMsg
+)
+
+func appendEvent(buf []byte, e *Event) []byte {
+	var flags byte
+	if e.Degraded {
+		flags |= evfDegraded
+	}
+	if e.AwaitSeq >= 0 {
+		flags |= evfInAwait
+	}
+	if e.Point != "" {
+		flags |= evfPoint
+	}
+	if e.Msg != "" {
+		flags |= evfMsg
+	}
+	buf = append(buf, flags, byte(e.Kind), byte(e.Mode))
+	buf = binary.AppendVarint(buf, int64(e.Loc))
+	buf = binary.AppendUvarint(buf, e.Val)
+	buf = binary.AppendUvarint(buf, e.RVal)
+	buf = binary.AppendUvarint(buf, uint64(e.Stamp))
+	if flags&evfInAwait != 0 {
+		buf = binary.AppendUvarint(buf, uint64(e.AwaitSeq))
+		buf = binary.AppendUvarint(buf, uint64(e.AwaitIter))
+	}
+	if flags&evfPoint != 0 {
+		buf = appendString(buf, e.Point)
+	}
+	if flags&evfMsg != 0 {
+		buf = appendString(buf, e.Msg)
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decBuf is a cursor over an encoded graph with sticky error handling:
+// the first malformed read poisons the cursor and every later read
+// returns zero values, so decoding logic stays linear and the single
+// error check happens at the end.
+type decBuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decBuf) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decBuf) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("graph decode: truncated at byte %d", d.off)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decBuf) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("graph decode: bad uvarint at byte %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decBuf) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("graph decode: bad varint at byte %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decBuf) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("graph decode: string of %d bytes exceeds remaining input", n)
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// count reads a collection length and rejects values that could not
+// possibly fit in the remaining input (every element costs at least
+// one byte), so corrupt or adversarial input cannot force a huge
+// allocation before the truncation is noticed.
+func (d *decBuf) count(what string) int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("graph decode: %s count %d exceeds remaining input", what, n)
+		return 0
+	}
+	return int(n)
+}
+
+// DecodeGraph decodes one graph from the front of data, returning the
+// graph, the number of bytes consumed, and any error. The decoded
+// graph is fully validated (structural invariants and stamp bounds);
+// on error the graph is nil and must not be used.
+func DecodeGraph(data []byte) (*Graph, int, error) {
+	d := &decBuf{b: data}
+	if v := d.byte(); d.err == nil && v != graphEncVersion {
+		return nil, 0, fmt.Errorf("graph decode: unsupported encoding version %d", v)
+	}
+	nthreads := d.count("thread")
+	nlocs := d.count("location")
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	initVals := make([]Val, nlocs)
+	locNames := make([]string, nlocs)
+	for l := 0; l < nlocs; l++ {
+		initVals[l] = d.uvarint()
+		locNames[l] = d.str()
+	}
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	g := New(nthreads, initVals, locNames)
+	g.NextStamp = int(d.uvarint())
+	for t := 0; t < nthreads; t++ {
+		nev := d.count("event")
+		if d.err != nil {
+			return nil, 0, d.err
+		}
+		evs := make([]*Event, 0, nev)
+		rfs := make([]RF, 0, nev)
+		for i := 0; i < nev; i++ {
+			e := decodeEvent(d, EventID{Thread: t, Index: i})
+			if d.err != nil {
+				return nil, 0, d.err
+			}
+			rf := noRF
+			if e.IsReadLike() {
+				if bottom := d.byte(); bottom != 0 {
+					rf = BottomRF
+				} else {
+					rf = RF{W: EventID{Thread: int(d.varint()), Index: int(d.varint())}}
+				}
+			}
+			evs = append(evs, e)
+			rfs = append(rfs, rf)
+		}
+		g.Threads[t] = evs
+		g.rf[t] = rfs
+		if t < 64 {
+			g.rfOwned |= 1 << uint(t) // freshly allocated rows are private
+		}
+	}
+	for l := 0; l < nlocs; l++ {
+		nmo := d.count("mo entry")
+		if d.err != nil {
+			return nil, 0, d.err
+		}
+		order := make([]EventID, nmo)
+		for i := range order {
+			order[i] = EventID{Thread: int(d.varint()), Index: int(d.varint())}
+		}
+		g.Mo[l] = order
+	}
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	if err := validateDecoded(g); err != nil {
+		return nil, 0, err
+	}
+	return g, d.off, nil
+}
+
+func decodeEvent(d *decBuf, id EventID) *Event {
+	flags := d.byte()
+	e := &Event{
+		ID:       id,
+		Kind:     Kind(d.byte()),
+		Mode:     Mode(d.byte()),
+		Loc:      Loc(d.varint()),
+		AwaitSeq: -1,
+	}
+	e.Val = d.uvarint()
+	e.RVal = d.uvarint()
+	e.Stamp = int(d.uvarint())
+	e.Degraded = flags&evfDegraded != 0
+	if flags&evfInAwait != 0 {
+		e.AwaitSeq = int(d.uvarint())
+		e.AwaitIter = int(d.uvarint())
+	}
+	if flags&evfPoint != 0 {
+		e.Point = d.str()
+	}
+	if flags&evfMsg != 0 {
+		e.Msg = d.str()
+	}
+	if e.Kind > KError {
+		d.fail("graph decode: unknown event kind %d", e.Kind)
+	}
+	if e.Mode > SC {
+		d.fail("graph decode: unknown event mode %d", e.Mode)
+	}
+	return e
+}
+
+// validateDecoded rejects decoded graphs that passed the syntactic
+// decode but are structurally unsound: CRC framing catches media
+// corruption, this catches logic corruption (a bug or a forged file)
+// before a broken graph can poison an exploration.
+func validateDecoded(g *Graph) error {
+	// Bounds first: CheckInvariants indexes Mo by event locations, so an
+	// out-of-range location must be rejected before the audit runs.
+	for _, evs := range g.Threads {
+		prev := 0
+		for _, e := range evs {
+			if e.Loc < 0 || (int(e.Loc) >= len(g.InitVals) && e.Kind != KFence && e.Kind != KError) {
+				return fmt.Errorf("graph decode: event %v references location %d of %d", e.ID, e.Loc, len(g.InitVals))
+			}
+			if e.Stamp <= 0 || e.Stamp >= g.NextStamp {
+				return fmt.Errorf("graph decode: event %v stamp %d outside (0,%d)", e.ID, e.Stamp, g.NextStamp)
+			}
+			if e.Stamp <= prev {
+				return fmt.Errorf("graph decode: event %v stamp %d not increasing along po", e.ID, e.Stamp)
+			}
+			prev = e.Stamp
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		return fmt.Errorf("graph decode: %w", err)
+	}
+	return nil
+}

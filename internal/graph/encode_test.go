@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// mkEncGraph builds a graph exercising every encoded feature: multiple
+// locations, a bottom read inside an await, a degraded update, a fence,
+// an error event with a message, a point label, and — via RestrictTo —
+// stamp gaps (checkpointed frontier graphs are often restrictions, so
+// non-contiguous stamps are the common case, not the corner).
+func mkEncGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New(3, []Val{0, 7}, []string{"x", "flag"})
+	w := &Event{ID: EventID{0, 0}, Kind: KWrite, Mode: Rel, Loc: 0, Val: 1, AwaitSeq: -1, Point: "store_x"}
+	g.Append(w)
+	g.InsertMo(0, w.ID, 1)
+	r := &Event{ID: EventID{1, 0}, Kind: KRead, Mode: Acq, Loc: 0, RVal: 1, AwaitSeq: -1}
+	g.Append(r)
+	g.SetRF(r.ID, FromW(w.ID))
+	u := &Event{ID: EventID{1, 1}, Kind: KUpdate, Mode: AcqRel, Loc: 1, RVal: 7, Degraded: true, AwaitSeq: 2, AwaitIter: 3}
+	g.Append(u)
+	g.SetRF(u.ID, FromW(EventID{InitThread, 1}))
+	f := &Event{ID: EventID{2, 0}, Kind: KFence, Mode: SC, AwaitSeq: -1}
+	g.Append(f)
+	b := &Event{ID: EventID{2, 1}, Kind: KRead, Mode: Rlx, Loc: 1, AwaitSeq: 0, AwaitIter: 0}
+	g.Append(b)
+	g.SetRF(b.ID, BottomRF)
+	e := &Event{ID: EventID{2, 2}, Kind: KError, Mode: Rlx, Msg: "assert failed: x == 2", AwaitSeq: -1}
+	g.Append(e)
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("test graph is broken: %v", err)
+	}
+	return g
+}
+
+func TestGraphEncodeRoundTrip(t *testing.T) {
+	g := mkEncGraph(t)
+	enc := AppendGraph(nil, g)
+	dec, n, err := DecodeGraph(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(enc) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(enc))
+	}
+	assertGraphsEqual(t, g, dec)
+
+	// Re-encoding the decoded graph must be byte-identical: the encoding
+	// is canonical, which is what makes checkpoint differential tests
+	// able to compare files directly.
+	enc2 := AppendGraph(nil, dec)
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("re-encoding the decoded graph changed the bytes")
+	}
+}
+
+func TestGraphEncodeRoundTripRestricted(t *testing.T) {
+	g := mkEncGraph(t)
+	// Restrict to a stamp-gapped subgraph: keep T0's write and T1's read.
+	keep := NewEventSet(g.NextStamp)
+	keep.Add(g.Event(EventID{0, 0}))
+	keep.Add(g.Event(EventID{1, 0}))
+	g.RestrictTo(keep)
+
+	enc := AppendGraph(nil, g)
+	dec, _, err := DecodeGraph(enc)
+	if err != nil {
+		t.Fatalf("decode restricted: %v", err)
+	}
+	assertGraphsEqual(t, g, dec)
+}
+
+func TestGraphEncodeSelfDelimiting(t *testing.T) {
+	a, b := mkEncGraph(t), New(1, []Val{3}, []string{"y"})
+	enc := AppendGraph(nil, a)
+	mid := len(enc)
+	enc = AppendGraph(enc, b)
+	da, n, err := DecodeGraph(enc)
+	if err != nil || n != mid {
+		t.Fatalf("first decode: n=%d err=%v (want %d)", n, err, mid)
+	}
+	assertGraphsEqual(t, a, da)
+	db, _, err := DecodeGraph(enc[n:])
+	if err != nil {
+		t.Fatalf("second decode: %v", err)
+	}
+	assertGraphsEqual(t, b, db)
+}
+
+// TestGraphDecodeTruncated feeds every proper prefix of a valid
+// encoding to the decoder: all must fail cleanly, none may panic —
+// torn checkpoint files land exactly here.
+func TestGraphDecodeTruncated(t *testing.T) {
+	enc := AppendGraph(nil, mkEncGraph(t))
+	for i := 0; i < len(enc); i++ {
+		if g, _, err := DecodeGraph(enc[:i]); err == nil {
+			// A prefix that still decodes must decode to a valid graph
+			// (possible only if trailing bytes were unreachable — which
+			// the self-delimiting layout forbids).
+			t.Fatalf("prefix of %d/%d bytes decoded without error (%d events)", i, len(enc), g.NumEvents())
+		}
+	}
+}
+
+// TestGraphDecodeCorrupted flips every byte of a valid encoding one at
+// a time: the decoder must either reject the input or produce a graph
+// that passes the full invariant audit — never panic, never return a
+// structurally broken graph.
+func TestGraphDecodeCorrupted(t *testing.T) {
+	enc := AppendGraph(nil, mkEncGraph(t))
+	buf := make([]byte, len(enc))
+	for i := 0; i < len(enc); i++ {
+		for _, bit := range []byte{0x01, 0x80, 0xff} {
+			copy(buf, enc)
+			buf[i] ^= bit
+			g, _, err := DecodeGraph(buf)
+			if err != nil {
+				continue
+			}
+			if ierr := g.CheckInvariants(); ierr != nil {
+				t.Fatalf("byte %d ^ %#x: decoder accepted an invalid graph: %v", i, bit, ierr)
+			}
+		}
+	}
+}
+
+func assertGraphsEqual(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if err := got.CheckInvariants(); err != nil {
+		t.Fatalf("decoded graph invalid: %v", err)
+	}
+	if want.Fingerprint() != got.Fingerprint() {
+		t.Fatalf("fingerprint mismatch:\nwant %s\ngot  %s", want.Fingerprint(), got.Fingerprint())
+	}
+	if want.Fingerprint128() != got.Fingerprint128() {
+		t.Fatal("Fingerprint128 mismatch")
+	}
+	if want.NextStamp != got.NextStamp {
+		t.Fatalf("NextStamp: want %d got %d", want.NextStamp, got.NextStamp)
+	}
+	for tid, evs := range want.Threads {
+		for i, e := range evs {
+			d := got.Threads[tid][i]
+			if *e != *d {
+				t.Fatalf("event %v differs:\nwant %+v\ngot  %+v", e.ID, *e, *d)
+			}
+		}
+	}
+	for l, order := range want.Mo {
+		if len(got.Mo[l]) != len(order) {
+			t.Fatalf("mo[%d] length differs", l)
+		}
+		for i, id := range order {
+			if got.Mo[l][i] != id {
+				t.Fatalf("mo[%d][%d]: want %v got %v", l, i, id, got.Mo[l][i])
+			}
+		}
+	}
+}

@@ -2,14 +2,18 @@
 
 package store
 
-import "os"
+import (
+	"os"
+
+	"repro/internal/faultinject"
+)
 
 // lockFile is a no-op where flock is unavailable (windows, solaris,
 // aix, ...); the documented multi-writer protocol is then unenforced
 // and simultaneous processes appending one store risk interleaved
 // (torn) records — which the checksummed scan detects and discards,
 // but cannot prevent.
-func lockFile(*os.File) error { return nil }
+func lockFile(*os.File) error { return faultinject.Fire("store.flock") }
 
 // unlockFile matches lockFile's no-op.
 func unlockFile(*os.File) {}

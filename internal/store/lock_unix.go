@@ -5,6 +5,8 @@ package store
 import (
 	"os"
 	"syscall"
+
+	"repro/internal/faultinject"
 )
 
 // lockFile takes an exclusive, blocking advisory flock on the sidecar
@@ -25,6 +27,9 @@ import (
 // Flock (the set cmd/go's lockedfile uses) — `unix` alone would break
 // compilation on solaris/illumos/aix, which lack it.
 func lockFile(f *os.File) error {
+	if err := faultinject.Fire("store.flock"); err != nil {
+		return err
+	}
 	for {
 		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
 		switch err {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/faultinject"
 )
 
 // MergeStats accounts one Merge call.
@@ -220,6 +222,13 @@ func (s *Session) replaceLog(content []byte) error {
 	if s.f != nil {
 		s.f.Close()
 		s.f = nil
+	}
+	if err := faultinject.Fire("store.rename"); err != nil {
+		os.Remove(tmp)
+		if oerr := s.openLocked(); oerr != nil {
+			return fmt.Errorf("store: compact: %v; reopening original: %w", err, oerr)
+		}
+		return fmt.Errorf("store: compact: %w", err)
 	}
 	if err := os.Rename(tmp, s.path); err != nil {
 		os.Remove(tmp)

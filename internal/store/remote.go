@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 )
 
@@ -49,18 +51,31 @@ func parseHashHex(s string) (graph.Hash128, error) {
 
 // remoteTier is the client side of the verdict service. It is
 // best-effort by design: every failure trips an exponential cooldown
-// (1s, 2s, 4s, ... capped at 30s) during which calls short-circuit to
-// a miss, so an unreachable service costs one timeout per cooldown
-// window instead of one per cell, and a run always completes
-// local-only. Each degradation and each retry is logged.
+// (1s, 2s, 4s, ... capped at 30s, with ±50% jitter so a fleet of
+// sessions that lost the service together does not retry in lockstep)
+// during which calls short-circuit to a miss, so an unreachable
+// service costs one timeout per cooldown window instead of one per
+// cell, and a run always completes local-only. Each degradation and
+// each retry is logged.
 type remoteTier struct {
 	base string
 	hc   *http.Client
 	logf func(string, ...any)
 
+	// backoffUnit is the cooldown's doubling base (1s in production;
+	// tests shrink it to keep outage scenarios fast).
+	backoffUnit time.Duration
+
 	mu        sync.Mutex
 	failures  int
 	downUntil time.Time
+}
+
+// backoffJitter spreads a computed cooldown uniformly over
+// [0.5d, 1.5d). A package variable so the backoff-bound tests can pin
+// it.
+var backoffJitter = func(d time.Duration) time.Duration {
+	return d/2 + rand.N(d)
 }
 
 func newRemoteTier(base string, timeout time.Duration, logf func(string, ...any)) *remoteTier {
@@ -71,9 +86,10 @@ func newRemoteTier(base string, timeout time.Duration, logf func(string, ...any)
 		logf = log.Printf
 	}
 	return &remoteTier{
-		base: strings.TrimRight(base, "/"),
-		hc:   &http.Client{Timeout: timeout},
-		logf: logf,
+		base:        strings.TrimRight(base, "/"),
+		hc:          &http.Client{Timeout: timeout},
+		logf:        logf,
+		backoffUnit: time.Second,
 	}
 }
 
@@ -89,10 +105,11 @@ func (r *remoteTier) available() bool {
 func (r *remoteTier) fail(op string, err error) {
 	r.mu.Lock()
 	r.failures++
-	backoff := time.Second << min(r.failures-1, 5) // 1s .. 32s, capped below
-	if backoff > 30*time.Second {
-		backoff = 30 * time.Second
+	backoff := r.backoffUnit << min(r.failures-1, 5) // 1u .. 32u, capped below
+	if cap := 30 * r.backoffUnit; backoff > cap {
+		backoff = cap
 	}
+	backoff = backoffJitter(backoff)
 	r.downUntil = time.Now().Add(backoff)
 	n := r.failures
 	r.mu.Unlock()
@@ -118,6 +135,10 @@ func (r *remoteTier) ok() {
 func (r *remoteTier) get(epoch, key graph.Hash128) (core.Verdict, string, bool, error) {
 	if !r.available() {
 		return 0, "", false, nil
+	}
+	if err := faultinject.Fire("remote.get"); err != nil {
+		r.fail("GET", err)
+		return 0, "", false, err
 	}
 	u := fmt.Sprintf("%s/v1/verdict?epoch=%s&key=%s", r.base,
 		url.QueryEscape(hashHex(epoch)), url.QueryEscape(hashHex(key)))
@@ -155,6 +176,10 @@ func (r *remoteTier) get(epoch, key graph.Hash128) (core.Verdict, string, bool, 
 func (r *remoteTier) put(batch []WireRecord) error {
 	if !r.available() {
 		return fmt.Errorf("remote in backoff")
+	}
+	if err := faultinject.Fire("remote.put"); err != nil {
+		r.fail("PUT", err)
+		return err
 	}
 	body, err := json.Marshal(batch)
 	if err != nil {
@@ -210,7 +235,12 @@ func (s *Session) enqueueRemoteLocked(id recordID, v core.Verdict, name string) 
 		Verdict: uint8(v),
 		Name:    name,
 	})
-	if len(s.pending) >= remoteBatchSize {
+	s.capPendingLocked()
+	// During an outage cooldown the batch is not fired: it would only
+	// burn a goroutine on a guaranteed "in backoff" failure. Records
+	// keep accumulating (bounded by the cap) and the first enqueue after
+	// the cooldown pushes them all.
+	if len(s.pending) >= remoteBatchSize && s.remote.available() {
 		batch := s.pending
 		s.pending = nil
 		s.inflight.Add(1)
@@ -221,16 +251,33 @@ func (s *Session) enqueueRemoteLocked(id recordID, v core.Verdict, name string) 
 	}
 }
 
-// sendBatch pushes one batch and books the outcome.
+// sendBatch pushes one batch and books the outcome. A failed batch is
+// requeued — PUT is idempotent, so the later retry (next post-cooldown
+// enqueue, or a Flush) re-sends it without risk of double-counting
+// server-side.
 func (s *Session) sendBatch(batch []WireRecord) {
 	err := s.remote.put(batch)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err != nil {
 		s.stats.RemoteFailures++
+		s.stats.RemoteRequeued += len(batch)
+		// The failed batch is older than anything pending: it goes back
+		// at the front so the cap drops oldest-first overall.
+		s.pending = append(batch, s.pending...)
+		s.capPendingLocked()
 		return
 	}
 	s.stats.RemotePuts += len(batch)
+}
+
+// capPendingLocked enforces the requeue bound, dropping the oldest
+// records beyond remotePendingMax. Caller holds mu.
+func (s *Session) capPendingLocked() {
+	if over := len(s.pending) - remotePendingMax; over > 0 {
+		s.stats.RemoteDropped += over
+		s.pending = append([]WireRecord(nil), s.pending[over:]...)
+	}
 }
 
 // Flush drains the pending remote batch (if any) and waits for

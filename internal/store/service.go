@@ -6,11 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
 
-// NewHandler serves a session as the verdict service API consumed by
+// Handler serves a session as the verdict service API consumed by
 // remoteTier (cmd/vsyncstored wraps it in a binary). The service is a
 // plain epoch-aware key/value view of one shared log:
 //
@@ -18,6 +19,7 @@ import (
 //	PUT  /v1/verdicts  ([]WireRecord)   -> 200 {"appended","duplicates","conflicts"}
 //	GET  /v1/stats                      -> 200 Stats
 //	GET  /v1/healthz                    -> 200 ok
+//	GET  /v1/readyz                     -> 200 ready | 503 draining
 //
 // Records are stored verbatim under the *client's* code epoch — the
 // server's own build is irrelevant to what it stores, which is what
@@ -25,8 +27,30 @@ import (
 // idempotent (content-addressed dedup) and tolerant: conflicting
 // records are counted and kept out, never an error, so one bad client
 // cannot wedge the fleet's ingest.
-func NewHandler(s *Session) http.Handler {
+//
+// healthz and readyz answer different questions: healthz is liveness
+// ("is the process serving HTTP at all") and stays 200 for the whole
+// lifetime; readyz is load-balancer routability and flips to 503 the
+// moment a graceful drain starts (SetReady(false)), so rolling
+// restarts stop steering new clients at an instance that is about to
+// stop accepting work while its in-flight requests complete.
+type Handler struct {
+	mux   *http.ServeMux
+	ready atomic.Bool
+}
+
+// ServeHTTP makes Handler an http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// SetReady flips the /v1/readyz answer; new handlers start ready.
+func (h *Handler) SetReady(ok bool) { h.ready.Store(ok) }
+
+// NewHandler builds the service handler over one shared session.
+func NewHandler(s *Session) *Handler {
+	h := &Handler{}
+	h.ready.Store(true)
 	mux := http.NewServeMux()
+	h.mux = mux
 
 	mux.HandleFunc("GET /v1/verdict", func(w http.ResponseWriter, r *http.Request) {
 		epoch, err1 := parseHashHex(r.URL.Query().Get("epoch"))
@@ -94,7 +118,15 @@ func NewHandler(s *Session) http.Handler {
 		w.Write([]byte("ok\n"))
 	})
 
-	return mux
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !h.ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+
+	return h
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -102,6 +102,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 )
 
@@ -138,6 +139,12 @@ const (
 	// remoteBatchSize is how many pending verdicts accumulate before a
 	// batched remote PUT is fired; Close/Flush drain the remainder.
 	remoteBatchSize = 16
+
+	// remotePendingMax bounds the pending queue: requeued batches from a
+	// long service outage accumulate here, and beyond the cap the oldest
+	// records are dropped (counted as RemoteDropped) — the local log has
+	// them either way, so the loss is only a cold remote cache.
+	remotePendingMax = 4096
 )
 
 // staleRetainBytes bounds how much foreign-epoch (or foreign-version)
@@ -176,6 +183,8 @@ type Stats struct {
 	RemoteHits     int // lookups served by the remote tier (and promoted locally)
 	RemotePuts     int // records acknowledged by batched remote PUTs
 	RemoteFailures int // remote calls that failed (degraded to local-only)
+	RemoteRequeued int // records of failed PUT batches returned to the pending queue
+	RemoteDropped  int // pending records dropped (oldest first) at the requeue cap
 }
 
 // Options configures OpenShared beyond the log path.
@@ -467,7 +476,11 @@ func (s *Session) Refresh() (int, error) {
 
 // decodePayload parses one checksummed payload. ok is false for
 // versions (and their payload shapes) this build does not understand;
-// the caller treats those as stale, like a foreign code epoch.
+// the caller treats those as stale, like a foreign code epoch. A
+// record whose verdict byte is not a decisive verdict is likewise
+// refused: Put never writes one, so such a record is damage that
+// happened to keep a valid CRC (or a forged file), and serving it
+// would hand callers a verdict value the checker cannot produce.
 func decodePayload(p []byte) (epoch, key graph.Hash128, v core.Verdict, name string, ok bool) {
 	if len(p) < payloadFixed || p[0] != recordVersion {
 		return epoch, key, v, "", false
@@ -477,9 +490,12 @@ func decodePayload(p []byte) (epoch, key graph.Hash128, v core.Verdict, name str
 	key[0] = binary.LittleEndian.Uint64(p[17:])
 	key[1] = binary.LittleEndian.Uint64(p[25:])
 	v = core.Verdict(p[33])
+	if !decisive(v) {
+		return epoch, key, 0, "", false
+	}
 	nameLen := int(binary.LittleEndian.Uint16(p[34:]))
 	if payloadFixed+nameLen != len(p) {
-		return epoch, key, v, "", false
+		return epoch, key, 0, "", false
 	}
 	return epoch, key, v, string(p[payloadFixed:]), true
 }
@@ -630,6 +646,17 @@ func (s *Session) putLocked(id recordID, v core.Verdict, name string, push bool)
 			return s.dupOrConflict(prev.v, v, name)
 		}
 		rec := encodeRecord(id.epoch, id.key, v, name)
+		if err := faultinject.Fire("store.append"); err != nil {
+			return fmt.Errorf("store: appending to %s: %w", s.path, err)
+		}
+		if err := faultinject.Fire("store.append.torn"); err != nil {
+			// Crash simulation: half a record lands and the "process" dies
+			// before healing — exactly what a kill -9 mid-append leaves.
+			// The tear stays on disk; the next locked operation's tail
+			// re-scan truncates it.
+			s.f.Write(rec[:headerSize+len(rec)/3])
+			return fmt.Errorf("store: appending to %s: %w", s.path, err)
+		}
 		if n, err := s.f.Write(rec); err != nil {
 			if n > 0 {
 				// Partial append: heal our own torn tail while we still

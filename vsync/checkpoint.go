@@ -1,0 +1,160 @@
+package vsync
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Budget bounds one run segment: wall clock, popped exploration
+// states, or process heap. A budget hit does not lose the work — the
+// run drains cleanly and returns an Undecided result carrying a
+// Checkpoint of the remaining frontier; resuming from it continues the
+// exploration exactly where it stopped, with the same final verdict,
+// statistics and counterexample an uninterrupted run would have
+// produced. MaxDuration and MaxGraphs are per-segment (so every
+// resumed segment gets a fresh allowance and the search always makes
+// progress); MaxMemBytes is an absolute heap cap.
+type Budget = core.Budget
+
+// Checkpoint is the resumable remainder of an interrupted exploration:
+// the unexplored frontier, the visited-set keys, cumulative counters,
+// and the best violation found so far. It is self-contained — Resume
+// needs only the checkpoint, the model, and the program — and survives
+// crashes via WriteCheckpointFile/LoadCheckpointFile (atomic write,
+// CRC-framed records, torn files refused entirely).
+type Checkpoint = core.Checkpoint
+
+// WriteCheckpointFile atomically persists a checkpoint (temp file +
+// fsync + rename): the path either holds the complete new checkpoint
+// or whatever it held before, never a torn mix.
+func WriteCheckpointFile(path string, c *Checkpoint) error {
+	return core.WriteCheckpointFile(path, c)
+}
+
+// LoadCheckpointFile reads a checkpoint written by WriteCheckpointFile.
+// Any damage — truncation, bit flips, trailing garbage — refuses the
+// whole file: a partial frontier would silently unsound the search.
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	return core.LoadCheckpointFile(path)
+}
+
+// CheckpointPath is the sidecar file a run keyed by key checkpoints to
+// inside dir: content-addressed by the store key hash, so the same
+// verification problem resumes its own frontier and nothing else's.
+func CheckpointPath(dir string, key StoreKey) string {
+	h := key.Hash()
+	return filepath.Join(dir, fmt.Sprintf("%016x%016x.ckpt", h[0], h[1]))
+}
+
+// armCheckpoints wires one checker for budgeted, resumable execution
+// and returns the checkpoint path ("" when no directory is
+// configured). With a directory, a cancellation (SIGINT in the CLIs)
+// also snapshots instead of discarding, an existing compatible
+// checkpoint seeds the run, and interval > 0 additionally snapshots
+// periodically so even kill -9 loses at most one interval of work.
+func armCheckpoints(c *core.Checker, b Budget, dir string, interval time.Duration, key StoreKey) string {
+	c.Budget = b
+	if dir == "" {
+		return ""
+	}
+	path := CheckpointPath(dir, key)
+	c.CheckpointOnCancel = true
+	if ck, err := core.LoadCheckpointFile(path); err == nil {
+		if ck.Epoch == StoreCodeEpoch() {
+			c.Resume = ck
+		}
+		// A checkpoint stamped by a different code epoch is ignored, not
+		// an error: a frontier produced by different checker code is not
+		// trustworthy even over the same program, and the fresh run will
+		// overwrite it. Same stance the verdict store takes on stale
+		// records.
+	}
+	if interval > 0 {
+		c.CheckpointInterval = interval
+		c.CheckpointSink = func(ck *core.Checkpoint) error {
+			ck.Epoch = StoreCodeEpoch()
+			return core.WriteCheckpointFile(path, ck)
+		}
+	}
+	return path
+}
+
+// finishCheckpoint persists or retires the checkpoint file after a
+// run. Undecided results write their final frontier (replacing any
+// periodic snapshot, which is by now behind); decisive verdicts retire
+// the file — the problem is solved, resuming it would be wasted work.
+// Error and Canceled leave any existing file alone: the frontier on
+// disk is still the best known resume point.
+func finishCheckpoint(path string, r *core.Result) error {
+	if path == "" || r == nil {
+		return nil
+	}
+	if r.Verdict == core.Undecided && r.Checkpoint != nil {
+		r.Checkpoint.Epoch = StoreCodeEpoch()
+		return core.WriteCheckpointFile(path, r.Checkpoint)
+	}
+	if r.Verdict == OK || r.Verdict == SafetyViolation || r.Verdict == ATViolation {
+		os.Remove(path)
+	}
+	return nil
+}
+
+// Resume continues a checkpointed exploration of p under model. The
+// result is what the interrupted run would eventually have returned —
+// verdict, counterexample, and (for runs segmented purely by budget)
+// statistics are identical to an uninterrupted run's. A checkpoint
+// carrying a different model, program fingerprint, or (when stamped)
+// code epoch is refused with an Error result. opts supplies the
+// engine knobs that apply to a single run: WorkersPerRun, MaxGraphs,
+// Budget (the new segment may itself be budgeted), CheckpointDir and
+// CheckpointInterval.
+func Resume(model Model, p *Program, ck *Checkpoint, opts RunOptions) *Result {
+	return ResumeCtx(context.Background(), model, p, ck, opts)
+}
+
+// ResumeCtx is Resume with cooperative cancellation.
+func ResumeCtx(ctx context.Context, model Model, p *Program, ck *Checkpoint, opts RunOptions) *Result {
+	if ck == nil {
+		return &Result{Verdict: core.Error, Err: fmt.Errorf("vsync: Resume: nil checkpoint")}
+	}
+	if ck.Epoch != (graph.Hash128{}) && ck.Epoch != StoreCodeEpoch() {
+		// An epoch was stamped (the vsync layer always stamps); a
+		// frontier produced by different checker code is not trustworthy
+		// even over the same program.
+		return &Result{Verdict: core.Error, Err: fmt.Errorf(
+			"vsync: Resume: checkpoint code epoch %016x%016x does not match this build (%016x%016x); re-verify from scratch",
+			ck.Epoch[0], ck.Epoch[1], StoreCodeEpoch()[0], StoreCodeEpoch()[1])}
+	}
+	if opts.WorkersPerRun <= 0 {
+		opts.WorkersPerRun = 1
+	}
+	c := core.New(model)
+	c.WorkersPerRun = opts.WorkersPerRun
+	if opts.MaxGraphs > 0 {
+		c.MaxGraphs = opts.MaxGraphs
+	}
+	c.Budget = opts.Budget
+	c.Resume = ck
+	key := StoreKey{Model: model.Name(), Prog: p.Fingerprint128()}
+	path := ""
+	if opts.CheckpointDir != "" {
+		path = CheckpointPath(opts.CheckpointDir, key)
+		c.CheckpointOnCancel = true
+		if opts.CheckpointInterval > 0 {
+			c.CheckpointInterval = opts.CheckpointInterval
+			c.CheckpointSink = func(ck *core.Checkpoint) error {
+				ck.Epoch = StoreCodeEpoch()
+				return core.WriteCheckpointFile(path, ck)
+			}
+		}
+	}
+	r := c.RunCtx(ctx, p)
+	finishCheckpoint(path, r)
+	return r
+}

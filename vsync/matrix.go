@@ -115,6 +115,19 @@ type MatrixConfig struct {
 	WorkersPerRun int
 	// MaxGraphs bounds each AMC run (0 = checker default).
 	MaxGraphs int
+	// Budget bounds each cell's AMC run segment; a budget hit leaves
+	// the cell Undecided (neither failure nor error) with its frontier
+	// checkpointed when CheckpointDir is set. Zero means unbounded.
+	Budget Budget
+	// CheckpointDir, when non-empty, makes the suite crash-safe: each
+	// cell checkpoints its interrupted frontier to a content-addressed
+	// file there, and the next run over the same corpus resumes every
+	// undecided cell exactly where it stopped instead of starting over.
+	// Decided cells retire their file. The directory must exist.
+	CheckpointDir string
+	// CheckpointInterval additionally snapshots live frontiers at this
+	// cadence (crash-safety against kill -9); requires CheckpointDir.
+	CheckpointInterval time.Duration
 }
 
 // MatrixCell is the outcome of one (model × program) cell of the suite.
@@ -146,12 +159,14 @@ type MatrixCell struct {
 
 // Failed reports whether the cell is a genuine suite failure: a lock
 // cell that did not verify, or an engine error anywhere. Litmus cells
-// report observability, so their decisive verdicts never fail.
+// report observability, so their decisive verdicts never fail. An
+// Undecided cell is neither: its run hit a budget and checkpointed;
+// the next suite pass resumes it.
 func (c *MatrixCell) Failed() bool {
 	if c.Verdict == core.Error || c.Verdict == Canceled {
 		return true
 	}
-	return !c.Litmus && c.Verdict != OK
+	return !c.Litmus && c.Verdict != OK && c.Verdict != core.Undecided
 }
 
 // MatrixResult aggregates one suite run.
@@ -172,8 +187,10 @@ type MatrixResult struct {
 	// engine errors instead.)
 	StoreErr error
 	// Failures counts lock cells with decisive non-OK verdicts; Errors
-	// counts engine errors (including canceled runs).
-	Failures, Errors int
+	// counts engine errors (including canceled runs); Undecided counts
+	// cells whose run hit the Budget and checkpointed — unfinished, not
+	// failed; a follow-up run resumes them.
+	Failures, Errors, Undecided int
 	// Duration is the suite wall time, including store I/O.
 	Duration time.Duration
 }
@@ -198,6 +215,9 @@ func (r *MatrixResult) Summary() string {
 		fmt.Fprintf(&b, " (+%d identical cells sharing them)", r.Deduped)
 	}
 	fmt.Fprintf(&b, ", %d verdicts stored (%.1f%% hit rate, %d AMC runs skipped)\n", r.Stored, 100*r.HitRate(), r.Hits)
+	if r.Undecided > 0 {
+		fmt.Fprintf(&b, "suite: %d cells undecided (budget hit, checkpointed — rerun to resume)\n", r.Undecided)
+	}
 	if r.Failures > 0 || r.Errors > 0 {
 		fmt.Fprintf(&b, "suite: %d FAILED cells, %d engine errors\n", r.Failures, r.Errors)
 	}
@@ -221,6 +241,8 @@ func (r *MatrixResult) Report() string {
 			verdict = "ERROR"
 		case c.Verdict == Canceled:
 			verdict = "canceled"
+		case c.Verdict == core.Undecided:
+			verdict = "undecided"
 		case c.Verdict == OK:
 			verdict = "ok"
 		default:
@@ -415,6 +437,11 @@ func VerifyMatrixCtx(ctx context.Context, cfg MatrixConfig) *MatrixResult {
 					c.MaxGraphs = cfg.MaxGraphs
 				}
 				c.WorkersPerRun = cfg.WorkersPerRun
+				// Crash-safety: the cell's checkpoint file shares the
+				// store's content address, so a suite re-run over the
+				// same corpus resumes exactly the cells a budget (or a
+				// kill) left undecided.
+				ckptPath := armCheckpoints(c, cfg.Budget, cfg.CheckpointDir, cfg.CheckpointInterval, rep.key)
 				// One single-job RunAll per group (the pool still bounds
 				// total concurrency) so each verdict is appended the
 				// moment its run finishes: a long cold suite that is
@@ -423,6 +450,12 @@ func VerifyMatrixCtx(ctx context.Context, cfg MatrixConfig) *MatrixResult {
 				var putErr error
 				if cfg.Store != nil {
 					putErr = cfg.Store.Put(rep.key, r.Verdict, rep.cell.Model+"/"+rep.cell.Program)
+				}
+				if err := finishCheckpoint(ckptPath, r); err != nil && putErr == nil {
+					// Losing the snapshot does not taint the verdict, but
+					// the caller believes the run is resumable; surface
+					// through the same channel as append failures.
+					putErr = err
 				}
 				conflict := errors.Is(putErr, store.ErrConflict)
 				for n, i := range group {
@@ -465,6 +498,8 @@ func VerifyMatrixCtx(ctx context.Context, cfg MatrixConfig) *MatrixResult {
 		c := cells[i].cell
 		if c.Verdict == core.Error || c.Verdict == Canceled {
 			res.Errors++
+		} else if c.Verdict == core.Undecided {
+			res.Undecided++
 		} else if !c.Litmus && c.Verdict != OK {
 			res.Failures++
 		}

@@ -3,6 +3,7 @@ package vsync
 import (
 	"context"
 	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -38,6 +39,21 @@ type RunOptions struct {
 	StoreKeys []StoreKey
 	// MaxGraphs bounds each AMC run (0 = checker default).
 	MaxGraphs int
+	// Budget bounds each AMC run segment (wall clock, popped graphs,
+	// heap). A budget hit returns Undecided with a Checkpoint instead
+	// of losing the work; see Budget and Resume. Zero means unbounded.
+	Budget Budget
+	// CheckpointDir, when non-empty, makes runs crash-safe: each
+	// program checkpoints to a content-addressed file in this directory
+	// on budget exhaustion and on cancellation, and a compatible
+	// checkpoint found there seeds the run (resume). Decisive verdicts
+	// retire their file. The directory must exist.
+	CheckpointDir string
+	// CheckpointInterval additionally snapshots the live frontier to
+	// CheckpointDir at this cadence, so even an uncancellable crash
+	// (kill -9, power loss) loses at most one interval of work. Zero
+	// disables periodic snapshots; requires CheckpointDir.
+	CheckpointInterval time.Duration
 }
 
 // RunResult is the outcome of one Run call.
@@ -97,7 +113,10 @@ func RunCtx(ctx context.Context, model Model, programs []*Program, opts RunOptio
 	fromStore := make([]bool, n)
 
 	keys := opts.StoreKeys
-	if opts.Store != nil && keys == nil {
+	if keys == nil && (opts.Store != nil || opts.CheckpointDir != "") {
+		// Checkpoint files are addressed by the same content key the
+		// store uses, so a checkpoint directory needs keys even without
+		// a store.
 		keys = make([]StoreKey, n)
 		for i, p := range programs {
 			keys[i] = StoreKey{Model: model.Name(), Spec: graph.Hash128{}, Prog: p.Fingerprint128()}
@@ -136,29 +155,45 @@ func RunCtx(ctx context.Context, model Model, programs []*Program, opts RunOptio
 		}
 	}
 
-	if len(todo) == 1 && opts.Parallelism == 1 {
-		// Standalone run: WorkersPerRun > 1 spawns the run's own
-		// workers (a one-slot pool could lend it nothing).
+	newChecker := func(i int) (*core.Checker, string) {
 		c := core.New(model)
 		c.WorkersPerRun = opts.WorkersPerRun
 		if opts.MaxGraphs > 0 {
 			c.MaxGraphs = opts.MaxGraphs
 		}
+		var key StoreKey
+		if keys != nil {
+			key = keys[i]
+		}
+		path := armCheckpoints(c, opts.Budget, opts.CheckpointDir, opts.CheckpointInterval, key)
+		return c, path
+	}
+	ckptPaths := make(map[int]string)
+	if len(todo) == 1 && opts.Parallelism == 1 {
+		// Standalone run: WorkersPerRun > 1 spawns the run's own
+		// workers (a one-slot pool could lend it nothing).
+		c, path := newChecker(todo[0])
+		ckptPaths[todo[0]] = path
 		results[todo[0]] = c.RunCtx(ctx, programs[todo[0]])
 	} else if len(todo) > 0 {
 		pool := core.NewPool(opts.Parallelism)
 		jobs := make([]core.Job, len(todo))
 		for j, i := range todo {
-			c := core.New(model)
-			c.WorkersPerRun = opts.WorkersPerRun
-			if opts.MaxGraphs > 0 {
-				c.MaxGraphs = opts.MaxGraphs
-			}
+			c, path := newChecker(i)
+			ckptPaths[i] = path
 			jobs[j] = core.Job{Checker: c, Program: programs[i]}
 		}
 		_, _, jobResults := pool.VerifyAll(ctx, jobs)
 		for j, i := range todo {
 			results[i] = jobResults[j]
+		}
+	}
+	// Persist or retire checkpoint files: Undecided results write their
+	// final frontier, decisive verdicts delete the file (the problem is
+	// solved), Error/Canceled leave any snapshot in place.
+	for i, path := range ckptPaths {
+		if err := finishCheckpoint(path, results[i]); err != nil && rr.StoreErr == nil {
+			rr.StoreErr = err
 		}
 	}
 
@@ -178,10 +213,17 @@ func RunCtx(ctx context.Context, model Model, programs []*Program, opts RunOptio
 	}
 
 	// Reduce exactly as VerifySuiteResults always has: the
-	// lowest-indexed decisive failure wins; then a cancellation; else
-	// aggregate OK.
+	// lowest-indexed decisive failure wins; then an undecided run (its
+	// result carries the checkpoint to resume from); then a
+	// cancellation; else aggregate OK.
 	for i, r := range results {
-		if r.Verdict != OK && r.Verdict != Canceled {
+		if r.Verdict != OK && r.Verdict != Canceled && r.Verdict != core.Undecided {
+			rr.Result, rr.Failed = r, i
+			return rr.finish(results, fromStore, opts)
+		}
+	}
+	for i, r := range results {
+		if r.Verdict == core.Undecided {
 			rr.Result, rr.Failed = r, i
 			return rr.finish(results, fromStore, opts)
 		}

@@ -10,6 +10,10 @@
 //     counterexample execution graphs on failure. Run is the one entry
 //     point (single runs, parallel suites, verdict-store integration
 //     via RunOptions); the Verify* names remain as thin wrappers.
+//     Runs are crash-safe: RunOptions.Budget bounds a segment, and
+//     CheckpointDir persists interrupted frontiers so a resumed run
+//     reproduces the uninterrupted one exactly (see Resume and
+//     Checkpoint).
 //
 //   - Optimize: push-button barrier relaxation — start from the all-SC
 //     assignment and relax every barrier point as far as verification
@@ -105,6 +109,10 @@ const (
 	SafetyViolation = core.SafetyViolation
 	ATViolation     = core.ATViolation
 	Canceled        = core.Canceled
+	// Undecided marks a run stopped by a Budget limit (or a
+	// checkpointing cancellation) with the search incomplete; the
+	// result carries a Checkpoint to resume from.
+	Undecided = core.Undecided
 )
 
 // Memory models.

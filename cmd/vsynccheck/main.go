@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vsynccheck -lock mcs [-model wmm] [-threads 2] [-iters 1] [-sc] [-dot out.dot] [-workers N]
+//	vsynccheck -lock mcs [-model wmm] [-threads 2] [-iters 1] [-sc] [-dot out.dot] [-workers N] [-no-symmetry]
 //	vsynccheck -all [-par N] [-workers N]
 //	vsynccheck -list
 //	vsynccheck ... [-budget 30s] [-budget-graphs N] [-budget-mem BYTES]
@@ -26,6 +26,11 @@
 // 1 = the sequential DFS). Under -all the same pool slots serve both
 // whole runs and stolen items, so the last big run soaks up slots its
 // finished siblings released.
+//
+// -no-symmetry disables thread-symmetry reduction, exploring every
+// thread relabeling instead of one canonical representative per orbit —
+// the verdict is guaranteed identical; the flag exists as a
+// differential oracle and for apples-to-apples state-count comparisons.
 //
 // -budget* bounds a run segment (wall clock, popped graphs, heap); a
 // budget hit — or a SIGINT/SIGTERM — drains the run cleanly and, with
@@ -63,6 +68,7 @@ func main() {
 		dotOut    = flag.String("dot", "", "write the counterexample graph as Graphviz DOT to this file")
 		list      = flag.Bool("list", false, "list registered algorithms and exit")
 		all       = flag.Bool("all", false, "verify every registered correct algorithm in parallel")
+		noSym     = flag.Bool("no-symmetry", false, "disable thread-symmetry reduction (differential oracle: same verdict, every thread relabeling explored)")
 		par       = cli.Par()
 		workers   = cli.Workers()
 		storePath = cli.Store()
@@ -113,6 +119,7 @@ func main() {
 			Budget:             budget(),
 			CheckpointDir:      dir,
 			CheckpointInterval: *ckptInt,
+			NoSymmetry:         *noSym,
 		})
 		if rr.StoreHits > 0 {
 			fmt.Printf("store: %d of %d algorithms served without an AMC run\n", rr.StoreHits, len(ps))
@@ -167,6 +174,7 @@ func main() {
 		Budget:             budget(),
 		CheckpointDir:      dir,
 		CheckpointInterval: *ckptInt,
+		NoSymmetry:         *noSym,
 	})
 	res := rr.Results[0]
 	if rr.StoreHits > 0 {

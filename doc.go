@@ -16,7 +16,10 @@
 // closure-free acyclicity engine (bitset Kahn passes seeded by a
 // topological order of sb ∪ rf ∪ mo carried incrementally across
 // extension), 128-bit hashed dedup behind a sharded concurrent visited
-// set, copy-on-write graph branching, slab-allocated relation matrices
+// set with thread-symmetry reduction (canonicalized fingerprints
+// collapse each thread-relabeling orbit of a symmetric lock client to
+// one explored representative, cutting the state space by up to t!),
+// copy-on-write graph branching, slab-allocated relation matrices
 // with pooled scratch, and shared replay snapshots — is documented
 // under "The work-graph explorer" and "Performance architecture" in
 // README.md and tracked as machine-readable artifacts (including the

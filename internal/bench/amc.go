@@ -42,14 +42,23 @@ type AMCResult struct {
 	Steals     int `json:"steals,omitempty"`
 	Stolen     int `json:"stolen,omitempty"`
 	Contention int `json:"shard_contention,omitempty"`
+	// Thread-symmetry reduction (schema v4). Symmetry marks rows whose
+	// program declares validated symmetric thread groups and was
+	// measured with the reduction on; their "/nosym"-suffixed twins
+	// measure the same program with Checker.NoSymmetry set.
+	// SymmetryRatio, on symmetric rows with a measured twin at the same
+	// worker count, is states-explored-off / states-explored-on — the
+	// up-to-t! state-space cut the reduction delivers.
+	Symmetry      bool    `json:"symmetry,omitempty"`
+	SymmetryRatio float64 `json:"symmetry_ratio,omitempty"`
 }
 
 // AMCSuite is the artifact written to BENCH_amc.json.
 type AMCSuite struct {
-	// Schema "amc-bench/v3": v2 (workers/scheduler fields) plus the
-	// micro/* rows measuring the acyclicity engine itself — for those,
+	// Schema "amc-bench/v4": v3 (micro/* acyclicity rows — for those,
 	// one "graph" is one cycle check, so graphs_per_sec reads as
-	// checks/sec.
+	// checks/sec) plus the thread-symmetry on/off twin rows and their
+	// symmetry_ratio.
 	Schema  string      `json:"schema"`
 	Go      string      `json:"go"`
 	GOOS    string      `json:"goos"`
@@ -65,6 +74,7 @@ type amcTarget struct {
 	name    string
 	model   mm.Model
 	workers int
+	nosym   bool // measure with thread-symmetry reduction disabled
 	prog    func() *vprog.Program
 }
 
@@ -91,26 +101,33 @@ func amcTargets(scaleWorkers []int) []amcTarget {
 	}
 	for _, lk := range []string{"spin", "ttas", "ticket", "mcs", "clh", "qspin"} {
 		lk := lk
-		ts = append(ts, amcTarget{
-			name:    "lock/" + lk,
-			model:   mm.WMM,
-			workers: 1,
-			prog: func() *vprog.Program {
-				alg := locks.ByName(lk)
-				return harness.MutexClient(alg, alg.DefaultSpec(), 2, 1)
-			},
-		})
+		mk := func() *vprog.Program {
+			alg := locks.ByName(lk)
+			return harness.MutexClient(alg, alg.DefaultSpec(), 2, 1)
+		}
+		// Symmetry on/off twins: the same client measured with and
+		// without the reduction, so the artifact records both the
+		// canonicalization overhead per pop and the state-space cut.
+		ts = append(ts,
+			amcTarget{name: "lock/" + lk, model: mm.WMM, workers: 1, prog: mk},
+			amcTarget{name: "lock/" + lk + "/nosym", model: mm.WMM, workers: 1, nosym: true, prog: mk})
+	}
+	mkMCS3 := func() *vprog.Program {
+		alg := locks.ByName("mcs")
+		return harness.MutexClient(alg, alg.DefaultSpec(), 3, 1)
 	}
 	for _, w := range scaleWorkers {
 		ts = append(ts, amcTarget{
 			name:    "scale/mcs-t3",
 			model:   mm.WMM,
 			workers: w,
-			prog: func() *vprog.Program {
-				alg := locks.ByName("mcs")
-				return harness.MutexClient(alg, alg.DefaultSpec(), 3, 1)
-			},
+			prog:    mkMCS3,
 		})
+	}
+	if len(scaleWorkers) > 0 {
+		// One unreduced twin (sequential) anchors the t=3 symmetry
+		// ratio — the 3! orbit collapse the tentpole is measured by.
+		ts = append(ts, amcTarget{name: "scale/mcs-t3/nosym", model: mm.WMM, workers: 1, nosym: true, prog: mkMCS3})
 	}
 	return ts
 }
@@ -128,7 +145,7 @@ func RunAMCSuiteWorkers(runs int, scaleWorkers []int) AMCSuite {
 		runs = 1
 	}
 	s := AMCSuite{
-		Schema: "amc-bench/v3",
+		Schema: "amc-bench/v4",
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
@@ -138,6 +155,7 @@ func RunAMCSuiteWorkers(runs int, scaleWorkers []int) AMCSuite {
 	newChecker := func(tgt amcTarget) *core.Checker {
 		c := core.New(tgt.model)
 		c.WorkersPerRun = tgt.workers
+		c.NoSymmetry = tgt.nosym
 		return c
 	}
 	var ms0, ms1 runtime.MemStats
@@ -155,6 +173,7 @@ func RunAMCSuiteWorkers(runs int, scaleWorkers []int) AMCSuite {
 			Steals:     warm.Sched.Steals,
 			Stolen:     warm.Sched.Stolen,
 			Contention: warm.Sched.Contention,
+			Symmetry:   !tgt.nosym && p.SymSpec() != nil,
 		}
 		runtime.GC()
 		runtime.ReadMemStats(&ms0)
@@ -176,6 +195,27 @@ func RunAMCSuiteWorkers(runs int, scaleWorkers []int) AMCSuite {
 		r.AllocsPerRun = (ms1.Mallocs - ms0.Mallocs) / uint64(runs)
 		r.BytesPerRun = (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(runs)
 		s.Results = append(s.Results, r)
+	}
+	// Stamp symmetry_ratio onto each reduced row with a measured
+	// "/nosym" twin at the same worker count: states explored without
+	// the reduction over states explored with it.
+	type rkey struct {
+		name    string
+		workers int
+	}
+	off := make(map[rkey]int)
+	for _, r := range s.Results {
+		if n := strings.TrimSuffix(r.Name, "/nosym"); n != r.Name {
+			off[rkey{n, r.Workers}] = r.Graphs
+		}
+	}
+	for i := range s.Results {
+		r := &s.Results[i]
+		if r.Symmetry && r.Graphs > 0 {
+			if g, ok := off[rkey{r.Name, r.Workers}]; ok {
+				r.SymmetryRatio = float64(g) / float64(r.Graphs)
+			}
+		}
 	}
 	s.Results = append(s.Results, acyclicMicroRows()...)
 	return s
@@ -282,12 +322,16 @@ func (s AMCSuite) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "AMC hot-path benchmark (%s %s/%s, %d cpus, %d run(s) per target)\n",
 		s.Go, s.GOOS, s.GOARCH, s.CPUs, runsOf(s))
-	fmt.Fprintf(&b, "%-18s %3s %-8s %8s %12s %14s %12s %12s %8s %10s\n",
-		"target", "w", "verdict", "graphs", "ns/run", "graphs/sec", "allocs/run", "B/run", "steals", "contention")
+	fmt.Fprintf(&b, "%-22s %3s %-8s %8s %12s %14s %12s %12s %8s %10s %7s\n",
+		"target", "w", "verdict", "graphs", "ns/run", "graphs/sec", "allocs/run", "B/run", "steals", "contention", "sym")
 	for _, r := range s.Results {
-		fmt.Fprintf(&b, "%-18s %3d %-8s %8d %12d %14.0f %12d %12d %8d %10d\n",
+		sym := ""
+		if r.SymmetryRatio > 0 {
+			sym = fmt.Sprintf("%.2fx", r.SymmetryRatio)
+		}
+		fmt.Fprintf(&b, "%-22s %3d %-8s %8d %12d %14.0f %12d %12d %8d %10d %7s\n",
 			r.Name, r.Workers, shortVerdict(r.Verdict), r.Graphs, r.NsPerRun, r.GraphsPerSec,
-			r.AllocsPerRun, r.BytesPerRun, r.Steals, r.Contention)
+			r.AllocsPerRun, r.BytesPerRun, r.Steals, r.Contention, sym)
 	}
 	return b.String()
 }

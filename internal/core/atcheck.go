@@ -35,7 +35,10 @@ func (w *explorer) unresolvableBottom(g *graph.Graph, rres []replayResult) (grap
 		if w.resolvable(g, e, res.spans) {
 			return graph.NoEvent, false
 		}
-		if witness == graph.NoEvent {
+		// Under symmetry, report the blocked read with the minimal
+		// canonical slot (not the minimal thread id), so relabeled
+		// orbit members yield the same canonical witness read.
+		if witness == graph.NoEvent || (w.curPerm != nil && w.curPerm[e.ID.Thread] < w.curPerm[witness.Thread]) {
 			witness = e.ID
 		}
 	}

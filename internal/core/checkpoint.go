@@ -51,6 +51,12 @@ type Checkpoint struct {
 	Model string        // memory model name the run verifies against
 	Prog  graph.Hash128 // structural fingerprint of the program
 	Epoch graph.Hash128 // code-identity epoch (stamped by the caller)
+	// Sym records whether the interrupted run deduplicated on canonical
+	// (symmetry-reduced) keys. Resume validates it against the resuming
+	// checker's own setting: the two key spaces are incompatible, and a
+	// frontier explored under one cannot soundly continue under the
+	// other.
+	Sym bool
 
 	Popped int64 // states popped across all prior segments
 	Stats  Stats // work counters accumulated across all prior segments
@@ -94,7 +100,7 @@ func (c *Checkpoint) VisitedLen() int { return len(c.visited) }
 // records are jointly one fact.)
 const (
 	ckptMagic   = "VSCK"
-	ckptVersion = 1
+	ckptVersion = 2 // v2: symmetry flag in the header, canonicalization counters in Stats
 
 	ckRecHeader    = 'H'
 	ckRecViolation = 'B'
@@ -218,7 +224,8 @@ func (d *ckptDec) str() string {
 
 func appendStats(buf []byte, s Stats) []byte {
 	for _, v := range [...]int{s.Popped, s.Pushed, s.Executions, s.Revisits,
-		s.Duplicates, s.Wasteful, s.Inconsist, s.Blocked} {
+		s.Duplicates, s.Wasteful, s.Inconsist, s.Blocked,
+		s.Canonicalized, s.CanonFast, s.CanonRefined, s.CanonPruned} {
 		buf = binary.AppendUvarint(buf, uint64(v))
 	}
 	return buf
@@ -226,14 +233,18 @@ func appendStats(buf []byte, s Stats) []byte {
 
 func (d *ckptDec) stats() Stats {
 	return Stats{
-		Popped:     int(d.uvarint()),
-		Pushed:     int(d.uvarint()),
-		Executions: int(d.uvarint()),
-		Revisits:   int(d.uvarint()),
-		Duplicates: int(d.uvarint()),
-		Wasteful:   int(d.uvarint()),
-		Inconsist:  int(d.uvarint()),
-		Blocked:    int(d.uvarint()),
+		Popped:        int(d.uvarint()),
+		Pushed:        int(d.uvarint()),
+		Executions:    int(d.uvarint()),
+		Revisits:      int(d.uvarint()),
+		Duplicates:    int(d.uvarint()),
+		Wasteful:      int(d.uvarint()),
+		Inconsist:     int(d.uvarint()),
+		Blocked:       int(d.uvarint()),
+		Canonicalized: int(d.uvarint()),
+		CanonFast:     int(d.uvarint()),
+		CanonRefined:  int(d.uvarint()),
+		CanonPruned:   int(d.uvarint()),
 	}
 }
 
@@ -245,6 +256,11 @@ func (c *Checkpoint) Encode() []byte {
 	p = append(p, c.Model...)
 	p = appendHash128(p, c.Prog)
 	p = appendHash128(p, c.Epoch)
+	if c.Sym {
+		p = append(p, 1)
+	} else {
+		p = append(p, 0)
+	}
 	p = binary.AppendUvarint(p, uint64(c.Popped))
 	p = appendStats(p, c.Stats)
 	buf := appendCkptRecord(nil, p)
@@ -320,6 +336,7 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 			c.Model = d.str()
 			c.Prog = d.hash128()
 			c.Epoch = d.hash128()
+			c.Sym = d.byte() != 0
 			c.Popped = int64(d.uvarint())
 			c.Stats = d.stats()
 		case ckRecViolation:

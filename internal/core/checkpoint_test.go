@@ -351,12 +351,14 @@ func TestPeriodicCheckpointSink(t *testing.T) {
 // TestCancelCheckpoint: a cancellation with CheckpointOnCancel set
 // drains into an Undecided-with-checkpoint — the SIGINT path — and the
 // resumed run finishes with exactly the uninterrupted statistics. The
-// cancel is triggered from the first periodic sink call, which lands
-// mid-exploration deterministically (292-state run, cancellation
-// cadence 256).
+// cancel is triggered from the first periodic sink call and lands at
+// the next multiple of the 256-pop cancellation cadence, so the run
+// must comfortably exceed 256 pops: the three-thread mcs client pops
+// ~2.3k states even with symmetry reduction collapsing its 3! thread
+// orbits.
 func TestCancelCheckpoint(t *testing.T) {
 	mcs := locks.ByName("mcs")
-	prog := harness.MutexClient(mcs, mcs.DefaultSpec(), 2, 1)
+	prog := harness.MutexClient(mcs, mcs.DefaultSpec(), 3, 1)
 	base := runAt(t, mm.WMM, prog, 1)
 
 	ctx, cancel := context.WithCancel(context.Background())

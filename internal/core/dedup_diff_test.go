@@ -18,6 +18,10 @@ import (
 func runBoth(t *testing.T, model mm.Model, p *vprog.Program) {
 	t.Helper()
 	hashed := core.New(model)
+	// The legacy path has no symmetry reduction; pin the hashed path to
+	// raw keys too so the Stats comparison stays exact. (Symmetry-on
+	// vs -off is its own differential suite, sym_diff_test.go.)
+	hashed.NoSymmetry = true
 	legacy := core.New(model)
 	legacy.LegacyDedup = true
 	hres := hashed.Run(p)

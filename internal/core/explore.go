@@ -44,6 +44,16 @@ type Checker struct {
 	// tests run both paths and assert identical exploration (same pop
 	// counts, same verdicts); the hashed path is strictly faster.
 	LegacyDedup bool
+	// NoSymmetry disables thread-symmetry reduction even for programs
+	// that declare symmetric thread groups (vprog.Program.SymGroups):
+	// every state keeps its raw structural key instead of the canonical
+	// (minimal-over-permutations) one, so symmetric siblings are explored
+	// separately. The escape hatch exists as the differential oracle —
+	// the symmetry tests assert that both settings reach the same verdict
+	// over the whole corpus — and as a diagnostic when a symmetry
+	// declaration is suspected wrong. Symmetry is also off whenever the
+	// dedup spine it keys is off (DisableDedup, LegacyDedup).
+	NoSymmetry bool
 
 	// Budget bounds this run segment (wall clock, popped graphs, heap
 	// bytes). A budget hit drains the workers cleanly — every running
@@ -197,6 +207,13 @@ func (c *Checker) RunCtx(ctx context.Context, p *vprog.Program) *Result {
 			x.legacy = newLegacyVisited()
 		} else {
 			x.visited = NewVisitedSet()
+			if !c.NoSymmetry {
+				// Symmetry reduction rides on the hashed dedup spine: when
+				// the program declares (and vprog validates) symmetric
+				// thread groups, every state is keyed by its canonical
+				// representative and only one member per orbit is expanded.
+				x.sym = p.SymSpec()
+			}
 		}
 	}
 	x.workers = make([]*explorer, workers)
@@ -311,6 +328,11 @@ func (x *exploration) seedResume(ck *Checkpoint) *Result {
 		return &Result{Verdict: Error, Err: fmt.Errorf(
 			"checkpoint program fingerprint %x does not match this program (%x)", ck.Prog, x.progFP)}
 	}
+	if ck.Sym != (x.sym != nil) {
+		return &Result{Verdict: Error, Err: fmt.Errorf(
+			"checkpoint was taken with symmetry reduction %v, this run has it %v (the visited keys are not comparable)",
+			ck.Sym, x.sym != nil)}
+	}
 	x.baseStats = ck.Stats
 	x.basePopped = ck.Popped
 	if x.visited != nil {
@@ -344,6 +366,7 @@ func (x *exploration) seedResume(ck *Checkpoint) *Result {
 // children were buffered.
 func (w *explorer) step(it ExploreState) *Result {
 	x := w.x
+	w.curPerm = nil
 	if !w.c.DisableDedup {
 		if w.c.LegacyDedup {
 			if !x.legacy.insertNew(it.keyLegacy()) {
@@ -351,7 +374,30 @@ func (w *explorer) step(it ExploreState) *Result {
 				return nil
 			}
 		} else {
-			if !x.visited.InsertNew(it.key()) {
+			if x.sym != nil {
+				// Symmetry reduction: dedup on the canonical key — the
+				// minimal fingerprint over the declared thread
+				// permutations — so an orbit of up to t! relabeled states
+				// collapses to whichever member arrives first. curPerm
+				// (the relabeling onto the canonical representative) then
+				// steers this step's thread choice and witnesses so the
+				// explored subtree is the same whichever member that was.
+				k, perm, fast, tried := x.sym.Canonicalize(it.g, &w.symSc, it.hasForced, it.forcedR, it.forcedW)
+				if !graph.IsIdentityPerm(perm) {
+					w.stats.Canonicalized++
+					w.curPerm = perm
+				}
+				if fast {
+					w.stats.CanonFast++
+				} else {
+					w.stats.CanonRefined++
+				}
+				w.stats.CanonPruned += x.sym.PermCount() - tried
+				w.lastKey = k
+			} else {
+				w.lastKey = it.key()
+			}
+			if !x.visited.InsertNew(w.lastKey) {
 				w.stats.Duplicates++
 				return nil
 			}
@@ -407,7 +453,13 @@ func (w *explorer) step(it ExploreState) *Result {
 		return nil
 	}
 
-	// Collect runnable threads.
+	// Collect runnable threads. Under a non-identity canonicalization the
+	// chosen thread is the one with the minimal canonical slot rather
+	// than the minimal thread id: two states that are relabelings of each
+	// other then extend the *same canonical* thread, so their subtrees
+	// stay relabelings of each other and the reduction holds inductively.
+	// (Any two argmin permutations differ by an automorphism of the
+	// canonical graph, which makes this choice orbit-stable.)
 	runnable := -1
 	anyBlocked := false
 	allFinished := true
@@ -421,7 +473,7 @@ func (w *explorer) step(it ExploreState) *Result {
 			continue
 		}
 		allFinished = false
-		if runnable < 0 {
+		if runnable < 0 || (w.curPerm != nil && w.curPerm[t] < w.curPerm[runnable]) {
 			runnable = t
 		}
 	}
@@ -432,10 +484,13 @@ func (w *explorer) step(it ExploreState) *Result {
 			// real iff some ⊥ read cannot be resolved by any consistent,
 			// non-wasteful write (§1.3).
 			if id, ok := w.unresolvableBottom(it.g, rres); ok {
+				if w.curPerm != nil {
+					id = x.sym.MapID(w.curPerm, id)
+				}
 				return &Result{
 					Verdict: ATViolation,
 					Message: fmt.Sprintf("await of thread T%d never terminates: read %v has no remaining write to observe", id.Thread, id),
-					Witness: it.g,
+					Witness: w.canonWitness(it.g),
 				}
 			}
 			w.stats.Blocked++
@@ -451,7 +506,7 @@ func (w *explorer) step(it ExploreState) *Result {
 					return &Result{
 						Verdict: SafetyViolation,
 						Message: "final-state check failed: " + msg,
-						Witness: it.g,
+						Witness: w.canonWitness(it.g),
 					}
 				}
 			}
@@ -469,7 +524,7 @@ func (w *explorer) step(it ExploreState) *Result {
 		return &Result{
 			Verdict: SafetyViolation,
 			Message: "assertion failed: " + p.msg,
-			Witness: g2,
+			Witness: w.canonWitness(g2),
 		}
 	case opFence:
 		g2 := it.g.Clone()
@@ -488,6 +543,19 @@ func (w *explorer) step(it ExploreState) *Result {
 		w.extendReadLike(it.g, runnable, p, choices, p.inAwait, snapshot(rres, it.snap, it.changed))
 	}
 	return nil
+}
+
+// canonWitness maps a violating graph onto the canonical representative
+// of its orbit when the popped state was admitted under a non-identity
+// relabeling. Reported counterexamples are thereby independent of which
+// orbit member the schedule happened to reach — the determinism
+// contract (same counterexample at any worker count) extends unchanged
+// to symmetric programs.
+func (w *explorer) canonWitness(g *graph.Graph) *graph.Graph {
+	if w.curPerm == nil {
+		return g
+	}
+	return w.x.sym.ApplyPerm(g, w.curPerm)
 }
 
 // mkEvent builds the event for pending op p as the next event of thread

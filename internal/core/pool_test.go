@@ -28,10 +28,11 @@ func failFastProgram() *vprog.Program {
 	}
 }
 
-// heavyProgram explores a multi-second state space: the 3-thread MCS
-// client.
+// heavyProgram explores a multi-second state space: the 3-thread
+// qspinlock client (~18k popped states even with symmetry reduction
+// collapsing its thread orbits).
 func heavyProgram() *vprog.Program {
-	alg := locks.ByName("mcs")
+	alg := locks.ByName("qspin")
 	return harness.MutexClient(alg, alg.DefaultSpec(), 3, 1)
 }
 

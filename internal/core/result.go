@@ -92,12 +92,12 @@ func (v Verdict) LitmusLabel() string {
 // fingerprint once, and every complete execution (and maximal blocked
 // graph) is derived exactly once whichever worker reaches it first.
 // The traversal counters (Popped, Pushed, Revisits, Duplicates,
-// Wasteful, Inconsist) can vary by a few percent between schedules:
-// graphs with equal fingerprints but different addition histories carry
-// different stamp orders, the revisit restriction depends on stamp
-// order, and which representative a parallel run expands depends on pop
-// timing. The verdict and the counterexample never do (see
-// exploration.offerViolation).
+// Wasteful, Inconsist, and the canonicalization counters) can vary by a
+// few percent between schedules: graphs with equal fingerprints but
+// different addition histories carry different stamp orders, the
+// revisit restriction depends on stamp order, and which representative
+// a parallel run expands depends on pop timing. The verdict and the
+// counterexample never do (see exploration.offerViolation).
 type Stats struct {
 	Popped     int // graphs popped from the exploration frontier
 	Pushed     int // graphs pushed
@@ -107,6 +107,16 @@ type Stats struct {
 	Wasteful   int // graphs pruned by the W(G) filter (Def. 2)
 	Inconsist  int // graphs pruned by the memory model
 	Blocked    int // stuck graphs whose ⊥ reads were all resolvable
+
+	// Thread-symmetry reduction (zero when the program declares no
+	// symmetric groups or Checker.NoSymmetry is set). CanonFast +
+	// CanonRefined is the number of canonicalized pops; Canonicalized
+	// counts the ones whose popped graph was NOT already the canonical
+	// representative (its key was remapped onto an orbit sibling's).
+	Canonicalized int // pops admitted under a non-identity relabeling
+	CanonFast     int // canonicalizations resolved by the signature sort alone
+	CanonRefined  int // canonicalizations that brute-forced signature tie classes
+	CanonPruned   int // candidate permutations skipped by the signature fast path
 }
 
 // Add accumulates o into s (per-worker and suite-level aggregation).
@@ -119,6 +129,10 @@ func (s *Stats) Add(o Stats) {
 	s.Wasteful += o.Wasteful
 	s.Inconsist += o.Inconsist
 	s.Blocked += o.Blocked
+	s.Canonicalized += o.Canonicalized
+	s.CanonFast += o.CanonFast
+	s.CanonRefined += o.CanonRefined
+	s.CanonPruned += o.CanonPruned
 }
 
 // SchedStats describes how the work-graph scheduler executed a run:
@@ -213,6 +227,10 @@ func (r *Result) Report() string {
 	s := r.Stats
 	fmt.Fprintf(&b, "exploration: %d popped, %d pushed, %d executions, %d revisits, %d duplicates, %d wasteful, %d inconsistent, %d blocked\n",
 		s.Popped, s.Pushed, s.Executions, s.Revisits, s.Duplicates, s.Wasteful, s.Inconsist, s.Blocked)
+	if s.CanonFast+s.CanonRefined > 0 {
+		fmt.Fprintf(&b, "symmetry: %d states canonicalized (%d fast-path, %d refined), %d permutations pruned\n",
+			s.Canonicalized, s.CanonFast, s.CanonRefined, s.CanonPruned)
+	}
 	sc := r.Sched
 	if sc.Workers > 0 {
 		fmt.Fprintf(&b, "scheduler: %d/%d workers active, %d steals moving %d items, %d spills, %d contended shard locks",

@@ -63,6 +63,16 @@ type explorer struct {
 	rmems []replayMem
 	rfbuf []graph.RF
 
+	// Symmetry-reduction state of the item being executed. curPerm is
+	// the relabeling onto the canonical representative (nil when the
+	// popped graph already is canonical, or symmetry is off); lastKey is
+	// the dedup key the step inserted — execute reuses it as the
+	// violation tie-break key so orbit members compare equal. Both are
+	// valid from the step's Canonicalize until this worker's next pop.
+	symSc   graph.SymScratch
+	curPerm []int32
+	lastKey graph.Hash128
+
 	stats    Stats
 	executed int
 	steals   int
@@ -91,6 +101,11 @@ type exploration struct {
 
 	visited *VisitedSet
 	legacy  *legacyVisited
+	// sym, when non-nil, is the program's validated thread-symmetry
+	// spec: states are deduplicated (and violations tie-broken) on
+	// canonical keys, collapsing each orbit of relabeled states to one
+	// explored representative.
+	sym *graph.SymSpec
 
 	workers []*explorer
 
@@ -280,7 +295,15 @@ func (x *exploration) execute(w *explorer, st ExploreState) {
 		x.halt(res)
 		return
 	}
-	x.offerViolation(st, res)
+	// Tie-break on the same key space the dedup spine uses: the
+	// canonical key under symmetry (w.lastKey, still valid — this
+	// worker's next Canonicalize is at its next pop), the raw structural
+	// key otherwise.
+	key := w.lastKey
+	if x.c.DisableDedup || x.c.LegacyDedup {
+		key = st.key()
+	}
+	x.offerViolation(st, res, key)
 }
 
 // flushChildren publishes the children of the item just executed. They
@@ -462,12 +485,13 @@ func (x *exploration) halt(res *Result) {
 // Exploration continues (the violating item just contributes no
 // children, exactly as in a sequential run), and among all violations
 // of the complete run the item lowest in the stamp-count order —
-// (events in the graph, structural key) as the schedule-independent
-// stand-in for the addition-stamp depth — wins. Both components are
-// functions of the state alone, so repeated parallel runs at any worker
-// count report the same counterexample.
-func (x *exploration) offerViolation(st ExploreState, res *Result) {
-	stamp, key := st.g.NumEvents(), st.key()
+// (events in the graph, dedup key) as the schedule-independent stand-in
+// for the addition-stamp depth — wins. Both components are functions of
+// the state alone (and, under symmetry, of its orbit: the event count
+// is permutation-invariant and the key is canonical), so repeated
+// parallel runs at any worker count report the same counterexample.
+func (x *exploration) offerViolation(st ExploreState, res *Result, key graph.Hash128) {
+	stamp := st.g.NumEvents()
 	x.resMu.Lock()
 	if x.vio == nil || stamp < x.vioStamp ||
 		(stamp == x.vioStamp && keyLess(key, x.vioKey)) {
@@ -572,6 +596,7 @@ func (x *exploration) buildCheckpoint() *Checkpoint {
 	ck := &Checkpoint{
 		Model:  x.c.Model.Name(),
 		Prog:   x.progFP,
+		Sym:    x.sym != nil,
 		Popped: x.basePopped + x.popped.Load(),
 		Stats:  x.baseStats,
 	}

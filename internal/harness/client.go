@@ -7,6 +7,23 @@ import (
 	"repro/internal/vprog"
 )
 
+// symGroup declares threads lo..hi-1 permutation-symmetric when the
+// algorithm is audited symmetric and the range has at least two
+// members. The declaration is only a candidate: vprog validates it
+// against the built program (Program.SymSpec) and drops it if the
+// structure disagrees, so a mistaken Symmetric flag degrades to an
+// unreduced run rather than an unsound one.
+func symGroup(alg *locks.Algorithm, lo, hi int) [][]int {
+	if !alg.Symmetric || hi-lo < 2 {
+		return nil
+	}
+	grp := make([]int, 0, hi-lo)
+	for t := lo; t < hi; t++ {
+		grp = append(grp, t)
+	}
+	return [][]int{grp}
+}
+
 // MutexClient is the paper's generic client code (§1.2): nthreads
 // threads each perform iters critical sections that increment a shared
 // counter with plain (relaxed) accesses; the final-state check demands
@@ -16,7 +33,8 @@ import (
 // every loop in the lock is checked as a matter of course by AMC.
 func MutexClient(alg *locks.Algorithm, spec *vprog.BarrierSpec, nthreads, iters int) *vprog.Program {
 	return &vprog.Program{
-		Name: fmt.Sprintf("client/mutex/%s/t%d-i%d", alg.Name, nthreads, iters),
+		Name:      fmt.Sprintf("client/mutex/%s/t%d-i%d", alg.Name, nthreads, iters),
+		SymGroups: symGroup(alg, 0, nthreads),
 		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
 			lk := alg.New(env, spec, nthreads)
 			x := env.Var("cs.counter", 0)
@@ -59,6 +77,9 @@ func RWClient(alg *locks.Algorithm, spec *vprog.BarrierSpec, writers, readers, i
 	nthreads := writers + readers
 	return &vprog.Program{
 		Name: fmt.Sprintf("client/rw/%s/w%d-r%d-i%d", alg.Name, writers, readers, iters),
+		// Writers are interchangeable among themselves, and so are
+		// readers; the two roles are distinct groups.
+		SymGroups: append(symGroup(alg, 0, writers), symGroup(alg, writers, nthreads)...),
 		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
 			rw, ok := alg.New(env, spec, nthreads).(locks.RWLock)
 			if !ok {
@@ -108,7 +129,8 @@ func RWClient(alg *locks.Algorithm, spec *vprog.BarrierSpec, writers, readers, i
 // the lock twice (nested), increments, and releases in LIFO order.
 func RecursiveClient(alg *locks.Algorithm, spec *vprog.BarrierSpec, nthreads int) *vprog.Program {
 	return &vprog.Program{
-		Name: fmt.Sprintf("client/recursive/%s/t%d", alg.Name, nthreads),
+		Name:      fmt.Sprintf("client/recursive/%s/t%d", alg.Name, nthreads),
+		SymGroups: symGroup(alg, 0, nthreads),
 		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
 			lk := alg.New(env, spec, nthreads)
 			x := env.Var("cs.counter", 0)

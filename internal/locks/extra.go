@@ -24,10 +24,11 @@ type backoffLock struct {
 // which costs nothing under the checker (Pause is a no-op there) but
 // reduces coherence traffic in the simulator and natively.
 var Backoff = register(&Algorithm{
-	Name:  "backoff",
-	Doc:   "test-and-set lock with bounded exponential backoff",
-	Kind:  KindMutex,
-	Extra: true,
+	Name:      "backoff",
+	Symmetric: true, // never observes thread ids
+	Doc:       "test-and-set lock with bounded exponential backoff",
+	Kind:      KindMutex,
+	Extra:     true,
 	DefaultSpec: func() *vprog.BarrierSpec {
 		return vprog.NewSpec().
 			Def("backoff.cas", vprog.Acq).

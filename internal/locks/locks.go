@@ -75,6 +75,15 @@ type Algorithm struct {
 	// they verify and run on every backend but are excluded from the
 	// campaign so Tables 2–5 keep the paper's row set.
 	Extra bool
+	// Symmetric marks locks whose client threads are interchangeable:
+	// the algorithm either never observes thread ids, or observes them
+	// only through state its New tags with the vprog symmetry metadata
+	// (Var.TagOwner / Var.TagTid). Harness clients declare symmetric
+	// thread groups only for these; the declaration is then still
+	// validated structurally per program (vprog.Program.SymSpec).
+	// Hierarchical locks (hclh, cohort) key behavior on the NUMA
+	// cluster of the thread id and stay false.
+	Symmetric bool
 	// DefaultSpec returns the maximally-relaxed barrier assignment.
 	DefaultSpec func() *vprog.BarrierSpec
 	// New instantiates the lock for nthreads threads, allocating its

@@ -27,6 +27,21 @@ func newMCSState(env vprog.Env, spec modeSource, nnodes int, prefix string) *mcs
 	}
 }
 
+// tagMCSSym declares the thread-symmetry metadata of a standalone MCS
+// instance whose nodes are indexed by thread id: tail and next hold
+// node+1 "pointers" (i.e. tid+1, 0 = nil), and next[i]/locked[i] are
+// thread i's replicas. Only the standalone constructors call this —
+// cohort locks reuse mcsState with cluster-indexed nodes, where the
+// node index is NOT a thread id and tagging would be wrong.
+func tagMCSSym(st *mcsState, prefix string, nthreads int) *mcsState {
+	st.tail.TagTid(0, 1)
+	for i := 0; i < nthreads && i < len(st.next); i++ {
+		st.next[i].TagOwner(i, prefix+".next").TagTid(0, 1)
+		st.locked[i].TagOwner(i, prefix+".locked")
+	}
+	return st
+}
+
 // mcsPoints registers the canonical MCS barrier points under a prefix.
 func mcsPoints(s *vprog.BarrierSpec, prefix string) *vprog.BarrierSpec {
 	return s.
@@ -88,14 +103,15 @@ type mcsLock struct{ *mcsState }
 
 // MCS is the canonical queue lock.
 var MCS = register(&Algorithm{
-	Name: "mcs",
-	Doc:  "MCS queue lock (Mellor-Crummey & Scott)",
-	Kind: KindMutex,
+	Name:      "mcs",
+	Doc:       "MCS queue lock (Mellor-Crummey & Scott)",
+	Kind:      KindMutex,
+	Symmetric: true,
 	DefaultSpec: func() *vprog.BarrierSpec {
 		return mcsPoints(vprog.NewSpec(), "mcs")
 	},
 	New: func(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) Lock {
-		return &mcsLock{newMCSState(env, spec, nthreads, "mcs")}
+		return &mcsLock{tagMCSSym(newMCSState(env, spec, nthreads, "mcs"), "mcs", nthreads)}
 	},
 })
 
@@ -124,9 +140,10 @@ type certikosLock struct{ *mcsState }
 
 // CertiKOSMCS is the CertiKOS MCS lock.
 var CertiKOSMCS = register(&Algorithm{
-	Name: "certikosmcs",
-	Doc:  "CertiKOS MCS lock (fence-based style, Gu et al.)",
-	Kind: KindMutex,
+	Name:      "certikosmcs",
+	Doc:       "CertiKOS MCS lock (fence-based style, Gu et al.)",
+	Kind:      KindMutex,
+	Symmetric: true,
 	DefaultSpec: func() *vprog.BarrierSpec {
 		return vprog.NewSpec().
 			Def("certikos.init_locked", vprog.Rlx).
@@ -143,7 +160,7 @@ var CertiKOSMCS = register(&Algorithm{
 			Def("certikos.handoff", vprog.Rel)
 	},
 	New: func(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) Lock {
-		return &certikosLock{newMCSState(env, spec, nthreads, "certikos")}
+		return &certikosLock{tagMCSSym(newMCSState(env, spec, nthreads, "certikos"), "certikos", nthreads)}
 	},
 })
 
@@ -232,9 +249,10 @@ var DPDKMCSBuggy = register(&Algorithm{
 	Doc:         "DPDK v20.05 rte_mcslock with the §3.1 missing-release bug",
 	Kind:        KindMutex,
 	Buggy:       true,
+	Symmetric:   true,
 	DefaultSpec: dpdkSpec("dpdkbug", true),
 	New: func(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) Lock {
-		return &dpdkLock{mcsState: newMCSState(env, spec, nthreads, "dpdkbug"), prefix: "dpdkbug"}
+		return &dpdkLock{mcsState: tagMCSSym(newMCSState(env, spec, nthreads, "dpdkbug"), "dpdkbug", nthreads), prefix: "dpdkbug"}
 	},
 })
 
@@ -243,9 +261,10 @@ var DPDKMCS = register(&Algorithm{
 	Name:        "dpdkmcs",
 	Doc:         "DPDK rte_mcslock with the §3.1 fix applied",
 	Kind:        KindMutex,
+	Symmetric:   true,
 	DefaultSpec: dpdkSpec("dpdk", false),
 	New: func(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) Lock {
-		return &dpdkLock{mcsState: newMCSState(env, spec, nthreads, "dpdk"), prefix: "dpdk"}
+		return &dpdkLock{mcsState: tagMCSSym(newMCSState(env, spec, nthreads, "dpdk"), "dpdk", nthreads), prefix: "dpdk"}
 	},
 })
 
@@ -338,9 +357,10 @@ var HuaweiMCSBuggy = register(&Algorithm{
 	Doc:         "internal-product MCS lock with the §3.2 missing-acquire bug",
 	Kind:        KindMutex,
 	Buggy:       true,
+	Symmetric:   true,
 	DefaultSpec: huaweiSpec("hwbug", true),
 	New: func(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) Lock {
-		return &huaweiLock{mcsState: newMCSState(env, spec, nthreads, "hwbug"), prefix: "hwbug"}
+		return &huaweiLock{mcsState: tagMCSSym(newMCSState(env, spec, nthreads, "hwbug"), "hwbug", nthreads), prefix: "hwbug"}
 	},
 })
 
@@ -349,9 +369,10 @@ var HuaweiMCS = register(&Algorithm{
 	Name:        "huaweimcs",
 	Doc:         "internal-product MCS lock with the §3.2 fix applied",
 	Kind:        KindMutex,
+	Symmetric:   true,
 	DefaultSpec: huaweiSpec("hw", false),
 	New: func(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) Lock {
-		return &huaweiLock{mcsState: newMCSState(env, spec, nthreads, "hw"), prefix: "hw"}
+		return &huaweiLock{mcsState: tagMCSSym(newMCSState(env, spec, nthreads, "hw"), "hw", nthreads), prefix: "hw"}
 	},
 })
 

@@ -18,9 +18,10 @@ type mutex3Lock struct {
 
 // Mutex3 is the 3-state futex mutex.
 var Mutex3 = register(&Algorithm{
-	Name: "mutex",
-	Doc:  "3-state futex mutex (Drepper, 'Futexes are Tricky')",
-	Kind: KindMutex,
+	Name:      "mutex",
+	Symmetric: true, // never observes thread ids
+	Doc:       "3-state futex mutex (Drepper, 'Futexes are Tricky')",
+	Kind:      KindMutex,
 	DefaultSpec: func() *vprog.BarrierSpec {
 		return vprog.NewSpec().
 			Def("mutex.fast_cas", vprog.Acq).
@@ -74,9 +75,10 @@ type muslLock struct {
 
 // Musl is the musl-libc style mutex.
 var Musl = register(&Algorithm{
-	Name: "musl",
-	Doc:  "musl libc normal mutex (CAS + waiter count futex)",
-	Kind: KindMutex,
+	Name:      "musl",
+	Symmetric: true, // never observes thread ids
+	Doc:       "musl libc normal mutex (CAS + waiter count futex)",
+	Kind:      KindMutex,
 	DefaultSpec: func() *vprog.BarrierSpec {
 		return vprog.NewSpec().
 			Def("musl.cas", vprog.Acq).
@@ -132,9 +134,10 @@ type semLock struct {
 // Semaphore is a counting semaphore (capacity 1 when used as a mutex by
 // the benchmark client); Acquire is a P/wait, Release a V/post.
 var Semaphore = register(&Algorithm{
-	Name: "semaphore",
-	Doc:  "counting semaphore (CAS decrement with await, FAA post)",
-	Kind: KindSemaphore,
+	Name:      "semaphore",
+	Symmetric: true, // never observes thread ids
+	Doc:       "counting semaphore (CAS decrement with await, FAA post)",
+	Kind:      KindSemaphore,
 	DefaultSpec: func() *vprog.BarrierSpec {
 		return vprog.NewSpec().
 			Def("sem.poll", vprog.Rlx).
@@ -180,9 +183,10 @@ type rwLock struct {
 // RW is the reader-writer lock; the benchmark uses its writer side (the
 // paper's microbenchmark takes every lock as a writer lock).
 var RW = register(&Algorithm{
-	Name: "rw",
-	Doc:  "writer-preference reader-writer lock",
-	Kind: KindRW,
+	Name:      "rw",
+	Symmetric: true, // never observes thread ids
+	Doc:       "writer-preference reader-writer lock",
+	Kind:      KindRW,
 	DefaultSpec: func() *vprog.BarrierSpec {
 		// The writer-claim/reader-entry handshake is a Dekker (store
 		// buffering) pattern — writer: W(wflag);R(rcnt), reader:

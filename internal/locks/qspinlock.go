@@ -38,9 +38,10 @@ type qspinLock struct {
 
 // Qspin is the Linux qspinlock.
 var Qspin = register(&Algorithm{
-	Name: "qspin",
-	Doc:  "Linux queued spinlock (pending bit + MCS tail queue)",
-	Kind: KindMutex,
+	Name:      "qspin",
+	Doc:       "Linux queued spinlock (pending bit + MCS tail queue)",
+	Kind:      KindMutex,
+	Symmetric: true,
 	DefaultSpec: func() *vprog.BarrierSpec {
 		return vprog.NewSpec().
 			// lock fast path: atomic32_cmpxchg --> acquire
@@ -81,12 +82,21 @@ var Qspin = register(&Algorithm{
 			Def("qspin.unlock_sub", vprog.Rel)
 	},
 	New: func(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) Lock {
-		return &qspinLock{
+		l := &qspinLock{
 			spec:   spec,
 			val:    env.Var("qspin.val", 0),
 			next:   varArray(env, "qspin.next", nthreads, 0),
 			locked: varArray(env, "qspin.locked", nthreads, 0),
 		}
+		// Symmetry tags: the lock word's tail field (bits 16+) encodes
+		// tid+1; the locked byte and pending bit below it are the
+		// residue the relabeling preserves. MCS nodes are per-thread.
+		l.val.TagTid(qTailShift, 1)
+		for t := 0; t < nthreads; t++ {
+			l.next[t].TagOwner(t, "qspin.next").TagTid(0, 1)
+			l.locked[t].TagOwner(t, "qspin.locked")
+		}
+		return l
 	},
 })
 

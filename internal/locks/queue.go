@@ -53,6 +53,8 @@ var ArrayQ = register(&Algorithm{
 	Name: "array",
 	Doc:  "Anderson array-based queue lock with turn counters",
 	Kind: KindMutex,
+	// Slots are indexed by ticket, not thread id — no tags needed.
+	Symmetric: true,
 	DefaultSpec: func() *vprog.BarrierSpec {
 		return vprog.NewSpec().
 			Def("array.faa", vprog.Rlx).
@@ -122,14 +124,29 @@ func newCLHState(env vprog.Env, spec modeSource, nthreads int, prefix string) *c
 
 // CLH is the CLH queue lock.
 var CLH = register(&Algorithm{
-	Name: "clh",
-	Doc:  "CLH queue lock (Craig; Landin & Hagersten)",
-	Kind: KindMutex,
+	Name:      "clh",
+	Doc:       "CLH queue lock (Craig; Landin & Hagersten)",
+	Kind:      KindMutex,
+	Symmetric: true,
 	DefaultSpec: func() *vprog.BarrierSpec {
 		return clhPoints(vprog.NewSpec(), "clh")
 	},
 	New: func(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) Lock {
-		return newCLHState(env, spec, nthreads, "clh")
+		l := newCLHState(env, spec, nthreads, "clh")
+		// Symmetry tags for the standalone instance (hclh reuses
+		// newCLHState untagged — its cluster mapping is asymmetric).
+		// Node indices start out equal to thread ids, and although the
+		// recycling scheme migrates node ownership, node indices only
+		// travel as *data* (tail, mine, tokens) — which the TagTid
+		// metadata relabels — while locked[n] for n < nthreads is
+		// initially thread n's replica. Node nthreads (the initially
+		// free one) is never a thread id and stays untagged.
+		l.tail.TagTid(0, 0)
+		for t := 0; t < nthreads; t++ {
+			l.mine[t].TagOwner(t, "clh.mine").TagTid(0, 0)
+			l.locked[t].TagOwner(t, "clh.locked")
+		}
+		return l
 	},
 })
 

@@ -14,9 +14,10 @@ type spinLock struct {
 // Spin is the compare-and-swap spinlock: acquire retries CAS(0→1) in an
 // await loop (failed CASes have no effect, satisfying Bounded-Effect).
 var Spin = register(&Algorithm{
-	Name: "spin",
-	Doc:  "CAS (test-and-set) spinlock",
-	Kind: KindMutex,
+	Name:      "spin",
+	Doc:       "CAS (test-and-set) spinlock",
+	Kind:      KindMutex,
+	Symmetric: true, // never observes thread ids
 	DefaultSpec: func() *vprog.BarrierSpec {
 		return vprog.NewSpec().
 			Def("spin.cas", vprog.Acq).
@@ -67,9 +68,10 @@ func newTTASState(env vprog.Env, spec modeSource, prefix string) *ttasLock {
 // polls until the lock looks free, then the outer loop attempts the
 // exchange.
 var TTAS = register(&Algorithm{
-	Name: "ttas",
-	Doc:  "test-and-test-and-set lock (Herlihy & Shavit)",
-	Kind: KindMutex,
+	Name:      "ttas",
+	Doc:       "test-and-test-and-set lock (Herlihy & Shavit)",
+	Kind:      KindMutex,
+	Symmetric: true, // never observes thread ids
 	DefaultSpec: func() *vprog.BarrierSpec {
 		return ttasPoints(vprog.NewSpec(), "ttas")
 	},
@@ -126,9 +128,10 @@ func newTicketState(env vprog.Env, spec modeSource, prefix string) *ticketLock {
 // Ticket is the Linux-style ticket lock: a fetch-and-add draws a
 // ticket, the holder hands the grant counter to the next ticket.
 var Ticket = register(&Algorithm{
-	Name: "ticket",
-	Doc:  "FIFO ticket lock (Linux ticketlock)",
-	Kind: KindMutex,
+	Name:      "ticket",
+	Doc:       "FIFO ticket lock (Linux ticketlock)",
+	Kind:      KindMutex,
+	Symmetric: true, // tickets, not thread ids
 	DefaultSpec: func() *vprog.BarrierSpec {
 		return ticketPoints(vprog.NewSpec(), "ticket")
 	},
@@ -169,9 +172,10 @@ type recLock struct {
 // RecSpin is the recursive CAS lock: the owner may re-acquire; the
 // token distinguishes the outermost acquisition from nested ones.
 var RecSpin = register(&Algorithm{
-	Name: "recspin",
-	Doc:  "recursive CAS lock (owner re-entry by thread id)",
-	Kind: KindMutex,
+	Name:      "recspin",
+	Doc:       "recursive CAS lock (owner re-entry by thread id)",
+	Kind:      KindMutex,
+	Symmetric: true, // the word's tid+1 encoding is tagged below
 	DefaultSpec: func() *vprog.BarrierSpec {
 		return vprog.NewSpec().
 			Def("recspin.check", vprog.Rlx).
@@ -179,7 +183,7 @@ var RecSpin = register(&Algorithm{
 			Def("recspin.unlock", vprog.Rel)
 	},
 	New: func(env vprog.Env, spec *vprog.BarrierSpec, _ int) Lock {
-		return &recLock{spec: spec, word: env.Var("recspin.word", 0)}
+		return &recLock{spec: spec, word: env.Var("recspin.word", 0).TagTid(0, 1)}
 	},
 })
 
@@ -246,9 +250,10 @@ func newTWAState(env vprog.Env, spec modeSource, prefix string) *twaLock {
 // turn spin on a hashed array slot instead of the hot grant counter;
 // the releaser publishes progress to both.
 var TWA = register(&Algorithm{
-	Name: "twa",
-	Doc:  "ticket lock augmented with a waiting array (Dice & Kogan)",
-	Kind: KindMutex,
+	Name:      "twa",
+	Doc:       "ticket lock augmented with a waiting array (Dice & Kogan)",
+	Kind:      KindMutex,
+	Symmetric: true, // tickets, not thread ids
 	DefaultSpec: func() *vprog.BarrierSpec {
 		return twaPoints(vprog.NewSpec(), "twa")
 	},

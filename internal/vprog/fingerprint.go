@@ -32,6 +32,7 @@ const (
 	fpThread
 	fpVars
 	fpFinalCheck
+	fpTID // canonical (symmetry-folded) traces only — see sym.go
 )
 
 // fpMem is a recording sequential interpreter: every Mem operation is
@@ -155,7 +156,17 @@ func (m *fpMem) Assert(ok bool, msg string) {
 // epoch (internal/srcid, a hash of the checker and program-constructor
 // sources) on every record and serves only same-epoch records; the
 // fingerprint alone is never trusted across builds.
+//
+// Programs with validated symmetric thread groups (SymSpec != nil)
+// hash via the canonical trace instead (see sym.go): locations and
+// values fold in a thread-relabeling-invariant encoding, so builds of
+// one symmetric program that differ only by a permutation of the
+// interchangeable threads produce identical fingerprints and share one
+// verdict-store cell.
 func (p *Program) Fingerprint128() graph.Hash128 {
+	if spec := p.SymSpec(); spec != nil {
+		return p.canonFingerprint(spec)
+	}
 	h := graph.NewHasher128()
 	vs := &VarSet{}
 	threads, final := p.Build(vs)

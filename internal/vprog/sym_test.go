@@ -1,0 +1,163 @@
+package vprog
+
+import "testing"
+
+// symClient builds a two-thread symmetric program in the shape the lock
+// harnesses use: each thread publishes to its own tagged replica and
+// swaps tid+1 into a tid-tagged lock word. swap relabels the build —
+// thread 0 owns node.b instead of node.a, with the ownership tags
+// swapped to match — and groups controls whether the symmetry is
+// declared at all.
+func symClient(swap, groups bool) *Program {
+	p := &Program{
+		Name: "sym/client",
+		Build: func(env Env) ([]ThreadFunc, FinalCheck) {
+			oa, ob := 0, 1
+			if swap {
+				oa, ob = 1, 0
+			}
+			a := env.Var("node.a", 0).TagOwner(oa, "node")
+			b := env.Var("node.b", 0).TagOwner(ob, "node")
+			lock := env.Var("lock", 0).TagTid(0, 1)
+			node := []*Var{a, b}
+			if swap {
+				node[0], node[1] = b, a
+			}
+			th := func(t int) ThreadFunc {
+				return func(m Mem) {
+					m.Store(node[t], 1, Rel)
+					m.Xchg(lock, uint64(m.TID()+1), AcqRel)
+				}
+			}
+			return []ThreadFunc{th(0), th(1)}, nil
+		},
+	}
+	if groups {
+		p.SymGroups = [][]int{{0, 1}}
+	}
+	return p
+}
+
+// TestSymSpecValidates: the symmetric client's declaration survives
+// validation with the full permutation set.
+func TestSymSpecValidates(t *testing.T) {
+	s := symClient(false, true).SymSpec()
+	if s == nil {
+		t.Fatal("symmetric client's group was dropped")
+	}
+	if s.PermCount() != 2 {
+		t.Fatalf("PermCount = %d, want 2", s.PermCount())
+	}
+	if symClient(false, false).SymSpec() != nil {
+		t.Fatal("undeclared program grew a SymSpec")
+	}
+}
+
+// TestRelabeledBuildsUnify: two builds of one symmetric program that
+// differ only by which thread owns which replica must produce the same
+// canonical fingerprint — they are one verification problem and land on
+// one verdict-store key — while the same builds with no declared
+// symmetry hash apart. This is the non-vacuous half of the store-key
+// unification claim: the raw trace fingerprints genuinely differ.
+func TestRelabeledBuildsUnify(t *testing.T) {
+	p1, p2 := symClient(false, true), symClient(true, true)
+	if p1.SymSpec() == nil || p2.SymSpec() == nil {
+		t.Fatal("relabeled builds must both validate")
+	}
+	if p1.Fingerprint128() != p2.Fingerprint128() {
+		t.Fatal("relabeled symmetric builds produced different canonical fingerprints")
+	}
+	r1, r2 := symClient(false, false), symClient(true, false)
+	if r1.Fingerprint128() == r2.Fingerprint128() {
+		t.Fatal("raw fingerprints of the relabeled builds coincide; the unification test is vacuous")
+	}
+}
+
+// asymVariant builds a two-thread program that declares {0,1} symmetric
+// but is not, in one specific way per mode. Validation must catch every
+// one of them and drop the group (SymSpec nil).
+func asymVariant(mode string) *Program {
+	return &Program{
+		Name:      "sym/asym-" + mode,
+		SymGroups: [][]int{{0, 1}},
+		Build: func(env Env) ([]ThreadFunc, FinalCheck) {
+			a := env.Var("node.a", 0).TagOwner(0, "node")
+			b := env.Var("node.b", 0).TagOwner(1, "node")
+			lock := env.Var("lock", 0).TagTid(0, 1)
+			x := env.Var("x", 0)
+			if mode == "init" {
+				b.Init = 5 // asymmetric replica initial values
+			}
+			node := []*Var{a, b}
+			th := func(t int) ThreadFunc {
+				return func(m Mem) {
+					switch mode {
+					case "rawtid":
+						// A thread id stored to an untagged location: the
+						// relabeled graph would carry the wrong value.
+						m.Store(x, uint64(m.TID()), Rlx)
+					case "const":
+						// Thread 1 writes a different constant.
+						m.Store(node[t], uint64(1+t), Rlx)
+					default:
+						m.Store(node[t], 1, Rlx)
+						m.Xchg(lock, uint64(m.TID()+1), AcqRel)
+					}
+				}
+			}
+			var final FinalCheck
+			if mode == "final" {
+				// The postcondition names a specific thread: "thread 0 wrote
+				// the lock last" flips with the schedule, so the folded
+				// outcome diverges across permutations.
+				final = func(load func(v *Var) uint64) (bool, string) {
+					return load(lock) == 1, "lock held by thread 0"
+				}
+			}
+			return []ThreadFunc{th(0), th(1)}, final
+		},
+	}
+}
+
+// TestSymSpecDropsAsymmetry: each concealed asymmetry — a raw tid
+// store, divergent code, divergent replica inits, an asymmetric final
+// check — must fail trace validation.
+func TestSymSpecDropsAsymmetry(t *testing.T) {
+	if asymVariant("plain").SymSpec() == nil {
+		t.Fatal("the control variant must validate")
+	}
+	for _, mode := range []string{"rawtid", "const", "init", "final"} {
+		if asymVariant(mode).SymSpec() != nil {
+			t.Errorf("%s: concealed asymmetry survived validation", mode)
+		}
+	}
+}
+
+// TestSymSpecMalformedTags: an owned variable without a family disables
+// symmetry outright instead of guessing what the program meant.
+func TestSymSpecMalformedTags(t *testing.T) {
+	p := &Program{
+		Name:      "sym/malformed",
+		SymGroups: [][]int{{0, 1}},
+		Build: func(env Env) ([]ThreadFunc, FinalCheck) {
+			a := env.Var("a", 0)
+			a.SymOwner = 1 // owner tag with no SymFamily
+			th := func(m Mem) { m.Store(a, 1, Rlx) }
+			return []ThreadFunc{th, th}, nil
+		},
+	}
+	if p.SymSpec() != nil {
+		t.Fatal("malformed owner tag did not disable symmetry")
+	}
+}
+
+// TestSymSpecGroupNormalization: out-of-range, overlapping and
+// singleton groups are dropped; a valid group among them survives.
+func TestSymSpecGroupNormalization(t *testing.T) {
+	p := symClient(false, true)
+	p.SymGroups = [][]int{{0, 7}, {1}, {1, 1}, {0, 1}}
+	s := p.SymSpec()
+	if s == nil || s.PermCount() != 2 {
+		t.Fatalf("normalization lost the one valid group: %v", s)
+	}
+}

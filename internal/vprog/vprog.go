@@ -20,7 +20,11 @@
 //     fine — the paper's footnote 5.)
 package vprog
 
-import "repro/internal/graph"
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
 
 // Mode re-exports the barrier modes so lock implementations need only
 // import vprog.
@@ -45,11 +49,45 @@ type Var struct {
 	ID   int // dense location id assigned by the Env
 	Init uint64
 
+	// Sym* declare how the variable participates in thread-symmetry
+	// reduction (see Program.SymGroups and internal/graph.SymSpec).
+	// They are inert metadata: backends ignore them, and the explorer
+	// only consults them for programs that declare symmetric groups.
+	//
+	// SymOwner marks a per-thread replica: 1+tid of the owning thread
+	// (0 = unowned), with SymFamily naming the replica array it belongs
+	// to — relabeling thread t to π(t) moves events on this variable to
+	// the family member owned by π(t). SymTid marks values that embed a
+	// thread id at bit offset SymShift with bias SymBias (the embedded
+	// field is (value >> SymShift) - SymBias; fields outside [0, t) are
+	// left alone, so sentinel encodings like "0 = free, tid+1 = holder"
+	// tag with SymBias 1).
+	SymOwner  int
+	SymFamily string
+	SymTid    bool
+	SymShift  uint8
+	SymBias   int64
+
 	// Cell is the backing storage used by the native backend (accessed
 	// with sync/atomic). The padding keeps distinct Vars on distinct
 	// cache lines so native benchmarks do not suffer false sharing.
 	Cell uint64
 	_    [7]uint64
+}
+
+// TagTid declares that values stored in v embed a thread id at bit
+// offset shift with bias bias, and returns v for chaining at the
+// allocation site.
+func (v *Var) TagTid(shift uint8, bias int64) *Var {
+	v.SymTid, v.SymShift, v.SymBias = true, shift, bias
+	return v
+}
+
+// TagOwner declares v as thread tid's replica within the named family
+// and returns v for chaining.
+func (v *Var) TagOwner(tid int, family string) *Var {
+	v.SymOwner, v.SymFamily = tid+1, family
+	return v
 }
 
 // Env allocates shared variables during program build.
@@ -110,6 +148,20 @@ type FinalCheck func(load func(v *Var) uint64) (ok bool, msg string)
 type Program struct {
 	Name  string
 	Build func(env Env) ([]ThreadFunc, FinalCheck)
+
+	// SymGroups declares groups of thread indices that are permutation
+	// symmetric: within a group every thread runs the same program up
+	// to the Sym* variable tags (per-thread replicas and tid-embedding
+	// values), the final check included. The declaration is validated
+	// structurally against the built program (family coverage, initial
+	// values, a per-thread solo-trace comparison — see SymSpec); groups
+	// that fail validation are dropped rather than trusted. The model
+	// checker then explores only one representative of each
+	// thread-relabeling orbit.
+	SymGroups [][]int
+
+	symOnce sync.Once
+	symSpec *graph.SymSpec
 }
 
 // VarSet is a ready-made Env that backends embed: it allocates dense

@@ -136,6 +136,7 @@ func ResumeCtx(ctx context.Context, model Model, p *Program, ck *Checkpoint, opt
 	}
 	c := core.New(model)
 	c.WorkersPerRun = opts.WorkersPerRun
+	c.NoSymmetry = opts.NoSymmetry
 	if opts.MaxGraphs > 0 {
 		c.MaxGraphs = opts.MaxGraphs
 	}

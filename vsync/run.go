@@ -39,6 +39,13 @@ type RunOptions struct {
 	StoreKeys []StoreKey
 	// MaxGraphs bounds each AMC run (0 = checker default).
 	MaxGraphs int
+	// NoSymmetry disables thread-symmetry reduction
+	// (core.Checker.NoSymmetry): programs declaring symmetric thread
+	// groups are explored without collapsing relabeled states. The
+	// verdict is identical either way — this is the differential oracle
+	// and a diagnostic knob, not a correctness choice. Note that
+	// checkpoints record the setting and resume only under the same one.
+	NoSymmetry bool
 	// Budget bounds each AMC run segment (wall clock, popped graphs,
 	// heap). A budget hit returns Undecided with a Checkpoint instead
 	// of losing the work; see Budget and Resume. Zero means unbounded.
@@ -158,6 +165,7 @@ func RunCtx(ctx context.Context, model Model, programs []*Program, opts RunOptio
 	newChecker := func(i int) (*core.Checker, string) {
 		c := core.New(model)
 		c.WorkersPerRun = opts.WorkersPerRun
+		c.NoSymmetry = opts.NoSymmetry
 		if opts.MaxGraphs > 0 {
 			c.MaxGraphs = opts.MaxGraphs
 		}

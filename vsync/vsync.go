@@ -13,7 +13,12 @@
 //     Runs are crash-safe: RunOptions.Budget bounds a segment, and
 //     CheckpointDir persists interrupted frontiers so a resumed run
 //     reproduces the uninterrupted one exactly (see Resume and
-//     Checkpoint).
+//     Checkpoint). Symmetric thread groups (Program.SymGroups; the
+//     generated lock clients declare theirs automatically) are explored
+//     one canonical representative per thread-relabeling orbit, cutting
+//     the state space by up to t! with identical verdicts, witnesses
+//     and determinism guarantees; RunOptions.NoSymmetry is the
+//     differential escape hatch.
 //
 //   - Optimize: push-button barrier relaxation — start from the all-SC
 //     assignment and relax every barrier point as far as verification

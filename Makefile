@@ -35,7 +35,7 @@ test-short:
 # nothing but the visited set), the stealing/pool-borrow integration
 # runs, and the sharded visited set under concurrent load.
 race:
-	$(GO) test -race -short ./internal/core ./internal/optimize ./internal/store ./vsync
+	$(GO) test -race -short ./internal/core ./internal/optimize ./internal/store ./internal/structs ./internal/workload ./vsync
 	$(GO) test -race -run 'TestParallel|TestVisitedSet|TestPoolSlot|TestSym' ./internal/core
 	$(GO) test -race -run 'TestOpenShared|TestRefresh|TestMerge|TestCompact|TestRemote|TestMultiProcess' ./internal/store
 
@@ -82,22 +82,31 @@ bench-check:
 bench-suite:
 	$(GO) run ./cmd/vsyncbench -suite -suitejson BENCH_suite.json
 
-# Incremental verification suite: every non-buggy lock's client and the
-# litmus corpus under every model, consulting the persistent verdict
-# store first. Cells the store already decided cost a hash lookup; new
-# decisive verdicts are appended for the next run. The second
-# invocation is the t=3 smoke cell the closure-free acyclicity engine
-# unblocked: the 3-thread MCS client under every model (its t=2 cells
-# are store hits from the first pass, so it only adds the t=3 work —
-# and on a warm store it costs nothing at all). The third adds the clh
-# and ttas t=3 cells that thread-symmetry reduction brought into CI
-# range (their orbits collapse 3! to 1); the wall-clock budget is pure
-# insurance — exit 3 (undecided, resumable on the next run) is not a
-# failure, so a slow runner degrades instead of breaking the build.
+# Incremental verification suite: every non-buggy lock's client, every
+# non-buggy structure workload, and the litmus corpus under every
+# model, consulting the persistent verdict store first. Cells the store
+# already decided cost a hash lookup; new decisive verdicts are
+# appended for the next run. The second invocation is the t=3 smoke
+# cell the closure-free acyclicity engine unblocked: the 3-thread MCS
+# client under every model (its t=2 cells are store hits from the
+# first pass, so it only adds the t=3 work — and on a warm store it
+# costs nothing at all). The third adds the clh and ttas t=3 cells
+# that thread-symmetry reduction brought into CI range (their orbits
+# collapse 3! to 1); the wall-clock budget is pure insurance — exit 3
+# (undecided, resumable on the next run) is not a failure, so a slow
+# runner degrades instead of breaking the build. The fourth extends
+# the Treiber stack and seqlock to their t=3 rungs under the same
+# insurance: the Treiber t=3 cell is the corpus's hardest (its CAS
+# retry loops get no await reduction), so it leans on the budget/
+# resume machinery by design. The Michael–Scott queue stays at its
+# t=2 rung here — at t=3 its two-producer, two-iteration state space
+# exceeds the checker's hard graph cap (the bench suite records its
+# symmetry ratio at t=4 with one iteration instead).
 suite:
 	$(GO) run ./cmd/vsyncsuite -store $(STORE)
-	$(GO) run ./cmd/vsyncsuite -store $(STORE) -locks mcs -threads 3 -no-litmus
-	$(GO) run ./cmd/vsyncsuite -store $(STORE) -locks clh,ttas -threads 3 -no-litmus -budget 60s || [ $$? -eq 3 ]
+	$(GO) run ./cmd/vsyncsuite -store $(STORE) -locks mcs -threads 3 -no-litmus -no-structs
+	$(GO) run ./cmd/vsyncsuite -store $(STORE) -locks clh,ttas -threads 3 -no-litmus -no-structs -budget 60s || [ $$? -eq 3 ]
+	$(GO) run ./cmd/vsyncsuite -store $(STORE) -structs structs/treiber,structs/seqlock -no-locks -no-litmus -threads 3 -budget 60s || [ $$? -eq 3 ]
 
 # Warm assertion: over an unchanged corpus the store must serve at
 # least 99% of the cells (CI runs `make suite` first, so in practice

@@ -4,10 +4,18 @@
 // Usage:
 //
 //	vsynccheck -lock mcs [-model wmm] [-threads 2] [-iters 1] [-sc] [-dot out.dot] [-workers N] [-no-symmetry]
+//	vsynccheck -workload structs/treiber [-model wmm] [-threads 2] [-sc] [-dot out.dot] [-workers N] [-no-symmetry]
 //	vsynccheck -all [-par N] [-workers N]
 //	vsynccheck -list
 //	vsynccheck ... [-budget 30s] [-budget-graphs N] [-budget-mem BYTES]
 //	              [-checkpoint-dir DIR] [-checkpoint-interval 5s]
+//
+// -workload checks a registered workload from the structure-agnostic
+// workload layer (the nonblocking structures of internal/structs:
+// Treiber stack, Michael–Scott queue, seqlock) at -threads client
+// threads; -iters does not apply — each workload carries its own
+// operation count. -list prints both corpora, locks first, then
+// workloads with their supported thread ranges, in stable name order.
 //
 // -store PATH consults the persistent verdict store first — a problem
 // some earlier run already decided (same model, same barrier spec, same
@@ -55,12 +63,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/locks"
+	"repro/internal/workload"
 	"repro/vsync"
 )
 
 func main() {
 	var (
 		lockName  = flag.String("lock", "", "lock algorithm to verify (see -list)")
+		wlName    = flag.String("workload", "", "registered workload to verify (see -list)")
 		model     = cli.Model()
 		threads   = flag.Int("threads", 2, "contending threads in the generic client")
 		iters     = flag.Int("iters", 1, "critical sections per thread")
@@ -82,12 +92,27 @@ func main() {
 	dir := cli.EnsureCheckpointDir("vsynccheck", *ckptDir)
 
 	if *list {
+		// Stable order for scripting: locks.All and workload.All both
+		// sort by name. Locks appear once, in the historical format; the
+		// workload corpus follows with its supported thread ranges.
 		for _, alg := range locks.All() {
 			tag := ""
 			if alg.Buggy {
 				tag = "  [known-buggy study case]"
 			}
 			fmt.Printf("%-16s %s%s\n", alg.Name, alg.Doc, tag)
+		}
+		for _, w := range workload.All() {
+			tag := ""
+			if w.Buggy() {
+				tag = "  [known-buggy study case]"
+			}
+			lo, hi := w.Threads()
+			rng := fmt.Sprintf("t=%d..%d", lo, hi)
+			if hi == 0 {
+				rng = fmt.Sprintf("t>=%d", lo)
+			}
+			fmt.Printf("%-24s %-8s %s%s\n", w.Name(), rng, w.Doc(), tag)
 		}
 		return
 	}
@@ -141,21 +166,44 @@ func main() {
 		fmt.Println(rr.Result)
 		return
 	}
-	if *lockName == "" {
-		fmt.Fprintln(os.Stderr, "vsynccheck: -lock is required (try -list)")
+	if (*lockName == "") == (*wlName == "") {
+		fmt.Fprintln(os.Stderr, "vsynccheck: exactly one of -lock or -workload is required (try -list)")
 		os.Exit(2)
 	}
-	alg := locks.ByName(*lockName)
-	if alg == nil {
-		fmt.Fprintf(os.Stderr, "vsynccheck: unknown lock %q (try -list)\n", *lockName)
-		os.Exit(2)
+	var p *vsync.Program
+	var spec *vsync.BarrierSpec
+	if *lockName != "" {
+		alg := locks.ByName(*lockName)
+		if alg == nil {
+			fmt.Fprintf(os.Stderr, "vsynccheck: unknown lock %q (try -list)\n", *lockName)
+			os.Exit(2)
+		}
+		spec = alg.DefaultSpec()
+		if *scOnly {
+			spec = spec.AllSC()
+		}
+		p = harness.MutexClient(alg, spec, *threads, *iters)
+	} else {
+		w := workload.ByName(*wlName)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "vsynccheck: unknown workload %q (try -list)\n", *wlName)
+			os.Exit(2)
+		}
+		lo, hi := w.Threads()
+		if *threads < lo || (hi > 0 && *threads > hi) {
+			if hi == 0 {
+				fmt.Fprintf(os.Stderr, "vsynccheck: workload %s needs at least %d threads\n", w.Name(), lo)
+			} else {
+				fmt.Fprintf(os.Stderr, "vsynccheck: workload %s supports %d..%d threads\n", w.Name(), lo, hi)
+			}
+			os.Exit(2)
+		}
+		spec = w.DefaultSpec()
+		if *scOnly {
+			spec = spec.AllSC()
+		}
+		p = workload.Program(w, spec, *threads)
 	}
-	spec := alg.DefaultSpec()
-	if *scOnly {
-		spec = spec.AllSC()
-	}
-
-	p := harness.MutexClient(alg, spec, *threads, *iters)
 	runStore := st
 	if st != nil && *dotOut != "" {
 		// A counterexample graph only exists on a real run; don't let a

@@ -1,6 +1,8 @@
 // vsyncsuite runs the full verification corpus — every registered
-// non-buggy lock's generic client across a thread-count ladder, plus
-// the litmus conformance tests, under every memory model —
+// non-buggy lock's generic client across a thread-count ladder, every
+// registered non-buggy workload (the nonblocking structures of
+// internal/structs, at the ladder rungs within each one's supported
+// range), plus the litmus conformance tests, under every memory model —
 // incrementally against a persistent verdict store: cells the store has
 // already decided are served by a hash lookup and their AMC runs
 // skipped, cells it hasn't fan out across a worker pool and their
@@ -15,7 +17,8 @@
 // Usage:
 //
 //	vsyncsuite [-store PATH] [-remote URL] [-models sc,tso,wmm]
-//	           [-locks a,b,...] [-threads N] [-iters N] [-no-litmus]
+//	           [-locks a,b,...] [-no-locks] [-structs a,b,...] [-no-structs]
+//	           [-threads N] [-iters N] [-no-litmus]
 //	           [-par N] [-workers N] [-min-hit-rate F] [-v]
 //	           [-budget 30s] [-budget-graphs N] [-budget-mem BYTES]
 //	           [-checkpoint-dir DIR] [-checkpoint-interval 5s]
@@ -23,6 +26,12 @@
 // -threads N covers the ladder 2..N (default 2). -min-hit-rate F exits
 // non-zero when the store served less than fraction F of the cells —
 // CI uses it to assert that a warm pass did near-zero AMC work.
+//
+// -structs selects specific workloads by registry name (vsynccheck
+// -list prints them); -no-structs drops the structure rows and
+// -no-locks the lock rows, so one invocation can cover exactly one
+// corpus slice (the Makefile budget-insures the heavier structure
+// rungs in a dedicated pass this way).
 //
 // -budget* bounds each cell's AMC segment; cells that hit the budget
 // (or are interrupted by SIGINT/SIGTERM) finish Undecided — neither
@@ -56,6 +65,9 @@ func main() {
 		remote     = cli.Remote()
 		modelsFlag = flag.String("models", "", "comma-separated memory models (default: sc,tso,wmm)")
 		locksFlag  = flag.String("locks", "", "comma-separated lock algorithms (default: every non-buggy one)")
+		noLocks    = flag.Bool("no-locks", false, "drop the lock-client rows")
+		structsF   = flag.String("structs", "", "comma-separated workload names (default: every non-buggy registered workload)")
+		noStructs  = flag.Bool("no-structs", false, "drop the structure workload rows")
 		threads    = flag.Int("threads", 2, "client thread-count ladder 2..N")
 		iters      = flag.Int("iters", 1, "critical sections per client thread")
 		noLitmus   = flag.Bool("no-litmus", false, "drop the litmus conformance corpus")
@@ -74,6 +86,8 @@ func main() {
 		MaxThreads:         *threads,
 		Iters:              *iters,
 		NoLitmus:           *noLitmus,
+		NoLocks:            *noLocks,
+		NoStructs:          *noStructs,
 		Parallelism:        *par,
 		WorkersPerRun:      *workers,
 		Budget:             budget(),
@@ -93,6 +107,16 @@ func main() {
 				os.Exit(2)
 			}
 			cfg.Locks = append(cfg.Locks, alg)
+		}
+	}
+	if *structsF != "" {
+		for _, name := range strings.Split(*structsF, ",") {
+			w := vsync.WorkloadByName(strings.TrimSpace(name))
+			if w == nil {
+				fmt.Fprintf(os.Stderr, "vsyncsuite: unknown workload %q (see vsynccheck -list)\n", name)
+				os.Exit(2)
+			}
+			cfg.Structs = append(cfg.Structs, w)
 		}
 	}
 	st := cli.OpenStore("vsyncsuite", *storePath, *remote)

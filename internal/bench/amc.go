@@ -13,7 +13,9 @@ import (
 	"repro/internal/harness"
 	"repro/internal/locks"
 	"repro/internal/mm"
+	"repro/internal/structs"
 	"repro/internal/vprog"
+	"repro/internal/workload"
 )
 
 // The AMC benchmark suite tracks the verification hot path itself —
@@ -55,10 +57,14 @@ type AMCResult struct {
 
 // AMCSuite is the artifact written to BENCH_amc.json.
 type AMCSuite struct {
-	// Schema "amc-bench/v4": v3 (micro/* acyclicity rows — for those,
-	// one "graph" is one cycle check, so graphs_per_sec reads as
-	// checks/sec) plus the thread-symmetry on/off twin rows and their
-	// symmetry_ratio.
+	// Schema "amc-bench/v5": v4 (litmus + lock clients + micro/*
+	// acyclicity rows — for those, one "graph" is one cycle check, so
+	// graphs_per_sec reads as checks/sec — plus the thread-symmetry
+	// on/off twin rows and their symmetry_ratio) extended with the
+	// structs/* rows of the structure-agnostic workload layer: the
+	// nonblocking structures at the suite's t=2 rung, and the
+	// higher-thread cells whose /nosym twins record the producer x
+	// consumer and reader-group symmetry ratios.
 	Schema  string      `json:"schema"`
 	Go      string      `json:"go"`
 	GOOS    string      `json:"goos"`
@@ -112,6 +118,31 @@ func amcTargets(scaleWorkers []int) []amcTarget {
 			amcTarget{name: "lock/" + lk, model: mm.WMM, workers: 1, prog: mk},
 			amcTarget{name: "lock/" + lk + "/nosym", model: mm.WMM, workers: 1, nosym: true, prog: mk})
 	}
+	// The structure workloads: the three t=2 cells the suite ladder
+	// carries, plus the cells whose validated groups make a symmetry
+	// ratio worth recording — the Treiber whole-set 2!, the seqlock
+	// reader pair 2!, and the queue's producer x consumer 2!*2!. The
+	// t=2 queue (one producer, one consumer) and t=2 seqlock (a single
+	// reader) have no symmetric pair, so no /nosym twin is measured.
+	for _, sc := range []struct {
+		name    string
+		w       workload.Workload
+		threads int
+		twin    bool // measure a /nosym twin for the symmetry ratio
+	}{
+		{"structs/treiber", structs.Treiber(1), 2, true},
+		{"structs/msqueue", structs.MSQueue(2), 2, false},
+		{"structs/seqlock", structs.SeqlockPair(1), 2, false},
+		{"structs/msqueue-t4", structs.MSQueue(1), 4, true},
+		{"structs/seqlock-t3", structs.SeqlockPair(1), 3, true},
+	} {
+		sc := sc
+		mk := func() *vprog.Program { return workload.Program(sc.w, nil, sc.threads) }
+		ts = append(ts, amcTarget{name: sc.name, model: mm.WMM, workers: 1, prog: mk})
+		if sc.twin {
+			ts = append(ts, amcTarget{name: sc.name + "/nosym", model: mm.WMM, workers: 1, nosym: true, prog: mk})
+		}
+	}
 	mkMCS3 := func() *vprog.Program {
 		alg := locks.ByName("mcs")
 		return harness.MutexClient(alg, alg.DefaultSpec(), 3, 1)
@@ -145,7 +176,7 @@ func RunAMCSuiteWorkers(runs int, scaleWorkers []int) AMCSuite {
 		runs = 1
 	}
 	s := AMCSuite{
-		Schema: "amc-bench/v4",
+		Schema: "amc-bench/v5",
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,

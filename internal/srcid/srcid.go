@@ -1,7 +1,8 @@
 // Package srcid computes the code-identity epoch: a 128-bit hash of
 // the compiled-in sources of every package that determines an AMC
 // verdict — the checker (core, graph, mm) and the program constructors
-// (vprog, locks, harness). The verdict store stamps this epoch on
+// (vprog, locks, workload, structs, harness). The verdict store stamps
+// this epoch on
 // every record and serves only same-epoch records, so a verdict is
 // scoped by what the problem is AND by the code that judged and shaped
 // it.
@@ -40,7 +41,9 @@ import (
 	"repro/internal/harness"
 	"repro/internal/locks"
 	"repro/internal/mm"
+	"repro/internal/structs"
 	"repro/internal/vprog"
+	"repro/internal/workload"
 )
 
 // sources lists the verdict-determining packages in fixed order.
@@ -53,6 +56,8 @@ var sources = []struct {
 	{"internal/core", core.SourceFiles()},
 	{"internal/vprog", vprog.SourceFiles()},
 	{"internal/locks", locks.SourceFiles()},
+	{"internal/workload", workload.SourceFiles()},
+	{"internal/structs", structs.SourceFiles()},
 	{"internal/harness", harness.SourceFiles()},
 }
 

@@ -1,0 +1,17 @@
+package structs
+
+import "repro/internal/workload"
+
+// The registered corpus: the three structures at their default shapes
+// (the queue with two elements per producer so the per-producer FIFO
+// half of its spec is non-vacuous at the t=2 matrix rung), plus the
+// seeded-bug study variants (Buggy, excluded from the default suite
+// corpus but listed and individually checkable).
+func init() {
+	workload.Register(Treiber(1))
+	workload.Register(TreiberBadPop(1))
+	workload.Register(MSQueue(2))
+	workload.Register(MSQueueBadLink())
+	workload.Register(SeqlockPair(1))
+	workload.Register(SeqlockBadRead(1))
+}

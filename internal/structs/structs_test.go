@@ -1,0 +1,178 @@
+package structs_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mm"
+	"repro/internal/structs"
+	"repro/internal/vprog"
+	"repro/internal/workload"
+)
+
+func runAt(t *testing.T, p *vprog.Program, workers int, nosym bool) *core.Result {
+	t.Helper()
+	c := core.New(mm.WMM)
+	c.WorkersPerRun = workers
+	c.NoSymmetry = nosym
+	res := c.Run(p)
+	if res.Verdict == core.Canceled || res.Verdict == core.Error {
+		t.Fatalf("%s (workers=%d nosym=%v): unexpected %v: %v", p.Name, workers, nosym, res.Verdict, res.Err)
+	}
+	return res
+}
+
+// structsSymDiff is the structure-corpus instance of the symmetry
+// differential bar: verdicts must agree between symmetry-on at 1, 2 and
+// 4 workers and the NoSymmetry oracle, and the reduction must never
+// enumerate more than the full run.
+func structsSymDiff(t *testing.T, p *vprog.Program, wantOK bool) {
+	t.Helper()
+	on1 := runAt(t, p, 1, false)
+	on2 := runAt(t, p, 2, false)
+	on4 := runAt(t, p, 4, false)
+	off := runAt(t, p, 1, true)
+
+	if on1.Verdict != on2.Verdict || on2.Verdict != on4.Verdict {
+		t.Fatalf("%s: symmetry-on verdict is worker-count dependent: %v/%v/%v",
+			p.Name, on1.Verdict, on2.Verdict, on4.Verdict)
+	}
+	if on1.Verdict != off.Verdict {
+		t.Fatalf("%s: symmetry changed the verdict: on %v, off %v", p.Name, on1.Verdict, off.Verdict)
+	}
+	if wantOK && on1.Verdict != core.OK {
+		t.Fatalf("%s: want OK, got %v: %s", p.Name, on1.Verdict, on1.Message)
+	}
+	if !wantOK && on1.Verdict == core.OK {
+		t.Fatalf("%s: seeded bug was not caught", p.Name)
+	}
+	if p.SymSpec() != nil {
+		if on1.Stats.Executions > off.Stats.Executions {
+			t.Fatalf("%s: reduction enumerated MORE than the full run\non:  %+v\noff: %+v",
+				p.Name, on1.Stats, off.Stats)
+		}
+	} else if on1.Stats != off.Stats {
+		t.Fatalf("%s: no validated groups, yet stats differ\non:  %+v\noff: %+v", p.Name, on1.Stats, off.Stats)
+	}
+	t.Logf("%s: %v, %d executions reduced / %d full", p.Name, on1.Verdict, on1.Stats.Executions, off.Stats.Executions)
+}
+
+// TestStructsVerify: the three structures verify under WMM with
+// symmetry-on == symmetry-off verdicts at 1/2/4 workers.
+func TestStructsVerify(t *testing.T) {
+	structsSymDiff(t, workload.Program(structs.Treiber(1), nil, 2), true)
+	structsSymDiff(t, workload.Program(structs.MSQueue(2), nil, 2), true)
+	structsSymDiff(t, workload.Program(structs.SeqlockPair(1), nil, 2), true)
+	if !testing.Short() {
+		// t=4 exercises the queue's two-group reduction (producers x
+		// consumers: an exact 2!*2! = 4x) and the seqlock's reader
+		// group. The Treiber stack at t=3 is the corpus's hard cell
+		// (~430k reduced states; the unreduced oracle exceeds the
+		// default graph budget) and stays out of tier-1.
+		structsSymDiff(t, workload.Program(structs.MSQueue(1), nil, 4), true)
+		structsSymDiff(t, workload.Program(structs.SeqlockPair(1), nil, 3), true)
+	}
+}
+
+// TestStructsSeededBugs: each seeded-bug study variant is caught as a
+// counterexample, and the canonical witness is well-formed.
+func TestStructsSeededBugs(t *testing.T) {
+	for _, tc := range []struct {
+		w        workload.Workload
+		nthreads int
+		needle   string // substring the violation message must carry
+	}{
+		{structs.TreiberBadPop(1), 2, "treiber"},
+		{structs.MSQueueBadLink(), 2, "msqueue"},
+		{structs.SeqlockBadRead(1), 2, "torn read"},
+	} {
+		p := workload.Program(tc.w, nil, tc.nthreads)
+		res := runAt(t, p, 2, false)
+		if res.Verdict != core.SafetyViolation {
+			t.Errorf("%s: verdict %v, want a safety violation", p.Name, res.Verdict)
+			continue
+		}
+		if res.Witness == nil {
+			t.Errorf("%s: violation without a witness", p.Name)
+		} else if err := res.Witness.CheckInvariants(); err != nil {
+			t.Errorf("%s: malformed witness: %v", p.Name, err)
+		}
+		if !strings.Contains(res.Message, tc.needle) {
+			t.Errorf("%s: message %q does not mention %q", p.Name, res.Message, tc.needle)
+		}
+		t.Logf("%s: caught: %s", p.Name, res.Message)
+	}
+}
+
+// TestStructsSymSpecValidates: the structures' candidate groups survive
+// vprog's trace validation — the declarations actually reduce, they
+// don't silently stand down.
+func TestStructsSymSpecValidates(t *testing.T) {
+	for _, tc := range []struct {
+		w        workload.Workload
+		nthreads int
+		perms    int // non-identity + identity permutations validated
+	}{
+		{structs.Treiber(1), 2, 2},     // whole set {0,1}: 2!
+		{structs.SeqlockPair(1), 3, 2}, // readers {1,2}: 2!
+		{structs.MSQueue(1), 4, 4},     // producers {0,1} x consumers {2,3}: 2!*2!
+	} {
+		p := workload.Program(tc.w, nil, tc.nthreads)
+		s := p.SymSpec()
+		if s == nil {
+			t.Errorf("%s: candidate groups did not validate", p.Name)
+			continue
+		}
+		if got := s.PermCount(); got != tc.perms {
+			t.Errorf("%s: %d permutations validated, want %d", p.Name, got, tc.perms)
+		}
+	}
+}
+
+// TestSymSpecDropsAsymmetryStructs extends the vprog asymmetry bar to
+// the structures corpus: at t=2 the queue's producer and consumer run
+// different code, so a whole-set candidate group is a wrong declaration
+// — trace validation must drop it, and the resulting unreduced run must
+// be a strict no-op against the NoSymmetry oracle, down to the last
+// counter.
+func TestSymSpecDropsAsymmetryStructs(t *testing.T) {
+	p := workload.Program(structs.MSQueue(1), nil, 2)
+	if g := p.SymGroups; g != nil {
+		t.Fatalf("msqueue t=2 declared groups %v; the forced-group test needs a clean slate", g)
+	}
+	p.SymGroups = [][]int{{0, 1}} // producer+consumer: asymmetric on purpose
+	if p.SymSpec() != nil {
+		t.Fatal("asymmetric producer/consumer group survived trace validation")
+	}
+	on := runAt(t, p, 1, false)
+	off := runAt(t, p, 1, true)
+	if on.Verdict != core.OK || off.Verdict != core.OK {
+		t.Fatalf("msqueue t=2: verdicts on=%v off=%v, want OK", on.Verdict, off.Verdict)
+	}
+	if on.Stats != off.Stats {
+		t.Fatalf("dropped group still perturbed exploration\non:  %+v\noff: %+v", on.Stats, off.Stats)
+	}
+}
+
+// TestStructsRegistry: the corpus registers the three structures plus
+// their study variants, with the buggy ones filtered from Verifiable.
+func TestStructsRegistry(t *testing.T) {
+	for name, buggy := range map[string]bool{
+		"structs/treiber":         false,
+		"structs/treiber-badpop":  true,
+		"structs/msqueue":         false,
+		"structs/msqueue-badlink": true,
+		"structs/seqlock":         false,
+		"structs/seqlock-badread": true,
+	} {
+		w := workload.ByName(name)
+		if w == nil {
+			t.Errorf("%s: not registered", name)
+			continue
+		}
+		if w.Buggy() != buggy {
+			t.Errorf("%s: Buggy() = %v, want %v", name, w.Buggy(), buggy)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package structs ships nonblocking data structures on the workload
+// seam (internal/workload): each structure builds its thread bodies
+// against vprog and judges the recorded operation outcomes with a
+// per-structure final-state spec, so the verification matrix, the
+// suite and the benchmark ladder cover it exactly like a lock client.
+//
+// Two AMC constraints shape the implementations:
+//
+//   - CAS retry loops are bounded plain loops, never AwaitWhile: a
+//     failed retry re-stores link words, which Bounded-Effect forbids
+//     inside an await iteration. The bounds are sound, not heuristic —
+//     each failed CAS implies another thread's successful CAS on the
+//     same location strictly between the load and the failure (by
+//     per-location coherence the observed value advances in mo every
+//     failed attempt), so attempts are bounded by the total writes the
+//     other threads can perform. A bound exhaustion trips an Assert —
+//     a loud counterexample, never a silent pass.
+//
+//   - Node identities embed the allocating thread's id in the high
+//     bits (TagTid) and per-thread node arrays are declared as owned
+//     replica families (TagOwner), so the structures participate in
+//     thread-symmetry reduction: interchangeable producer/consumer
+//     groups are declared as SymGroups candidates and trace-validated
+//     by vprog rather than trusted.
+//
+// Each structure has a seeded-bug study variant (Buggy() true,
+// excluded from the default corpus) whose counterexample the test
+// suite demands: a Treiber pop that ignores its CAS failure, a queue
+// enqueue that links with a plain store, a seqlock reader that skips
+// the odd-sequence check.
+package structs
+
+import (
+	"fmt"
+
+	"repro/internal/vprog"
+	"repro/internal/workload"
+)
+
+// Node identity encoding shared by the stack and the queue: node k of
+// thread t is (t+1)<<8 | k. The thread id occupies all bits above
+// nodeShift (required by the symmetry folder, which rewrites every bit
+// above the shift), and the small values 0 and 1 decode to thread -1 —
+// safe sentinels the folder leaves alone.
+const (
+	nodeShift = 8
+	nodeBias  = 1
+
+	// Recorded-outcome sentinels: a slot still holding incomplete
+	// means the operation never finished (retry bound exhausted); a
+	// slot holding sawEmpty means the operation observed an empty
+	// structure.
+	incomplete = 0
+	sawEmpty   = 1
+)
+
+func nodeID(t, k int) uint64 { return uint64(t+nodeBias)<<nodeShift | uint64(k) }
+
+// treiberWorkload is the Treiber stack: each thread pushes its own
+// iters nodes and then pops iters times. The LIFO spec demands exact
+// conservation — the multiset of recorded pops plus the elements left
+// on the stack equals the multiset of pushes, no element duplicated or
+// lost — and empty-check soundness: because every thread pushes before
+// it pops, a pop can never legitimately observe an empty stack, so a
+// recorded sawEmpty is a violation.
+type treiberWorkload struct {
+	iters  int
+	badPop bool // seeded bug: pop ignores its CAS failure (missing retry)
+}
+
+// Treiber returns the Treiber stack workload with iters push/pop pairs
+// per thread.
+func Treiber(iters int) workload.Workload { return &treiberWorkload{iters: iters} }
+
+// TreiberBadPop returns the seeded-bug variant whose pop takes the
+// popped value even when its CAS failed — the missing retry lets two
+// threads pop one node, a duplication the LIFO spec catches.
+func TreiberBadPop(iters int) workload.Workload {
+	return &treiberWorkload{iters: iters, badPop: true}
+}
+
+func (w *treiberWorkload) Name() string {
+	if w.badPop {
+		return "structs/treiber-badpop"
+	}
+	return "structs/treiber"
+}
+
+func (w *treiberWorkload) Doc() string {
+	if w.badPop {
+		return "Treiber stack with the pop CAS retry removed (study case: duplicated pop)"
+	}
+	return "Treiber lock-free stack (LIFO spec: conservation + empty-check soundness)"
+}
+
+func (w *treiberWorkload) Buggy() bool         { return w.badPop }
+func (w *treiberWorkload) Threads() (int, int) { return 2, 0 }
+
+func (w *treiberWorkload) DefaultSpec() *vprog.BarrierSpec {
+	// The weak-memory-correct assignment: the push CAS releases the
+	// link store, the pop's top load acquires it (a relaxed pop_read
+	// lets a pop unlink through a stale next pointer, losing the
+	// elements below — exactly the fence-sensitivity the spec records).
+	return vprog.NewSpec().
+		Def("treiber.push_read", vprog.Rlx).
+		Def("treiber.link", vprog.Rlx).
+		Def("treiber.push_cas", vprog.AcqRel).
+		Def("treiber.pop_read", vprog.Acq).
+		Def("treiber.next_read", vprog.Rlx).
+		Def("treiber.pop_cas", vprog.AcqRel).
+		Def("treiber.record", vprog.Rlx)
+}
+
+// SymGroups: every thread runs the identical push-then-pop body on its
+// own tagged replicas, so all threads are one candidate group.
+func (w *treiberWorkload) SymGroups(nthreads int) [][]int { return workload.Group(0, nthreads) }
+
+func (w *treiberWorkload) ProgramName(nthreads int) string {
+	return fmt.Sprintf("%s/t%d-i%d", w.Name(), nthreads, w.iters)
+}
+
+func (w *treiberWorkload) New(env vprog.Env, spec *vprog.BarrierSpec, nthreads int) workload.Ops {
+	iters := w.iters
+	top := env.Var("treiber.top", 0).TagTid(nodeShift, nodeBias)
+	nexts := make([][]*vprog.Var, nthreads)
+	pops := make([][]*vprog.Var, nthreads)
+	for t := 0; t < nthreads; t++ {
+		nexts[t] = make([]*vprog.Var, iters)
+		for k := 0; k < iters; k++ {
+			nexts[t][k] = env.Var(fmt.Sprintf("treiber.next.t%d.%d", t, k), 0).
+				TagOwner(t, fmt.Sprintf("treiber.next.%d", k)).
+				TagTid(nodeShift, nodeBias)
+		}
+	}
+	for t := 0; t < nthreads; t++ {
+		pops[t] = make([]*vprog.Var, iters)
+		for k := 0; k < iters; k++ {
+			pops[t][k] = env.Var(fmt.Sprintf("treiber.pop.t%d.%d", t, k), 0).
+				TagOwner(t, fmt.Sprintf("treiber.pop.%d", k)).
+				TagTid(nodeShift, nodeBias)
+		}
+	}
+	// Retry bound: each failed CAS means another thread's successful
+	// CAS advanced top between the load and the failure, and the other
+	// threads perform at most 2*(nthreads-1)*iters successful top
+	// CASes in the whole program — so by pigeonhole every retry loop
+	// succeeds within that many failures plus one try.
+	bound := 2*(nthreads-1)*iters + 1
+	badPop := w.badPop
+
+	worker := func(m vprog.Mem) {
+		t := m.TID()
+		for k := 0; k < iters; k++ {
+			id := nodeID(t, k)
+			done := false
+			for attempt := 0; attempt < bound && !done; attempt++ {
+				old := m.Load(top, spec.M("treiber.push_read"))
+				m.Store(nexts[t][k], old, spec.M("treiber.link"))
+				_, done = m.CmpXchg(top, old, id, spec.M("treiber.push_cas"))
+				if !done {
+					m.Pause()
+				}
+			}
+			m.Assert(done, "treiber: push retry bound exhausted")
+		}
+		for k := 0; k < iters; k++ {
+			got := uint64(incomplete)
+			for attempt := 0; attempt < bound && got == incomplete; attempt++ {
+				old := m.Load(top, spec.M("treiber.pop_read"))
+				if old == 0 {
+					got = sawEmpty
+					break
+				}
+				ot := int(old>>nodeShift) - nodeBias
+				nxt := m.Load(nexts[ot][old&(1<<nodeShift-1)], spec.M("treiber.next_read"))
+				if _, ok := m.CmpXchg(top, old, nxt, spec.M("treiber.pop_cas")); ok || badPop {
+					got = old
+				} else {
+					m.Pause()
+				}
+			}
+			m.Assert(got != incomplete, "treiber: pop retry bound exhausted")
+			m.Store(pops[t][k], got, spec.M("treiber.record"))
+		}
+	}
+	threads := make([]vprog.ThreadFunc, nthreads)
+	for t := range threads {
+		threads[t] = worker
+	}
+
+	total := nthreads * iters
+	final := func(load func(*vprog.Var) uint64) (bool, string) {
+		seen := make(map[uint64]int, total)
+		for t := range pops {
+			for k, slot := range pops[t] {
+				switch v := load(slot); v {
+				case incomplete:
+					return false, fmt.Sprintf("treiber: pop %d of thread %d did not complete", k, t)
+				case sawEmpty:
+					return false, "treiber: pop observed an empty stack — unreachable when every thread pushes before popping"
+				default:
+					seen[v]++
+				}
+			}
+		}
+		for cur, steps := load(top), 0; cur != 0; steps++ {
+			if steps > total {
+				return false, "treiber: stack chain is cyclic or overlong"
+			}
+			seen[cur]++
+			t, k := int(cur>>nodeShift)-nodeBias, int(cur&(1<<nodeShift-1))
+			if t < 0 || t >= nthreads || k >= iters {
+				return false, fmt.Sprintf("treiber: stack holds alien element %#x", cur)
+			}
+			cur = load(nexts[t][k])
+		}
+		for t := 0; t < nthreads; t++ {
+			for k := 0; k < iters; k++ {
+				if n := seen[nodeID(t, k)]; n != 1 {
+					return false, fmt.Sprintf("treiber: element %#x seen %d times (duplicated or lost)", nodeID(t, k), n)
+				}
+			}
+		}
+		if len(seen) != total {
+			return false, "treiber: alien elements recorded"
+		}
+		return true, ""
+	}
+	return workload.Ops{Threads: threads, Final: final}
+}

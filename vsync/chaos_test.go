@@ -21,6 +21,7 @@ import (
 func chaosConfig(st *vsync.VerdictStore, ckptDir string) vsync.MatrixConfig {
 	return vsync.MatrixConfig{
 		Locks:              []*vsync.Algorithm{locks.ByName("mcs")},
+		NoStructs:          true,
 		MaxThreads:         3,
 		Store:              st,
 		CheckpointDir:      ckptDir,
@@ -65,6 +66,7 @@ func TestChaosKillResume(t *testing.T) {
 	// checkpoints — plain AMC answers).
 	baseline := vsync.VerifyMatrix(vsync.MatrixConfig{
 		Locks:         []*vsync.Algorithm{locks.ByName("mcs")},
+		NoStructs:     true,
 		MaxThreads:    3,
 		Parallelism:   1,
 		WorkersPerRun: 1,

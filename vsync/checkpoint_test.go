@@ -136,8 +136,12 @@ func TestRunCheckpointDir(t *testing.T) {
 // undecided cells each pass — and the converged matrix must be
 // differentially identical to an unbudgeted run.
 func TestMatrixBudgetResume(t *testing.T) {
+	// Storeless on purpose (the checkpoint dir alone carries progress),
+	// so convergence needs every cell to land on the same pass — keep
+	// the corpus to the three mcs cells this test was calibrated for.
 	cfg := vsync.MatrixConfig{
 		Locks:      []*vsync.Algorithm{locks.ByName("mcs")},
+		NoStructs:  true,
 		MaxThreads: 2,
 		NoLitmus:   true,
 	}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/store"
 	"repro/internal/vprog"
+	"repro/internal/workload"
 )
 
 // VerdictStore is a shared session on the persistent, content-
@@ -89,8 +90,17 @@ type MatrixConfig struct {
 	// Models to verify under; nil selects all (SC, TSO, WMM).
 	Models []Model
 	// Locks to cover with the generic mutex client; nil selects every
-	// registered non-buggy algorithm.
+	// registered non-buggy algorithm (ignored when NoLocks is set).
 	Locks []*Algorithm
+	// NoLocks drops the lock-client rows from the matrix.
+	NoLocks bool
+	// Structs selects the structure workloads to cover, each at the
+	// thread ladder clamped to its supported range; nil selects every
+	// registered non-buggy workload (internal/structs registers the
+	// nonblocking structures at init). Ignored when NoStructs is set.
+	Structs []Workload
+	// NoStructs drops the structure rows from the matrix.
+	NoStructs bool
 	// Threads is the client thread-count ladder; nil selects
 	// 2..MaxThreads (and MaxThreads <= 2 means just {2}).
 	Threads []int
@@ -269,8 +279,8 @@ type matrixCell struct {
 }
 
 // buildMatrix expands the config into the cell corpus, in deterministic
-// order: locks × thread ladder × models, then litmus × strength ×
-// models.
+// order: locks × thread ladder × models, then structures × ladder ×
+// models, then litmus × strength × models.
 func buildMatrix(cfg *MatrixConfig) []matrixCell {
 	models := cfg.Models
 	if models == nil {
@@ -295,18 +305,45 @@ func buildMatrix(cfg *MatrixConfig) []matrixCell {
 		iters = 1
 	}
 	var cells []matrixCell
-	for _, alg := range algs {
-		spec := alg.DefaultSpec()
-		specFP := spec.Fingerprint128()
-		for _, t := range threads {
-			p := harness.MutexClient(alg, spec, t, iters)
-			progFP := p.Fingerprint128()
-			for _, m := range models {
-				cells = append(cells, matrixCell{
-					cell: MatrixCell{Model: m.Name(), Program: p.Name, Threads: t},
-					prog: p,
-					key:  store.Key{Model: m.Name(), Spec: specFP, Prog: progFP},
-				})
+	if !cfg.NoLocks {
+		for _, alg := range algs {
+			spec := alg.DefaultSpec()
+			specFP := spec.Fingerprint128()
+			for _, t := range threads {
+				p := harness.MutexClient(alg, spec, t, iters)
+				progFP := p.Fingerprint128()
+				for _, m := range models {
+					cells = append(cells, matrixCell{
+						cell: MatrixCell{Model: m.Name(), Program: p.Name, Threads: t},
+						prog: p,
+						key:  store.Key{Model: m.Name(), Spec: specFP, Prog: progFP},
+					})
+				}
+			}
+		}
+	}
+	if !cfg.NoStructs {
+		ws := cfg.Structs
+		if ws == nil {
+			ws = workload.Verifiable()
+		}
+		for _, w := range ws {
+			spec := w.DefaultSpec()
+			specFP := spec.Fingerprint128()
+			lo, hi := w.Threads()
+			for _, t := range threads {
+				if t < lo || (hi > 0 && t > hi) {
+					continue
+				}
+				p := workload.Program(w, spec, t)
+				progFP := p.Fingerprint128()
+				for _, m := range models {
+					cells = append(cells, matrixCell{
+						cell: MatrixCell{Model: m.Name(), Program: p.Name, Threads: t},
+						prog: p,
+						key:  store.Key{Model: m.Name(), Spec: specFP, Prog: progFP},
+					})
+				}
 			}
 		}
 	}

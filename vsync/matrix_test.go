@@ -138,10 +138,11 @@ func TestMatrixDetectsFailures(t *testing.T) {
 	}
 	defer st.Close()
 	cfg := vsync.MatrixConfig{
-		Locks:    []*vsync.Algorithm{buggy},
-		Models:   []vsync.Model{vsync.ModelWMM},
-		NoLitmus: true,
-		Store:    st,
+		Locks:     []*vsync.Algorithm{buggy},
+		Models:    []vsync.Model{vsync.ModelWMM},
+		NoLitmus:  true,
+		NoStructs: true,
+		Store:     st,
 	}
 	first := vsync.VerifyMatrix(cfg)
 	if first.Failures == 0 {
@@ -192,6 +193,52 @@ func TestMatrixStoreAppendFailure(t *testing.T) {
 	}
 }
 
+// TestMatrixStructsCells: the default matrix carries one row per
+// verifiable structure workload at every ladder rung within its thread
+// range, the cells verify, and a warm re-run serves them from the
+// store like any lock cell.
+func TestMatrixStructsCells(t *testing.T) {
+	st, err := vsync.OpenStore(filepath.Join(t.TempDir(), "verdicts.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	cfg := vsync.MatrixConfig{NoLocks: true, NoLitmus: true, MaxThreads: 2, Store: st}
+	cold := vsync.VerifyMatrix(cfg)
+	if !cold.Ok() || cold.Errors > 0 || cold.Failures > 0 {
+		t.Fatalf("structure corpus failed: %s", cold.Summary())
+	}
+	var verifiable []vsync.Workload
+	for _, w := range vsync.Workloads() {
+		if !w.Buggy() {
+			verifiable = append(verifiable, w)
+		}
+	}
+	const models = 3 // default matrix: sc, tso, wmm
+	if want := len(verifiable) * models; len(cold.Cells) != want {
+		t.Fatalf("structure slice has %d cells, want %d (%d workloads x %d models)",
+			len(cold.Cells), want, len(verifiable), models)
+	}
+	seen := make(map[string]bool)
+	for _, c := range cold.Cells {
+		seen[c.Program] = true
+		if c.Threads != 2 {
+			t.Errorf("cell %s at t=%d, want the single t=2 rung", c.Program, c.Threads)
+		}
+	}
+	for _, w := range verifiable {
+		name := vsync.WorkloadProgram(w, nil, 2).Name
+		if !seen[name] {
+			t.Errorf("workload %s missing from the matrix (no cell named %s)", w.Name(), name)
+		}
+	}
+
+	warm := vsync.VerifyMatrix(cfg)
+	if warm.Misses != 0 || warm.Hits+warm.Deduped != len(warm.Cells) {
+		t.Errorf("structure cells not served warm: %s", warm.Summary())
+	}
+}
+
 // TestMergeMakesMatrixWarm: two stores that each verified a disjoint
 // half of the corpus merge into one whose full-corpus re-run is
 // entirely warm — the fleet story: CI shards verify halves, the merged
@@ -220,8 +267,9 @@ func TestMergeMakesMatrixWarm(t *testing.T) {
 	}
 
 	// Shard A takes half the locks, shard B the other half plus the
-	// litmus corpus — disjoint cells, together the full default matrix.
-	ra := vsync.VerifyMatrix(vsync.MatrixConfig{Locks: half1, NoLitmus: true, Store: stA})
+	// litmus and structure corpora — disjoint cells, together the full
+	// default matrix.
+	ra := vsync.VerifyMatrix(vsync.MatrixConfig{Locks: half1, NoLitmus: true, NoStructs: true, Store: stA})
 	rb := vsync.VerifyMatrix(vsync.MatrixConfig{Locks: half2, Store: stB})
 	if ra.Errors > 0 || rb.Errors > 0 || ra.StoreErr != nil || rb.StoreErr != nil {
 		t.Fatalf("shard passes not clean: %s / %s", ra.Summary(), rb.Summary())

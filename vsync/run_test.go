@@ -191,7 +191,7 @@ func TestRunStoreKeys(t *testing.T) {
 	// record must also serve a matrix run of the same cell.
 	res := vsync.VerifyMatrix(vsync.MatrixConfig{
 		Locks: []*vsync.Algorithm{alg}, Models: []vsync.Model{vsync.ModelWMM},
-		NoLitmus: true, Store: st,
+		NoLitmus: true, NoStructs: true, Store: st,
 	})
 	if res.Hits != len(res.Cells) {
 		t.Errorf("matrix did not hit the Run-stored verdict: %s", res.Summary())

@@ -10,6 +10,13 @@
 //     counterexample execution graphs on failure. Run is the one entry
 //     point (single runs, parallel suites, verdict-store integration
 //     via RunOptions); the Verify* names remain as thin wrappers.
+//     Programs come from the structure-agnostic workload layer
+//     (internal/workload): locks are one Workload family, the
+//     nonblocking structures of internal/structs (Treiber stack,
+//     Michael–Scott queue, seqlock) another — Workloads lists the
+//     registry, WorkloadProgram builds a checkable program at any
+//     supported thread count, and VerifyMatrix covers the structure
+//     rows next to the lock × thread ladder.
 //     Runs are crash-safe: RunOptions.Budget bounds a segment, and
 //     CheckpointDir persists interrupted frontiers so a resumed run
 //     reproduces the uninterrupted one exactly (see Resume and
@@ -47,6 +54,7 @@ import (
 	"repro/internal/optimize"
 	"repro/internal/vprog"
 	"repro/internal/wmsim"
+	"repro/internal/workload"
 )
 
 // Re-exported building blocks. The internal packages carry the full
@@ -96,6 +104,10 @@ type (
 	AMCSuite = bench.AMCSuite
 	// AMCResult is one measured target of an AMCSuite.
 	AMCResult = bench.AMCResult
+	// Workload is one named family of verification programs over a
+	// thread count — the structure-agnostic seam locks and nonblocking
+	// structures are both built on (internal/workload).
+	Workload = workload.Workload
 )
 
 // Barrier modes.
@@ -135,6 +147,8 @@ var (
 //
 // Deprecated: use Run — Verify(m, p) is Run(m, []*Program{p},
 // RunOptions{Parallelism: 1, WorkersPerRun: 1, CollectResults: true}).Results[0].
+// Programs themselves are best built through the workload layer
+// (WorkloadProgram, or MutexClient for a lock's generic client).
 func Verify(model Model, p *Program) *Result {
 	return VerifyPar(model, p, 1)
 }
@@ -149,7 +163,8 @@ func Verify(model Model, p *Program) *Result {
 // first DFS counterexample, so on violating programs its statistics
 // and witness reflect that partial search.
 //
-// Deprecated: use Run with RunOptions.WorkersPerRun.
+// Deprecated: use Run with RunOptions.WorkersPerRun; programs come
+// from the workload layer (WorkloadProgram / MutexClient).
 func VerifyPar(model Model, p *Program, workersPerRun int) *Result {
 	rr := Run(model, []*Program{p}, RunOptions{
 		Parallelism:    1,
@@ -165,7 +180,8 @@ func VerifyPar(model Model, p *Program, workersPerRun int) *Result {
 // index of its program, or an OK result (with aggregated statistics)
 // and -1 when every program verifies.
 //
-// Deprecated: use Run with RunOptions.Parallelism.
+// Deprecated: use Run with RunOptions.Parallelism; program suites come
+// from the workload layer (WorkloadProgram / MutexClient).
 func VerifySuite(model Model, parallelism int, ps []*Program) (*Result, int) {
 	return VerifySuitePar(model, parallelism, 1, ps)
 }
@@ -178,7 +194,9 @@ func VerifySuite(model Model, parallelism int, ps []*Program) (*Result, int) {
 // runs keep priority over borrows, so workersPerRun > 1 never slows the
 // fan-out down.
 //
-// Deprecated: use Run with RunOptions{Parallelism, WorkersPerRun}.
+// Deprecated: use Run with RunOptions{Parallelism, WorkersPerRun};
+// program suites come from the workload layer (WorkloadProgram /
+// MutexClient).
 func VerifySuitePar(model Model, parallelism, workersPerRun int, ps []*Program) (*Result, int) {
 	rr := Run(model, ps, RunOptions{Parallelism: parallelism, WorkersPerRun: workersPerRun})
 	return rr.Result, rr.Failed
@@ -193,7 +211,8 @@ func VerifySuitePar(model Model, parallelism, workersPerRun int, ps []*Program) 
 //
 // Deprecated: use Run with RunOptions.CollectResults (and
 // RunOptions.Store, which persists decisive verdicts without any
-// caller-side plumbing).
+// caller-side plumbing); program suites come from the workload layer
+// (WorkloadProgram / MutexClient).
 func VerifySuiteResults(model Model, parallelism, workersPerRun int, ps []*Program) (*Result, int, []*Result) {
 	rr := Run(model, ps, RunOptions{
 		Parallelism:    parallelism,
@@ -229,6 +248,21 @@ func LockByName(name string) *Algorithm { return locks.ByName(name) }
 // MutexClient builds the paper's generic client program for a lock.
 func MutexClient(alg *Algorithm, spec *BarrierSpec, nthreads, iters int) *Program {
 	return harness.MutexClient(alg, spec, nthreads, iters)
+}
+
+// Workloads returns every registered workload (including the Buggy
+// seeded-bug study variants) in stable name order. internal/structs
+// registers the nonblocking structures at init.
+func Workloads() []Workload { return workload.All() }
+
+// WorkloadByName returns a registered workload or nil.
+func WorkloadByName(name string) Workload { return workload.ByName(name) }
+
+// WorkloadProgram builds w's verification program at nthreads under
+// spec (nil selects the workload's default barrier assignment). It
+// panics when nthreads is outside the workload's supported range.
+func WorkloadProgram(w Workload, spec *BarrierSpec, nthreads int) *Program {
+	return workload.Program(w, spec, nthreads)
 }
 
 // OptimizeOptions tunes the optimizer's parallel verification engine.

@@ -53,18 +53,30 @@ type AMCResult struct {
 	// up-to-t! state-space cut the reduction delivers.
 	Symmetry      bool    `json:"symmetry,omitempty"`
 	SymmetryRatio float64 `json:"symmetry_ratio,omitempty"`
+	// Await-aware CAS loops (schema v6). Await marks structure rows
+	// whose retry loops are lowered to the await constructs (AwaitDo /
+	// AwaitWhile) and so explored under the retry-free-twin collapse
+	// and the witness-candidate ⊥ gate; their "/bounded"-suffixed twins
+	// measure the same structure with explicit bounded retry loops —
+	// the pre-await encoding the differential tests keep as oracle.
+	// AwaitRatio, on await rows with a measured twin at the same worker
+	// count, is states-explored-bounded / states-explored-await — the
+	// state-space cut the await reductions deliver.
+	Await      bool    `json:"await,omitempty"`
+	AwaitRatio float64 `json:"await_ratio,omitempty"`
 }
 
 // AMCSuite is the artifact written to BENCH_amc.json.
 type AMCSuite struct {
-	// Schema "amc-bench/v5": v4 (litmus + lock clients + micro/*
+	// Schema "amc-bench/v6": v5 (litmus + lock clients + micro/*
 	// acyclicity rows — for those, one "graph" is one cycle check, so
 	// graphs_per_sec reads as checks/sec — plus the thread-symmetry
-	// on/off twin rows and their symmetry_ratio) extended with the
-	// structs/* rows of the structure-agnostic workload layer: the
-	// nonblocking structures at the suite's t=2 rung, and the
-	// higher-thread cells whose /nosym twins record the producer x
-	// consumer and reader-group symmetry ratios.
+	// on/off twin rows with their symmetry_ratio and the structs/*
+	// rows of the structure-agnostic workload layer) extended with the
+	// await/bounded twin rows: the stack and queue measured both with
+	// their CAS loops lowered to the await constructs and as explicit
+	// bounded retry loops ("/bounded"), stamping await_ratio on the
+	// await rows, plus the treiber-t3 rung those reductions unlocked.
 	Schema  string      `json:"schema"`
 	Go      string      `json:"go"`
 	GOOS    string      `json:"goos"`
@@ -81,6 +93,7 @@ type amcTarget struct {
 	model   mm.Model
 	workers int
 	nosym   bool // measure with thread-symmetry reduction disabled
+	await   bool // program encodes its retry loops with the await constructs
 	prog    func() *vprog.Program
 }
 
@@ -124,23 +137,35 @@ func amcTargets(scaleWorkers []int) []amcTarget {
 	// reader pair 2!, and the queue's producer x consumer 2!*2!. The
 	// t=2 queue (one producer, one consumer) and t=2 seqlock (a single
 	// reader) have no symmetric pair, so no /nosym twin is measured.
+	// The stack and queue additionally get "/bounded" twins — the same
+	// structure with explicit bounded retry loops instead of awaits —
+	// so each await row's await_ratio records the cut delivered by the
+	// retry-free-twin collapse and the ⊥ gate; treiber-t3 is the rung
+	// those reductions brought into bench range (the seqlock has no
+	// sound bounded encoding, hence no twin).
 	for _, sc := range []struct {
 		name    string
 		w       workload.Workload
+		bounded workload.Workload // nil: no /bounded twin measured
 		threads int
 		twin    bool // measure a /nosym twin for the symmetry ratio
 	}{
-		{"structs/treiber", structs.Treiber(1), 2, true},
-		{"structs/msqueue", structs.MSQueue(2), 2, false},
-		{"structs/seqlock", structs.SeqlockPair(1), 2, false},
-		{"structs/msqueue-t4", structs.MSQueue(1), 4, true},
-		{"structs/seqlock-t3", structs.SeqlockPair(1), 3, true},
+		{"structs/treiber", structs.Treiber(1), structs.TreiberBounded(1), 2, true},
+		{"structs/msqueue", structs.MSQueue(2), structs.MSQueueBounded(2), 2, false},
+		{"structs/seqlock", structs.SeqlockPair(1), nil, 2, false},
+		{"structs/msqueue-t4", structs.MSQueue(1), nil, 4, true},
+		{"structs/seqlock-t3", structs.SeqlockPair(1), nil, 3, true},
+		{"structs/treiber-t3", structs.Treiber(1), structs.TreiberBounded(1), 3, false},
 	} {
 		sc := sc
 		mk := func() *vprog.Program { return workload.Program(sc.w, nil, sc.threads) }
-		ts = append(ts, amcTarget{name: sc.name, model: mm.WMM, workers: 1, prog: mk})
+		ts = append(ts, amcTarget{name: sc.name, model: mm.WMM, workers: 1, await: true, prog: mk})
 		if sc.twin {
-			ts = append(ts, amcTarget{name: sc.name + "/nosym", model: mm.WMM, workers: 1, nosym: true, prog: mk})
+			ts = append(ts, amcTarget{name: sc.name + "/nosym", model: mm.WMM, workers: 1, nosym: true, await: true, prog: mk})
+		}
+		if sc.bounded != nil {
+			bk := func() *vprog.Program { return workload.Program(sc.bounded, nil, sc.threads) }
+			ts = append(ts, amcTarget{name: sc.name + "/bounded", model: mm.WMM, workers: 1, prog: bk})
 		}
 	}
 	mkMCS3 := func() *vprog.Program {
@@ -176,7 +201,7 @@ func RunAMCSuiteWorkers(runs int, scaleWorkers []int) AMCSuite {
 		runs = 1
 	}
 	s := AMCSuite{
-		Schema: "amc-bench/v5",
+		Schema: "amc-bench/v6",
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
@@ -205,6 +230,7 @@ func RunAMCSuiteWorkers(runs int, scaleWorkers []int) AMCSuite {
 			Stolen:     warm.Sched.Stolen,
 			Contention: warm.Sched.Contention,
 			Symmetry:   !tgt.nosym && p.SymSpec() != nil,
+			Await:      tgt.await,
 		}
 		runtime.GC()
 		runtime.ReadMemStats(&ms0)
@@ -245,6 +271,23 @@ func RunAMCSuiteWorkers(runs int, scaleWorkers []int) AMCSuite {
 		if r.Symmetry && r.Graphs > 0 {
 			if g, ok := off[rkey{r.Name, r.Workers}]; ok {
 				r.SymmetryRatio = float64(g) / float64(r.Graphs)
+			}
+		}
+	}
+	// Likewise await_ratio from each await row's "/bounded" twin:
+	// states explored by the explicit bounded-retry encoding over
+	// states explored with the loops lowered to awaits.
+	boff := make(map[rkey]int)
+	for _, r := range s.Results {
+		if n := strings.TrimSuffix(r.Name, "/bounded"); n != r.Name {
+			boff[rkey{n, r.Workers}] = r.Graphs
+		}
+	}
+	for i := range s.Results {
+		r := &s.Results[i]
+		if r.Await && r.Graphs > 0 {
+			if g, ok := boff[rkey{r.Name, r.Workers}]; ok {
+				r.AwaitRatio = float64(g) / float64(r.Graphs)
 			}
 		}
 	}
@@ -353,16 +396,20 @@ func (s AMCSuite) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "AMC hot-path benchmark (%s %s/%s, %d cpus, %d run(s) per target)\n",
 		s.Go, s.GOOS, s.GOARCH, s.CPUs, runsOf(s))
-	fmt.Fprintf(&b, "%-22s %3s %-8s %8s %12s %14s %12s %12s %8s %10s %7s\n",
-		"target", "w", "verdict", "graphs", "ns/run", "graphs/sec", "allocs/run", "B/run", "steals", "contention", "sym")
+	fmt.Fprintf(&b, "%-24s %3s %-8s %8s %12s %14s %12s %12s %8s %10s %7s %7s\n",
+		"target", "w", "verdict", "graphs", "ns/run", "graphs/sec", "allocs/run", "B/run", "steals", "contention", "sym", "await")
 	for _, r := range s.Results {
 		sym := ""
 		if r.SymmetryRatio > 0 {
 			sym = fmt.Sprintf("%.2fx", r.SymmetryRatio)
 		}
-		fmt.Fprintf(&b, "%-22s %3d %-8s %8d %12d %14.0f %12d %12d %8d %10d %7s\n",
+		aw := ""
+		if r.AwaitRatio > 0 {
+			aw = fmt.Sprintf("%.2fx", r.AwaitRatio)
+		}
+		fmt.Fprintf(&b, "%-24s %3d %-8s %8d %12d %14.0f %12d %12d %8d %10d %7s %7s\n",
 			r.Name, r.Workers, shortVerdict(r.Verdict), r.Graphs, r.NsPerRun, r.GraphsPerSec,
-			r.AllocsPerRun, r.BytesPerRun, r.Steals, r.Contention, sym)
+			r.AllocsPerRun, r.BytesPerRun, r.Steals, r.Contention, sym, aw)
 	}
 	return b.String()
 }

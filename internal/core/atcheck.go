@@ -49,10 +49,21 @@ func (w *explorer) unresolvableBottom(g *graph.Graph, rres []replayResult) (grap
 // consistently and non-wastefully.
 func (w *explorer) resolvable(g *graph.Graph, e *graph.Event, spans []iterRec) bool {
 	// Locate e's position within its await iteration and the rf tuple of
-	// the previous iteration, to apply the progress requirement: if every
-	// earlier read of the current iteration repeats the previous
-	// iteration's sources, then e must read from a *different* write than
-	// its counterpart did, or the iteration is wasteful.
+	// the previous iteration, to apply the progress requirement: when e
+	// is the *last* read of the iteration and every earlier read repeats
+	// the previous iteration's sources, then e must read from a
+	// different write than its counterpart did — resolving it equal
+	// would complete an rf vector identical to a failed iteration's,
+	// which is exactly W(G). At any earlier position the same source
+	// stays admissible: a multi-operation iteration (an AwaitDo CAS
+	// retry) can re-read an unchanged top/head and still diverge at a
+	// later read — e.g. observe the tail its own help CAS advanced — so
+	// forbidding the repeat there would turn terminating retries into
+	// false await-termination verdicts. (The branch that takes the same
+	// source and then completes an identical vector anyway is pruned by
+	// wasteful() when it completes; this check only has to avoid
+	// discarding the genuine witness, where the repeat is forced all
+	// the way to the end.)
 	var forbidden *graph.RF
 	if e.AwaitIter > 0 {
 		var cur, prev *iterRec
@@ -76,7 +87,7 @@ func (w *explorer) resolvable(g *graph.Graph, e *graph.Event, spans []iterRec) b
 					break
 				}
 			}
-			if pos >= 0 && pos < len(prev.Reads) {
+			if pos >= 0 && pos == len(prev.Reads)-1 {
 				prefixSame := true
 				for k := 0; k < pos; k++ {
 					if g.RfOf(cur.Reads[k]) != g.RfOf(prev.Reads[k]) {

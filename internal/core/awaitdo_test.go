@@ -1,0 +1,197 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mm"
+	"repro/internal/vprog"
+)
+
+// casIncrement is the canonical AwaitDo program: nthreads threads each
+// perform one CAS-increment retry loop on a shared counter. Failed
+// iterations are read-only (a failed CAS is a degraded read), so the
+// retry-free-twin collapse applies in full.
+func casIncrement(nthreads int) *vprog.Program {
+	return &vprog.Program{
+		Name: fmt.Sprintf("awaitdo/cas-increment-t%d", nthreads),
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			x := env.Var("x", 0)
+			threads := make([]vprog.ThreadFunc, nthreads)
+			for t := 0; t < nthreads; t++ {
+				threads[t] = func(m vprog.Mem) {
+					m.AwaitDo(func() bool {
+						v := m.Load(x, vprog.Rlx)
+						_, ok := m.CmpXchg(x, v, v+1, vprog.AcqRel)
+						return ok
+					})
+				}
+			}
+			final := func(load func(*vprog.Var) uint64) (bool, string) {
+				if got := load(x); got != uint64(nthreads) {
+					return false, fmt.Sprintf("x = %d, want %d", got, nthreads)
+				}
+				return true, ""
+			}
+			return threads, final
+		},
+	}
+}
+
+// TestAwaitDoCASIncrement: the CAS loop verifies (every increment
+// lands), terminates (no AT verdict), and the retry-free-twin collapse
+// actually fires — contended retries exist and are pruned.
+func TestAwaitDoCASIncrement(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		res := core.New(mm.WMM).Run(casIncrement(n))
+		if res.Verdict != core.OK {
+			t.Fatalf("t%d: %v: %s %v", n, res.Verdict, res.Message, res.Err)
+		}
+		if res.Stats.Collapsed == 0 {
+			t.Errorf("t%d: contended CAS loop never triggered the retry-free-twin collapse", n)
+		}
+	}
+}
+
+// TestAwaitDoNeverSucceeds: a CAS retry whose expected value nobody
+// ever writes spins forever — the ⊥ analysis must turn this into a
+// proper await-termination verdict, not a hang or an artificial bound.
+func TestAwaitDoNeverSucceeds(t *testing.T) {
+	p := &vprog.Program{
+		Name: "awaitdo/never-succeeds",
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			x := env.Var("x", 0)
+			y := env.Var("y", 0)
+			t0 := func(m vprog.Mem) {
+				m.AwaitDo(func() bool {
+					_, ok := m.CmpXchg(x, 1, 2, vprog.AcqRel) // x is never 1
+					return ok
+				})
+			}
+			t1 := func(m vprog.Mem) { m.Store(y, 1, vprog.Rel) } // unrelated writer
+			return []vprog.ThreadFunc{t0, t1}, nil
+		},
+	}
+	res := core.New(mm.WMM).Run(p)
+	if res.Verdict != core.ATViolation {
+		t.Fatalf("verdict %v, want an await-termination violation: %s %v", res.Verdict, res.Message, res.Err)
+	}
+	if !strings.Contains(res.Message, "never terminates") {
+		t.Errorf("message %q does not state the await never terminates", res.Message)
+	}
+	if res.Witness == nil {
+		t.Error("AT violation without a witness")
+	} else if err := res.Witness.CheckInvariants(); err != nil {
+		t.Errorf("malformed witness: %v", err)
+	}
+}
+
+// TestAwaitDoResolvedByWriter: the same shape, but a second thread does
+// write the expected value — whether the CAS observes it is a matter of
+// scheduling, so the await must be judged terminating (the ⊥ read stays
+// resolvable) and the program verifies.
+func TestAwaitDoResolvedByWriter(t *testing.T) {
+	p := &vprog.Program{
+		Name: "awaitdo/resolved-by-writer",
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			x := env.Var("x", 0)
+			t0 := func(m vprog.Mem) {
+				m.AwaitDo(func() bool {
+					_, ok := m.CmpXchg(x, 1, 2, vprog.AcqRel)
+					return ok
+				})
+			}
+			t1 := func(m vprog.Mem) { m.Store(x, 1, vprog.Rel) }
+			return []vprog.ThreadFunc{t0, t1}, nil
+		},
+	}
+	res := core.New(mm.WMM).Run(p)
+	if res.Verdict != core.OK {
+		t.Fatalf("verdict %v, want OK: %s %v", res.Verdict, res.Message, res.Err)
+	}
+}
+
+// boundedEffectProgram builds a two-thread program whose first thread
+// runs the given body inside the await construct selected by isDo; the
+// second thread eventually stores the exit value, so the loop has a
+// terminating branch and the violation — if any — must come from the
+// Bounded-Effect validation, not the ⊥ analysis.
+func boundedEffectProgram(name string, isDo bool, body func(m vprog.Mem, x, scratch *vprog.Var) bool) *vprog.Program {
+	return &vprog.Program{
+		Name: "awaitdo/" + name,
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			x := env.Var("x", 0)
+			scratch := env.Var("scratch.t1", 0).TagOwner(1, "scratch") // owned by T1, not T0
+			t0 := func(m vprog.Mem) {
+				if isDo {
+					m.AwaitDo(func() bool { return body(m, x, scratch) })
+				} else {
+					m.AwaitWhile(func() bool { return !body(m, x, scratch) })
+				}
+			}
+			t1 := func(m vprog.Mem) { m.Store(x, 1, vprog.Rel) }
+			return []vprog.ThreadFunc{t0, t1}, nil
+		},
+	}
+}
+
+// TestBoundedEffectViolations: a plain store in a failed AwaitWhile
+// iteration and a store to a non-owned location in a failed AwaitDo
+// iteration are both contract violations the replayer must surface as
+// checker errors naming the contract.
+func TestBoundedEffectViolations(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		isDo bool
+		body func(m vprog.Mem, x, scratch *vprog.Var) bool
+	}{
+		{"store-in-awaitwhile", false, func(m vprog.Mem, x, scratch *vprog.Var) bool {
+			v := m.Load(x, vprog.Acq)
+			m.Store(scratch, v, vprog.Rlx) // any plain store is illegal here
+			return v == 1
+		}},
+		{"unowned-store-in-awaitdo", true, func(m vprog.Mem, x, scratch *vprog.Var) bool {
+			v := m.Load(x, vprog.Acq)
+			m.Store(scratch, v, vprog.Rlx) // scratch belongs to T1, the storer is T0
+			return v == 1
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res := core.New(mm.WMM).Run(boundedEffectProgram(tc.name, tc.isDo, tc.body))
+			if res.Verdict != core.Error {
+				t.Fatalf("verdict %v, want a checker error: %s", res.Verdict, res.Message)
+			}
+			if res.Err == nil || !strings.Contains(res.Err.Error(), "Bounded-Effect violation") {
+				t.Fatalf("error %v does not name the Bounded-Effect contract", res.Err)
+			}
+		})
+	}
+}
+
+// TestAwaitDoOwnedStoreAllowed: the AwaitDo extension exists exactly so
+// failed retries may re-store the executing thread's own replicas — the
+// same shape as above, but with the scratch word owned by the storer.
+func TestAwaitDoOwnedStoreAllowed(t *testing.T) {
+	p := &vprog.Program{
+		Name: "awaitdo/owned-store",
+		Build: func(env vprog.Env) ([]vprog.ThreadFunc, vprog.FinalCheck) {
+			x := env.Var("x", 0)
+			scratch := env.Var("scratch.t0", 0).TagOwner(0, "scratch")
+			t0 := func(m vprog.Mem) {
+				m.AwaitDo(func() bool {
+					v := m.Load(x, vprog.Acq)
+					m.Store(scratch, v, vprog.Rlx) // owned: legal in failed retries
+					return v == 1
+				})
+			}
+			t1 := func(m vprog.Mem) { m.Store(x, 1, vprog.Rel) }
+			return []vprog.ThreadFunc{t0, t1}, nil
+		},
+	}
+	res := core.New(mm.WMM).Run(p)
+	if res.Verdict != core.OK {
+		t.Fatalf("verdict %v, want OK: %s %v", res.Verdict, res.Message, res.Err)
+	}
+}

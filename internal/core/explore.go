@@ -438,6 +438,12 @@ func (w *explorer) step(it ExploreState) *Result {
 		w.stats.Wasteful++
 		return nil
 	}
+	// Retry-free-twin collapse: discard graphs in which an await
+	// succeeded after read-only failed iterations (see collapsedRetry).
+	if collapsedRetry(rres) {
+		w.stats.Collapsed++
+		return nil
+	}
 
 	// A pending forced rf (from a revisit) is applied before anything
 	// else: the designated thread takes its step with the chosen source.
@@ -540,9 +546,75 @@ func (w *explorer) step(it ExploreState) *Result {
 			choices = append(choices, graph.FromW(wr))
 		}
 		w.rfbuf = choices
-		w.extendReadLike(it.g, runnable, p, choices, p.inAwait, snapshot(rres, it.snap, it.changed))
+		withBottom := p.inAwait && w.bottomCandidate(it.g, p, rres[runnable].spans)
+		w.extendReadLike(it.g, runnable, p, choices, withBottom, snapshot(rres, it.snap, it.changed))
 	}
 	return nil
+}
+
+// bottomCandidate reports whether the pending await read could, as a ⊥
+// read, ever anchor an await-termination witness — the ⊥ sibling is
+// pushed only then. A stuck graph reports a violation only when every
+// blocked ⊥ read is unresolvable (unresolvableBottom), and a ⊥ read is
+// unresolvable only if *no* write can serve it consistently outside the
+// W(G) filter. Reading the mo-maximal write at the trailing position of
+// a blocked thread is always consistent (resolveWith resolves updates
+// degraded, so there is no fr out of the read, and no later event can
+// ever become hb-ordered before it), so the only way a ⊥ read can be
+// unresolvable is for the mo-maximal write to be the *forbidden* source
+// — the one its counterpart read in the previous failed iteration,
+// reachable only when the read sits at the last position of iteration
+// ≥ 1 with the iteration prefix rf-equal to the previous iteration
+// (atcheck.resolvable). And since later writes can only either leave
+// the current mo-maximum in place or supersede it with a write that is
+// not the forbidden source, a read whose previous counterpart is not
+// the mo-maximum now stays resolvable in every extension. ⊥ siblings
+// anywhere else — iteration 0, interior positions, diverged prefixes,
+// superseded counterparts — head subtrees whose every stuck descendant
+// is discarded as resolvable, so they are never pushed.
+//
+// This gate is also why await retry chains cannot starve the other
+// threads: the extension scheduler only switches threads at a block,
+// and a spinning thread's monotone retry chain (coherence forces its
+// reads up mo; wasteful() kills exact repeats) always funnels into the
+// caught-up configuration — prefix repeated, counterpart mo-maximal —
+// where the gate opens, the ⊥ blocks the thread, and the remaining
+// threads run (their future writes then reach the chain's reads through
+// revisits, exactly as they reach a bounded encoding's).
+func (w *explorer) bottomCandidate(g *graph.Graph, p *pending, spans []iterRec) bool {
+	if p.awaitIter == 0 {
+		return false // no previous iteration: always resolvable
+	}
+	var cur, prev *iterRec
+	for i := range spans {
+		s := &spans[i]
+		if s.Seq != p.awaitSeq {
+			continue
+		}
+		switch s.Iter {
+		case p.awaitIter:
+			cur = s
+		case p.awaitIter - 1:
+			prev = s
+		}
+	}
+	if cur == nil || prev == nil || !prev.Complete || !prev.Failed {
+		return true // defensive: keep the ⊥ branch when spans are surprising
+	}
+	pos := len(cur.Reads) // the pending read's position once added
+	if pos != len(prev.Reads)-1 {
+		return false
+	}
+	for k := 0; k < pos; k++ {
+		if g.RfOf(cur.Reads[k]) != g.RfOf(prev.Reads[k]) {
+			return false
+		}
+	}
+	mo := g.Mo[p.loc]
+	if len(mo) == 0 {
+		return true
+	}
+	return g.RfOf(prev.Reads[pos]) == graph.FromW(mo[len(mo)-1])
 }
 
 // canonWitness maps a violating graph onto the canonical representative
@@ -660,9 +732,14 @@ func (w *explorer) extendReadLike(g *graph.Graph, t int, p *pending, choices []g
 	}
 	if withBottom {
 		// ⊥ branch: the potential AT violation marker. Pushed last so the
-		// DFS examines it first, surfacing hangs early.
+		// DFS examines it first, surfacing hangs early. A ⊥ update is
+		// degraded — it read nothing and writes nothing, so it must not
+		// claim a place in mo.
 		g2 := g.Clone()
 		e := w.mkEvent(g2, t, p)
+		if p.kind == opUpdate {
+			e.Degraded = true
+		}
 		g2.Append(e)
 		g2.SetRF(e.ID, graph.BottomRF)
 		g2.NoteExtended(g, e)
@@ -758,8 +835,74 @@ func (w *explorer) pushRevisit(g2 *graph.Graph, wv *graph.Event, porf *graph.Eve
 	w.push(ExploreState{g: g3, hasForced: true, forcedR: rd, forcedW: wv.ID})
 }
 
-// wasteful implements W(G) (Def. 2): some await reads from the same
-// combination of writes in two consecutive complete iterations.
+// wasteful implements W(G) (Def. 2), generalized to multi-operation
+// iterations: some await's reads (position by position — loads and
+// updates alike) observe the same rf vector in two consecutive complete
+// iterations, the first of which failed. Thread bodies are
+// deterministic in the values their reads return, and rf-equal reads
+// return equal values, so the second iteration retraces the first —
+// same branches, same (value-identical) owned stores — and under the
+// Bounded-Effect contracts it cannot have changed what any other
+// thread observes: the execution is a longer witness of a behavior a
+// shorter graph already covers. A successful value-changing update in
+// iteration two is impossible here — it would sit mo-adjacent to
+// iteration one's update on the same rf source, which atomicity
+// (checked in Model.Consistent before this filter) already rules out.
+// Iterations of unequal read counts never compare equal: determinism
+// again — a same-rf prefix replays identically, so the counts could
+// not diverge.
+// collapsedRetry implements the retry-free-twin collapse, the reduction
+// that makes await encodings of CAS loops cheaper than their bounded
+// unrollings: a graph in which some await *succeeded* at iteration
+// k > 0 after failed iterations that performed no store and no
+// value-changing update is redundant and pruned.
+//
+// Soundness: the failed iterations contributed only read events.
+// Removing read events from a consistent graph keeps it consistent —
+// reads only *add* constraints (rf, fr, CoRR edges); no axiom demands
+// their presence — so the graph in which the await takes its successful
+// rf vector at iteration 0 directly is also consistent and exhibits the
+// identical behavior: the same writes with the same mo, the same values
+// flowing into every later read, the same assertion valuations and
+// final state. That twin is explored in the sibling branch where the
+// await's first read already took the success source (or is steered
+// onto it by a revisit once the source write is added), so every
+// descendant of the collapsed graph is a behavioral duplicate of one of
+// the twin's descendants. The collapse must not fire when a failed
+// iteration wrote: an AwaitDo retry may store to owned locations (a
+// Treiber push re-links its node each attempt), and those stores sit in
+// mo where later reads of other threads may branch onto them — the
+// retry-free twin simply does not contain them, so such graphs are kept
+// and explored in full.
+//
+// Await-termination analysis is unaffected: the collapse fires only
+// when an iteration succeeds, so the failed-iteration chains that feed
+// the ⊥ analysis — and the G∞* witnesses at their ends, where no
+// iteration ever succeeds — are never touched.
+func collapsedRetry(rres []replayResult) bool {
+	for _, res := range rres {
+		seq := -1
+		wrote := false
+		for i := range res.spans {
+			s := &res.spans[i]
+			if s.Seq != seq {
+				seq, wrote = s.Seq, false
+			}
+			if !s.Complete {
+				continue
+			}
+			if s.Failed {
+				wrote = wrote || s.Wrote
+				continue
+			}
+			if s.Iter > 0 && !wrote {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func wasteful(g *graph.Graph, rres []replayResult) bool {
 	for _, res := range rres {
 		spans := res.spans

@@ -120,26 +120,30 @@ func TestParallelDifferentialQueuePath(t *testing.T) {
 }
 
 // TestParallelStealingHappens: on a run big enough to keep several
-// workers fed (the 3-thread MCS client), the scheduler counters must
-// show genuine multi-worker execution — active workers and successful
-// steals — while the execution enumeration stays identical to
-// sequential.
+// workers fed (the 3-thread two-iteration MCS client — the retry-free
+// collapse shrank the one-iteration run to a few hundred states, too
+// small to spread), the scheduler counters must show genuine
+// multi-worker execution — active workers and successful steals —
+// while the execution enumeration stays identical to sequential.
 func TestParallelStealingHappens(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second exploration; not run in -short")
 	}
 	alg := locks.ByName("mcs")
-	p := harness.MutexClient(alg, alg.DefaultSpec(), 3, 1)
+	p := harness.MutexClient(alg, alg.DefaultSpec(), 3, 2)
 	seq := runAt(t, mm.WMM, p, 1)
 	par := runAt(t, mm.WMM, p, 4)
-	if !par.Ok() || seq.Stats.Executions != par.Stats.Executions || seq.Stats.Blocked != par.Stats.Blocked {
+	// Executions is the schedule-independent canary; Blocked, like
+	// Popped, depends on which orbit representative a worker reaches
+	// first and may drift a few counts between worker counts.
+	if !par.Ok() || seq.Stats.Executions != par.Stats.Executions {
 		t.Fatalf("parallel mcs-t3 diverged:\nseq: %+v\npar: %+v", seq.Stats, par.Stats)
 	}
 	if par.Sched.Active < 2 {
 		t.Errorf("only %d active workers; work never spread", par.Sched.Active)
 	}
 	if par.Sched.Steals == 0 {
-		t.Error("no steals recorded on a 13k-state run")
+		t.Error("no steals recorded on a 270k-state run")
 	}
 	total := 0
 	for _, n := range par.Sched.Executed {

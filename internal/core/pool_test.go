@@ -32,8 +32,11 @@ func failFastProgram() *vprog.Program {
 // qspinlock client (~18k popped states even with symmetry reduction
 // collapsing its thread orbits).
 func heavyProgram() *vprog.Program {
-	alg := locks.ByName("qspin")
-	return harness.MutexClient(alg, alg.DefaultSpec(), 3, 1)
+	// Two MCS iterations: the retry-free collapse shrank the former
+	// one-iteration qspin t3 run to milliseconds, too quick to outlive a
+	// cancellation (and two qspin iterations overrun the graph cap).
+	alg := locks.ByName("mcs")
+	return harness.MutexClient(alg, alg.DefaultSpec(), 3, 2)
 }
 
 // lightOKProgram verifies in milliseconds.

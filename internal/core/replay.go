@@ -13,13 +13,17 @@
 // them onto the new write. Two filters make the search finite and sound
 // for awaiting programs:
 //
-//   - wasteful executions (Def. 2) — an await reading the same writes in
-//     two consecutive iterations — are pruned, collapsing the infinite
-//     set GF into the finite GF*;
+//   - wasteful executions (Def. 2) — an await whose reads observe the
+//     same writes in two consecutive iterations, whether the iteration
+//     is a single polling load (AwaitWhile) or a multi-operation CAS
+//     retry (AwaitDo) — are pruned, collapsing the infinite set GF into
+//     the finite GF*;
 //   - graphs in which a ⊥ read can no longer be resolved by any
 //     non-wasteful consistent write witness an await-termination
 //     violation (the finite representatives G∞* of the infinite
-//     executions in G∞).
+//     executions in G∞ — for a CAS loop this is the "no remaining
+//     write to observe" verdict that replaces any artificial retry
+//     bound).
 package core
 
 import (
@@ -98,6 +102,7 @@ type iterRec struct {
 	Reads    []graph.EventID // read-like events of the iteration, po order
 	Failed   bool            // condition evaluated to true (loop repeats)
 	Complete bool            // the condition finished evaluating
+	Wrote    bool            // iteration performed a store or value-changing update
 }
 
 // replayResult is the outcome of replaying one thread against a graph.
@@ -126,9 +131,11 @@ type replayMem struct {
 	vars []*vprog.Var
 
 	awaitDepth int
-	awaitSeq   int // number of AwaitWhile instances started so far
+	awaitSeq   int // number of await instances started so far
 	curSeq     int // active await instance, -1 outside
 	curIter    int
+	inDo       bool   // the active await is an AwaitDo (retry) instance
+	effMsg     string // first Bounded-Effect violation candidate of the current iteration
 
 	res replayResult
 }
@@ -188,6 +195,21 @@ func (m *replayMem) readVal(e *graph.Event) graph.Val {
 	return e.RVal
 }
 
+// markWrote flags the current await iteration as having performed a
+// store or a value-changing update. The retry-free-twin collapse
+// (explore.collapsedRetry) consults the flag: only awaits whose failed
+// iterations left no write behind may be collapsed onto the encoding
+// that never retried.
+func (m *replayMem) markWrote() {
+	if m.curSeq < 0 {
+		return
+	}
+	n := len(m.res.spans)
+	if n > 0 && m.res.spans[n-1].Seq == m.curSeq && m.res.spans[n-1].Iter == m.curIter {
+		m.res.spans[n-1].Wrote = true
+	}
+}
+
 // recordRead appends the event to the current await iteration record.
 func (m *replayMem) recordRead(e *graph.Event) {
 	if m.curSeq < 0 {
@@ -211,6 +233,17 @@ func (m *replayMem) Store(v *vprog.Var, x uint64, mode vprog.Mode) {
 	if e.Val != x {
 		m.fail("program stores %d but graph holds %s", x, e)
 	}
+	m.markWrote()
+	// Bounded-Effect candidates: the verdict on whether the enclosing
+	// iteration failed is deferred to the await loop — a store in a
+	// *succeeding* iteration is always fine.
+	if m.curSeq >= 0 && m.effMsg == "" {
+		if !m.inDo {
+			m.effMsg = fmt.Sprintf("plain store to %s", v.Name)
+		} else if v.SymOwner != m.tid+1 {
+			m.effMsg = fmt.Sprintf("store to %s, which thread T%d does not own", v.Name, m.tid)
+		}
+	}
 }
 
 // update is the common path of Xchg/CmpXchg/FetchAdd.
@@ -222,6 +255,15 @@ func (m *replayMem) update(v *vprog.Var, mode vprog.Mode, up upKind, a, b graph.
 	wv, degr := p.compute(rv)
 	if degr != e.Degraded || (!degr && wv != e.Val) {
 		m.fail("update recomputation mismatch: read %d gives (%d,%t) but graph holds %s", rv, wv, degr, e)
+	}
+	if !degr {
+		m.markWrote()
+	}
+	// An AwaitWhile body must be read-only: a degraded update is a read
+	// (footnote 5), a value-changing one is a Bounded-Effect candidate.
+	// AwaitDo iterations may update freely — see the vprog package doc.
+	if m.curSeq >= 0 && !m.inDo && !degr && m.effMsg == "" {
+		m.effMsg = fmt.Sprintf("value-changing update of %s", v.Name)
 	}
 	return rv
 }
@@ -247,6 +289,20 @@ func (m *replayMem) Fence(mode vprog.Mode) {
 }
 
 func (m *replayMem) AwaitWhile(cond func() bool) {
+	m.await(false, func() bool { return !cond() })
+}
+
+func (m *replayMem) AwaitDo(body func() bool) {
+	m.await(true, body)
+}
+
+// await runs one await instance; done reports whether the iteration
+// succeeded (the loop exits). Both constructs share the span discipline
+// — one iterRec per evaluation, Failed when the loop repeats — and
+// differ only in the Bounded-Effect contract enforced on completed
+// failed iterations (see Store and update above, which record the
+// candidates this loop judges).
+func (m *replayMem) await(isDo bool, done func() bool) {
 	if m.awaitDepth > 0 {
 		m.fail("nested awaits are not allowed (paper §2.1.1 syntactic restriction)")
 	}
@@ -254,17 +310,26 @@ func (m *replayMem) AwaitWhile(cond func() bool) {
 	defer func() { m.awaitDepth-- }()
 	seq := m.awaitSeq
 	m.awaitSeq++
+	m.inDo = isDo
 	local := 0
 	for iter := 0; ; iter++ {
 		m.curSeq, m.curIter = seq, iter
+		m.effMsg = ""
 		m.res.spans = append(m.res.spans, iterRec{Seq: seq, Iter: iter})
 		before := m.idx
-		again := cond()
+		ok := done()
 		rec := &m.res.spans[len(m.res.spans)-1]
 		rec.Complete = true
-		rec.Failed = again
+		rec.Failed = !ok
 		m.curSeq, m.curIter = -1, 0
-		if !again {
+		if !ok && m.effMsg != "" {
+			kind := "AwaitWhile"
+			if isDo {
+				kind = "AwaitDo"
+			}
+			m.fail("Bounded-Effect violation: %s in failed iteration %d of an %s", m.effMsg, iter, kind)
+		}
+		if ok {
 			return
 		}
 		if m.idx == before {

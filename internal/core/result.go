@@ -105,6 +105,7 @@ type Stats struct {
 	Revisits   int // write→read revisit graphs generated
 	Duplicates int // graphs pruned by the visited set
 	Wasteful   int // graphs pruned by the W(G) filter (Def. 2)
+	Collapsed  int // graphs pruned by the retry-free-twin collapse
 	Inconsist  int // graphs pruned by the memory model
 	Blocked    int // stuck graphs whose ⊥ reads were all resolvable
 
@@ -127,6 +128,7 @@ func (s *Stats) Add(o Stats) {
 	s.Revisits += o.Revisits
 	s.Duplicates += o.Duplicates
 	s.Wasteful += o.Wasteful
+	s.Collapsed += o.Collapsed
 	s.Inconsist += o.Inconsist
 	s.Blocked += o.Blocked
 	s.Canonicalized += o.Canonicalized

@@ -129,20 +129,26 @@ func (l *Seqlock) Write(m vprog.Mem, body func(store func(v *vprog.Var, x uint64
 }
 
 // Read runs body optimistically until it observes a stable snapshot;
-// body receives a load function for the protected data.
+// body receives a load function for the protected data. The retry is
+// an AwaitDo — "attempt a stable snapshot until one succeeds" — and
+// note that no bounded encoding of it would be sound: a failed
+// iteration implies nothing about writer progress (re-reading the same
+// odd sequence forever is a consistent behavior), so unlike a CAS
+// loop there is no pigeonhole bound, only the await-termination
+// analysis.
 func (l *Seqlock) Read(m vprog.Mem, body func(load func(v *vprog.Var) uint64)) {
-	m.AwaitWhile(func() bool {
+	m.AwaitDo(func() bool {
 		s1 := m.Load(l.seq, l.spec.M("seqlock.begin"))
 		if s1%2 == 1 {
 			m.Pause()
-			return true // write in progress
+			return false // write in progress
 		}
 		body(func(v *vprog.Var) uint64 {
 			return m.Load(v, l.spec.M("seqlock.data_read"))
 		})
 		m.Fence(l.spec.M("seqlock.recheck_fence"))
 		s2 := m.Load(l.seq, l.spec.M("seqlock.recheck"))
-		return s2 != s1 // torn: retry
+		return s2 == s1 // unequal: torn, retry
 	})
 }
 

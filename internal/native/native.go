@@ -70,6 +70,12 @@ func (m *Mem) AwaitWhile(cond func() bool) {
 	}
 }
 
+// AwaitDo implements vprog.Mem: a plain retry loop.
+func (m *Mem) AwaitDo(body func() bool) {
+	for !body() {
+	}
+}
+
 // Pause implements vprog.Mem by yielding the processor.
 func (m *Mem) Pause() { runtime.Gosched() }
 

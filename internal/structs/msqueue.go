@@ -23,15 +23,31 @@ const dummyID = 1
 // A consumer may legitimately observe an empty queue (weak memory can
 // hide a linked node from an unsynchronized reader), so sawEmpty is an
 // allowed outcome here, unlike the stack.
+//
+// The retry loops are awaits (AwaitDo). Their failed iterations never
+// plain-store at all — linking is a CAS — and the tail-helping CAS a
+// failed iteration may perform is exactly the value-changing-update
+// case the AwaitDo contract covers: if it succeeded, the next
+// iteration's reads cannot repeat this one's rf vector (atomicity
+// forbids two mo-adjacent updates of one rf source), so the wasteful
+// filter never prunes an iteration that helped.
 type msqueueWorkload struct {
 	iters         int
 	badLink       bool // seeded bug: enqueue links with a plain store, not CAS
 	producersOnly bool // every thread produces (the shape that races the bad link)
+	bounded       bool // differential oracle: pigeonhole-bounded plain retry loops
 }
 
 // MSQueue returns the Michael–Scott queue workload: ceil(n/2)
 // producers, the rest consumers, iters enqueues per producer.
 func MSQueue(iters int) workload.Workload { return &msqueueWorkload{iters: iters} }
+
+// MSQueueBounded returns the bounded-loop twin: the same queue with its
+// CAS retries encoded as pigeonhole-bounded plain loops instead of
+// awaits — the differential oracle for the await reduction.
+func MSQueueBounded(iters int) workload.Workload {
+	return &msqueueWorkload{iters: iters, bounded: true}
+}
 
 // MSQueueBadLink returns the seeded-bug variant: every thread is a
 // producer and the enqueue links its node with a plain store instead
@@ -39,6 +55,12 @@ func MSQueue(iters int) workload.Workload { return &msqueueWorkload{iters: iters
 // element — caught by the conservation spec.
 func MSQueueBadLink() workload.Workload {
 	return &msqueueWorkload{iters: 1, badLink: true, producersOnly: true}
+}
+
+// MSQueueBadLinkBounded is the bounded-loop twin of MSQueueBadLink, so
+// the differential also pins a violating verdict across encodings.
+func MSQueueBadLinkBounded() workload.Workload {
+	return &msqueueWorkload{iters: 1, badLink: true, producersOnly: true, bounded: true}
 }
 
 func (w *msqueueWorkload) split(nthreads int) (producers, consumers int) {
@@ -50,15 +72,22 @@ func (w *msqueueWorkload) split(nthreads int) (producers, consumers int) {
 }
 
 func (w *msqueueWorkload) Name() string {
+	name := "structs/msqueue"
 	if w.badLink {
-		return "structs/msqueue-badlink"
+		name = "structs/msqueue-badlink"
 	}
-	return "structs/msqueue"
+	if w.bounded {
+		name += "/bounded"
+	}
+	return name
 }
 
 func (w *msqueueWorkload) Doc() string {
-	if w.badLink {
+	switch {
+	case w.badLink:
 		return "Michael-Scott queue with a plain-store enqueue link (study case: lost element)"
+	case w.bounded:
+		return "Michael-Scott queue, bounded-loop encoding (differential oracle for the await reduction)"
 	}
 	return "Michael-Scott lock-free queue (FIFO spec: conservation + per-producer order)"
 }
@@ -101,12 +130,7 @@ func (w *msqueueWorkload) New(env vprog.Env, spec *vprog.BarrierSpec, nthreads i
 	dnext := env.Var("msq.next.dummy", 0).TagTid(nodeShift, nodeBias)
 	nexts := make([][]*vprog.Var, producers)
 	for t := 0; t < producers; t++ {
-		nexts[t] = make([]*vprog.Var, iters)
-		for k := 0; k < iters; k++ {
-			nexts[t][k] = env.Var(fmt.Sprintf("msq.next.t%d.%d", t, k), 0).
-				TagOwner(t, fmt.Sprintf("msq.next.%d", k)).
-				TagTid(nodeShift, nodeBias)
-		}
+		nexts[t] = nodeVars(env, "msq.next", t, iters)
 	}
 	total := producers * iters
 	// Dequeue attempts are split evenly across consumers; recorded
@@ -120,91 +144,124 @@ func (w *msqueueWorkload) New(env vprog.Env, spec *vprog.BarrierSpec, nthreads i
 	}
 	recs := make([][]*vprog.Var, consumers)
 	for c := 0; c < consumers; c++ {
-		recs[c] = make([]*vprog.Var, share(c))
-		for k := range recs[c] {
-			recs[c][k] = env.Var(fmt.Sprintf("msq.deq.t%d.%d", producers+c, k), 0).
-				TagOwner(producers+c, fmt.Sprintf("msq.deq.%d", k)).
-				TagTid(nodeShift, nodeBias)
-		}
+		recs[c] = nodeVars(env, "msq.deq", producers+c, share(c))
 	}
 	nextOf := func(id uint64) *vprog.Var {
 		if id == dummyID {
 			return dnext
 		}
-		return nexts[int(id>>nodeShift)-nodeBias][id&(1<<nodeShift-1)]
+		t, k := decodeNode(id)
+		return nexts[t][k]
 	}
-	// Retry bound: every unproductive iteration coincides with another
-	// thread's successful CAS on head, tail or a link word (or a
-	// lagging tail this thread itself then helps, at most one extra
-	// iteration per operation) — and the other threads perform at most
-	// three such successes per element program-wide.
-	bound := 3*(nthreads-1)*iters + 4
 	badLink := w.badLink
 
+	// One enqueue attempt: read the tail and its link word; link the
+	// new node if the tail is current (then swing the tail over it),
+	// else help the lagging tail forward. Reports success.
+	enqAttempt := func(m vprog.Mem, id uint64) bool {
+		tl := m.Load(tail, spec.M("msq.tail_read"))
+		nx := m.Load(nextOf(tl), spec.M("msq.next_read"))
+		if nx == 0 {
+			done := false
+			if badLink {
+				m.Store(nextOf(tl), id, spec.M("msq.link_cas"))
+				done = true
+			} else {
+				_, done = m.CmpXchg(nextOf(tl), 0, id, spec.M("msq.link_cas"))
+			}
+			if done {
+				// Swing the tail; a failure means someone helped.
+				m.CmpXchg(tail, tl, id, spec.M("msq.tail_cas"))
+				return true
+			}
+		} else {
+			// Tail lags behind a linked node: help it forward.
+			m.CmpXchg(tail, tl, nx, spec.M("msq.tail_cas"))
+		}
+		m.Pause()
+		return false
+	}
+	// One dequeue attempt: the outcome lands in *got (incomplete =
+	// retry). The lagging-tail help path retries without Pause, as the
+	// bounded encoding's continue did.
+	deqAttempt := func(m vprog.Mem, got *uint64) bool {
+		hd := m.Load(head, spec.M("msq.head_read"))
+		nx := m.Load(nextOf(hd), spec.M("msq.next_read"))
+		if nx == 0 {
+			*got = sawEmpty
+			return true
+		}
+		tl := m.Load(tail, spec.M("msq.tail_read"))
+		if hd == tl {
+			// The tail lags behind the linked node: help before
+			// advancing head past it.
+			m.CmpXchg(tail, tl, nx, spec.M("msq.tail_cas"))
+			return false
+		}
+		if _, ok := m.CmpXchg(head, hd, nx, spec.M("msq.head_cas")); ok {
+			*got = nx
+			return true
+		}
+		m.Pause()
+		return false
+	}
+
+	// The await encoding.
 	producer := func(m vprog.Mem) {
 		t := m.TID()
 		for k := 0; k < iters; k++ {
 			id := nodeID(t, k)
-			done := false
-			for attempt := 0; attempt < bound && !done; attempt++ {
-				tl := m.Load(tail, spec.M("msq.tail_read"))
-				nx := m.Load(nextOf(tl), spec.M("msq.next_read"))
-				if nx == 0 {
-					if badLink {
-						m.Store(nextOf(tl), id, spec.M("msq.link_cas"))
-						done = true
-					} else {
-						_, done = m.CmpXchg(nextOf(tl), 0, id, spec.M("msq.link_cas"))
-					}
-					if done {
-						// Swing the tail; a failure means someone helped.
-						m.CmpXchg(tail, tl, id, spec.M("msq.tail_cas"))
-					}
-				} else {
-					// Tail lags behind a linked node: help it forward.
-					m.CmpXchg(tail, tl, nx, spec.M("msq.tail_cas"))
-				}
-				if !done {
-					m.Pause()
-				}
-			}
-			m.Assert(done, "msqueue: enqueue retry bound exhausted")
+			m.AwaitDo(func() bool { return enqAttempt(m, id) })
 		}
 	}
 	consumer := func(m vprog.Mem) {
 		c := m.TID() - producers
 		for k := range recs[c] {
 			got := uint64(incomplete)
+			m.AwaitDo(func() bool { return deqAttempt(m, &got) })
+			m.Store(recs[c][k], got, spec.M("msq.record"))
+		}
+	}
+
+	// The bounded oracle encoding (PR 9): every unproductive iteration
+	// coincides with another thread's successful CAS on head, tail or a
+	// link word (or a lagging tail this thread itself then helps, at
+	// most one extra iteration per operation) — and the other threads
+	// perform at most three such successes per element program-wide.
+	bound := 3*(nthreads-1)*iters + 4
+	boundedProducer := func(m vprog.Mem) {
+		t := m.TID()
+		for k := 0; k < iters; k++ {
+			id := nodeID(t, k)
+			done := false
+			for attempt := 0; attempt < bound && !done; attempt++ {
+				done = enqAttempt(m, id)
+			}
+			m.Assert(done, "msqueue: enqueue retry bound exhausted")
+		}
+	}
+	boundedConsumer := func(m vprog.Mem) {
+		c := m.TID() - producers
+		for k := range recs[c] {
+			got := uint64(incomplete)
 			for attempt := 0; attempt < bound && got == incomplete; attempt++ {
-				hd := m.Load(head, spec.M("msq.head_read"))
-				nx := m.Load(nextOf(hd), spec.M("msq.next_read"))
-				if nx == 0 {
-					got = sawEmpty
-					break
-				}
-				tl := m.Load(tail, spec.M("msq.tail_read"))
-				if hd == tl {
-					// The tail lags behind the linked node: help before
-					// advancing head past it.
-					m.CmpXchg(tail, tl, nx, spec.M("msq.tail_cas"))
-					continue
-				}
-				if _, ok := m.CmpXchg(head, hd, nx, spec.M("msq.head_cas")); ok {
-					got = nx
-				} else {
-					m.Pause()
-				}
+				deqAttempt(m, &got)
 			}
 			m.Assert(got != incomplete, "msqueue: dequeue retry bound exhausted")
 			m.Store(recs[c][k], got, spec.M("msq.record"))
 		}
 	}
+
+	prodBody, consBody := producer, consumer
+	if w.bounded {
+		prodBody, consBody = boundedProducer, boundedConsumer
+	}
 	var threads []vprog.ThreadFunc
 	for t := 0; t < producers; t++ {
-		threads = append(threads, producer)
+		threads = append(threads, prodBody)
 	}
 	for c := 0; c < consumers; c++ {
-		threads = append(threads, consumer)
+		threads = append(threads, consBody)
 	}
 
 	final := func(load func(*vprog.Var) uint64) (bool, string) {
@@ -213,7 +270,7 @@ func (w *msqueueWorkload) New(env vprog.Env, spec *vprog.BarrierSpec, nthreads i
 		// index seen: FIFO demands each producer's elements appear in
 		// enqueue order within any single observation sequence.
 		observe := func(lastK []int, v uint64, where string) string {
-			t, k := int(v>>nodeShift)-nodeBias, int(v&(1<<nodeShift-1))
+			t, k := decodeNode(v)
 			if t < 0 || t >= producers || k >= iters {
 				return fmt.Sprintf("msqueue: alien element %#x in %s", v, where)
 			}
@@ -247,7 +304,7 @@ func (w *msqueueWorkload) New(env vprog.Env, spec *vprog.BarrierSpec, nthreads i
 		// dummy or already consumed).
 		hd := load(head)
 		if hd != dummyID {
-			if t, k := int(hd>>nodeShift)-nodeBias, int(hd&(1<<nodeShift-1)); t < 0 || t >= producers || k >= iters {
+			if t, k := decodeNode(hd); t < 0 || t >= producers || k >= iters {
 				return false, fmt.Sprintf("msqueue: head holds alien element %#x", hd)
 			}
 		}

@@ -1,0 +1,49 @@
+package structs
+
+import (
+	"fmt"
+
+	"repro/internal/vprog"
+)
+
+// Node identity encoding shared by the stack and the queue: node k of
+// thread t is (t+1)<<8 | k. The thread id occupies all bits above
+// nodeShift (required by the symmetry folder, which rewrites every bit
+// above the shift), and the small values 0 and 1 decode to thread -1 —
+// safe sentinels the folder leaves alone.
+const (
+	nodeShift = 8
+	nodeBias  = 1
+
+	// Recorded-outcome sentinels: a slot still holding incomplete
+	// means the operation never finished; a slot holding sawEmpty
+	// means the operation observed an empty structure.
+	incomplete = 0
+	sawEmpty   = 1
+)
+
+// nodeID encodes node k of thread t.
+func nodeID(t, k int) uint64 { return uint64(t+nodeBias)<<nodeShift | uint64(k) }
+
+// decodeNode inverts nodeID; sentinels decode to thread -1.
+func decodeNode(id uint64) (t, k int) {
+	return int(id>>nodeShift) - nodeBias, int(id & (1<<nodeShift - 1))
+}
+
+// nodeVars allocates thread t's per-node replica array under the given
+// prefix: slot k is named "<prefix>.t<t>.<k>", owned by t within the
+// family "<prefix>.<k>" (one family per slot index, so relabeling a
+// thread moves the whole column), and tagged as embedding a node id.
+// This is the TagOwner/TagTid discipline both structures need for
+// thread-symmetry reduction — and, for the await encodings, the
+// ownership that licenses re-storing a link word in a failed AwaitDo
+// iteration.
+func nodeVars(env vprog.Env, prefix string, t, n int) []*vprog.Var {
+	vs := make([]*vprog.Var, n)
+	for k := 0; k < n; k++ {
+		vs[k] = env.Var(fmt.Sprintf("%s.t%d.%d", prefix, t, k), 0).
+			TagOwner(t, fmt.Sprintf("%s.%d", prefix, k)).
+			TagTid(nodeShift, nodeBias)
+	}
+	return vs
+}

@@ -4,13 +4,19 @@ import "repro/internal/workload"
 
 // The registered corpus: the three structures at their default shapes
 // (the queue with two elements per producer so the per-producer FIFO
-// half of its spec is non-vacuous at the t=2 matrix rung), plus the
+// half of its spec is non-vacuous at the t=2 matrix rung), the
 // seeded-bug study variants (Buggy, excluded from the default suite
-// corpus but listed and individually checkable).
+// corpus but listed and individually checkable), and the "/bounded"
+// oracle twins of the stack and the queue — the pre-await encodings,
+// kept registered so every default suite run re-pins the await
+// reduction against them at the verdict level (the seqlock has no
+// sound bounded encoding, hence no twin).
 func init() {
 	workload.Register(Treiber(1))
+	workload.Register(TreiberBounded(1))
 	workload.Register(TreiberBadPop(1))
 	workload.Register(MSQueue(2))
+	workload.Register(MSQueueBounded(2))
 	workload.Register(MSQueueBadLink())
 	workload.Register(SeqlockPair(1))
 	workload.Register(SeqlockBadRead(1))

@@ -91,19 +91,19 @@ func (w *seqlockWorkload) New(env vprog.Env, spec *vprog.BarrierSpec, nthreads i
 			m.Assert(va == vb, fmt.Sprintf("seqlock: torn read a=%d b=%d", va, vb))
 		}
 	}
-	// The seeded bug: same optimistic loop, but the "sequence odd ⇒
+	// The seeded bug: same optimistic retry, but the "sequence odd ⇒
 	// write in progress, retry" guard is missing, so a recheck that
 	// matches an odd begin value accepts a mid-write snapshot.
 	badReader := func(m vprog.Mem) {
 		for i := 0; i < iters; i++ {
 			var va, vb uint64
-			m.AwaitWhile(func() bool {
+			m.AwaitDo(func() bool {
 				s1 := m.Load(seq, spec.M("seqlock.begin"))
 				va = m.Load(a, spec.M("seqlock.data_read"))
 				vb = m.Load(b, spec.M("seqlock.data_read"))
 				m.Fence(spec.M("seqlock.recheck_fence"))
 				s2 := m.Load(seq, spec.M("seqlock.recheck"))
-				return s2 != s1
+				return s2 == s1
 			})
 			m.Assert(va == vb, fmt.Sprintf("seqlock: torn read a=%d b=%d", va, vb))
 		}

@@ -6,22 +6,28 @@
 //
 // Two AMC constraints shape the implementations:
 //
-//   - CAS retry loops are bounded plain loops, never AwaitWhile: a
-//     failed retry re-stores link words, which Bounded-Effect forbids
-//     inside an await iteration. The bounds are sound, not heuristic —
-//     each failed CAS implies another thread's successful CAS on the
-//     same location strictly between the load and the failure (by
-//     per-location coherence the observed value advances in mo every
-//     failed attempt), so attempts are bounded by the total writes the
-//     other threads can perform. A bound exhaustion trips an Assert —
-//     a loud counterexample, never a silent pass.
+//   - CAS retry loops are awaits (vprog.AwaitDo): a failed retry
+//     re-stores only link words the thread owns (TagOwner replicas),
+//     which the effect-bounded retry contract permits, so the checker's
+//     wasteful-execution filter prunes re-reads of an unchanged top/
+//     tail/head instead of enumerating every interleaving of a bounded
+//     spin — and retry loops that can never succeed surface as proper
+//     await-termination verdicts ("no remaining write to observe"),
+//     not assertion trips on an artificial bound. Each structure keeps
+//     its pre-await encoding — the pigeonhole-bounded plain loop of
+//     PR 9, bound exhaustion tripping an Assert — as a "/bounded" twin
+//     (TreiberBounded and friends), the differential oracle for the
+//     await reduction exactly as Checker.NoSymmetry shadows symmetry.
+//     The seqlock has no such twin: a failed optimistic read implies
+//     nothing about writer progress, so no retry bound is sound for it
+//     — its read side is only expressible as an await.
 //
 //   - Node identities embed the allocating thread's id in the high
 //     bits (TagTid) and per-thread node arrays are declared as owned
-//     replica families (TagOwner), so the structures participate in
-//     thread-symmetry reduction: interchangeable producer/consumer
-//     groups are declared as SymGroups candidates and trace-validated
-//     by vprog rather than trusted.
+//     replica families (TagOwner) — see nodeVars — so the structures
+//     participate in thread-symmetry reduction: interchangeable
+//     producer/consumer groups are declared as SymGroups candidates
+//     and trace-validated by vprog rather than trusted.
 //
 // Each structure has a seeded-bug study variant (Buggy() true,
 // excluded from the default corpus) whose counterexample the test
@@ -37,25 +43,6 @@ import (
 	"repro/internal/workload"
 )
 
-// Node identity encoding shared by the stack and the queue: node k of
-// thread t is (t+1)<<8 | k. The thread id occupies all bits above
-// nodeShift (required by the symmetry folder, which rewrites every bit
-// above the shift), and the small values 0 and 1 decode to thread -1 —
-// safe sentinels the folder leaves alone.
-const (
-	nodeShift = 8
-	nodeBias  = 1
-
-	// Recorded-outcome sentinels: a slot still holding incomplete
-	// means the operation never finished (retry bound exhausted); a
-	// slot holding sawEmpty means the operation observed an empty
-	// structure.
-	incomplete = 0
-	sawEmpty   = 1
-)
-
-func nodeID(t, k int) uint64 { return uint64(t+nodeBias)<<nodeShift | uint64(k) }
-
 // treiberWorkload is the Treiber stack: each thread pushes its own
 // iters nodes and then pops iters times. The LIFO spec demands exact
 // conservation — the multiset of recorded pops plus the elements left
@@ -64,13 +51,21 @@ func nodeID(t, k int) uint64 { return uint64(t+nodeBias)<<nodeShift | uint64(k) 
 // it pops, a pop can never legitimately observe an empty stack, so a
 // recorded sawEmpty is a violation.
 type treiberWorkload struct {
-	iters  int
-	badPop bool // seeded bug: pop ignores its CAS failure (missing retry)
+	iters   int
+	badPop  bool // seeded bug: pop ignores its CAS failure (missing retry)
+	bounded bool // differential oracle: pigeonhole-bounded plain retry loops
 }
 
 // Treiber returns the Treiber stack workload with iters push/pop pairs
 // per thread.
 func Treiber(iters int) workload.Workload { return &treiberWorkload{iters: iters} }
+
+// TreiberBounded returns the bounded-loop twin: the same stack with its
+// CAS retries encoded as pigeonhole-bounded plain loops instead of
+// awaits — the differential oracle for the await reduction.
+func TreiberBounded(iters int) workload.Workload {
+	return &treiberWorkload{iters: iters, bounded: true}
+}
 
 // TreiberBadPop returns the seeded-bug variant whose pop takes the
 // popped value even when its CAS failed — the missing retry lets two
@@ -79,16 +74,29 @@ func TreiberBadPop(iters int) workload.Workload {
 	return &treiberWorkload{iters: iters, badPop: true}
 }
 
+// TreiberBadPopBounded is the bounded-loop twin of TreiberBadPop, so
+// the differential also pins a violating verdict across encodings.
+func TreiberBadPopBounded(iters int) workload.Workload {
+	return &treiberWorkload{iters: iters, badPop: true, bounded: true}
+}
+
 func (w *treiberWorkload) Name() string {
+	name := "structs/treiber"
 	if w.badPop {
-		return "structs/treiber-badpop"
+		name = "structs/treiber-badpop"
 	}
-	return "structs/treiber"
+	if w.bounded {
+		name += "/bounded"
+	}
+	return name
 }
 
 func (w *treiberWorkload) Doc() string {
-	if w.badPop {
+	switch {
+	case w.badPop:
 		return "Treiber stack with the pop CAS retry removed (study case: duplicated pop)"
+	case w.bounded:
+		return "Treiber stack, bounded-loop encoding (differential oracle for the await reduction)"
 	}
 	return "Treiber lock-free stack (LIFO spec: conservation + empty-check soundness)"
 }
@@ -125,67 +133,93 @@ func (w *treiberWorkload) New(env vprog.Env, spec *vprog.BarrierSpec, nthreads i
 	nexts := make([][]*vprog.Var, nthreads)
 	pops := make([][]*vprog.Var, nthreads)
 	for t := 0; t < nthreads; t++ {
-		nexts[t] = make([]*vprog.Var, iters)
-		for k := 0; k < iters; k++ {
-			nexts[t][k] = env.Var(fmt.Sprintf("treiber.next.t%d.%d", t, k), 0).
-				TagOwner(t, fmt.Sprintf("treiber.next.%d", k)).
-				TagTid(nodeShift, nodeBias)
-		}
+		nexts[t] = nodeVars(env, "treiber.next", t, iters)
 	}
 	for t := 0; t < nthreads; t++ {
-		pops[t] = make([]*vprog.Var, iters)
-		for k := 0; k < iters; k++ {
-			pops[t][k] = env.Var(fmt.Sprintf("treiber.pop.t%d.%d", t, k), 0).
-				TagOwner(t, fmt.Sprintf("treiber.pop.%d", k)).
-				TagTid(nodeShift, nodeBias)
-		}
+		pops[t] = nodeVars(env, "treiber.pop", t, iters)
 	}
-	// Retry bound: each failed CAS means another thread's successful
-	// CAS advanced top between the load and the failure, and the other
-	// threads perform at most 2*(nthreads-1)*iters successful top
-	// CASes in the whole program — so by pigeonhole every retry loop
-	// succeeds within that many failures plus one try.
-	bound := 2*(nthreads-1)*iters + 1
 	badPop := w.badPop
 
+	// One push attempt: read top, link the new node's next word (owned
+	// by the pushing thread, so a failed attempt's re-store is within
+	// the AwaitDo contract) and try to swing top. Reports success.
+	pushAttempt := func(m vprog.Mem, t, k int, id uint64) bool {
+		old := m.Load(top, spec.M("treiber.push_read"))
+		m.Store(nexts[t][k], old, spec.M("treiber.link"))
+		if _, ok := m.CmpXchg(top, old, id, spec.M("treiber.push_cas")); ok {
+			return true
+		}
+		m.Pause()
+		return false
+	}
+	// One pop attempt: the outcome lands in *got (incomplete = retry).
+	popAttempt := func(m vprog.Mem, got *uint64) bool {
+		old := m.Load(top, spec.M("treiber.pop_read"))
+		if old == 0 {
+			*got = sawEmpty
+			return true
+		}
+		ot, ok := decodeNode(old)
+		nxt := m.Load(nexts[ot][ok], spec.M("treiber.next_read"))
+		if _, ok := m.CmpXchg(top, old, nxt, spec.M("treiber.pop_cas")); ok || badPop {
+			*got = old
+			return true
+		}
+		m.Pause()
+		return false
+	}
+
+	// The await encoding: each retry loop is one AwaitDo, so the
+	// wasteful filter collapses unproductive re-reads and a retry that
+	// can never succeed is an await-termination verdict, not a bound.
 	worker := func(m vprog.Mem) {
+		t := m.TID()
+		for k := 0; k < iters; k++ {
+			id := nodeID(t, k)
+			m.AwaitDo(func() bool { return pushAttempt(m, t, k, id) })
+		}
+		for k := 0; k < iters; k++ {
+			got := uint64(incomplete)
+			m.AwaitDo(func() bool { return popAttempt(m, &got) })
+			m.Store(pops[t][k], got, spec.M("treiber.record"))
+		}
+	}
+
+	// The bounded oracle encoding (PR 9): each failed CAS implies
+	// another thread's successful CAS on top strictly between the load
+	// and the failure, and the other threads perform at most
+	// 2*(nthreads-1)*iters successful top CASes in the whole program —
+	// so by pigeonhole every retry loop succeeds within that many
+	// failures plus one try. A bound exhaustion trips an Assert — a
+	// loud counterexample, never a silent pass.
+	bound := 2*(nthreads-1)*iters + 1
+	boundedWorker := func(m vprog.Mem) {
 		t := m.TID()
 		for k := 0; k < iters; k++ {
 			id := nodeID(t, k)
 			done := false
 			for attempt := 0; attempt < bound && !done; attempt++ {
-				old := m.Load(top, spec.M("treiber.push_read"))
-				m.Store(nexts[t][k], old, spec.M("treiber.link"))
-				_, done = m.CmpXchg(top, old, id, spec.M("treiber.push_cas"))
-				if !done {
-					m.Pause()
-				}
+				done = pushAttempt(m, t, k, id)
 			}
 			m.Assert(done, "treiber: push retry bound exhausted")
 		}
 		for k := 0; k < iters; k++ {
 			got := uint64(incomplete)
 			for attempt := 0; attempt < bound && got == incomplete; attempt++ {
-				old := m.Load(top, spec.M("treiber.pop_read"))
-				if old == 0 {
-					got = sawEmpty
-					break
-				}
-				ot := int(old>>nodeShift) - nodeBias
-				nxt := m.Load(nexts[ot][old&(1<<nodeShift-1)], spec.M("treiber.next_read"))
-				if _, ok := m.CmpXchg(top, old, nxt, spec.M("treiber.pop_cas")); ok || badPop {
-					got = old
-				} else {
-					m.Pause()
-				}
+				popAttempt(m, &got)
 			}
 			m.Assert(got != incomplete, "treiber: pop retry bound exhausted")
 			m.Store(pops[t][k], got, spec.M("treiber.record"))
 		}
 	}
+
+	body := worker
+	if w.bounded {
+		body = boundedWorker
+	}
 	threads := make([]vprog.ThreadFunc, nthreads)
 	for t := range threads {
-		threads[t] = worker
+		threads[t] = body
 	}
 
 	total := nthreads * iters
@@ -208,7 +242,7 @@ func (w *treiberWorkload) New(env vprog.Env, spec *vprog.BarrierSpec, nthreads i
 				return false, "treiber: stack chain is cyclic or overlong"
 			}
 			seen[cur]++
-			t, k := int(cur>>nodeShift)-nodeBias, int(cur&(1<<nodeShift-1))
+			t, k := decodeNode(cur)
 			if t < 0 || t >= nthreads || k >= iters {
 				return false, fmt.Sprintf("treiber: stack holds alien element %#x", cur)
 			}

@@ -32,7 +32,8 @@ const (
 	fpThread
 	fpVars
 	fpFinalCheck
-	fpTID // canonical (symmetry-folded) traces only — see sym.go
+	fpTID     // canonical (symmetry-folded) traces only — see sym.go
+	fpAwaitDo // AwaitDo enter marker (exit/saturation reuse the AwaitWhile tags)
 )
 
 // fpMem is a recording sequential interpreter: every Mem operation is
@@ -105,6 +106,25 @@ func (m *fpMem) AwaitWhile(cond func() bool) {
 			return
 		}
 		if !cond() {
+			m.h.Word(uint64(fpAwaitExit)<<56 | uint64(i))
+			return
+		}
+	}
+}
+
+func (m *fpMem) AwaitDo(body func() bool) {
+	// Unlike AwaitWhile, abandoned AwaitDo iterations may have stored to
+	// owned locations — but the trace records those stores before the
+	// saturation marker, so the fingerprint stays deterministic either
+	// way; saturation only cuts iterations that would repeat forever
+	// under the sequential schedule.
+	m.h.Word(uint64(fpAwaitDo) << 56)
+	for i := 0; ; i++ {
+		if i >= awaitFingerprintCap {
+			m.h.Word(uint64(fpAwaitSaturated) << 56)
+			return
+		}
+		if body() {
 			m.h.Word(uint64(fpAwaitExit)<<56 | uint64(i))
 			return
 		}

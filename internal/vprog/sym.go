@@ -360,6 +360,20 @@ func (m *canonMem) AwaitWhile(cond func() bool) {
 	}
 }
 
+func (m *canonMem) AwaitDo(body func() bool) {
+	m.h.Word(uint64(fpAwaitDo) << 56)
+	for i := 0; ; i++ {
+		if i >= awaitFingerprintCap {
+			m.h.Word(uint64(fpAwaitSaturated) << 56)
+			return
+		}
+		if body() {
+			m.h.Word(uint64(fpAwaitExit)<<56 | uint64(i))
+			return
+		}
+	}
+}
+
 func (m *canonMem) Pause() {
 	m.h.Word(uint64(fpPause) << 56)
 }

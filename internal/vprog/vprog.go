@@ -12,12 +12,34 @@
 // Programs written against this API must obey the paper's two
 // principles for AMC to be applicable:
 //
-//   - Bounded-Length: apart from AwaitWhile loops, every thread performs
-//     a bounded number of Mem operations.
+//   - Bounded-Length: apart from AwaitWhile/AwaitDo loops, every thread
+//     performs a bounded number of Mem operations.
 //   - Bounded-Effect: a failed await iteration must not produce
 //     value-changing writes; its only effects are thread-local. (A CAS
 //     that fails or an exchange that stores back the value it read are
 //     fine — the paper's footnote 5.)
+//
+// The two await constructs split the Bounded-Effect obligation into two
+// contracts the checker validates on replayed traces:
+//
+//   - AwaitWhile(cond): the polling await. cond must be read-only — a
+//     failed iteration may contain no plain store and no value-changing
+//     (non-degraded) update. This is the paper's await as written.
+//   - AwaitDo(body): the effect-bounded retry await (a CAS loop). A
+//     failed iteration may additionally (a) plain-store to the
+//     executing thread's own TagOwner replicas — thread-local effects
+//     under thread-symmetry, invisible to other threads until a
+//     successful publication — and (b) attempt updates (CmpXchg, Xchg,
+//     FetchAdd) anywhere. A failed CAS degrades to a read (footnote 5);
+//     a successful, value-changing update inside a failed iteration is
+//     self-limiting: two consecutive iterations whose reads have
+//     identical rf vectors would place two such updates mo-adjacent on
+//     the same rf source, which atomicity already forbids, so the
+//     wasteful-execution filter (Def. 2) never prunes an iteration that
+//     made progress.
+//
+// Violations of either contract are detected during replay and reported
+// as checker errors rather than silently unsound verdicts.
 package vprog
 
 import (
@@ -118,8 +140,17 @@ type Mem interface {
 	// AwaitWhile marks an await loop: cond is evaluated repeatedly (at
 	// least once) until it returns false. Each evaluation is one await
 	// iteration for the model checker's wasteful-execution filter and
-	// ⊥-rf await-termination detection.
+	// ⊥-rf await-termination detection. cond must be read-only (see the
+	// package doc's Bounded-Effect contracts).
 	AwaitWhile(cond func() bool)
+	// AwaitDo marks an effect-bounded retry await (a CAS loop): body is
+	// evaluated repeatedly (at least once) until it returns true. Each
+	// evaluation is one await iteration under the same AwaitSeq/AwaitIter
+	// span discipline as AwaitWhile. A failed (false-returning) iteration
+	// may plain-store only to the executing thread's TagOwner replicas
+	// and may attempt updates anywhere; see the package doc's
+	// Bounded-Effect contracts for why that is sound.
+	AwaitDo(body func() bool)
 	// Pause is a spin-wait hint (cpu_relax / WFE); semantically a no-op.
 	Pause()
 	// TID returns the executing thread's index within the program.

@@ -236,6 +236,11 @@ func (m *simMem) AwaitWhile(cond func() bool) {
 	}
 }
 
+func (m *simMem) AwaitDo(body func() bool) {
+	for !body() {
+	}
+}
+
 func (m *simMem) Pause()   { m.advance(m.s.mc.PauseCost) }
 func (m *simMem) TID() int { return m.tid }
 
